@@ -1,0 +1,316 @@
+package ce
+
+// The benchmark harness: one testing.B benchmark per table and figure in
+// the paper's evaluation. Each benchmark regenerates its experiment and
+// reports the headline numbers as custom metrics (run with -v to also see
+// the full tables; the cmd/cedelay and cmd/cesweep tools print the same
+// rows directly).
+
+import (
+	"testing"
+
+	"repro/internal/delaymodel"
+	"repro/internal/emu"
+	"repro/internal/pipeline"
+	"repro/internal/prog"
+	"repro/internal/vlsi"
+)
+
+func BenchmarkFig3RenameDelay(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		for _, tech := range vlsi.Technologies() {
+			for _, iw := range []int{2, 4, 8} {
+				d, err := delaymodel.Rename(tech, iw)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = d.Total()
+			}
+		}
+	}
+	tbl, err := Figure3()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("\n%s", tbl)
+	b.ReportMetric(total, "ps/rename-8way-0.18um")
+}
+
+func BenchmarkFig5WakeupDelay(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		for ws := 8; ws <= 64; ws += 8 {
+			for _, iw := range []int{2, 4, 8} {
+				d, err := delaymodel.Wakeup(vlsi.Tech018, iw, ws)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = d.Total()
+			}
+		}
+	}
+	tbl, err := Figure5()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("\n%s", tbl)
+	b.ReportMetric(last, "ps/wakeup-8way-64")
+}
+
+func BenchmarkFig6WakeupScaling(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		for _, tech := range vlsi.Technologies() {
+			d, err := delaymodel.Wakeup(tech, 8, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			frac = (d.TagDrive + d.TagMatch) / d.Total()
+		}
+	}
+	tbl, err := Figure6()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("\n%s", tbl)
+	b.ReportMetric(frac*100, "%broadcast-0.18um")
+}
+
+func BenchmarkFig8SelectDelay(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		for _, tech := range vlsi.Technologies() {
+			for _, ws := range []int{16, 32, 64, 128} {
+				d, err := delaymodel.Select(tech, ws)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = d.Total()
+			}
+		}
+	}
+	tbl, err := Figure8()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("\n%s", tbl)
+	b.ReportMetric(last, "ps/select-128-0.18um")
+}
+
+func BenchmarkTable1BypassDelay(b *testing.B) {
+	var d8 float64
+	for i := 0; i < b.N; i++ {
+		d4, err := delaymodel.Bypass(vlsi.Tech018, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d8v, err := delaymodel.Bypass(vlsi.Tech018, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = d4
+		d8 = d8v.Delay
+	}
+	tbl, err := Table1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("\n%s", tbl)
+	b.ReportMetric(d8, "ps/bypass-8way")
+}
+
+func BenchmarkTable2Overall(b *testing.B) {
+	var crit float64
+	for i := 0; i < b.N; i++ {
+		for _, tech := range vlsi.Technologies() {
+			for _, pt := range []struct{ iw, ws int }{{4, 32}, {8, 64}} {
+				o, err := delaymodel.Analyze(tech, pt.iw, pt.ws)
+				if err != nil {
+					b.Fatal(err)
+				}
+				crit = o.CriticalPath()
+			}
+		}
+	}
+	tbl, err := Table2()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("\n%s", tbl)
+	b.ReportMetric(crit, "ps/critical-8way-0.18um")
+}
+
+func BenchmarkTable4ReservationTable(b *testing.B) {
+	var d float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		d, err = delaymodel.ReservationTable(vlsi.Tech018, 8, 128)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	tbl, err := Table4()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("\n%s", tbl)
+	b.ReportMetric(d, "ps/restable-8way")
+}
+
+// simFigure runs an IPC-comparison figure once per b.N iteration and
+// reports the mean IPC of each configuration.
+func simFigure(b *testing.B, fn func() (*IPCComparison, error), title string) {
+	b.Helper()
+	var cmp *IPCComparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		cmp, err = fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("\n%s", cmp.IPCTable(title))
+	var committed uint64
+	for ci := range cmp.Configs {
+		var mean float64
+		for wi := range cmp.Workloads {
+			mean += cmp.Results[ci][wi].IPC()
+			committed += cmp.Results[ci][wi].Committed
+		}
+		b.ReportMetric(mean/float64(len(cmp.Workloads)), "IPC/"+cmp.Configs[ci].Name)
+	}
+	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "simulated-insts/s")
+}
+
+func BenchmarkFig13DependenceIPC(b *testing.B) {
+	simFigure(b, Figure13, "Figure 13")
+}
+
+func BenchmarkFig15ClusteredIPC(b *testing.B) {
+	simFigure(b, Figure15, "Figure 15")
+}
+
+func BenchmarkFig17ClusterDesignSpace(b *testing.B) {
+	var cmp *IPCComparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		cmp, err = Figure17()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("\n%s", cmp.IPCTable("Figure 17 (top)"))
+	b.Logf("\n%s", cmp.BypassTable("Figure 17 (bottom)"))
+	for ci := range cmp.Configs {
+		var ipc, byp float64
+		for wi := range cmp.Workloads {
+			ipc += cmp.Results[ci][wi].IPC()
+			byp += cmp.Results[ci][wi].InterClusterFrequency()
+		}
+		n := float64(len(cmp.Workloads))
+		b.ReportMetric(ipc/n, "IPC/"+cmp.Configs[ci].Name)
+		b.ReportMetric(byp/n*100, "%xbypass/"+cmp.Configs[ci].Name)
+	}
+}
+
+func BenchmarkSpeedupEstimate(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, mean, err = SpeedupEstimate()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	sws, m, err := SpeedupEstimate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("\n%s", SpeedupTable(sws, m))
+	b.ReportMetric(mean, "net-speedup")
+}
+
+// BenchmarkSimulatorThroughput measures the raw speed of the timing
+// simulator itself (simulated instructions per wall-clock second) on the
+// baseline configuration.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, err := prog.ByName("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var committed uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := pipeline.New(BaselineConfig(), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := sim.Run(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		committed += st.Committed
+	}
+	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "simulated-insts/s")
+}
+
+// BenchmarkEmulatorThroughput measures the functional emulator alone.
+func BenchmarkEmulatorThroughput(b *testing.B) {
+	w, err := prog.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var executed uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := emu.New(p)
+		for !m.Halted() {
+			if _, err := m.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		executed += m.Executed
+	}
+	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkFrontier runs the full design-space ranking (extension).
+func BenchmarkFrontier(b *testing.B) {
+	var pts []FrontierPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = Frontier()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("\n%s", FrontierTable(pts))
+	if len(pts) > 0 {
+		b.ReportMetric(pts[0].BIPS, "best-BIPS")
+	}
+}
+
+// BenchmarkWrongPathSimulation measures the speculative-execution
+// simulator against the stall-model baseline (extension).
+func BenchmarkWrongPathSimulation(b *testing.B) {
+	cfg := BaselineConfig()
+	cfg.WrongPathExecution = true
+	var committed uint64
+	for i := 0; i < b.N; i++ {
+		st, err := Run(cfg, "gcc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		committed += st.Committed + st.SquashedUops
+	}
+	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "simulated-insts/s")
+}

@@ -1,0 +1,255 @@
+// Package ce is the public API of this reproduction of "Complexity-
+// Effective Superscalar Processors" (Palacharla, Jouppi & Smith, ISCA
+// 1997).
+//
+// It exposes two layers:
+//
+//   - the delay models of Section 4 (rename, wakeup, select, bypass and
+//     the reservation table), re-exported from internal/delaymodel via the
+//     Figure/Table runners in delays.go;
+//   - the timing simulator of Section 5, with ready-made machine
+//     configurations for every organization the paper evaluates and
+//     runners that regenerate Figures 13, 15 and 17 (experiments.go).
+//
+// The quickstart is:
+//
+//	stats, err := ce.Run(ce.BaselineConfig(), "compress")
+//	fmt.Println(stats.IPC())
+package ce
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/prog"
+)
+
+// Config is the machine configuration consumed by Run.
+type Config = pipeline.Config
+
+// Stats is the result of one simulation run.
+type Stats = pipeline.Stats
+
+// maxCycles bounds any single simulation as a runaway guard; the longest
+// workload needs well under this.
+const maxCycles = 200_000_000
+
+// table3 returns the shared Table 3 parameters; callers fill in the
+// scheduler and clustering.
+func table3(name string, clusters, interDelay int, sched func() core.Scheduler) Config {
+	return Config{
+		Name:              name,
+		FetchWidth:        8,
+		DecodeWidth:       8,
+		IssueWidth:        8,
+		RetireWidth:       16,
+		MaxInFlight:       128,
+		PhysRegs:          120,
+		Clusters:          clusters,
+		FUsPerCluster:     8 / clusters,
+		LSPorts:           4,
+		InterClusterDelay: interDelay,
+		FrontEndDepth:     2,
+		FetchQueueSize:    32,
+		NewScheduler:      sched,
+	}
+}
+
+// BaselineConfig is the conventional 8-way machine of Table 3: a single
+// 64-entry flexible issue window with uniform single-cycle bypass. It is
+// also Figure 17's "1-cluster, 1 window" ideal organization.
+func BaselineConfig() Config {
+	return table3("baseline-8way-64win", 1, 0, func() core.Scheduler {
+		return core.NewCentralWindow(64)
+	})
+}
+
+// DependenceConfig is the (unclustered) dependence-based microarchitecture
+// of Section 5.2: eight 8-entry FIFOs, issue from FIFO heads only, uniform
+// single-cycle bypass. Compared against BaselineConfig in Figure 13.
+func DependenceConfig() Config {
+	return table3("dependence-8fifo-x8", 1, 0, func() core.Scheduler {
+		return core.NewFIFOBank(core.FIFOBankConfig{
+			Name: "fifos-8x8", Clusters: 1, FIFOsPerCluster: 8, Depth: 8,
+		})
+	})
+}
+
+// ClusteredDependenceConfig is the 2×4-way clustered dependence-based
+// machine of Section 5.4/5.5 (Figure 14): two clusters of four FIFOs and
+// four functional units each, per-cluster FIFO free lists, local bypass in
+// one cycle and inter-cluster bypass in two.
+func ClusteredDependenceConfig() Config {
+	return table3("2x4way-fifos-dispatch", 2, 1, func() core.Scheduler {
+		return core.NewFIFOBank(core.FIFOBankConfig{
+			Name: "fifos-2x4x8", Clusters: 2, FIFOsPerCluster: 4, Depth: 8,
+		})
+	})
+}
+
+// WindowsDispatchConfig is Figure 16(b) with dependence-aware dispatch
+// steering (Section 5.6.2): two clusters, each with a 32-entry flexible
+// window that the steering heuristic treats as eight conceptual 4-slot
+// FIFOs; instructions issue from any slot.
+func WindowsDispatchConfig() Config {
+	return table3("2x4way-windows-dispatch", 2, 1, func() core.Scheduler {
+		return core.NewFIFOBank(core.FIFOBankConfig{
+			Name: "windows-2x8x4", Clusters: 2, FIFOsPerCluster: 8, Depth: 4,
+			AnySlot: true,
+		})
+	})
+}
+
+// ExecSteeredConfig is Figure 16(a) (Section 5.6.1): a single 64-entry
+// central window feeding two clusters, with cluster assignment made at
+// execution time (greedy earliest-operands placement, ties to cluster 0).
+func ExecSteeredConfig() Config {
+	return table3("2x4way-central-exec", 2, 1, func() core.Scheduler {
+		return core.NewExecSteeredWindow(64, 2)
+	})
+}
+
+// RandomSteerConfig is the Section 5.6.3 basis point: two 32-entry
+// windows with random cluster steering (fall back to the other cluster
+// when the chosen window is full).
+func RandomSteerConfig() Config {
+	return table3("2x4way-windows-random", 2, 1, func() core.Scheduler {
+		return core.NewFIFOBank(core.FIFOBankConfig{
+			Name: "windows-random", Clusters: 2, FIFOsPerCluster: 1, Depth: 32,
+			AnySlot: true, Policy: core.SteerRandom,
+		})
+	})
+}
+
+// FourWayConfig is a conventional 4-way, 32-entry window machine — the
+// machine whose window logic bounds the dependence-based clock in Section
+// 5.5, provided for ablations.
+func FourWayConfig() Config {
+	c := table3("baseline-4way-32win", 1, 0, func() core.Scheduler {
+		return core.NewCentralWindow(32)
+	})
+	c.FetchWidth = 4
+	c.DecodeWidth = 4
+	c.IssueWidth = 4
+	c.FUsPerCluster = 4
+	c.RetireWidth = 8
+	return c
+}
+
+// WithPredictor returns a copy of cfg using the given branch predictor
+// factory (ablation support).
+func WithPredictor(cfg Config, name string) (Config, error) {
+	switch name {
+	case "gshare":
+		cfg.NewPredictor = func() bpred.Predictor { return bpred.NewGshare(12, 12) }
+	case "bimodal":
+		cfg.NewPredictor = func() bpred.Predictor { return bpred.NewBimodal(12) }
+	case "taken":
+		cfg.NewPredictor = func() bpred.Predictor { return bpred.Static{Taken: true} }
+	case "perfect":
+		cfg.PerfectBPred = true
+	default:
+		return cfg, fmt.Errorf("ce: unknown predictor %q (want gshare, bimodal, taken or perfect)", name)
+	}
+	cfg.Name += "+" + name
+	return cfg, nil
+}
+
+// Workloads returns the benchmark names in report order (the seven
+// SPEC95-like kernels the paper evaluates).
+func Workloads() []string { return prog.Names() }
+
+// WorkloadsExtended returns every benchmark, including extensions beyond
+// the paper's set (currently ijpeg).
+func WorkloadsExtended() []string { return prog.ExtendedNames() }
+
+// WorkloadDescription returns the one-line description of a workload.
+func WorkloadDescription(name string) (string, error) {
+	w, err := prog.ByName(name)
+	if err != nil {
+		return "", err
+	}
+	return w.Description, nil
+}
+
+// Run simulates one workload on one configuration.
+func Run(cfg Config, workload string) (Stats, error) {
+	st, _, err := run(cfg, workload)
+	return st, err
+}
+
+// TimelineEntry re-exports the per-instruction pipeline timeline record.
+type TimelineEntry = pipeline.TimelineEntry
+
+// RunWithTimeline simulates one workload with timeline recording enabled
+// and returns the per-instruction pipeline timeline alongside the stats.
+// Intended for short runs; the timeline holds one entry per committed
+// instruction.
+func RunWithTimeline(cfg Config, workload string) (Stats, []TimelineEntry, error) {
+	cfg.RecordTimeline = true
+	return run(cfg, workload)
+}
+
+func run(cfg Config, workload string) (Stats, []TimelineEntry, error) {
+	w, err := prog.ByName(workload)
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	p, err := w.Program()
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	sim, err := pipeline.New(cfg, p)
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	st, err := sim.Run(maxCycles)
+	if err != nil {
+		return st, nil, err
+	}
+	return st, sim.Timeline(), nil
+}
+
+// RunMatrix runs every (config, workload) pair, in parallel across CPUs,
+// returning results indexed [config][workload] in the given orders.
+func RunMatrix(cfgs []Config, workloads []string) ([][]Stats, error) {
+	out := make([][]Stats, len(cfgs))
+	for i := range out {
+		out[i] = make([]Stats, len(workloads))
+	}
+	type job struct{ ci, wi int }
+	jobs := make(chan job)
+	errs := make(chan error, len(cfgs)*len(workloads))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				st, err := Run(cfgs[j.ci], workloads[j.wi])
+				if err != nil {
+					errs <- err
+					continue
+				}
+				out[j.ci][j.wi] = st
+			}
+		}()
+	}
+	for ci := range cfgs {
+		for wi := range workloads {
+			jobs <- job{ci, wi}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+// Ceasm is the developer tool for the simulator's assembly language: it
+// assembles a source file and disassembles it, runs it on the functional
+// emulator, or dumps one of the built-in benchmark programs.
+//
+// Usage:
+//
+//	ceasm -run prog.s          # assemble and execute, print outputs
+//	ceasm -dump prog.s         # assemble and disassemble
+//	ceasm -workload compress -dump ""   # disassemble a built-in workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/profile"
+	"repro/internal/prog"
+)
+
+var (
+	runFile  = flag.String("run", "", "assemble (or load) and execute this source or object file")
+	dumpFile = flag.String("dump", "", "assemble (or load) and disassemble this source or object file")
+	workload = flag.String("workload", "", "operate on a built-in workload instead of a file")
+	output   = flag.String("o", "", "write the assembled program as a binary object to this path")
+	doProf   = flag.Bool("profile", false, "print the program's dynamic profile instead of running it")
+	maxInsts = flag.Uint64("max", 50_000_000, "instruction budget for -run")
+)
+
+func main() {
+	flag.Parse()
+	if err := mainErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "ceasm:", err)
+		os.Exit(1)
+	}
+}
+
+func mainErr() error {
+	p, err := load()
+	if err != nil {
+		return err
+	}
+	if p == nil && *output != "" {
+		return fmt.Errorf("-o needs a program: pass -run, -dump or -workload")
+	}
+	if p == nil {
+		flag.Usage()
+		return fmt.Errorf("pass -run FILE, -dump FILE or -workload NAME")
+	}
+	if *output != "" {
+		if err := os.WriteFile(*output, obj.Encode(p), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d instructions, %d data bytes\n", *output, len(p.Text), len(p.Data))
+		if *runFile == "" && *dumpFile == "" {
+			return nil
+		}
+	}
+	if *doProf {
+		r, err := profile.Profile(p, *maxInsts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.String())
+		return nil
+	}
+	if *dumpFile != "" || (*workload != "" && *runFile == "") {
+		dump(p)
+		return nil
+	}
+	m := emu.New(p)
+	for !m.Halted() {
+		if m.Executed >= *maxInsts {
+			return fmt.Errorf("%s exceeded %d instructions", p.Name, *maxInsts)
+		}
+		if _, err := m.Step(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s: %d instructions executed\n", p.Name, m.Executed)
+	for i, v := range m.Output {
+		fmt.Printf("out[%d] = %d (%#x)\n", i, v, uint32(v))
+	}
+	return nil
+}
+
+func load() (*isa.Program, error) {
+	if *workload != "" {
+		w, err := prog.ByName(*workload)
+		if err != nil {
+			return nil, err
+		}
+		return w.Program()
+	}
+	name := *runFile
+	if name == "" {
+		name = *dumpFile
+	}
+	if name == "" {
+		return nil, nil
+	}
+	src, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if obj.IsObject(src) {
+		return obj.Decode(name, src)
+	}
+	return asm.Assemble(name, string(src))
+}
+
+func dump(p *isa.Program) {
+	labels := map[uint32][]string{}
+	for sym, v := range p.Symbols {
+		if v < uint32(len(p.Text)) {
+			labels[v] = append(labels[v], sym)
+		}
+	}
+	for i, in := range p.Text {
+		for _, l := range labels[uint32(i)] {
+			fmt.Printf("%s:\n", l)
+		}
+		fmt.Printf("%5d:  %s\n", i, in)
+	}
+	fmt.Printf("# %d instructions, %d data bytes\n", len(p.Text), len(p.Data))
+}

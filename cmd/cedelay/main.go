@@ -1,0 +1,136 @@
+// Cedelay regenerates the paper's complexity-analysis results: Figure 3
+// (rename delay vs issue width), Figure 5 (wakeup delay vs window size),
+// Figure 6 (wakeup components vs feature size), Figure 8 (selection delay
+// vs window size), Table 1 (bypass delays), Table 2 (overall delays) and
+// Table 4 (reservation-table delay), plus the Section 5.5 clock ratio.
+//
+// Usage:
+//
+//	cedelay -fig 3            # one figure
+//	cedelay -table 2          # one table
+//	cedelay -all              # everything
+//	cedelay -point 0.18um,8,64  # a custom design point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/report"
+	"repro/internal/vlsi"
+)
+
+var (
+	figure  = flag.Int("fig", 0, "figure to regenerate: 3, 5, 6 or 8")
+	table   = flag.Int("table", 0, "table to regenerate: 1, 2 or 4")
+	all     = flag.Bool("all", false, "regenerate every delay result")
+	point   = flag.String("point", "", "analyze a custom design point: tech,issueWidth,windowSize (e.g. 0.18um,8,64)")
+	memory  = flag.Bool("memory", false, "register file and cache access times (extension)")
+	schemes = flag.Bool("schemes", false, "RAM vs CAM rename scheme comparison (extension)")
+	area    = flag.Bool("area", false, "issue-logic area comparison (extension)")
+	csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cedelay:", err)
+		os.Exit(1)
+	}
+}
+
+func emit(t *report.Table) {
+	if *csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Println(t.String())
+	}
+}
+
+func run() error {
+	type gen struct {
+		sel bool
+		fn  func() (*report.Table, error)
+	}
+	gens := []gen{
+		{*figure == 3 || *all, ce.Figure3},
+		{*figure == 5 || *all, ce.Figure5},
+		{*figure == 6 || *all, ce.Figure6},
+		{*figure == 8 || *all, ce.Figure8},
+		{*table == 1 || *all, ce.Table1},
+		{*table == 2 || *all, ce.Table2},
+		{*table == 4 || *all, ce.Table4},
+		{*memory || *all, ce.MemoryDelays},
+		{*schemes || *all, ce.RenameSchemes},
+		{*area || *all, ce.AreaComparison},
+	}
+	ran := false
+	for _, g := range gens {
+		if !g.sel {
+			continue
+		}
+		ran = true
+		t, err := g.fn()
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if *all {
+		ratio, err := ce.ClockRatio(vlsi.Tech018)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Section 5.5 clock ratio (0.18um): the dependence-based machine supports a %.0f%% faster clock\n\n", (ratio-1)*100)
+	}
+	if *point != "" {
+		ran = true
+		if err := analyzePoint(*point); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		flag.Usage()
+		return fmt.Errorf("nothing selected: pass -fig N, -table N, -point spec, -memory or -all")
+	}
+	return nil
+}
+
+func analyzePoint(spec string) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("bad -point %q: want tech,issueWidth,windowSize", spec)
+	}
+	tech, err := ce.TechnologyByName(parts[0])
+	if err != nil {
+		return err
+	}
+	iw, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return fmt.Errorf("bad issue width %q: %v", parts[1], err)
+	}
+	ws, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return fmt.Errorf("bad window size %q: %v", parts[2], err)
+	}
+	o, err := ce.AnalyzeDelays(tech, iw, ws)
+	if err != nil {
+		return err
+	}
+	tbl := &report.Table{
+		Title:   fmt.Sprintf("Design point: %s, %d-way, %d-entry window", tech.Name, iw, ws),
+		Headers: []string{"structure", "delay (ps)"},
+	}
+	tbl.AddRowf("rename", o.Rename.Total())
+	tbl.AddRowf("wakeup", o.Wakeup.Total())
+	tbl.AddRowf("select", o.Select.Total())
+	tbl.AddRowf("wakeup+select", o.WakeupSelect())
+	tbl.AddRowf("bypass", o.Bypass.Delay)
+	tbl.AddRowf("critical path", o.CriticalPath())
+	emit(tbl)
+	return nil
+}

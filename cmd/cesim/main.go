@@ -1,0 +1,147 @@
+// Cesim runs one workload on one machine configuration and prints the run
+// statistics — the single-run companion to cesweep.
+//
+// Usage:
+//
+//	cesim -config baseline -workload compress
+//	cesim -config dependence -workload li -predictor bimodal
+//	cesim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro"
+)
+
+var configs = map[string]func() ce.Config{
+	"baseline":         ce.BaselineConfig,
+	"dependence":       ce.DependenceConfig,
+	"clustered":        ce.ClusteredDependenceConfig,
+	"windows-dispatch": ce.WindowsDispatchConfig,
+	"exec-steer":       ce.ExecSteeredConfig,
+	"random-steer":     ce.RandomSteerConfig,
+	"4way":             ce.FourWayConfig,
+}
+
+var (
+	configName = flag.String("config", "baseline", "machine configuration")
+	workload   = flag.String("workload", "compress", "benchmark program")
+	predictor  = flag.String("predictor", "", "branch predictor override: gshare, bimodal, taken or perfect")
+	timeline   = flag.Int("timeline", 0, "print a pipeline timeline for the first N committed instructions")
+	list       = flag.Bool("list", false, "list configurations and workloads")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if *list {
+		var names []string
+		for n := range configs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("configurations:")
+		for _, n := range names {
+			fmt.Printf("  %-18s %s\n", n, configs[n]().Name)
+		}
+		fmt.Println("workloads:")
+		for _, w := range ce.Workloads() {
+			desc, err := ce.WorkloadDescription(w)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-10s %s\n", w, desc)
+		}
+		return nil
+	}
+	mk, ok := configs[*configName]
+	if !ok {
+		return fmt.Errorf("unknown config %q (try -list)", *configName)
+	}
+	cfg := mk()
+	if *predictor != "" {
+		var err error
+		cfg, err = ce.WithPredictor(cfg, *predictor)
+		if err != nil {
+			return err
+		}
+	}
+	var st ce.Stats
+	var err error
+	if *timeline > 0 {
+		var tl []ce.TimelineEntry
+		st, tl, err = ce.RunWithTimeline(cfg, *workload)
+		if err != nil {
+			return err
+		}
+		printTimeline(tl, *timeline)
+	} else {
+		st, err = ce.Run(cfg, *workload)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("config:                 %s\n", st.Config)
+	fmt.Printf("workload:               %s\n", st.Workload)
+	fmt.Printf("committed instructions: %d\n", st.Committed)
+	fmt.Printf("cycles:                 %d\n", st.Cycles)
+	fmt.Printf("IPC:                    %.3f\n", st.IPC())
+	fmt.Printf("conditional branches:   %d\n", st.CondBranches)
+	fmt.Printf("mispredictions:         %d (%.1f%%)\n", st.Mispredicts, st.MispredictRate()*100)
+	fmt.Printf("d-cache accesses:       %d\n", st.Cache.Accesses)
+	fmt.Printf("d-cache miss rate:      %.2f%%\n", st.Cache.MissRate()*100)
+	fmt.Printf("inter-cluster bypasses: %.1f%% of committed instructions\n", st.InterClusterFrequency()*100)
+	fmt.Printf("stalls:                 scheduler %d, physregs %d, rob %d\n",
+		st.SchedulerStalls, st.PhysRegStalls, st.ROBStalls)
+	if h := st.IssuedPerCycle; h != nil && h.Total() > 0 {
+		fmt.Printf("issue distribution:     mean %.2f/cycle, P50 %d, P90 %d, full-width %.1f%%\n",
+			h.Mean(), h.Percentile(50), h.Percentile(90),
+			float64(h.Count(cfg.IssueWidth))/float64(h.Total())*100)
+	}
+	return nil
+}
+
+// printTimeline renders the first n committed instructions' trips through
+// the pipeline: stage cycle numbers plus a bar chart (F fetch, D dispatch,
+// I issue, E complete, C commit).
+func printTimeline(tl []ce.TimelineEntry, n int) {
+	if n > len(tl) {
+		n = len(tl)
+	}
+	if n == 0 {
+		return
+	}
+	base := tl[0].Fetch
+	fmt.Printf("%4s %5s  %-26s %5s %5s %5s %5s %5s  %s\n",
+		"seq", "pc", "instruction", "F", "D", "I", "E", "C", "pipeline (cycles from start)")
+	for _, e := range tl[:n] {
+		bar := make([]byte, 0, 64)
+		mark := func(cycle int64, ch byte) {
+			pos := int(cycle - base)
+			if pos < 0 || pos > 58 {
+				return
+			}
+			for len(bar) <= pos {
+				bar = append(bar, '.')
+			}
+			bar[pos] = ch
+		}
+		mark(e.Fetch, 'F')
+		mark(e.Dispatch, 'D')
+		mark(e.Issue, 'I')
+		mark(e.Complete, 'E')
+		mark(e.Commit, 'C')
+		fmt.Printf("%4d %5d  %-26s %5d %5d %5d %5d %5d  %s\n",
+			e.Seq, e.PC, e.Inst, e.Fetch, e.Dispatch, e.Issue, e.Complete, e.Commit, bar)
+	}
+}

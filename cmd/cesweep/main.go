@@ -1,0 +1,139 @@
+// Cesweep regenerates the paper's simulation results: Figure 13 (IPC of
+// the dependence-based machine versus the baseline window machine),
+// Figure 15 (the clustered 2×4-way machine), Figure 17 (the clustered
+// design space, IPC and inter-cluster bypass frequency), the Section 5.5
+// speedup estimate, and the window-size trade-off extension.
+//
+// Usage:
+//
+//	cesweep -fig 13        # one figure
+//	cesweep -speedup       # Section 5.5 estimate
+//	cesweep -tradeoff      # window-size trade-off (extension)
+//	cesweep -all           # everything
+//	cesweep -all -csv      # CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/report"
+)
+
+var (
+	figure    = flag.Int("fig", 0, "figure to regenerate: 13, 15 or 17")
+	speedup   = flag.Bool("speedup", false, "print the Section 5.5 speedup estimate")
+	tradeoff  = flag.Bool("tradeoff", false, "print the window-size trade-off (extension)")
+	ablations = flag.Bool("ablations", false, "run the steering/geometry/latency/predictor/atomicity ablations (extensions)")
+	micro     = flag.Bool("micro", false, "run the microbenchmark characterization (extension)")
+	frontier  = flag.Bool("frontier", false, "rank design points by IPC x estimated clock (extension)")
+	profiles  = flag.Bool("profiles", false, "print dynamic workload profiles (extension)")
+	all       = flag.Bool("all", false, "regenerate every simulation result")
+	csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cesweep:", err)
+		os.Exit(1)
+	}
+}
+
+func emit(t *report.Table) {
+	if *csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Println(t.String())
+	}
+}
+
+func run() error {
+	ran := false
+	if *figure == 13 || *all {
+		ran = true
+		cmp, err := ce.Figure13()
+		if err != nil {
+			return err
+		}
+		emit(cmp.IPCTable("Figure 13: IPC of the dependence-based microarchitecture"))
+	}
+	if *figure == 15 || *all {
+		ran = true
+		cmp, err := ce.Figure15()
+		if err != nil {
+			return err
+		}
+		emit(cmp.IPCTable("Figure 15: IPC of the clustered dependence-based microarchitecture"))
+	}
+	if *figure == 17 || *all {
+		ran = true
+		cmp, err := ce.Figure17()
+		if err != nil {
+			return err
+		}
+		emit(cmp.IPCTable("Figure 17 (top): IPC of clustered microarchitectures"))
+		emit(cmp.BypassTable("Figure 17 (bottom): inter-cluster bypass frequency"))
+	}
+	if *speedup || *all {
+		ran = true
+		sws, mean, err := ce.SpeedupEstimate()
+		if err != nil {
+			return err
+		}
+		emit(ce.SpeedupTable(sws, mean))
+	}
+	if *tradeoff || *all {
+		ran = true
+		tbl, err := ce.WindowTradeoff([]int{16, 32, 64, 128})
+		if err != nil {
+			return err
+		}
+		emit(tbl)
+	}
+	if *ablations || *all {
+		ran = true
+		for _, fn := range []func() (*report.Table, error){
+			ce.SteeringAblation, ce.FIFOGeometry, ce.LatencySweep, ce.PredictorAblation,
+			ce.AtomicityAblation, ce.FetchRealismAblation, ce.SelectionPolicyAblation,
+			ce.StoreForwardingAblation, ce.SteeringDepthAblation, ce.WrongPathAblation,
+		} {
+			tbl, err := fn()
+			if err != nil {
+				return err
+			}
+			emit(tbl)
+		}
+	}
+	if *frontier || *all {
+		ran = true
+		pts, err := ce.Frontier()
+		if err != nil {
+			return err
+		}
+		emit(ce.FrontierTable(pts))
+	}
+	if *profiles || *all {
+		ran = true
+		tbl, err := ce.WorkloadProfiles()
+		if err != nil {
+			return err
+		}
+		emit(tbl)
+	}
+	if *micro || *all {
+		ran = true
+		tbl, err := ce.MicrobenchCharacterization()
+		if err != nil {
+			return err
+		}
+		emit(tbl)
+	}
+	if !ran {
+		flag.Usage()
+		return fmt.Errorf("nothing selected: pass -fig N, -speedup, -tradeoff, -ablations, -micro or -all")
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+package ce
+
+import (
+	"fmt"
+
+	"repro/internal/delaymodel"
+	"repro/internal/report"
+	"repro/internal/vlsi"
+)
+
+// Technology re-exports the process technology type.
+type Technology = vlsi.Technology
+
+// Technologies returns the three studied processes (0.8, 0.35, 0.18 µm).
+func Technologies() []Technology { return vlsi.Technologies() }
+
+// TechnologyByName resolves "0.8um", "0.35um" or "0.18um".
+func TechnologyByName(name string) (Technology, error) { return vlsi.ByName(name) }
+
+// AnalyzeDelays computes the Section 4 delay breakdown for one design
+// point (re-export of the delay model).
+func AnalyzeDelays(t Technology, issueWidth, windowSize int) (delaymodel.Overall, error) {
+	return delaymodel.Analyze(t, issueWidth, windowSize)
+}
+
+// Figure3 regenerates Figure 3: rename delay and its components versus
+// issue width, for each technology.
+func Figure3() (*report.Table, error) {
+	tbl := &report.Table{
+		Title:   "Figure 3: rename delay (ps) versus issue width",
+		Headers: []string{"tech", "issue width", "decoder", "wordline", "bitline", "senseamp", "total"},
+	}
+	for _, tech := range vlsi.Technologies() {
+		for _, iw := range []int{2, 4, 8} {
+			d, err := delaymodel.Rename(tech, iw)
+			if err != nil {
+				return nil, err
+			}
+			tbl.AddRowf(tech.Name, iw, d.Decoder, d.Wordline, d.Bitline, d.SenseAmp, d.Total())
+		}
+	}
+	return tbl, nil
+}
+
+// Figure5 regenerates Figure 5: wakeup delay versus window size for 2-,
+// 4- and 8-way issue in 0.18 µm technology.
+func Figure5() (*report.Table, error) {
+	tbl := &report.Table{
+		Title:   "Figure 5: wakeup delay (ps) versus window size, 0.18um",
+		Headers: []string{"window size", "2-way", "4-way", "8-way"},
+	}
+	for ws := 8; ws <= 64; ws += 8 {
+		row := []interface{}{ws}
+		for _, iw := range []int{2, 4, 8} {
+			d, err := delaymodel.Wakeup(vlsi.Tech018, iw, ws)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, d.Total())
+		}
+		tbl.AddRowf(row...)
+	}
+	return tbl, nil
+}
+
+// Figure6 regenerates Figure 6: wakeup delay components versus feature
+// size for an 8-way, 64-entry window.
+func Figure6() (*report.Table, error) {
+	tbl := &report.Table{
+		Title:   "Figure 6: wakeup delay (ps) versus feature size (8-way, 64 entries)",
+		Headers: []string{"tech", "tag drive", "tag match", "match OR", "total", "broadcast fraction"},
+	}
+	for _, tech := range vlsi.Technologies() {
+		d, err := delaymodel.Wakeup(tech, 8, 64)
+		if err != nil {
+			return nil, err
+		}
+		frac := (d.TagDrive + d.TagMatch) / d.Total()
+		tbl.AddRowf(tech.Name, d.TagDrive, d.TagMatch, d.MatchOR, d.Total(),
+			fmt.Sprintf("%.0f%%", frac*100))
+	}
+	return tbl, nil
+}
+
+// Figure8 regenerates Figure 8: selection delay and its components versus
+// window size, for each technology.
+func Figure8() (*report.Table, error) {
+	tbl := &report.Table{
+		Title:   "Figure 8: selection delay (ps) versus window size",
+		Headers: []string{"tech", "window size", "request prop.", "root", "grant prop.", "total"},
+	}
+	for _, tech := range vlsi.Technologies() {
+		for _, ws := range []int{16, 32, 64, 128} {
+			d, err := delaymodel.Select(tech, ws)
+			if err != nil {
+				return nil, err
+			}
+			tbl.AddRowf(tech.Name, ws, d.RequestPropagation, d.Root, d.GrantPropagation, d.Total())
+		}
+	}
+	return tbl, nil
+}
+
+// Table1 regenerates Table 1: bypass wire lengths and delays for 4-way and
+// 8-way machines (identical across technologies by the scaling model).
+func Table1() (*report.Table, error) {
+	tbl := &report.Table{
+		Title:   "Table 1: bypass delays",
+		Headers: []string{"issue width", "wire length (lambda)", "delay (ps)"},
+	}
+	for _, iw := range []int{4, 8} {
+		d, err := delaymodel.Bypass(vlsi.Tech018, iw)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRowf(iw, fmt.Sprintf("%.0f", d.WireLengthLambda), fmt.Sprintf("%.1f", d.Delay))
+	}
+	return tbl, nil
+}
+
+// Table2 regenerates Table 2: overall rename, window and bypass delays for
+// the (4-way, 32-entry) and (8-way, 64-entry) design points in all three
+// technologies.
+func Table2() (*report.Table, error) {
+	tbl := &report.Table{
+		Title:   "Table 2: overall delay results",
+		Headers: []string{"tech", "issue width", "window size", "rename (ps)", "wakeup+select (ps)", "bypass (ps)"},
+	}
+	for _, tech := range vlsi.Technologies() {
+		for _, pt := range []struct{ iw, ws int }{{4, 32}, {8, 64}} {
+			o, err := delaymodel.Analyze(tech, pt.iw, pt.ws)
+			if err != nil {
+				return nil, err
+			}
+			tbl.AddRowf(tech.Name, pt.iw, pt.ws,
+				fmt.Sprintf("%.1f", o.Rename.Total()),
+				fmt.Sprintf("%.1f", o.WakeupSelect()),
+				fmt.Sprintf("%.1f", o.Bypass.Delay))
+		}
+	}
+	return tbl, nil
+}
+
+// Table4 regenerates Table 4: the dependence-based microarchitecture's
+// reservation-table delay in 0.18 µm technology.
+func Table4() (*report.Table, error) {
+	tbl := &report.Table{
+		Title:   "Table 4: reservation table delay, 0.18um",
+		Headers: []string{"issue width", "physical registers", "table entries", "bits per entry", "delay (ps)"},
+	}
+	for _, pt := range []struct{ iw, regs int }{{4, 80}, {8, 128}} {
+		d, err := delaymodel.ReservationTable(vlsi.Tech018, pt.iw, pt.regs)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRowf(pt.iw, pt.regs, (pt.regs+7)/8, 8, fmt.Sprintf("%.1f", d))
+	}
+	return tbl, nil
+}
+
+// ClockRatio estimates the clock-speed advantage of the dependence-based
+// microarchitecture over the 8-way window machine in the given technology
+// (Section 5.5: ≈1.25 at 0.18 µm using the conservative bound).
+func ClockRatio(t Technology) (float64, error) {
+	est, err := delaymodel.ClockEstimate(t)
+	if err != nil {
+		return 0, err
+	}
+	win, err := delaymodel.Analyze(t, 8, 64)
+	if err != nil {
+		return 0, err
+	}
+	return win.WakeupSelect() / est.Conservative, nil
+}
+
+// MemoryDelays reports the Section 2.1 companion structures — register
+// file and data cache access times — including the Section 5.4 clustered
+// register file comparison and Section 6's pipelining observation
+// (extension; the paper cites Farkas et al. and Wada/Wilton-Jouppi for
+// these).
+func MemoryDelays() (*report.Table, error) {
+	tbl := &report.Table{
+		Title:   "Register file and cache access times",
+		Headers: []string{"tech", "structure", "delay (ps)", "stages at window clock"},
+	}
+	for _, tech := range vlsi.Technologies() {
+		win, err := delaymodel.Analyze(tech, 8, 64)
+		if err != nil {
+			return nil, err
+		}
+		clock := win.WakeupSelect()
+
+		cmp, err := delaymodel.CompareClusteredRegFile(tech, 120, 8, 2)
+		if err != nil {
+			return nil, err
+		}
+		addRow := func(name string, d float64) error {
+			stages, err := delaymodel.PipelineStages(d, clock)
+			if err != nil {
+				return err
+			}
+			tbl.AddRowf(tech.Name, name, fmt.Sprintf("%.1f", d), stages)
+			return nil
+		}
+		if err := addRow(fmt.Sprintf("regfile 120x%dp (central 8-way)", cmp.CentralPorts), cmp.CentralDelay.Total()); err != nil {
+			return nil, err
+		}
+		if err := addRow(fmt.Sprintf("regfile 120x%dp (per-cluster copy)", cmp.ClusterPorts), cmp.ClusterDelay.Total()); err != nil {
+			return nil, err
+		}
+		dc, err := delaymodel.CacheAccess(tech, 32<<10, 2)
+		if err != nil {
+			return nil, err
+		}
+		if err := addRow("32KB 2-way D-cache", dc.Total()); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// RenameSchemes compares the RAM and CAM rename schemes of Section 4.1.1
+// and reports the dependence-check logic delay the paper shows is hidden
+// behind the map-table access.
+func RenameSchemes() (*report.Table, error) {
+	tbl := &report.Table{
+		Title:   "Rename scheme comparison (Section 4.1.1)",
+		Headers: []string{"tech", "issue width", "RAM scheme (ps)", "CAM scheme (ps)", "dependence check (ps)", "check hidden"},
+	}
+	for _, tech := range vlsi.Technologies() {
+		for _, pt := range []struct{ iw, regs int }{{2, 72}, {4, 80}, {8, 128}} {
+			ram, err := delaymodel.Rename(tech, pt.iw)
+			if err != nil {
+				return nil, err
+			}
+			cam, err := delaymodel.RenameCAM(tech, pt.iw, pt.regs)
+			if err != nil {
+				return nil, err
+			}
+			dc, err := delaymodel.DependenceCheck(tech, pt.iw)
+			if err != nil {
+				return nil, err
+			}
+			hidden := "yes"
+			if dc >= ram.Total() {
+				hidden = "NO"
+			}
+			tbl.AddRowf(tech.Name, pt.iw,
+				fmt.Sprintf("%.1f", ram.Total()),
+				fmt.Sprintf("%.1f", cam.Total()),
+				fmt.Sprintf("%.1f", dc), hidden)
+		}
+	}
+	return tbl, nil
+}
+
+// AreaComparison reports first-order issue-logic die areas (λ²) for the
+// window machine versus the dependence-based machine — the paper's intro
+// names area as an alternative complexity metric; this extension
+// quantifies it for the two organizations.
+func AreaComparison() (*report.Table, error) {
+	tbl := &report.Table{
+		Title:   "Issue-logic area (million λ², technology-independent)",
+		Headers: []string{"issue width", "CAM window + select", "FIFO storage + reservation table", "ratio"},
+	}
+	for _, iw := range []int{4, 8} {
+		entries := 64
+		regs := 120
+		a, err := delaymodel.IssueAreaEstimate(vlsi.Tech018, iw, entries, regs)
+		if err != nil {
+			return nil, err
+		}
+		win := a.WindowTotal() / 1e6
+		dep := a.DependenceTotal() / 1e6
+		tbl.AddRowf(iw, fmt.Sprintf("%.2f", win), fmt.Sprintf("%.2f", dep),
+			fmt.Sprintf("%.1fx", win/dep))
+	}
+	return tbl, nil
+}

@@ -1,0 +1,47 @@
+package ce_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// ExampleAnalyzeDelays reproduces a Table 2 row through the public API.
+func ExampleAnalyzeDelays() {
+	tech, err := ce.TechnologyByName("0.18um")
+	if err != nil {
+		log.Fatal(err)
+	}
+	o, err := ce.AnalyzeDelays(tech, 8, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rename %.0f ps, wakeup+select %.0f ps, bypass %.0f ps\n",
+		o.Rename.Total(), o.WakeupSelect(), o.Bypass.Delay)
+	// Output: rename 428 ps, wakeup+select 724 ps, bypass 1055 ps
+}
+
+// ExampleClockRatio shows the Section 5.5 clock advantage.
+func ExampleClockRatio() {
+	tech, err := ce.TechnologyByName("0.18um")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ratio, err := ce.ClockRatio(tech)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("the dependence-based machine clocks %.2fx faster\n", ratio)
+	// Output: the dependence-based machine clocks 1.25x faster
+}
+
+// ExampleRun simulates one workload on the baseline machine.
+func ExampleRun() {
+	st, err := ce.Run(ce.BaselineConfig(), "compress")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %s: IPC %.2f\n", st.Workload, st.Config, st.IPC())
+	// Output: compress on baseline-8way-64win: IPC 2.36
+}

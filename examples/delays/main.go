@@ -1,0 +1,82 @@
+// Delays explores the Section 4 delay models: for each technology it finds
+// the largest window a designer could afford at a given cycle-time budget,
+// and shows where the critical path moves as issue width grows — the
+// paper's "complexity trends" viewed through the library API.
+//
+// Run with: go run ./examples/delays
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("Exploring the complexity models (Section 4)")
+
+	// 1. Critical structure versus issue width at 0.18um, 64-entry window.
+	tech, err := ce.TechnologyByName("0.18um")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nCritical structure by issue width (0.18um, 64-entry window):")
+	fmt.Printf("%8s %10s %14s %10s %14s\n", "width", "rename", "wakeup+select", "bypass", "critical path")
+	for _, iw := range []int{2, 4, 6, 8, 12, 16} {
+		o, err := ce.AnalyzeDelays(tech, iw, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		crit := "window"
+		switch o.CriticalPath() {
+		case o.Rename.Total():
+			crit = "rename"
+		case o.Bypass.Delay:
+			crit = "bypass"
+		}
+		fmt.Printf("%8d %9.0fps %13.0fps %9.0fps %9.0fps (%s)\n",
+			iw, o.Rename.Total(), o.WakeupSelect(), o.Bypass.Delay, o.CriticalPath(), crit)
+	}
+	fmt.Println("The bypass network overtakes the window logic between 4- and 8-wide —")
+	fmt.Println("the observation that motivates clustering (Section 4.5).")
+
+	// 2. Largest window under a clock budget, per technology.
+	fmt.Println("\nLargest 8-way window whose wakeup+select fits a cycle-time budget:")
+	fmt.Printf("%8s", "budget")
+	for _, t := range ce.Technologies() {
+		fmt.Printf(" %10s", t.Name)
+	}
+	fmt.Println()
+	for _, budgetPs := range []float64{400, 800, 1600, 2400, 3200} {
+		fmt.Printf("%6.0fps", budgetPs)
+		for _, t := range ce.Technologies() {
+			best := -1
+			for ws := 8; ws <= 256; ws *= 2 {
+				o, err := ce.AnalyzeDelays(t, 8, ws)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if o.WakeupSelect() <= budgetPs {
+					best = ws
+				}
+			}
+			if best < 0 {
+				fmt.Printf(" %10s", "-")
+			} else {
+				fmt.Printf(" %10d", best)
+			}
+		}
+		fmt.Println()
+	}
+
+	// 3. The dependence-based machine's clock advantage per technology.
+	fmt.Println("\nDependence-based clock advantage (Section 5.5):")
+	for _, t := range ce.Technologies() {
+		ratio, err := ce.ClockRatio(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-7s %.0f%% faster clock than the 8-way window machine\n", t.Name, (ratio-1)*100)
+	}
+}

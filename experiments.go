@@ -1,0 +1,198 @@
+package ce
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/vlsi"
+)
+
+// newWindowFactory returns a scheduler factory for a single central window
+// of the given size.
+func newWindowFactory(size int) func() core.Scheduler {
+	return func() core.Scheduler { return core.NewCentralWindow(size) }
+}
+
+// IPCComparison holds one simulated figure: IPC per workload for a set of
+// machine organizations, in configuration order.
+type IPCComparison struct {
+	Workloads []string
+	Configs   []Config
+	// Results is indexed [config][workload].
+	Results [][]Stats
+}
+
+// IPCTable renders the comparison as workloads × configurations.
+func (c *IPCComparison) IPCTable(title string) *report.Table {
+	tbl := &report.Table{Title: title, Headers: []string{"benchmark"}}
+	for _, cfg := range c.Configs {
+		tbl.Headers = append(tbl.Headers, cfg.Name)
+	}
+	for wi, w := range c.Workloads {
+		row := []interface{}{w}
+		for ci := range c.Configs {
+			row = append(row, c.Results[ci][wi].IPC())
+		}
+		tbl.AddRowf(row...)
+	}
+	return tbl
+}
+
+// BypassTable renders inter-cluster bypass frequency (%) per workload and
+// configuration (Figure 17, bottom).
+func (c *IPCComparison) BypassTable(title string) *report.Table {
+	tbl := &report.Table{Title: title, Headers: []string{"benchmark"}}
+	for _, cfg := range c.Configs {
+		tbl.Headers = append(tbl.Headers, cfg.Name)
+	}
+	for wi, w := range c.Workloads {
+		row := []interface{}{w}
+		for ci := range c.Configs {
+			row = append(row, fmt.Sprintf("%.1f%%", c.Results[ci][wi].InterClusterFrequency()*100))
+		}
+		tbl.AddRowf(row...)
+	}
+	return tbl
+}
+
+// Degradation returns, for configuration ci, the per-workload relative IPC
+// loss versus configuration 0 (the reference), as fractions.
+func (c *IPCComparison) Degradation(ci int) []float64 {
+	out := make([]float64, len(c.Workloads))
+	for wi := range c.Workloads {
+		ref := c.Results[0][wi].IPC()
+		if ref > 0 {
+			out[wi] = 1 - c.Results[ci][wi].IPC()/ref
+		}
+	}
+	return out
+}
+
+func runComparison(cfgs []Config) (*IPCComparison, error) {
+	ws := Workloads()
+	res, err := RunMatrix(cfgs, ws)
+	if err != nil {
+		return nil, err
+	}
+	return &IPCComparison{Workloads: ws, Configs: cfgs, Results: res}, nil
+}
+
+// Figure13 regenerates Figure 13: IPC of the baseline window machine
+// versus the (unclustered) dependence-based machine.
+func Figure13() (*IPCComparison, error) {
+	return runComparison([]Config{BaselineConfig(), DependenceConfig()})
+}
+
+// Figure15 regenerates Figure 15: IPC of the baseline window machine
+// versus the 2×4-way clustered dependence-based machine (2-cycle
+// inter-cluster bypass).
+func Figure15() (*IPCComparison, error) {
+	return runComparison([]Config{BaselineConfig(), ClusteredDependenceConfig()})
+}
+
+// Figure17 regenerates Figure 17: the clustered design space — ideal
+// single-cluster window, clustered FIFOs with dispatch steering, clustered
+// windows with dispatch steering, central window with execution-driven
+// steering, and clustered windows with random steering. The same runs
+// provide both the IPC panel and the inter-cluster bypass panel.
+func Figure17() (*IPCComparison, error) {
+	ideal := BaselineConfig()
+	ideal.Name = "1cluster-1window"
+	return runComparison([]Config{
+		ideal,
+		ClusteredDependenceConfig(),
+		WindowsDispatchConfig(),
+		ExecSteeredConfig(),
+		RandomSteerConfig(),
+	})
+}
+
+// Speedup is the Section 5.5 combined estimate for one workload: the
+// clustered dependence-based machine's IPC deficit against the window
+// machine, multiplied by its clock-speed advantage.
+type Speedup struct {
+	Workload   string
+	IPCWindow  float64
+	IPCDep     float64
+	ClockRatio float64
+	NetSpeedup float64 // (IPCDep/IPCWindow) · ClockRatio
+}
+
+// SpeedupEstimate combines the Figure 15 simulation with the 0.18 µm
+// delay-model clock ratio, reproducing the paper's bottom line: the
+// dependence-based microarchitecture is faster overall (the paper reports
+// 10–22% per benchmark, 16% on average).
+func SpeedupEstimate() ([]Speedup, float64, error) {
+	cmp, err := Figure15()
+	if err != nil {
+		return nil, 0, err
+	}
+	ratio, err := ClockRatio(vlsi.Tech018)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []Speedup
+	var nets []float64
+	for wi, w := range cmp.Workloads {
+		sw := Speedup{
+			Workload:   w,
+			IPCWindow:  cmp.Results[0][wi].IPC(),
+			IPCDep:     cmp.Results[1][wi].IPC(),
+			ClockRatio: ratio,
+		}
+		sw.NetSpeedup = sw.IPCDep / sw.IPCWindow * ratio
+		out = append(out, sw)
+		nets = append(nets, sw.NetSpeedup)
+	}
+	mean := stats.Mean(nets)
+	return out, mean, nil
+}
+
+// SpeedupTable renders the SpeedupEstimate result.
+func SpeedupTable(sws []Speedup, mean float64) *report.Table {
+	tbl := &report.Table{
+		Title:   "Section 5.5: estimated overall speedup of the 2x4-way dependence-based machine",
+		Headers: []string{"benchmark", "IPC (window)", "IPC (dep-based)", "clock ratio", "net speedup"},
+	}
+	for _, s := range sws {
+		tbl.AddRowf(s.Workload, s.IPCWindow, s.IPCDep, s.ClockRatio, s.NetSpeedup)
+	}
+	tbl.AddRowf("average", "", "", "", mean)
+	return tbl
+}
+
+// WindowTradeoff sweeps the baseline window size and reports both the
+// simulated IPC (averaged over all workloads) and the modelled window
+// (wakeup+select) delay at 0.18 µm — the paper's central IPC-versus-clock
+// trade-off in one table (an extension; not a figure in the paper).
+func WindowTradeoff(sizes []int) (*report.Table, error) {
+	ws := Workloads()
+	tbl := &report.Table{
+		Title:   "Window size trade-off: IPC versus window-logic delay (8-way, 0.18um)",
+		Headers: []string{"window size", "mean IPC", "wakeup+select (ps)", "IPC per ns of window logic"},
+	}
+	for _, size := range sizes {
+		size := size
+		cfg := BaselineConfig()
+		cfg.Name = fmt.Sprintf("win%d", size)
+		cfg.NewScheduler = newWindowFactory(size)
+		res, err := RunMatrix([]Config{cfg}, ws)
+		if err != nil {
+			return nil, err
+		}
+		var ipcs []float64
+		for wi := range ws {
+			ipcs = append(ipcs, res[0][wi].IPC())
+		}
+		mean := stats.Mean(ipcs)
+		o, err := AnalyzeDelays(vlsi.Tech018, 8, size)
+		if err != nil {
+			return nil, err
+		}
+		delay := o.WakeupSelect()
+		tbl.AddRowf(size, mean, fmt.Sprintf("%.0f", delay), mean/(delay/1000))
+	}
+	return tbl, nil
+}

@@ -1,0 +1,156 @@
+package ce
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/delaymodel"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/vlsi"
+)
+
+// FrontierPoint is one design point in the complexity-effectiveness
+// frontier: simulated IPC combined with the delay model's clock estimate.
+type FrontierPoint struct {
+	Name string
+	// MeanIPC is the mean committed IPC over the paper's workloads.
+	MeanIPC float64
+	// ClockPs is the estimated cycle time: the critical path through the
+	// structures studied (rename, window, bypass) at 0.18 µm.
+	ClockPs float64
+	// BIPS is the headline metric: simulated instructions per second
+	// (IPC × frequency), in billions.
+	BIPS float64
+}
+
+// Frontier evaluates the complexity-effectiveness frontier the paper
+// argues for: conventional window machines across issue widths and window
+// sizes, plus the dependence-based organizations, each scored as
+// IPC × estimated clock (0.18 µm). The paper's thesis appears directly in
+// the ranking: wide window machines lose their IPC advantage to their
+// clock, and the clustered dependence-based machine tops the list.
+func Frontier() ([]FrontierPoint, error) {
+	tech := vlsi.Tech018
+	type cand struct {
+		cfg     Config
+		clockPs func() (float64, error)
+	}
+	var cands []cand
+
+	// Conventional window machines.
+	for _, iw := range []int{2, 4, 8} {
+		for _, ws := range []int{16, 32, 64} {
+			iw, ws := iw, ws
+			cfg := table3(fmt.Sprintf("window-%dway-%dentries", iw, ws), 1, 0, newWindowFactory(ws))
+			cfg.FetchWidth = iw
+			cfg.DecodeWidth = iw
+			cfg.IssueWidth = iw
+			cfg.FUsPerCluster = iw
+			cfg.RetireWidth = 2 * iw
+			if iw < 4 {
+				cfg.LSPorts = iw
+			}
+			cands = append(cands, cand{cfg, func() (float64, error) {
+				o, err := delaymodel.Analyze(tech, iw, ws)
+				if err != nil {
+					return 0, err
+				}
+				return o.CriticalPath(), nil
+			}})
+		}
+	}
+
+	// Dependence-based, unclustered: window logic is cheap but the 8-way
+	// bypass network still bounds the clock.
+	cands = append(cands, cand{DependenceConfig(), func() (float64, error) {
+		ren, err := delaymodel.Rename(tech, 8)
+		if err != nil {
+			return 0, err
+		}
+		byp, err := delaymodel.Bypass(tech, 8)
+		if err != nil {
+			return 0, err
+		}
+		est, err := delaymodel.ClockEstimate(tech)
+		if err != nil {
+			return 0, err
+		}
+		return math.Max(ren.Total(), math.Max(est.Conservative, byp.Delay)), nil
+	}})
+
+	// Clustered dependence-based: local bypasses are 4-way; the window
+	// logic bound is either conservative (a 4-way 32-entry window's
+	// wakeup+select, Section 5.5) or optimistic (rename-limited,
+	// Section 5.3). Both of the paper's bounds appear as rows.
+	clusteredClock := func(optimistic bool) func() (float64, error) {
+		return func() (float64, error) {
+			ren, err := delaymodel.Rename(tech, 8)
+			if err != nil {
+				return 0, err
+			}
+			byp, err := delaymodel.Bypass(tech, 4)
+			if err != nil {
+				return 0, err
+			}
+			bound := ren.Total()
+			if !optimistic {
+				est, err := delaymodel.ClockEstimate(tech)
+				if err != nil {
+					return 0, err
+				}
+				bound = est.Conservative
+			}
+			return math.Max(ren.Total(), math.Max(bound, byp.Delay)), nil
+		}
+	}
+	conservative := ClusteredDependenceConfig()
+	conservative.Name += " (conservative clk)"
+	cands = append(cands, cand{conservative, clusteredClock(false)})
+	optimistic := ClusteredDependenceConfig()
+	optimistic.Name += " (optimistic clk)"
+	cands = append(cands, cand{optimistic, clusteredClock(true)})
+
+	ws := Workloads()
+	cfgs := make([]Config, len(cands))
+	for i := range cands {
+		cfgs[i] = cands[i].cfg
+	}
+	res, err := RunMatrix(cfgs, ws)
+	if err != nil {
+		return nil, err
+	}
+	var out []FrontierPoint
+	for i, c := range cands {
+		var ipcs []float64
+		for wi := range ws {
+			ipcs = append(ipcs, res[i][wi].IPC())
+		}
+		clock, err := c.clockPs()
+		if err != nil {
+			return nil, err
+		}
+		mean := stats.Mean(ipcs)
+		out = append(out, FrontierPoint{
+			Name:    c.cfg.Name,
+			MeanIPC: mean,
+			ClockPs: clock,
+			BIPS:    mean / clock * 1000, // ps → GHz·IPC = BIPS
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].BIPS > out[j].BIPS })
+	return out, nil
+}
+
+// FrontierTable renders the frontier, best first.
+func FrontierTable(points []FrontierPoint) *report.Table {
+	tbl := &report.Table{
+		Title:   "Complexity-effectiveness frontier (0.18um): IPC x estimated clock",
+		Headers: []string{"rank", "organization", "mean IPC", "clock (ps)", "est. BIPS"},
+	}
+	for i, p := range points {
+		tbl.AddRowf(i+1, p.Name, p.MeanIPC, fmt.Sprintf("%.0f", p.ClockPs), p.BIPS)
+	}
+	return tbl
+}

@@ -1,0 +1,85 @@
+package ce
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/report"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenCheck compares a table's CSV rendering against its golden file,
+// rewriting it under -update. Golden files freeze the delay-model
+// calibration and the (deterministic) simulation results, so any
+// behavioural drift in the simulator or models shows up as a diff.
+func goldenCheck(t *testing.T, name string, tbl *report.Table) {
+	t.Helper()
+	got := tbl.CSV()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run TestGolden -update .`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden output.\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenDelayTables(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() (*report.Table, error)
+	}{
+		{"figure3", Figure3},
+		{"figure5", Figure5},
+		{"figure6", Figure6},
+		{"figure8", Figure8},
+		{"table1", Table1},
+		{"table2", Table2},
+		{"table4", Table4},
+		{"memory", MemoryDelays},
+		{"rename_schemes", RenameSchemes},
+		{"area", AreaComparison},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			tbl, err := c.fn()
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenCheck(t, c.name, tbl)
+		})
+	}
+}
+
+func TestGoldenFigure13(t *testing.T) {
+	cmp, err := Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCheck(t, "figure13", cmp.IPCTable("Figure 13"))
+}
+
+func TestGoldenMicrobench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	tbl, err := MicrobenchCharacterization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCheck(t, "microbench", tbl)
+}

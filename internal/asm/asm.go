@@ -1,0 +1,563 @@
+// Package asm implements a two-pass assembler for the ISA in package isa.
+//
+// The accepted syntax is MIPS-flavoured:
+//
+//	        .data
+//	table:  .word 1, 2, 0x30, -4
+//	buf:    .space 256
+//	msg:    .asciiz "hello"
+//	        .text
+//	main:   li   $t0, 100          # pseudo: load immediate
+//	        la   $a0, table        # pseudo: load address
+//	loop:   lw   $t1, 0($a0)
+//	        lw   $t2, table+4($zero)
+//	        add  $t3, $t1, $t2
+//	        bne  $t3, $zero, loop
+//	        out  $t3
+//	        halt
+//
+// Comments start with '#' and run to end of line. Labels end with ':'.
+// Branch and jump targets are labels resolving to instruction indices;
+// data labels resolve to byte addresses relative to isa.DataBase.
+// Immediates are full 32-bit values, so pseudo-instructions (li, la, move,
+// nop, b, not, neg, and the imm-shift aliases sll/srl/sra) each expand to
+// exactly one instruction.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Error is an assembly error with source position.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+type assembler struct {
+	file    string
+	prog    *isa.Program
+	inData  bool
+	symbols map[string]uint32
+	// fixups records instructions whose Imm must be patched with a
+	// resolved symbol value after pass 1.
+	fixups []fixup
+}
+
+type fixup struct {
+	instIndex int
+	expr      string
+	line      int
+	// addTo: resolved value is added to the existing Imm (for label+off
+	// load/store forms); otherwise it replaces Imm.
+	addTo bool
+}
+
+// Assemble translates source into a program. name is used for error
+// messages and as Program.Name.
+func Assemble(name, source string) (*isa.Program, error) {
+	a := &assembler{
+		file:    name,
+		prog:    &isa.Program{Name: name, Symbols: make(map[string]uint32)},
+		symbols: make(map[string]uint32),
+	}
+	a.prog.Symbols = a.symbols
+	for i, raw := range strings.Split(source, "\n") {
+		if err := a.line(i+1, raw); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range a.fixups {
+		v, err := a.eval(f.expr, f.line)
+		if err != nil {
+			return nil, err
+		}
+		if f.addTo {
+			a.prog.Text[f.instIndex].Imm += v
+		} else {
+			a.prog.Text[f.instIndex].Imm = v
+		}
+	}
+	return a.prog, nil
+}
+
+func (a *assembler) errf(line int, format string, args ...interface{}) error {
+	return &Error{File: a.file, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) line(n int, raw string) error {
+	if i := strings.IndexByte(raw, '#'); i >= 0 {
+		raw = raw[:i]
+	}
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return nil
+	}
+	// Labels (possibly several) at line start.
+	for {
+		i := strings.IndexByte(s, ':')
+		if i < 0 || strings.ContainsAny(s[:i], " \t\",") {
+			break
+		}
+		label := s[:i]
+		if _, dup := a.symbols[label]; dup {
+			return a.errf(n, "duplicate label %q", label)
+		}
+		if a.inData {
+			a.symbols[label] = isa.DataBase + uint32(len(a.prog.Data))
+		} else {
+			a.symbols[label] = uint32(len(a.prog.Text))
+		}
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			return nil
+		}
+	}
+	if strings.HasPrefix(s, ".") {
+		return a.directive(n, s)
+	}
+	return a.instruction(n, s)
+}
+
+func (a *assembler) directive(n int, s string) error {
+	fields := strings.SplitN(s, " ", 2)
+	dir := strings.TrimSpace(fields[0])
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	switch dir {
+	case ".data":
+		a.inData = true
+	case ".text":
+		a.inData = false
+	case ".word":
+		if !a.inData {
+			return a.errf(n, ".word outside .data")
+		}
+		a.align(4)
+		for _, part := range splitOperands(rest) {
+			v, err := a.eval(part, n)
+			if err != nil {
+				return err
+			}
+			a.emitWord(uint32(v))
+		}
+	case ".byte":
+		if !a.inData {
+			return a.errf(n, ".byte outside .data")
+		}
+		for _, part := range splitOperands(rest) {
+			v, err := a.eval(part, n)
+			if err != nil {
+				return err
+			}
+			a.prog.Data = append(a.prog.Data, byte(v))
+		}
+	case ".space":
+		if !a.inData {
+			return a.errf(n, ".space outside .data")
+		}
+		v, err := a.eval(rest, n)
+		if err != nil {
+			return err
+		}
+		if v < 0 {
+			return a.errf(n, ".space with negative size %d", v)
+		}
+		a.prog.Data = append(a.prog.Data, make([]byte, v)...)
+	case ".align":
+		v, err := a.eval(rest, n)
+		if err != nil {
+			return err
+		}
+		if v <= 0 || v > 12 {
+			return a.errf(n, ".align %d out of range", v)
+		}
+		a.align(1 << uint(v))
+	case ".asciiz":
+		if !a.inData {
+			return a.errf(n, ".asciiz outside .data")
+		}
+		str, err := strconv.Unquote(rest)
+		if err != nil {
+			return a.errf(n, "bad string %s: %v", rest, err)
+		}
+		a.prog.Data = append(a.prog.Data, []byte(str)...)
+		a.prog.Data = append(a.prog.Data, 0)
+	default:
+		return a.errf(n, "unknown directive %s", dir)
+	}
+	return nil
+}
+
+func (a *assembler) align(to int) {
+	for len(a.prog.Data)%to != 0 {
+		a.prog.Data = append(a.prog.Data, 0)
+	}
+}
+
+func (a *assembler) emitWord(v uint32) {
+	a.prog.Data = append(a.prog.Data, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// instruction parses one instruction (or pseudo-instruction) line.
+func (a *assembler) instruction(n int, s string) error {
+	if a.inData {
+		return a.errf(n, "instruction inside .data: %q", s)
+	}
+	var mnemonic, rest string
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		mnemonic, rest = s[:i], strings.TrimSpace(s[i+1:])
+	} else {
+		mnemonic = s
+	}
+	ops := splitOperands(rest)
+	emit := func(in isa.Inst) { a.prog.Text = append(a.prog.Text, in) }
+
+	reg := func(i int) (isa.Reg, error) {
+		if i >= len(ops) {
+			return 0, a.errf(n, "%s: missing operand %d", mnemonic, i+1)
+		}
+		name := ops[i]
+		if !strings.HasPrefix(name, "$") {
+			return 0, a.errf(n, "%s: operand %d: want register, got %q", mnemonic, i+1, name)
+		}
+		r, ok := isa.RegByName(name[1:])
+		if !ok {
+			return 0, a.errf(n, "%s: unknown register %q", mnemonic, name)
+		}
+		return r, nil
+	}
+	// imm resolves operand i as an immediate/label expression. Label
+	// references are deferred to pass 2 via fixups.
+	imm := func(i, instIndex int) (int32, error) {
+		if i >= len(ops) {
+			return 0, a.errf(n, "%s: missing operand %d", mnemonic, i+1)
+		}
+		return a.immExpr(ops[i], n, instIndex, false)
+	}
+
+	switch mnemonic {
+	// Pseudo-instructions.
+	case "nop":
+		emit(isa.Inst{Op: isa.Slli, Rd: isa.Zero, Rs: isa.Zero})
+		return nil
+	case "li", "la":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		idx := len(a.prog.Text)
+		emit(isa.Inst{Op: isa.Addi, Rd: rd, Rs: isa.Zero})
+		v, err := a.immExpr(opsAt(ops, 1), n, idx, false)
+		if err != nil {
+			return err
+		}
+		a.prog.Text[idx].Imm = v
+		return nil
+	case "move":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		emit(isa.Inst{Op: isa.Add, Rd: rd, Rs: rs, Rt: isa.Zero})
+		return nil
+	case "not":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		emit(isa.Inst{Op: isa.Nor, Rd: rd, Rs: rs, Rt: isa.Zero})
+		return nil
+	case "neg":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		emit(isa.Inst{Op: isa.Sub, Rd: rd, Rs: isa.Zero, Rt: rs})
+		return nil
+	case "b":
+		idx := len(a.prog.Text)
+		emit(isa.Inst{Op: isa.J})
+		if len(ops) != 1 {
+			return a.errf(n, "b: want one target operand")
+		}
+		a.fixups = append(a.fixups, fixup{instIndex: idx, expr: ops[0], line: n})
+		return nil
+	case "sll", "srl", "sra":
+		// Immediate-shift aliases: third operand is an immediate.
+		if len(ops) == 3 && !strings.HasPrefix(ops[2], "$") {
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			rs, err := reg(1)
+			if err != nil {
+				return err
+			}
+			op := map[string]isa.Op{"sll": isa.Slli, "srl": isa.Srli, "sra": isa.Srai}[mnemonic]
+			idx := len(a.prog.Text)
+			emit(isa.Inst{Op: op, Rd: rd, Rs: rs})
+			v, err := imm(2, idx)
+			if err != nil {
+				return err
+			}
+			a.prog.Text[idx].Imm = v
+			return nil
+		}
+		// Register shifts fall through to the sllv family.
+		mnemonic += "v"
+	}
+
+	op, ok := isa.OpByName(mnemonic)
+	if !ok {
+		return a.errf(n, "unknown instruction %q", mnemonic)
+	}
+	idx := len(a.prog.Text)
+	switch isa.ClassOf(op) {
+	case isa.ClassALU, isa.ClassMul, isa.ClassDiv:
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case isa.Lui:
+			emit(isa.Inst{Op: op, Rd: rd})
+			v, err := imm(1, idx)
+			if err != nil {
+				return err
+			}
+			a.prog.Text[idx].Imm = v
+		case isa.Addi, isa.Andi, isa.Ori, isa.Xori, isa.Slli, isa.Srli, isa.Srai, isa.Slti, isa.Sltiu:
+			rs, err := reg(1)
+			if err != nil {
+				return err
+			}
+			emit(isa.Inst{Op: op, Rd: rd, Rs: rs})
+			v, err := imm(2, idx)
+			if err != nil {
+				return err
+			}
+			a.prog.Text[idx].Imm = v
+		default:
+			rs, err := reg(1)
+			if err != nil {
+				return err
+			}
+			rt, err := reg(2)
+			if err != nil {
+				return err
+			}
+			emit(isa.Inst{Op: op, Rd: rd, Rs: rs, Rt: rt})
+		}
+	case isa.ClassLoad, isa.ClassStore:
+		r0, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if len(ops) != 2 {
+			return a.errf(n, "%s: want 'reg, offset(base)'", mnemonic)
+		}
+		offExpr, base, err := a.splitMem(ops[1], n)
+		if err != nil {
+			return err
+		}
+		in := isa.Inst{Op: op, Rs: base}
+		if isa.ClassOf(op) == isa.ClassLoad {
+			in.Rd = r0
+		} else {
+			in.Rt = r0
+		}
+		emit(in)
+		v, err := a.immExpr(offExpr, n, idx, false)
+		if err != nil {
+			return err
+		}
+		a.prog.Text[idx].Imm += v
+	case isa.ClassBranch:
+		switch op {
+		case isa.Beq, isa.Bne, isa.Blt, isa.Bge:
+			rs, err := reg(0)
+			if err != nil {
+				return err
+			}
+			rt, err := reg(1)
+			if err != nil {
+				return err
+			}
+			emit(isa.Inst{Op: op, Rs: rs, Rt: rt})
+			if len(ops) != 3 {
+				return a.errf(n, "%s: want 'rs, rt, target'", mnemonic)
+			}
+			a.fixups = append(a.fixups, fixup{instIndex: idx, expr: ops[2], line: n})
+		default:
+			rs, err := reg(0)
+			if err != nil {
+				return err
+			}
+			emit(isa.Inst{Op: op, Rs: rs})
+			if len(ops) != 2 {
+				return a.errf(n, "%s: want 'rs, target'", mnemonic)
+			}
+			a.fixups = append(a.fixups, fixup{instIndex: idx, expr: ops[1], line: n})
+		}
+	case isa.ClassJump:
+		switch op {
+		case isa.Jr, isa.Jalr:
+			rs, err := reg(0)
+			if err != nil {
+				return err
+			}
+			emit(isa.Inst{Op: op, Rs: rs})
+		default:
+			emit(isa.Inst{Op: op})
+			if len(ops) != 1 {
+				return a.errf(n, "%s: want one target operand", mnemonic)
+			}
+			a.fixups = append(a.fixups, fixup{instIndex: idx, expr: ops[0], line: n})
+		}
+	case isa.ClassSystem:
+		if op == isa.Out {
+			rs, err := reg(0)
+			if err != nil {
+				return err
+			}
+			emit(isa.Inst{Op: op, Rs: rs})
+		} else {
+			emit(isa.Inst{Op: op})
+		}
+	}
+	return nil
+}
+
+func opsAt(ops []string, i int) string {
+	if i < len(ops) {
+		return ops[i]
+	}
+	return ""
+}
+
+// splitMem parses "offsetExpr($reg)" into its parts.
+func (a *assembler) splitMem(s string, line int) (string, isa.Reg, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", 0, a.errf(line, "bad memory operand %q: want offset(reg)", s)
+	}
+	regName := s[open+1 : len(s)-1]
+	if !strings.HasPrefix(regName, "$") {
+		return "", 0, a.errf(line, "bad base register %q", regName)
+	}
+	r, ok := isa.RegByName(regName[1:])
+	if !ok {
+		return "", 0, a.errf(line, "unknown base register %q", regName)
+	}
+	off := s[:open]
+	if off == "" {
+		off = "0"
+	}
+	return off, r, nil
+}
+
+// immExpr resolves an immediate expression now if it is numeric, or defers
+// label resolution to pass 2.
+func (a *assembler) immExpr(expr string, line, instIndex int, addTo bool) (int32, error) {
+	if expr == "" {
+		return 0, a.errf(line, "missing immediate operand")
+	}
+	if v, err := parseInt(expr); err == nil {
+		return v, nil
+	}
+	a.fixups = append(a.fixups, fixup{instIndex: instIndex, expr: expr, line: line, addTo: addTo})
+	return 0, nil
+}
+
+// eval resolves an expression of the form int, label, label+int or
+// label-int.
+func (a *assembler) eval(expr string, line int) (int32, error) {
+	expr = strings.TrimSpace(expr)
+	if v, err := parseInt(expr); err == nil {
+		return v, nil
+	}
+	base := expr
+	var off int32
+	for _, sep := range []byte{'+', '-'} {
+		if i := strings.LastIndexByte(expr, sep); i > 0 {
+			v, err := parseInt(expr[i+1:])
+			if err != nil {
+				continue
+			}
+			base = expr[:i]
+			if sep == '-' {
+				v = -v
+			}
+			off = v
+			break
+		}
+	}
+	v, ok := a.symbols[base]
+	if !ok {
+		return 0, a.errf(line, "undefined symbol %q", base)
+	}
+	return int32(v) + off, nil
+}
+
+func parseInt(s string) (int32, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return 0, fmt.Errorf("immediate %d out of 32-bit range", v)
+	}
+	return int32(uint32(v)), nil
+}
+
+// splitOperands splits a comma-separated operand list, trimming space and
+// keeping quoted strings intact.
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 && !inStr {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}

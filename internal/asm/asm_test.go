@@ -1,0 +1,294 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := Assemble("test.s", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestBasicInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+		.text
+		add  $t0, $t1, $t2
+		addi $t0, $t1, -5
+		lw   $t3, 8($sp)
+		sw   $t3, -4($sp)
+		lui  $t4, 0x1234
+	`)
+	want := []isa.Inst{
+		{Op: isa.Add, Rd: isa.T0, Rs: isa.T1, Rt: isa.T2},
+		{Op: isa.Addi, Rd: isa.T0, Rs: isa.T1, Imm: -5},
+		{Op: isa.Lw, Rd: isa.T3, Rs: isa.SP, Imm: 8},
+		{Op: isa.Sw, Rt: isa.T3, Rs: isa.SP, Imm: -4},
+		{Op: isa.Lui, Rd: isa.T4, Imm: 0x1234},
+	}
+	if len(p.Text) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(p.Text), len(want))
+	}
+	for i, w := range want {
+		if p.Text[i] != w {
+			t.Errorf("inst %d = %+v, want %+v", i, p.Text[i], w)
+		}
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAssemble(t, `
+		.text
+main:	li   $t0, 3
+loop:	addi $t0, $t0, -1
+		bne  $t0, $zero, loop
+		j    end
+		nop
+end:	halt
+	`)
+	if p.Symbols["main"] != 0 || p.Symbols["loop"] != 1 || p.Symbols["end"] != 5 {
+		t.Fatalf("symbols = %v", p.Symbols)
+	}
+	if p.Text[2].Imm != 1 {
+		t.Errorf("bne target = %d, want 1", p.Text[2].Imm)
+	}
+	if p.Text[3].Imm != 5 {
+		t.Errorf("j target = %d, want 5", p.Text[3].Imm)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+words:	.word 1, 2, 0x10
+bytes:	.byte 1, 2, 3
+		.align 2
+more:	.word -1
+buf:	.space 8
+str:	.asciiz "ab"
+		.text
+		halt
+	`)
+	if got := p.Symbols["words"]; got != isa.DataBase {
+		t.Errorf("words at %#x, want %#x", got, isa.DataBase)
+	}
+	if got := p.Symbols["bytes"]; got != isa.DataBase+12 {
+		t.Errorf("bytes at %#x, want %#x", got, isa.DataBase+12)
+	}
+	if got := p.Symbols["more"]; got != isa.DataBase+16 {
+		t.Errorf("more at %#x, want %#x (aligned)", got, isa.DataBase+16)
+	}
+	if got := p.Symbols["str"]; got != isa.DataBase+28 {
+		t.Errorf("str at %#x, want %#x", got, isa.DataBase+28)
+	}
+	// Little-endian word layout.
+	if p.Data[0] != 1 || p.Data[4] != 2 || p.Data[8] != 0x10 {
+		t.Errorf("word data wrong: % x", p.Data[:12])
+	}
+	if string(p.Data[28:30]) != "ab" || p.Data[30] != 0 {
+		t.Errorf("asciiz data wrong: % x", p.Data[28:31])
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+v:		.word 7
+		.text
+		la   $a0, v
+		li   $t0, 42
+		move $t1, $t0
+		not  $t2, $t1
+		neg  $t3, $t1
+		sll  $t4, $t3, 2
+		sll  $t5, $t3, $t0
+		b    done
+done:	halt
+	`)
+	if p.Text[0].Op != isa.Addi || uint32(p.Text[0].Imm) != isa.DataBase {
+		t.Errorf("la = %+v", p.Text[0])
+	}
+	if p.Text[1].Op != isa.Addi || p.Text[1].Imm != 42 {
+		t.Errorf("li = %+v", p.Text[1])
+	}
+	if p.Text[2].Op != isa.Add || p.Text[2].Rt != isa.Zero {
+		t.Errorf("move = %+v", p.Text[2])
+	}
+	if p.Text[3].Op != isa.Nor {
+		t.Errorf("not = %+v", p.Text[3])
+	}
+	if p.Text[4].Op != isa.Sub || p.Text[4].Rs != isa.Zero {
+		t.Errorf("neg = %+v", p.Text[4])
+	}
+	if p.Text[5].Op != isa.Slli || p.Text[5].Imm != 2 {
+		t.Errorf("sll imm = %+v", p.Text[5])
+	}
+	if p.Text[6].Op != isa.Sllv || p.Text[6].Rt != isa.T0 {
+		t.Errorf("sll reg = %+v", p.Text[6])
+	}
+	if p.Text[7].Op != isa.J || p.Text[7].Imm != 8 {
+		t.Errorf("b = %+v", p.Text[7])
+	}
+}
+
+func TestLabelArithmeticInLoadStore(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+arr:	.word 10, 20, 30
+		.text
+		lw $t0, arr+8($zero)
+		lw $t1, arr($t2)
+		halt
+	`)
+	if uint32(p.Text[0].Imm) != isa.DataBase+8 {
+		t.Errorf("arr+8 offset = %#x, want %#x", uint32(p.Text[0].Imm), isa.DataBase+8)
+	}
+	if uint32(p.Text[1].Imm) != isa.DataBase {
+		t.Errorf("arr offset = %#x, want %#x", uint32(p.Text[1].Imm), isa.DataBase)
+	}
+}
+
+func TestForwardDataReference(t *testing.T) {
+	p := mustAssemble(t, `
+		.text
+		la $a0, later
+		halt
+		.data
+		.word 1
+later:	.word 2
+	`)
+	if uint32(p.Text[0].Imm) != isa.DataBase+4 {
+		t.Errorf("forward reference = %#x, want %#x", uint32(p.Text[0].Imm), isa.DataBase+4)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"\t.text\n\tfrob $t0, $t1", "unknown instruction"},
+		{"\t.text\n\tadd $t0, $t1", "missing operand"},
+		{"\t.text\n\tadd $t0, $t1, $nope", "unknown register"},
+		{"\t.text\n\tbeq $t0, $t1, nowhere\n", "undefined symbol"},
+		{"\t.text\nx:\tnop\nx:\tnop", "duplicate label"},
+		{"\t.word 3", ".word outside .data"},
+		{"\t.data\n\tnop", "instruction inside .data"},
+		{"\t.frobnicate", "unknown directive"},
+		{"\t.text\n\tlw $t0, $t1", "bad memory operand"},
+		{"\t.text\n\tlw $t0", "want 'reg, offset(base)'"},
+		{"\t.text\n\tlw $t0, 4[$t1]", "bad memory operand"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("err.s", c.src)
+		if err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Assemble(%q) error = %q, want containing %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("file.s", "\t.text\n\tnop\n\tbogus $t0\n")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.HasPrefix(err.Error(), "file.s:3:") {
+		t.Errorf("error = %q, want file.s:3: prefix", err)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p := mustAssemble(t, `
+# leading comment
+		.text
+		nop   # trailing comment
+
+		halt
+	`)
+	if len(p.Text) != 2 {
+		t.Errorf("got %d instructions, want 2", len(p.Text))
+	}
+}
+
+func TestMultipleLabelsSameLine(t *testing.T) {
+	p := mustAssemble(t, `
+		.text
+a: b:	nop
+		halt
+	`)
+	if p.Symbols["a"] != 0 || p.Symbols["b"] != 0 {
+		t.Errorf("symbols = %v, want a=b=0", p.Symbols)
+	}
+}
+
+func TestMoreErrorPaths(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"\t.data\n\t.align 99", "out of range"},
+		{"\t.data\n\t.align 0", "out of range"},
+		{"\t.data\n\t.asciiz noquotes", "bad string"},
+		{"\t.data\n\t.space -4", "negative size"},
+		{"\t.text\n\tb", "want one target operand"},
+		{"\t.text\n\tb x, y", "want one target operand"},
+		{"\t.text\n\tj", "want one target operand"},
+		{"\t.text\n\tbeq $t0, $t1", "want 'rs, rt, target'"},
+		{"\t.text\n\tbgtz $t0", "want 'rs, target'"},
+		{"\t.text\n\tli $t0", "missing immediate operand"},
+		{"\t.text\n\tout", "missing operand"},
+		{"\t.text\n\tadd t0, $t1, $t2", "want register"},
+		{"\t.text\n\tlw $t0, 4($nope)", "unknown base register"},
+		{"\t.text\n\tlw $t0, 4(t1)", "bad base register"},
+		{"\t.text\n\taddi $t0, $t1, 99999999999999", "undefined symbol"},
+		{"\t.asciiz \"top\"", ".asciiz outside .data"},
+		{"\t.byte 3", ".byte outside .data"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("err.s", c.src)
+		if err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Assemble(%q) error = %q, want containing %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestLabelMinusOffset(t *testing.T) {
+	p := mustAssemble(t, `
+		.data
+		.word 1, 2, 3
+arr:	.word 4
+		.text
+		lw $t0, arr-4($zero)
+		halt
+	`)
+	if uint32(p.Text[0].Imm) != isa.DataBase+8 {
+		t.Errorf("arr-4 = %#x, want %#x", uint32(p.Text[0].Imm), isa.DataBase+8)
+	}
+}
+
+func TestHexAndNegativeImmediates(t *testing.T) {
+	p := mustAssemble(t, `
+		.text
+		li $t0, 0xFFFFFFFF
+		li $t1, -2147483648
+		halt
+	`)
+	if p.Text[0].Imm != -1 {
+		t.Errorf("0xFFFFFFFF = %d, want -1 (wraps)", p.Text[0].Imm)
+	}
+	if p.Text[1].Imm != -2147483648 {
+		t.Errorf("INT_MIN = %d", p.Text[1].Imm)
+	}
+}

@@ -1,0 +1,33 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+)
+
+// FuzzAssemble checks that the assembler never panics and that anything it
+// accepts can be loaded by the emulator (executing up to a small budget —
+// fuzz inputs may loop forever, which is fine).
+func FuzzAssemble(f *testing.F) {
+	f.Add("\t.text\n\tadd $t0, $t1, $t2\n\thalt\n")
+	f.Add("\t.data\nx:\t.word 1, 2\n\t.text\n\tlw $t0, x($zero)\n\thalt\n")
+	f.Add("label: .data .word")
+	f.Add(".text\nb: j b\n")
+	f.Add("\t.text\n\tli $t0, 0xFFFFFFFF\n\tsll $t1, $t0, 31\n\thalt")
+	f.Add("\t.data\ns:\t.asciiz \"hi\"\n\t.align 3\n")
+	f.Add("\t.text\nmain:\tjal f\n\thalt\nf:\tjr $ra\n")
+	f.Add("\t.text\n\tlw $t0, x+4($t1)\n\thalt\n\t.data\nx:\t.word 9, 8\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz.s", src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		m := emu.New(p)
+		for i := 0; i < 10_000 && !m.Halted(); i++ {
+			if _, err := m.Step(); err != nil {
+				return // runtime errors on fuzz programs are fine
+			}
+		}
+	})
+}

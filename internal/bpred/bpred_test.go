@@ -1,0 +1,130 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func train(p Predictor, pc uint32, pattern []bool, reps int) {
+	for r := 0; r < reps; r++ {
+		for _, taken := range pattern {
+			p.Update(pc, taken)
+		}
+	}
+}
+
+func TestGshareLearnsBias(t *testing.T) {
+	g := NewGshare(12, 12)
+	train(g, 100, []bool{true}, 50)
+	if !g.Predict(100) {
+		t.Error("gshare did not learn an always-taken branch")
+	}
+	train(g, 100, []bool{false}, 100)
+	if g.Predict(100) {
+		t.Error("gshare did not unlearn after sustained not-taken")
+	}
+}
+
+func TestGshareLearnsAlternation(t *testing.T) {
+	// With global history, a strict alternation becomes fully predictable.
+	g := NewGshare(12, 12)
+	taken := true
+	for i := 0; i < 2000; i++ {
+		g.Update(7, taken)
+		taken = !taken
+	}
+	correct := 0
+	for i := 0; i < 100; i++ {
+		if g.Predict(7) == taken {
+			correct++
+		}
+		g.Update(7, taken)
+		taken = !taken
+	}
+	if correct < 95 {
+		t.Errorf("gshare predicted %d/100 of an alternating pattern, want ≥95", correct)
+	}
+}
+
+func TestBimodalCannotLearnAlternation(t *testing.T) {
+	// Bimodal has no history: an alternating branch hovers around the
+	// counter threshold and mispredicts roughly half the time.
+	b := NewBimodal(12)
+	taken := true
+	correct := 0
+	for i := 0; i < 1000; i++ {
+		if b.Predict(7) == taken {
+			correct++
+		}
+		b.Update(7, taken)
+		taken = !taken
+	}
+	if correct > 700 {
+		t.Errorf("bimodal predicted %d/1000 of an alternating pattern; it should not learn it", correct)
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(10)
+	train(b, 42, []bool{false}, 10)
+	if b.Predict(42) {
+		t.Error("bimodal did not learn a never-taken branch")
+	}
+}
+
+func TestStatic(t *testing.T) {
+	if !(Static{Taken: true}).Predict(1) {
+		t.Error("always-taken predicted not-taken")
+	}
+	if (Static{}).Predict(1) {
+		t.Error("always-not-taken predicted taken")
+	}
+	if (Static{Taken: true}).Name() != "always-taken" || (Static{}).Name() != "always-not-taken" {
+		t.Error("static predictor names wrong")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if got := NewGshare(12, 12).Name(); got != "gshare-4096x2bit-h12" {
+		t.Errorf("gshare name = %q", got)
+	}
+	if got := NewBimodal(10).Name(); got != "bimodal-1024x2bit" {
+		t.Errorf("bimodal name = %q", got)
+	}
+}
+
+func TestCountersSaturate(t *testing.T) {
+	// Sustained training must not wrap the 2-bit counters.
+	g := NewGshare(4, 4)
+	for i := 0; i < 1000; i++ {
+		g.Update(0, true)
+	}
+	for _, c := range g.counters {
+		if c > 3 {
+			t.Fatalf("counter exceeded 3: %d", c)
+		}
+	}
+	b := NewBimodal(4)
+	for i := 0; i < 1000; i++ {
+		b.Update(0, false)
+	}
+	for _, c := range b.counters {
+		if c > 3 {
+			t.Fatalf("bimodal counter out of range: %d", c)
+		}
+	}
+}
+
+func TestPropertyPredictTotal(t *testing.T) {
+	// Predict never panics and Update keeps counters in range for
+	// arbitrary pc streams.
+	g := NewGshare(8, 6)
+	f := func(pc uint32, taken bool) bool {
+		g.Update(pc, taken)
+		_ = g.Predict(pc)
+		return g.counters[g.index(pc)] <= 3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBaselineGeometry(t *testing.T) {
+	cfg := Baseline()
+	if cfg.SizeBytes != 32<<10 || cfg.Ways != 2 || cfg.LineBytes != 32 {
+		t.Errorf("baseline geometry = %+v, want 32KB/2-way/32B", cfg)
+	}
+	if cfg.HitCycles != 1 || cfg.MissCycles != 6 {
+		t.Errorf("baseline latencies = %+v, want 1/6", cfg)
+	}
+	mustNew(t, cfg)
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := mustNew(t, Baseline())
+	lat, hit := c.Access(0x1000, false)
+	if hit || lat != 6 {
+		t.Errorf("cold access: hit=%v lat=%d, want miss/6", hit, lat)
+	}
+	lat, hit = c.Access(0x1000, false)
+	if !hit || lat != 1 {
+		t.Errorf("second access: hit=%v lat=%d, want hit/1", hit, lat)
+	}
+	// Same line, different word: still a hit.
+	if _, hit = c.Access(0x101C, false); !hit {
+		t.Error("same-line access missed")
+	}
+	// Next line: miss.
+	if _, hit = c.Access(0x1020, false); hit {
+		t.Error("next-line access hit unexpectedly")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// Direct construct a tiny cache: 2 sets × 2 ways × 16B lines = 64B.
+	c := mustNew(t, Config{SizeBytes: 64, Ways: 2, LineBytes: 16, HitCycles: 1, MissCycles: 6})
+	// Three lines mapping to set 0 (stride 32 = 2 lines × 16B).
+	a, b2, d := uint32(0), uint32(32), uint32(64)
+	c.Access(a, false)  // miss, insert a
+	c.Access(b2, false) // miss, insert b
+	c.Access(a, false)  // hit, a now MRU
+	c.Access(d, false)  // miss, evicts b (LRU)
+	if _, hit := c.Access(a, false); !hit {
+		t.Error("a was evicted but should be MRU-protected")
+	}
+	if _, hit := c.Access(b2, false); hit {
+		t.Error("b survived but was LRU")
+	}
+}
+
+func TestWritebackAccounting(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 32, Ways: 1, LineBytes: 16, HitCycles: 1, MissCycles: 6})
+	c.Access(0, true)   // miss, dirty
+	c.Access(32, false) // conflict: evicts dirty line 0 → writeback
+	if wb := c.Stats().Writebacks; wb != 1 {
+		t.Errorf("writebacks = %d, want 1", wb)
+	}
+	c.Access(64, false) // evicts clean line 32: no writeback
+	if wb := c.Stats().Writebacks; wb != 1 {
+		t.Errorf("writebacks = %d after clean eviction, want 1", wb)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := mustNew(t, Baseline())
+	for i := 0; i < 10; i++ {
+		c.Access(uint32(i), false) // same line after the first
+	}
+	s := c.Stats()
+	if s.Accesses != 10 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 10 accesses / 1 miss", s)
+	}
+	if r := s.MissRate(); r != 0.1 {
+		t.Errorf("miss rate = %g, want 0.1", r)
+	}
+	if (Stats{}).MissRate() != 0 {
+		t.Error("empty miss rate should be 0")
+	}
+}
+
+func TestBadGeometry(t *testing.T) {
+	bad := []Config{
+		{},
+		{SizeBytes: 16, Ways: 2, LineBytes: 16, HitCycles: 1, MissCycles: 6}, // zero sets
+		{SizeBytes: 1024, Ways: 1, LineBytes: 24, HitCycles: 1, MissCycles: 6},
+		{SizeBytes: -1, Ways: 1, LineBytes: 32},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) succeeded, want error", cfg)
+		}
+	}
+}
+
+func TestPropertyRepeatAccessAlwaysHits(t *testing.T) {
+	c := mustNew(t, Baseline())
+	f := func(addr uint32) bool {
+		c.Access(addr, false)
+		_, hit := c.Access(addr, false)
+		return hit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMissesNeverExceedAccesses(t *testing.T) {
+	c := mustNew(t, Config{SizeBytes: 256, Ways: 2, LineBytes: 16, HitCycles: 1, MissCycles: 6})
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			c.Access(a, a%3 == 0)
+		}
+		s := c.Stats()
+		return s.Misses <= s.Accesses
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,200 @@
+// Package circuit provides the low-level delay estimation primitives used by
+// the structure models in package delaymodel: distributed-RC wire delay
+// (Elmore), lumped RC trees, and logical-effort gate chains.
+//
+// The paper's methodology simulated hand-optimized CMOS circuits in Hspice.
+// We cannot run Hspice, so this package supplies the standard first-order
+// analytical equivalents; the structure models calibrate their gate-level
+// constants against the paper's published Hspice numbers and use this
+// package for everything geometry-dependent (wire RC).
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vlsi"
+)
+
+// Wire is a metal wire segment of a given length (in λ) in a technology.
+type Wire struct {
+	Tech     vlsi.Technology
+	LenLamda float64
+}
+
+// DistributedDelay returns the intrinsic delay of the wire treated as a
+// distributed RC line: ½·R·C·L². This is the dominant term for long result
+// and tag wires, and under the paper's scaling model it is independent of
+// technology for a fixed λ-length.
+func (w Wire) DistributedDelay() float64 {
+	return 0.5 * w.Tech.WireRC() * w.LenLamda * w.LenLamda
+}
+
+// Resistance returns the total wire resistance in ohms.
+func (w Wire) Resistance() float64 {
+	return w.Tech.RPerUm * w.Tech.LambdaToUm(w.LenLamda)
+}
+
+// Capacitance returns the total wire capacitance in femtofarads.
+func (w Wire) Capacitance() float64 {
+	return w.Tech.CPerUm * w.Tech.LambdaToUm(w.LenLamda)
+}
+
+// LoadedDelay returns the Elmore delay of the wire driving an additional
+// lumped load capacitance (fF) at its far end, given a driver resistance
+// (Ω) at its near end:
+//
+//	t = Rdrv·(Cwire + Cload) + R·C/2 + Rwire·Cload     (result in ps)
+func (w Wire) LoadedDelay(driverOhms, loadFF float64) float64 {
+	cw := w.Capacitance()
+	rw := w.Resistance()
+	// Ω·fF = 10⁻³ ps.
+	return 1e-3 * (driverOhms*(cw+loadFF) + 0.5*rw*cw + rw*loadFF)
+}
+
+// RCNode is one node of a lumped RC tree. Resistance is the resistance of
+// the branch from this node's parent; Capacitance is the lumped capacitance
+// at the node.
+type RCNode struct {
+	Resistance  float64 // Ω
+	Capacitance float64 // fF
+	Children    []*RCNode
+}
+
+// ElmoreDelay computes the Elmore delay (ps) from the tree root to the given
+// target node. The target must be reachable from root; otherwise an error is
+// returned.
+func ElmoreDelay(root, target *RCNode) (float64, error) {
+	path, ok := findPath(root, target)
+	if !ok {
+		return 0, fmt.Errorf("circuit: target node not reachable from root")
+	}
+	onPath := make(map[*RCNode]bool, len(path))
+	for _, n := range path {
+		onPath[n] = true
+	}
+	// Elmore: sum over every node k of C(k) times the resistance of the
+	// portion of the root→target path shared with the root→k path.
+	var delay float64
+	var walk func(n *RCNode, sharedR float64)
+	walk = func(n *RCNode, sharedR float64) {
+		r := sharedR
+		if onPath[n] {
+			r += n.Resistance
+		}
+		delay += n.Capacitance * r
+		for _, c := range n.Children {
+			walk(c, r)
+		}
+	}
+	walk(root, 0)
+	return delay * 1e-3, nil // Ω·fF → ps
+}
+
+func findPath(root, target *RCNode) ([]*RCNode, bool) {
+	if root == target {
+		return []*RCNode{root}, true
+	}
+	for _, c := range root.Children {
+		if p, ok := findPath(c, target); ok {
+			return append([]*RCNode{root}, p...), true
+		}
+	}
+	return nil, false
+}
+
+// Gate describes a logic gate for logical-effort delay estimation.
+type Gate struct {
+	// LogicalEffort g: ratio of the gate's input capacitance to that of
+	// an inverter delivering the same output current (INV=1, NAND2≈4/3,
+	// NOR2≈5/3, ...).
+	LogicalEffort float64
+	// ParasiticDelay p in units of τ (INV≈1, NANDn≈n, NORn≈n).
+	ParasiticDelay float64
+}
+
+// Standard gates.
+var (
+	Inverter = Gate{LogicalEffort: 1, ParasiticDelay: 1}
+	NAND2    = Gate{LogicalEffort: 4.0 / 3.0, ParasiticDelay: 2}
+	NAND3    = Gate{LogicalEffort: 5.0 / 3.0, ParasiticDelay: 3}
+	NAND4    = Gate{LogicalEffort: 6.0 / 3.0, ParasiticDelay: 4}
+	NOR2     = Gate{LogicalEffort: 5.0 / 3.0, ParasiticDelay: 2}
+	NOR3     = Gate{LogicalEffort: 7.0 / 3.0, ParasiticDelay: 3}
+	NOR4     = Gate{LogicalEffort: 9.0 / 3.0, ParasiticDelay: 4}
+)
+
+// Chain is a path of gates driving a final load, evaluated with the method
+// of logical effort. Tau is the technology time unit in ps (the delay of a
+// fanout-of-1 inverter driving its own parasitics is 2·Tau under p=1).
+type Chain struct {
+	Tau   float64
+	Gates []Gate
+	// ElectricalEffort H is Cload/Cin for the whole path.
+	ElectricalEffort float64
+	// BranchingEffort B accounts for fanout to side loads along the path.
+	BranchingEffort float64
+}
+
+// MinDelay returns the minimum achievable path delay in ps, assuming each
+// stage is sized optimally (equal stage effort f = F^(1/N)).
+func (c Chain) MinDelay() float64 {
+	n := float64(len(c.Gates))
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	p := 0.0
+	for _, gt := range c.Gates {
+		g *= gt.LogicalEffort
+		p += gt.ParasiticDelay
+	}
+	h := c.ElectricalEffort
+	if h <= 0 {
+		h = 1
+	}
+	b := c.BranchingEffort
+	if b <= 0 {
+		b = 1
+	}
+	f := g * h * b
+	return c.Tau * (n*math.Pow(f, 1/n) + p)
+}
+
+// OptimalStages returns the number of inverter stages that minimizes the
+// delay of a buffer chain driving a path effort F (≈ log₄ F, at least 1).
+func OptimalStages(pathEffort float64) int {
+	if pathEffort <= 1 {
+		return 1
+	}
+	n := int(math.Round(math.Log(pathEffort) / math.Log(4)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// BufferChainDelay returns the delay (ps) of an optimally sized inverter
+// chain driving electrical effort h with the given τ.
+func BufferChainDelay(tau, h float64) float64 {
+	n := OptimalStages(h)
+	c := Chain{Tau: tau, Gates: make([]Gate, n), ElectricalEffort: h}
+	for i := range c.Gates {
+		c.Gates[i] = Inverter
+	}
+	return c.MinDelay()
+}
+
+// RepeatedWireDelay returns the delay (ps) of a wire of the given λ-length
+// broken into nSegments by repeaters, each repeater adding repeaterPs of
+// gate delay. For nSegments ≤ 1 this is the plain distributed delay. Long
+// broadcast wires (tag lines, bypass busses) cannot always be repeated —
+// the paper's structures broadcast to taps along the wire — but this is
+// provided for what-if studies.
+func RepeatedWireDelay(w Wire, nSegments int, repeaterPs float64) float64 {
+	if nSegments <= 1 {
+		return w.DistributedDelay()
+	}
+	seg := Wire{Tech: w.Tech, LenLamda: w.LenLamda / float64(nSegments)}
+	return float64(nSegments)*seg.DistributedDelay() + float64(nSegments-1)*repeaterPs
+}

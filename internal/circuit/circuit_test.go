@@ -1,0 +1,172 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vlsi"
+)
+
+func TestDistributedDelayQuadratic(t *testing.T) {
+	w1 := Wire{Tech: vlsi.Tech018, LenLamda: 1000}
+	w2 := Wire{Tech: vlsi.Tech018, LenLamda: 2000}
+	r := w2.DistributedDelay() / w1.DistributedDelay()
+	if math.Abs(r-4) > 1e-9 {
+		t.Errorf("doubling wire length scaled delay by %g, want 4 (quadratic)", r)
+	}
+}
+
+func TestDistributedDelayTechnologyInvariant(t *testing.T) {
+	for _, tech := range vlsi.Technologies() {
+		w := Wire{Tech: tech, LenLamda: 49000}
+		got := w.DistributedDelay()
+		if math.Abs(got-1056.4) > 15 {
+			t.Errorf("%s: 49000λ wire delay = %.1f ps, want ≈1056.4 (Table 1)", tech.Name, got)
+		}
+	}
+}
+
+func TestLoadedDelayComponents(t *testing.T) {
+	w := Wire{Tech: vlsi.Tech018, LenLamda: 1000}
+	// With zero driver resistance and zero load, only the intrinsic
+	// distributed term remains (LoadedDelay uses the lumped π-ish
+	// approximation ½RC, identical to DistributedDelay).
+	got := w.LoadedDelay(0, 0)
+	want := w.DistributedDelay()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("LoadedDelay(0,0) = %g, want %g", got, want)
+	}
+	// Adding driver resistance or load strictly increases delay.
+	if w.LoadedDelay(100, 0) <= got {
+		t.Error("driver resistance did not increase delay")
+	}
+	if w.LoadedDelay(0, 50) <= got {
+		t.Error("load capacitance did not increase delay")
+	}
+}
+
+func TestElmoreDelaySingleBranch(t *testing.T) {
+	// Root --R1--> n1 --R2--> n2. Elmore to n2 = R1(C1+C2) + R2·C2.
+	n2 := &RCNode{Resistance: 200, Capacitance: 10}
+	n1 := &RCNode{Resistance: 100, Capacitance: 20, Children: []*RCNode{n2}}
+	root := &RCNode{Children: []*RCNode{n1}}
+	got, err := ElmoreDelay(root, n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (100*(20+10) + 200*10) * 1e-3
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Elmore delay = %g ps, want %g", got, want)
+	}
+}
+
+func TestElmoreDelaySideBranchLoadsPath(t *testing.T) {
+	// A side branch's capacitance is charged through the shared path
+	// resistance and must add to the delay.
+	target := &RCNode{Resistance: 100, Capacitance: 10}
+	side := &RCNode{Resistance: 500, Capacitance: 40}
+	stem := &RCNode{Resistance: 100, Capacitance: 0, Children: []*RCNode{target, side}}
+	root := &RCNode{Children: []*RCNode{stem}}
+	got, err := ElmoreDelay(root, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// stem R charges target C, side C and stem C; target R charges target C.
+	want := (100*(10+40+0) + 100*10) * 1e-3
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Elmore delay = %g ps, want %g", got, want)
+	}
+}
+
+func TestElmoreDelayUnreachable(t *testing.T) {
+	root := &RCNode{}
+	orphan := &RCNode{}
+	if _, err := ElmoreDelay(root, orphan); err == nil {
+		t.Error("ElmoreDelay to unreachable node succeeded, want error")
+	}
+}
+
+func TestChainMinDelayInverterFO4(t *testing.T) {
+	// A single inverter driving h=4: delay = τ(4·g + p) = τ(4+1) = 5τ.
+	c := Chain{Tau: 10, Gates: []Gate{Inverter}, ElectricalEffort: 4}
+	if got := c.MinDelay(); math.Abs(got-50) > 1e-9 {
+		t.Errorf("FO4 inverter delay = %g, want 50", got)
+	}
+}
+
+func TestChainMinDelayEmptyAndDefaults(t *testing.T) {
+	if got := (Chain{Tau: 10}).MinDelay(); got != 0 {
+		t.Errorf("empty chain delay = %g, want 0", got)
+	}
+	// Non-positive efforts default to 1.
+	c := Chain{Tau: 1, Gates: []Gate{Inverter}, ElectricalEffort: -1, BranchingEffort: 0}
+	if got := c.MinDelay(); math.Abs(got-2) > 1e-9 { // 1·1 effort + p=1
+		t.Errorf("defaulted chain delay = %g, want 2", got)
+	}
+}
+
+func TestOptimalStages(t *testing.T) {
+	cases := []struct {
+		effort float64
+		want   int
+	}{
+		{0.5, 1}, {1, 1}, {4, 1}, {16, 2}, {64, 3}, {256, 4},
+	}
+	for _, c := range cases {
+		if got := OptimalStages(c.effort); got != c.want {
+			t.Errorf("OptimalStages(%g) = %d, want %d", c.effort, got, c.want)
+		}
+	}
+}
+
+func TestBufferChainDelayMonotonic(t *testing.T) {
+	prev := 0.0
+	for _, h := range []float64{1, 4, 16, 64, 256, 1024} {
+		d := BufferChainDelay(10, h)
+		if d <= prev {
+			t.Errorf("BufferChainDelay(τ=10, h=%g) = %g, not increasing (prev %g)", h, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestRepeatedWireDelayHelpsLongWires(t *testing.T) {
+	w := Wire{Tech: vlsi.Tech018, LenLamda: 49000}
+	plain := w.DistributedDelay()
+	repeated := RepeatedWireDelay(w, 4, 50)
+	if repeated >= plain {
+		t.Errorf("4-segment repeated wire (%.1f ps) not faster than plain (%.1f ps)", repeated, plain)
+	}
+	if got := RepeatedWireDelay(w, 1, 50); got != plain {
+		t.Errorf("1-segment repeated wire = %g, want plain %g", got, plain)
+	}
+}
+
+func TestPropertyWireDelayMonotonicInLength(t *testing.T) {
+	f := func(a, b uint16) bool {
+		la, lb := float64(a)+1, float64(b)+1
+		if la > lb {
+			la, lb = lb, la
+		}
+		wa := Wire{Tech: vlsi.Tech018, LenLamda: la}
+		wb := Wire{Tech: vlsi.Tech018, LenLamda: lb}
+		return wa.DistributedDelay() <= wb.DistributedDelay()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyElmoreNonNegative(t *testing.T) {
+	f := func(r1, c1, r2, c2 uint8) bool {
+		n2 := &RCNode{Resistance: float64(r2), Capacitance: float64(c2)}
+		n1 := &RCNode{Resistance: float64(r1), Capacitance: float64(c1), Children: []*RCNode{n2}}
+		root := &RCNode{Children: []*RCNode{n1}}
+		d, err := ElmoreDelay(root, n2)
+		return err == nil && d >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package clitest builds the command-line tools and exercises them
+// end-to-end.
+package clitest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "cebin")
+	if err != nil {
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	binDir = dir
+	for _, tool := range []string{"cedelay", "cesim", "cesweep", "ceasm"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "repro/cmd/"+tool)
+		cmd.Dir = repoRoot()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			os.Stderr.Write(out)
+			os.Exit(1)
+		}
+	}
+	os.Exit(m.Run())
+}
+
+func repoRoot() string {
+	wd, _ := os.Getwd()
+	return filepath.Dir(filepath.Dir(wd)) // internal/clitest → repo root
+}
+
+func run(t *testing.T, tool string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func mustRun(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	out, err := run(t, tool, args...)
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return out
+}
+
+func TestCedelayTables(t *testing.T) {
+	out := mustRun(t, "cedelay", "-table", "2")
+	for _, want := range []string{"Table 2", "1577.9", "0.18um"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cedelay -table 2 missing %q:\n%s", want, out)
+		}
+	}
+	out = mustRun(t, "cedelay", "-fig", "5")
+	if !strings.Contains(out, "Figure 5") || !strings.Contains(out, "8-way") {
+		t.Errorf("cedelay -fig 5 output wrong:\n%s", out)
+	}
+	out = mustRun(t, "cedelay", "-point", "0.18um,8,64")
+	if !strings.Contains(out, "critical path") {
+		t.Errorf("cedelay -point output wrong:\n%s", out)
+	}
+	out = mustRun(t, "cedelay", "-table", "1", "-csv")
+	if !strings.Contains(out, "issue width,wire length (lambda),delay (ps)") {
+		t.Errorf("cedelay CSV output wrong:\n%s", out)
+	}
+}
+
+func TestCedelayErrors(t *testing.T) {
+	if out, err := run(t, "cedelay"); err == nil {
+		t.Errorf("cedelay with no flags succeeded:\n%s", out)
+	}
+	if out, err := run(t, "cedelay", "-point", "bogus"); err == nil {
+		t.Errorf("cedelay with bad point succeeded:\n%s", out)
+	}
+	if out, err := run(t, "cedelay", "-point", "1.5um,8,64"); err == nil {
+		t.Errorf("cedelay with unknown tech succeeded:\n%s", out)
+	}
+}
+
+func TestCesimRunAndTimeline(t *testing.T) {
+	out := mustRun(t, "cesim", "-config", "dependence", "-workload", "micro.chain", "-timeline", "5")
+	for _, want := range []string{"IPC:", "committed instructions:", "pipeline (cycles from start)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cesim output missing %q:\n%s", want, out)
+		}
+	}
+	out = mustRun(t, "cesim", "-list")
+	if !strings.Contains(out, "configurations:") || !strings.Contains(out, "compress") {
+		t.Errorf("cesim -list output wrong:\n%s", out)
+	}
+	if out, err := run(t, "cesim", "-config", "bogus"); err == nil {
+		t.Errorf("cesim with unknown config succeeded:\n%s", out)
+	}
+	if out, err := run(t, "cesim", "-workload", "bogus"); err == nil {
+		t.Errorf("cesim with unknown workload succeeded:\n%s", out)
+	}
+}
+
+func TestCeasmPipeline(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "prog.s")
+	bin := filepath.Join(dir, "prog.bin")
+	program := `
+		.text
+main:	li   $t0, 6
+		li   $t1, 7
+		mul  $t2, $t0, $t1
+		out  $t2
+		halt
+	`
+	if err := os.WriteFile(src, []byte(program), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Assemble → run from source.
+	out := mustRun(t, "ceasm", "-run", src)
+	if !strings.Contains(out, "out[0] = 42") {
+		t.Errorf("ceasm -run output wrong:\n%s", out)
+	}
+	// Assemble → object → run from the binary.
+	mustRun(t, "ceasm", "-run", src, "-o", bin)
+	out = mustRun(t, "ceasm", "-run", bin)
+	if !strings.Contains(out, "out[0] = 42") {
+		t.Errorf("ceasm binary run output wrong:\n%s", out)
+	}
+	// Disassembly includes the mnemonics.
+	out = mustRun(t, "ceasm", "-dump", src)
+	if !strings.Contains(out, "mul $t2, $t0, $t1") || !strings.Contains(out, "main:") {
+		t.Errorf("ceasm -dump output wrong:\n%s", out)
+	}
+	// Built-in workload dump.
+	out = mustRun(t, "ceasm", "-workload", "li", "-dump", "")
+	if !strings.Contains(out, "instructions") {
+		t.Errorf("ceasm workload dump wrong:\n%s", out)
+	}
+	// Assembly errors carry positions.
+	bad := filepath.Join(dir, "bad.s")
+	if err := os.WriteFile(bad, []byte("\t.text\n\tfrob $t0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := run(t, "ceasm", "-run", bad); err == nil || !strings.Contains(out, "bad.s:2") {
+		t.Errorf("ceasm bad input: err=%v out=%s", err, out)
+	}
+}
+
+func TestCesweepFigure13(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	out := mustRun(t, "cesweep", "-fig", "13")
+	for _, want := range []string{"Figure 13", "compress", "vortex", "dependence-8fifo-x8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cesweep -fig 13 missing %q:\n%s", want, out)
+		}
+	}
+	if out, err := run(t, "cesweep"); err == nil {
+		t.Errorf("cesweep with no flags succeeded:\n%s", out)
+	}
+}

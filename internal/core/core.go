@@ -1,0 +1,474 @@
+// Package core implements the paper's primary contribution and its design
+// space: the dependence-based instruction scheduler of Section 5 (chains of
+// dependent instructions steered into in-order FIFOs), the conventional
+// central issue window it is compared against, and the Section 5.6
+// alternatives (window-per-cluster dispatch steering, execution-driven
+// steering, random steering).
+//
+// A Scheduler owns the buffering between dispatch and issue and decides
+// candidate order; the timing pipeline (package pipeline) owns operand
+// readiness, functional units and ports, and calls back into the scheduler
+// each cycle to select instructions.
+package core
+
+import (
+	"sort"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// Uop is one in-flight instruction. The scheduler reads the identity and
+// dependence fields; the timing fields are owned by the pipeline.
+type Uop struct {
+	// Seq is the global program-order sequence number.
+	Seq uint64
+	// Rec is the dynamic instruction (with resolved outcome) being timed.
+	Rec emu.Record
+	// Class caches isa.ClassOf(Rec.Inst.Op).
+	Class isa.Class
+
+	// PhysSrcs and PhysDest are the renamed operands (rename.None if
+	// absent). OldDest is freed when the uop commits.
+	PhysSrcs []int16
+	PhysDest int16
+	OldDest  int16
+
+	// Cluster is the execution cluster, assigned at dispatch for
+	// dispatch-driven steering or left as -1 for execution-driven
+	// steering (the pipeline assigns it at issue).
+	Cluster int
+	// FIFO is the index of the FIFO holding the uop, or -1.
+	FIFO int
+
+	// Timing state, owned by the pipeline.
+	FetchCycle    int64
+	DispatchCycle int64
+	IssueCycle    int64
+	CompleteCycle int64
+	Issued        bool
+	Completed     bool
+	// Mispredicted marks a conditional branch whose predicted direction
+	// was wrong; fetch stalls (or speculates down the wrong path) until
+	// it resolves.
+	Mispredicted bool
+	// Speculative marks a wrong-path instruction fetched past an
+	// unresolved misprediction; it is squashed at resolution and never
+	// commits.
+	Speculative bool
+	// UsedInterClusterBypass marks that at least one operand arrived over
+	// an inter-cluster bypass path (Figure 17, bottom).
+	UsedInterClusterBypass bool
+}
+
+// Scheduler buffers renamed instructions until they issue.
+//
+// The pipeline calls Dispatch in program order; false means a structural
+// stall (window full, no free FIFO, FIFO full) and the pipeline retries
+// next cycle. Each cycle the pipeline calls Select with a tryIssue
+// callback; the scheduler offers candidates in selection-priority order
+// (the paper's position/age-based policy) and removes a candidate when
+// tryIssue accepts it. tryIssue is only called for uops the scheduler is
+// prepared to issue, and a true return means the uop has issued.
+type Scheduler interface {
+	Name() string
+	// Clusters reports how many execution clusters the scheduler feeds.
+	Clusters() int
+	Dispatch(u *Uop) bool
+	Select(tryIssue func(u *Uop) bool)
+	// Squash removes every buffered uop with Seq > afterSeq (wrong-path
+	// instructions being flushed at branch resolution).
+	Squash(afterSeq uint64)
+	// Len reports current occupancy.
+	Len() int
+	// Capacity reports total buffering capacity.
+	Capacity() int
+}
+
+// CentralWindow is the conventional flexible issue window: any entry whose
+// operands are ready may issue, selected oldest first. With AssignAtIssue
+// it models the Section 5.6.1 organization: a single window feeding
+// multiple clusters, with the cluster chosen when execution begins.
+type CentralWindow struct {
+	size          int
+	clusters      int
+	assignAtIssue bool
+	randomSelect  bool
+	rng           int32
+	entries       []*Uop
+}
+
+// NewCentralWindow builds a single-cluster window of the given size; every
+// instruction is assigned to cluster 0 at dispatch.
+func NewCentralWindow(size int) *CentralWindow {
+	return &CentralWindow{size: size, clusters: 1}
+}
+
+// NewExecSteeredWindow builds the Section 5.6.1 organization: one central
+// window of the given size feeding `clusters` clusters, with cluster
+// assignment made by the pipeline at issue time (execution-driven
+// steering).
+func NewExecSteeredWindow(size, clusters int) *CentralWindow {
+	return &CentralWindow{size: size, clusters: clusters, assignAtIssue: true}
+}
+
+// NewRandomSelectWindow builds a single-cluster window whose selection
+// policy is *random* rather than position-based. Butler & Patt (cited in
+// Section 4.3) found overall performance largely independent of the
+// selection policy; this scheduler exists to ablate that claim.
+func NewRandomSelectWindow(size int) *CentralWindow {
+	return &CentralWindow{size: size, clusters: 1, randomSelect: true, rng: 424243}
+}
+
+// Name implements Scheduler.
+func (w *CentralWindow) Name() string {
+	switch {
+	case w.assignAtIssue:
+		return "central-window-exec-steer"
+	case w.randomSelect:
+		return "central-window-random-select"
+	default:
+		return "central-window"
+	}
+}
+
+// Clusters implements Scheduler.
+func (w *CentralWindow) Clusters() int { return w.clusters }
+
+// Len implements Scheduler.
+func (w *CentralWindow) Len() int { return len(w.entries) }
+
+// Capacity implements Scheduler.
+func (w *CentralWindow) Capacity() int { return w.size }
+
+// Dispatch implements Scheduler.
+func (w *CentralWindow) Dispatch(u *Uop) bool {
+	if len(w.entries) >= w.size {
+		return false
+	}
+	if w.assignAtIssue {
+		u.Cluster = -1
+	} else {
+		u.Cluster = 0
+	}
+	w.entries = append(w.entries, u)
+	return true
+}
+
+// Select implements Scheduler. Entries are kept in dispatch (age) order,
+// which is the paper's position-based selection policy; with random
+// selection the candidate order is shuffled deterministically each cycle.
+func (w *CentralWindow) Select(tryIssue func(u *Uop) bool) {
+	if !w.randomSelect {
+		kept := w.entries[:0]
+		for _, u := range w.entries {
+			if !tryIssue(u) {
+				kept = append(kept, u)
+			}
+		}
+		w.entries = kept
+		return
+	}
+	order := make([]*Uop, len(w.entries))
+	copy(order, w.entries)
+	for i := len(order) - 1; i > 0; i-- {
+		w.rng = w.rng*1103515245 + 12345
+		j := int(uint32(w.rng)>>16) % (i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	issued := make(map[*Uop]bool)
+	for _, u := range order {
+		if tryIssue(u) {
+			issued[u] = true
+		}
+	}
+	if len(issued) == 0 {
+		return
+	}
+	kept := w.entries[:0]
+	for _, u := range w.entries {
+		if !issued[u] {
+			kept = append(kept, u)
+		}
+	}
+	w.entries = kept
+}
+
+// Squash implements Scheduler.
+func (w *CentralWindow) Squash(afterSeq uint64) {
+	kept := w.entries[:0]
+	for _, u := range w.entries {
+		if u.Seq <= afterSeq {
+			kept = append(kept, u)
+		}
+	}
+	w.entries = kept
+}
+
+// SteerPolicy selects how a FIFOBank routes instructions.
+type SteerPolicy int
+
+const (
+	// SteerDependence is the Section 5.1 heuristic: follow the FIFO of an
+	// outstanding source operand when the source is the FIFO tail,
+	// otherwise take a new FIFO.
+	SteerDependence SteerPolicy = iota
+	// SteerRandom routes to a random cluster's buffering, falling back to
+	// the other cluster if full (Section 5.6.3).
+	SteerRandom
+)
+
+// fifo is one in-order queue.
+type fifo struct {
+	cluster int
+	q       []*Uop
+}
+
+// FIFOBank is the dependence-based scheduler of Section 5 and its
+// windowed variants. Instructions are steered into per-cluster FIFOs at
+// dispatch. With AnySlot false only FIFO heads are issue candidates (the
+// paper's FIFO microarchitecture); with AnySlot true every entry is a
+// candidate and the FIFO structure only shapes dispatch (the "window
+// modeled as FIFOs" dispatch heuristic of Section 5.6.2).
+type FIFOBank struct {
+	name     string
+	fifos    []fifo
+	depth    int
+	clusters int
+	anySlot  bool
+	policy   SteerPolicy
+
+	// freeFIFOs holds indices of empty FIFOs, one pool per cluster; cur
+	// is the cluster whose pool currently serves new-FIFO requests
+	// (Section 5.5's modified free-list policy).
+	freeFIFOs [][]int
+	cur       int
+
+	// producer maps a physical register to the uop that writes it while
+	// that uop still occupies a FIFO (the SRC_FIFO table of Section 5,
+	// kept in terms of physical registers since steering runs after
+	// rename).
+	producer map[int16]*Uop
+
+	occupancy int
+	rng       int32
+
+	// StallNoFIFO counts dispatch stalls due to steering (full target
+	// FIFO and no free FIFO).
+	StallNoFIFO uint64
+}
+
+// FIFOBankConfig sizes a FIFOBank.
+type FIFOBankConfig struct {
+	Name            string
+	Clusters        int
+	FIFOsPerCluster int
+	Depth           int
+	AnySlot         bool
+	Policy          SteerPolicy
+}
+
+// NewFIFOBank builds the scheduler. The paper's configurations:
+//
+//   - Figure 13 dependence-based: 1 cluster × 8 FIFOs × 8 deep, heads only.
+//   - Figure 15 clustered: 2 clusters × 4 FIFOs × 8 deep, heads only.
+//   - Figure 17 "two windows, dispatch steering": 2 clusters × 8 FIFOs × 4
+//     deep, AnySlot (each 32-entry window treated as 8 conceptual FIFOs).
+//   - Figure 17 "two windows, random steering": 2 clusters × 1 FIFO × 32
+//     deep, AnySlot, SteerRandom.
+func NewFIFOBank(cfg FIFOBankConfig) *FIFOBank {
+	b := &FIFOBank{
+		name:     cfg.Name,
+		depth:    cfg.Depth,
+		clusters: cfg.Clusters,
+		anySlot:  cfg.AnySlot,
+		policy:   cfg.Policy,
+		producer: make(map[int16]*Uop),
+		rng:      10007,
+	}
+	b.freeFIFOs = make([][]int, cfg.Clusters)
+	for c := 0; c < cfg.Clusters; c++ {
+		for i := 0; i < cfg.FIFOsPerCluster; i++ {
+			b.fifos = append(b.fifos, fifo{cluster: c})
+			b.freeFIFOs[c] = append(b.freeFIFOs[c], len(b.fifos)-1)
+		}
+	}
+	return b
+}
+
+// Name implements Scheduler.
+func (b *FIFOBank) Name() string { return b.name }
+
+// Clusters implements Scheduler.
+func (b *FIFOBank) Clusters() int { return b.clusters }
+
+// Len implements Scheduler.
+func (b *FIFOBank) Len() int { return b.occupancy }
+
+// Capacity implements Scheduler.
+func (b *FIFOBank) Capacity() int { return len(b.fifos) * b.depth }
+
+// Dispatch implements Scheduler.
+func (b *FIFOBank) Dispatch(u *Uop) bool {
+	var fi int
+	switch b.policy {
+	case SteerRandom:
+		fi = b.steerRandom()
+	default:
+		fi = b.steerDependence(u)
+	}
+	if fi < 0 {
+		b.StallNoFIFO++
+		return false
+	}
+	f := &b.fifos[fi]
+	u.FIFO = fi
+	u.Cluster = f.cluster
+	f.q = append(f.q, u)
+	b.occupancy++
+	if u.PhysDest >= 0 {
+		b.producer[u.PhysDest] = u
+	}
+	return true
+}
+
+// steerDependence implements the Section 5.1 heuristic, generalized over
+// clusters with the Section 5.5 free-list policy.
+func (b *FIFOBank) steerDependence(u *Uop) int {
+	// Try each outstanding source operand in order: if its producer is
+	// the tail of its FIFO and the FIFO has room, follow it.
+	for _, ps := range u.PhysSrcs {
+		if ps < 0 {
+			continue
+		}
+		p, outstanding := b.producer[ps]
+		if !outstanding {
+			continue // operand already computed or producer issued
+		}
+		f := &b.fifos[p.FIFO]
+		if len(f.q) > 0 && f.q[len(f.q)-1] == p && len(f.q) < b.depth {
+			return p.FIFO
+		}
+	}
+	// Fall back to a new (empty) FIFO from the free pools.
+	return b.allocFIFO()
+}
+
+// allocFIFO takes an empty FIFO, preferring the current cluster's pool and
+// switching the current cluster when its pool is exhausted (Section 5.5).
+func (b *FIFOBank) allocFIFO() int {
+	for try := 0; try < b.clusters; try++ {
+		pool := &b.freeFIFOs[b.cur]
+		if len(*pool) > 0 {
+			fi := (*pool)[len(*pool)-1]
+			*pool = (*pool)[:len(*pool)-1]
+			return fi
+		}
+		b.cur = (b.cur + 1) % b.clusters
+	}
+	return -1
+}
+
+// steerRandom picks a random cluster and falls back to the other(s) when
+// its buffering is full (Section 5.6.3).
+func (b *FIFOBank) steerRandom() int {
+	b.rng = b.rng*1103515245 + 12345
+	start := int(uint32(b.rng)>>16) % b.clusters
+	for try := 0; try < b.clusters; try++ {
+		c := (start + try) % b.clusters
+		for i := range b.fifos {
+			if b.fifos[i].cluster == c && len(b.fifos[i].q) < b.depth {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Select implements Scheduler: candidates are FIFO heads (or, with
+// AnySlot, all entries), offered oldest first.
+func (b *FIFOBank) Select(tryIssue func(u *Uop) bool) {
+	var cands []*Uop
+	for i := range b.fifos {
+		q := b.fifos[i].q
+		if len(q) == 0 {
+			continue
+		}
+		if b.anySlot {
+			cands = append(cands, q...)
+		} else {
+			cands = append(cands, q[0])
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Seq < cands[j].Seq })
+	for _, u := range cands {
+		if tryIssue(u) {
+			b.remove(u)
+		}
+	}
+}
+
+// remove deletes an issued uop from its FIFO and recycles empty FIFOs.
+func (b *FIFOBank) remove(u *Uop) {
+	f := &b.fifos[u.FIFO]
+	for i, x := range f.q {
+		if x == u {
+			f.q = append(f.q[:i], f.q[i+1:]...)
+			break
+		}
+	}
+	b.occupancy--
+	if u.PhysDest >= 0 && b.producer[u.PhysDest] == u {
+		delete(b.producer, u.PhysDest)
+	}
+	if len(f.q) == 0 && b.policy != SteerRandom {
+		b.freeFIFOs[f.cluster] = append(b.freeFIFOs[f.cluster], u.FIFO)
+	}
+}
+
+// Squash implements Scheduler: wrong-path uops are the youngest, so they
+// sit at FIFO tails; they are popped, the producer table entries they
+// installed removed, and emptied FIFOs recycled.
+func (b *FIFOBank) Squash(afterSeq uint64) {
+	for i := range b.fifos {
+		f := &b.fifos[i]
+		had := len(f.q)
+		for len(f.q) > 0 {
+			tail := f.q[len(f.q)-1]
+			if tail.Seq <= afterSeq {
+				break
+			}
+			f.q = f.q[:len(f.q)-1]
+			b.occupancy--
+			if tail.PhysDest >= 0 && b.producer[tail.PhysDest] == tail {
+				delete(b.producer, tail.PhysDest)
+			}
+			tail.FIFO = -1
+		}
+		if had > 0 && len(f.q) == 0 && b.policy != SteerRandom {
+			b.freeFIFOs[f.cluster] = append(b.freeFIFOs[f.cluster], i)
+		}
+	}
+}
+
+// FIFOOccupancy returns the per-FIFO queue lengths (diagnostics and the
+// steering example program).
+func (b *FIFOBank) FIFOOccupancy() []int {
+	out := make([]int, len(b.fifos))
+	for i := range b.fifos {
+		out[i] = len(b.fifos[i].q)
+	}
+	return out
+}
+
+// FIFOContents returns the sequence numbers queued in each FIFO, head
+// first (diagnostics and the steering example program).
+func (b *FIFOBank) FIFOContents() [][]uint64 {
+	out := make([][]uint64, len(b.fifos))
+	for i := range b.fifos {
+		for _, u := range b.fifos[i].q {
+			out[i] = append(out[i], u.Seq)
+		}
+	}
+	return out
+}

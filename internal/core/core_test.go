@@ -1,0 +1,457 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// mkUop builds a uop with the given sequence, physical sources and dest.
+func mkUop(seq uint64, dest int16, srcs ...int16) *Uop {
+	return &Uop{Seq: seq, PhysSrcs: srcs, PhysDest: dest, Cluster: -1, FIFO: -1}
+}
+
+func issueAll(s Scheduler) []*Uop {
+	var out []*Uop
+	s.Select(func(u *Uop) bool {
+		out = append(out, u)
+		return true
+	})
+	return out
+}
+
+func TestCentralWindowCapacity(t *testing.T) {
+	w := NewCentralWindow(2)
+	if w.Capacity() != 2 || w.Clusters() != 1 {
+		t.Fatalf("capacity=%d clusters=%d", w.Capacity(), w.Clusters())
+	}
+	if !w.Dispatch(mkUop(0, 1)) || !w.Dispatch(mkUop(1, 2)) {
+		t.Fatal("dispatch into empty window failed")
+	}
+	if w.Dispatch(mkUop(2, 3)) {
+		t.Fatal("dispatch into full window succeeded")
+	}
+	if w.Len() != 2 {
+		t.Fatalf("len=%d", w.Len())
+	}
+}
+
+func TestCentralWindowSelectsInAgeOrder(t *testing.T) {
+	w := NewCentralWindow(8)
+	for i := 0; i < 5; i++ {
+		w.Dispatch(mkUop(uint64(i), int16(i+40)))
+	}
+	var seen []uint64
+	w.Select(func(u *Uop) bool {
+		seen = append(seen, u.Seq)
+		return u.Seq%2 == 0 // issue evens only
+	})
+	for i := 1; i < len(seen); i++ {
+		if seen[i] < seen[i-1] {
+			t.Fatalf("candidates out of age order: %v", seen)
+		}
+	}
+	if w.Len() != 2 {
+		t.Fatalf("len=%d after issuing 3 of 5", w.Len())
+	}
+	// Remaining entries are the odd ones, still in order.
+	rest := issueAll(w)
+	if len(rest) != 2 || rest[0].Seq != 1 || rest[1].Seq != 3 {
+		t.Fatalf("remaining = %v", rest)
+	}
+}
+
+func TestCentralWindowClusterAssignment(t *testing.T) {
+	w := NewCentralWindow(4)
+	u := mkUop(0, 1)
+	w.Dispatch(u)
+	if u.Cluster != 0 {
+		t.Errorf("plain window assigned cluster %d, want 0", u.Cluster)
+	}
+	e := NewExecSteeredWindow(4, 2)
+	if e.Clusters() != 2 {
+		t.Errorf("exec-steered clusters = %d", e.Clusters())
+	}
+	v := mkUop(0, 1)
+	e.Dispatch(v)
+	if v.Cluster != -1 {
+		t.Errorf("exec-steered window assigned cluster %d at dispatch, want -1", v.Cluster)
+	}
+}
+
+func depBank(fifos, depth int) *FIFOBank {
+	return NewFIFOBank(FIFOBankConfig{
+		Name: "test", Clusters: 1, FIFOsPerCluster: fifos, Depth: depth,
+	})
+}
+
+func TestSteeringChainsShareFIFO(t *testing.T) {
+	b := depBank(4, 8)
+	// u0 writes p40; u1 reads p40 → same FIFO, behind u0.
+	u0 := mkUop(0, 40)
+	u1 := mkUop(1, 41, 40)
+	if !b.Dispatch(u0) || !b.Dispatch(u1) {
+		t.Fatal("dispatch failed")
+	}
+	if u0.FIFO != u1.FIFO {
+		t.Errorf("dependent pair split across FIFOs %d and %d", u0.FIFO, u1.FIFO)
+	}
+	// u2 independent → different FIFO.
+	u2 := mkUop(2, 42)
+	b.Dispatch(u2)
+	if u2.FIFO == u0.FIFO {
+		t.Error("independent instruction steered into the busy FIFO")
+	}
+}
+
+func TestSteeringAvoidsNonTailProducer(t *testing.T) {
+	b := depBank(4, 8)
+	u0 := mkUop(0, 40)     // chain head
+	u1 := mkUop(1, 41, 40) // behind u0
+	u2 := mkUop(2, 42, 40) // also needs u0, but u0 is no longer the tail
+	b.Dispatch(u0)
+	b.Dispatch(u1)
+	b.Dispatch(u2)
+	if u2.FIFO == u0.FIFO {
+		t.Error("instruction steered behind a non-tail producer (would stall the FIFO)")
+	}
+}
+
+func TestSteeringFullFIFOFallsBack(t *testing.T) {
+	b := depBank(2, 2)
+	u0 := mkUop(0, 40)
+	u1 := mkUop(1, 41, 40)
+	b.Dispatch(u0)
+	b.Dispatch(u1) // FIFO now full (depth 2)
+	u2 := mkUop(2, 42, 41)
+	if !b.Dispatch(u2) {
+		t.Fatal("dispatch failed despite a free FIFO")
+	}
+	if u2.FIFO == u0.FIFO {
+		t.Error("steered into a full FIFO")
+	}
+}
+
+func TestSteeringStallsWhenNoFIFOAvailable(t *testing.T) {
+	b := depBank(2, 1)
+	b.Dispatch(mkUop(0, 40))
+	b.Dispatch(mkUop(1, 41))
+	u := mkUop(2, 42)
+	if b.Dispatch(u) {
+		t.Fatal("dispatch succeeded with every FIFO occupied")
+	}
+	if b.StallNoFIFO != 1 {
+		t.Errorf("StallNoFIFO = %d, want 1", b.StallNoFIFO)
+	}
+}
+
+func TestHeadsOnlySelection(t *testing.T) {
+	b := depBank(2, 8)
+	u0 := mkUop(0, 40)
+	u1 := mkUop(1, 41, 40)
+	b.Dispatch(u0)
+	b.Dispatch(u1)
+	var offered []uint64
+	b.Select(func(u *Uop) bool {
+		offered = append(offered, u.Seq)
+		return false
+	})
+	if len(offered) != 1 || offered[0] != 0 {
+		t.Errorf("heads-only offered %v, want only seq 0", offered)
+	}
+}
+
+func TestAnySlotSelection(t *testing.T) {
+	b := NewFIFOBank(FIFOBankConfig{
+		Name: "win", Clusters: 1, FIFOsPerCluster: 2, Depth: 8, AnySlot: true,
+	})
+	b.Dispatch(mkUop(0, 40))
+	b.Dispatch(mkUop(1, 41, 40))
+	var offered []uint64
+	b.Select(func(u *Uop) bool {
+		offered = append(offered, u.Seq)
+		return false
+	})
+	if len(offered) != 2 {
+		t.Errorf("any-slot offered %v, want both entries", offered)
+	}
+}
+
+func TestFIFORecycling(t *testing.T) {
+	b := depBank(1, 4)
+	u0 := mkUop(0, 40)
+	b.Dispatch(u0)
+	if b.Dispatch(mkUop(1, 41)) {
+		t.Fatal("second independent chain fit into a single-FIFO bank")
+	}
+	if got := issueAll(b); len(got) != 1 {
+		t.Fatalf("issued %d, want 1", len(got))
+	}
+	// FIFO drained → back in the free pool.
+	if !b.Dispatch(mkUop(2, 42)) {
+		t.Error("dispatch failed after FIFO was recycled")
+	}
+}
+
+func TestProducerTableClearedOnIssue(t *testing.T) {
+	b := depBank(4, 8)
+	u0 := mkUop(0, 40)
+	b.Dispatch(u0)
+	issueAll(b)
+	// Producer gone: the consumer's operands count as available, so it
+	// gets a fresh FIFO rather than chasing the issued producer.
+	u1 := mkUop(1, 41, 40)
+	b.Dispatch(u1)
+	if u1.FIFO == -1 {
+		t.Fatal("dispatch failed")
+	}
+	if len(b.producer) != 1 { // only u1's own dest
+		t.Errorf("producer table has %d entries, want 1", len(b.producer))
+	}
+}
+
+func TestClusterFreeListPolicy(t *testing.T) {
+	// Section 5.5: allocate from the current cluster's pool until it is
+	// empty, then switch — consecutive chains land in the same cluster.
+	b := NewFIFOBank(FIFOBankConfig{
+		Name: "clustered", Clusters: 2, FIFOsPerCluster: 2, Depth: 4,
+	})
+	var clusters []int
+	for i := 0; i < 4; i++ {
+		u := mkUop(uint64(i), int16(40+i)) // all independent
+		if !b.Dispatch(u) {
+			t.Fatal("dispatch failed")
+		}
+		clusters = append(clusters, u.Cluster)
+	}
+	want := []int{0, 0, 1, 1}
+	for i := range want {
+		if clusters[i] != want[i] {
+			t.Fatalf("cluster sequence = %v, want %v", clusters, want)
+		}
+	}
+}
+
+func TestRandomSteeringFallsBackWhenFull(t *testing.T) {
+	b := NewFIFOBank(FIFOBankConfig{
+		Name: "rand", Clusters: 2, FIFOsPerCluster: 1, Depth: 2,
+		AnySlot: true, Policy: SteerRandom,
+	})
+	for i := 0; i < 4; i++ {
+		if !b.Dispatch(mkUop(uint64(i), int16(40+i))) {
+			t.Fatalf("dispatch %d failed with space available", i)
+		}
+	}
+	if b.Dispatch(mkUop(4, 50)) {
+		t.Error("dispatch succeeded with both windows full")
+	}
+	if b.Len() != 4 {
+		t.Errorf("len = %d, want 4", b.Len())
+	}
+}
+
+// TestFigure12Steering replays the paper's Figure 12 example: the SPEC
+// code segment is steered into four FIFOs, four instructions per cycle,
+// with up to four ready instructions issuing per cycle (as the figure's
+// caption describes). The exact per-cycle FIFO snapshots depend on issue
+// timing details the figure does not fully specify, so the test asserts
+// the heuristic's defining properties on this segment: everything
+// dispatches without stalling, serial chains stay in one FIFO, and issue
+// order respects the dependences.
+func TestFigure12Steering(t *testing.T) {
+	// Physical register ids stand in for the figure's logical registers;
+	// registers not produced within the segment are "available" (no
+	// producer in any FIFO), so they are omitted from PhysSrcs.
+	const (
+		r18 = 50 + iota
+		r2a // $2 written by instruction 1
+		r4a // $4 written by instruction 3
+		r2b // $2 written by instruction 4
+		r16 // $16 written by 5
+		r3a // $3 written by 6
+		r2c // $2 written by 7
+		r2d // $2 written by 8
+		r2e // $2 written by 9
+		r4b // $4 written by 10
+		r17 // $17 written by 11
+		r3b // $3 written by 12
+	)
+	insts := []*Uop{
+		mkUop(0, r18),            // 0: addu $18,$0,$2   ($2 from before: available)
+		mkUop(1, r2a),            // 1: addiu $2,$0,-1
+		mkUop(2, -1, r18, r2a),   // 2: beq $18,$2,L2
+		mkUop(3, r4a),            // 3: lw $4,-32768($28)
+		mkUop(4, r2b, r18),       // 4: sllv $2,$18,$20
+		mkUop(5, r16, r2b),       // 5: xor $16,$2,$19
+		mkUop(6, r3a),            // 6: lw $3,-32676($28)
+		mkUop(7, r2c, r16),       // 7: sll $2,$16,0x2
+		mkUop(8, r2d, r2c),       // 8: addu $2,$2,$23
+		mkUop(9, r2e, r2d),       // 9: lw $2,0($2)
+		mkUop(10, r4b, r18, r4a), // 10: sllv $4,$18,$4
+		mkUop(11, r17, r4b),      // 11: addu $17,$4,$19
+		mkUop(12, r3b, r3a),      // 12: addiu $3,$3,1
+		mkUop(13, -1, r3b),       // 13: sw $3,-32676($28)
+		mkUop(14, -1, r2e, r17),  // 14: beq $2,$17,L3
+	}
+	b := depBank(4, 8)
+	issued := map[int16]bool{} // physical registers whose producer issued
+	fifoAtDispatch := make([]int, len(insts))
+	var issueOrder []uint64
+	next := 0
+	for cycle := 0; cycle < 40 && (next < len(insts) || b.Len() > 0); cycle++ {
+		// Steer up to four instructions.
+		for n := 0; n < 4 && next < len(insts); n++ {
+			if !b.Dispatch(insts[next]) {
+				t.Fatalf("instruction %d stalled at dispatch (cycle %d)", next, cycle)
+			}
+			fifoAtDispatch[next] = insts[next].FIFO
+			next++
+		}
+		// Issue up to four ready instructions (operands' producers issued
+		// in an earlier cycle).
+		n := 0
+		var doneRegs []int16
+		b.Select(func(u *Uop) bool {
+			if n >= 4 {
+				return false
+			}
+			for _, p := range u.PhysSrcs {
+				if p >= 0 && !issued[p] {
+					return false
+				}
+			}
+			n++
+			issueOrder = append(issueOrder, u.Seq)
+			if u.PhysDest >= 0 {
+				doneRegs = append(doneRegs, u.PhysDest)
+			}
+			return true
+		})
+		for _, p := range doneRegs {
+			issued[p] = true
+		}
+	}
+	if len(issueOrder) != len(insts) {
+		t.Fatalf("issued %d of %d instructions", len(issueOrder), len(insts))
+	}
+	// Issue order respects dependences.
+	pos := map[uint64]int{}
+	for i, s := range issueOrder {
+		pos[s] = i
+	}
+	deps := map[uint64][]uint64{2: {0, 1}, 4: {0}, 5: {4}, 7: {5}, 8: {7}, 9: {8}, 10: {0, 3}, 11: {10}, 12: {6}, 13: {12}, 14: {9, 11}}
+	for c, ps := range deps {
+		for _, p := range ps {
+			if pos[c] <= pos[p] {
+				t.Errorf("instruction %d issued at %d, before its producer %d at %d", c, pos[c], p, pos[p])
+			}
+		}
+	}
+	// Serial chains are steered into their producer's FIFO.
+	for _, pair := range [][2]int{{4, 5}, {7, 8}, {8, 9}, {10, 11}, {12, 13}} {
+		p, c := pair[0], pair[1]
+		if fifoAtDispatch[c] != fifoAtDispatch[p] {
+			t.Errorf("chain %d→%d split across FIFOs %d and %d",
+				p, c, fifoAtDispatch[p], fifoAtDispatch[c])
+		}
+	}
+}
+
+func TestPropertyFIFOOrderRespectsProgramOrder(t *testing.T) {
+	// However instructions are steered, within any FIFO the sequence
+	// numbers must increase from head to tail (in-order issue per FIFO).
+	f := func(ops []uint16) bool {
+		b := depBank(8, 8)
+		seq := uint64(0)
+		for _, op := range ops {
+			dest := int16(40 + int(op%60))
+			var srcs []int16
+			if op%3 != 0 {
+				srcs = append(srcs, int16(40+int(op>>8)%60))
+			}
+			u := mkUop(seq, dest, srcs...)
+			seq++
+			if !b.Dispatch(u) {
+				issueAll(b) // drain and continue
+				continue
+			}
+			if seq%5 == 0 {
+				// Issue the current heads now and then.
+				b.Select(func(u *Uop) bool { return true })
+			}
+		}
+		for _, q := range b.FIFOContents() {
+			for i := 1; i < len(q); i++ {
+				if q[i] <= q[i-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyOccupancyConsistent(t *testing.T) {
+	f := func(ops []uint8) bool {
+		b := depBank(4, 4)
+		for _, op := range ops {
+			u := mkUop(uint64(op), int16(40+int(op)%40), int16(40+int(op/2)%40))
+			b.Dispatch(u)
+			if op%4 == 0 {
+				issueAll(b)
+			}
+		}
+		sum := 0
+		for _, n := range b.FIFOOccupancy() {
+			sum += n
+		}
+		return sum == b.Len() && b.Len() <= b.Capacity()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomSelectWindow(t *testing.T) {
+	w := NewRandomSelectWindow(16)
+	if w.Name() != "central-window-random-select" {
+		t.Errorf("name = %q", w.Name())
+	}
+	for i := 0; i < 16; i++ {
+		if !w.Dispatch(mkUop(uint64(i), int16(40+i))) {
+			t.Fatal("dispatch failed")
+		}
+	}
+	// Issue half the entries; occupancy must drop accordingly and every
+	// entry must be offered exactly once.
+	offered := map[uint64]int{}
+	n := 0
+	w.Select(func(u *Uop) bool {
+		offered[u.Seq]++
+		n++
+		return n%2 == 0
+	})
+	if len(offered) != 16 {
+		t.Errorf("offered %d distinct entries, want 16", len(offered))
+	}
+	for seq, c := range offered {
+		if c != 1 {
+			t.Errorf("entry %d offered %d times", seq, c)
+		}
+	}
+	if w.Len() != 8 {
+		t.Errorf("len = %d after issuing 8, want 8", w.Len())
+	}
+	// Remaining entries keep age order for the next cycle's bookkeeping.
+	var prev uint64
+	first := true
+	w.Select(func(u *Uop) bool { return false })
+	for _, u := range w.entries {
+		if !first && u.Seq < prev {
+			t.Error("survivors lost age order")
+		}
+		prev, first = u.Seq, false
+	}
+}

@@ -1,0 +1,77 @@
+package delaymodel
+
+import (
+	"fmt"
+
+	"repro/internal/vlsi"
+)
+
+// The paper measures complexity as delay, noting that it "can be variously
+// quantified in terms such as number of transistors, die area, and power
+// dissipated". This file adds a first-order die-area view of the same
+// structures (in λ², so it is technology-independent): it shows that the
+// dependence-based machine's issue buffering is also smaller, because FIFO
+// entries are plain RAM while window entries carry comparators for every
+// result tag.
+
+// Cell geometry constants, in λ.
+const (
+	// A CAM window entry: per-result-tag matchlines set the height (the
+	// same tagCellPitch·IW used by the wakeup delay model); the width
+	// covers two operand tags of 8 bits plus match/ready logic.
+	camCellWidth = 8*2*10 + 120
+
+	// A FIFO entry is a RAM latch row: fixed height, same payload width,
+	// no comparators.
+	fifoCellHeight = 16
+	fifoCellWidth  = 8*2*10 + 40
+
+	// A reservation-table bit cell.
+	resBitCell = 12 * 10
+)
+
+// IssueArea is the die area of one machine's issue buffering, in λ².
+type IssueArea struct {
+	// Window is the CAM issue window's area.
+	Window float64
+	// FIFOs is the dependence-based FIFO bank's storage area.
+	FIFOs float64
+	// ReservationTable is the dependence-based wakeup table's area.
+	ReservationTable float64
+	// SelectTree approximates the arbiter tree's area (shared shape:
+	// one arbiter cell per 4 entries at each level ≈ entries/3 cells).
+	SelectTree float64
+}
+
+// DependenceTotal returns the dependence-based machine's issue-logic area
+// (FIFO storage + reservation table + a heads-only select tree).
+func (a IssueArea) DependenceTotal() float64 {
+	return a.FIFOs + a.ReservationTable
+}
+
+// WindowTotal returns the window machine's issue-logic area.
+func (a IssueArea) WindowTotal() float64 { return a.Window + a.SelectTree }
+
+// IssueAreaEstimate computes first-order issue-buffer areas for a machine
+// with the given issue width, total window/FIFO entries and physical
+// register count. Areas are in λ² and thus technology-independent; scale
+// by λ² to obtain µm².
+func IssueAreaEstimate(t vlsi.Technology, issueWidth, entries, physRegs int) (IssueArea, error) {
+	c, err := calibFor(t)
+	if err != nil {
+		return IssueArea{}, err
+	}
+	if issueWidth < 1 || entries < 1 || physRegs < 1 {
+		return IssueArea{}, fmt.Errorf("delaymodel: invalid area query %d-way/%d entries/%d regs", issueWidth, entries, physRegs)
+	}
+	iw := float64(issueWidth)
+	e := float64(entries)
+	camHeight := c.wakeup.tagCellPitch * iw
+	arbCells := e / 3 // 4-ary tree: n/4 + n/16 + ... ≈ n/3
+	return IssueArea{
+		Window:           e * camHeight * camCellWidth,
+		FIFOs:            e * fifoCellHeight * fifoCellWidth,
+		ReservationTable: float64(physRegs) * resBitCell,
+		SelectTree:       arbCells * 60 * 80,
+	}, nil
+}

@@ -1,0 +1,371 @@
+// Package delaymodel implements the critical-path delay models of Section 4
+// of "Complexity-Effective Superscalar Processors" (Palacharla, Jouppi &
+// Smith, ISCA 1997): register rename logic, issue-window wakeup logic,
+// selection logic, operand-bypass logic, and the dependence-based
+// microarchitecture's reservation table (Section 5.3).
+//
+// Each model follows the functional form derived in the paper:
+//
+//   - rename:   each component c0 + c1·IW + c2·IW² (quadratic term small);
+//   - wakeup:   tag drive  c0 + (c1+c2·IW)·WS + (c3+c4·IW+c5·IW²)·WS²,
+//     with the quadratic term computed as the distributed RC of
+//     the tag line from its geometry (package circuit);
+//     tag match and match-OR linear in issue width;
+//   - select:   c0 + c1·log₄(WS) over a tree of 4-input arbiters;
+//   - bypass:   ½·Rmetal·Cmetal·L², L from the functional-unit/register-file
+//     stack layout of Figure 9;
+//   - reservation table: a small RAM indexed by physical register number.
+//
+// The gate-level constants are calibrated per technology to the paper's
+// published Hspice results (Tables 1, 2 and 4; Figures 3, 5, 6 and 8), so
+// the model reproduces the paper's anchor values by construction and
+// interpolates/extrapolates with the paper's own functional forms.
+package delaymodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/vlsi"
+)
+
+// coeff3 is a delay component of the form c0 + c1·w + c2·w².
+type coeff3 struct{ c0, c1, c2 float64 }
+
+func (c coeff3) at(w float64) float64 { return c.c0 + c.c1*w + c.c2*w*w }
+
+// renameCoeffs holds the per-component rename coefficients (issue-width
+// polynomial, picoseconds).
+type renameCoeffs struct {
+	decoder, wordline, bitline, senseAmp coeff3
+}
+
+// wakeupCoeffs holds the wakeup-logic coefficients.
+type wakeupCoeffs struct {
+	// Match OR: or0 + or1·IW (pure logic).
+	or0, or1 float64
+	// Tag match: tm0 + tm1·IW (matchline length grows with issue width).
+	tm0, tm1 float64
+	// Tag drive: td0 (buffer intrinsic) + tdLin·IW·WS (comparator load on
+	// the tag line) + distributed RC of the tag line itself. The tag line
+	// length is WS·cellHeight, with cellHeight = tagCellPitch·IW λ (each
+	// additional result tag adds matchlines, growing every CAM cell).
+	td0, tdLin   float64
+	tagCellPitch float64 // λ of CAM cell height per unit issue width
+}
+
+// selectCoeffs holds the selection-logic coefficients. The total is
+// req0 + root + grant0 + (reqSlope+grantSlope)·log₄(WS).
+type selectCoeffs struct {
+	req0, reqSlope     float64
+	root               float64
+	grant0, grantSlope float64
+}
+
+// calib is the full calibration for one technology.
+type calib struct {
+	rename renameCoeffs
+	wakeup wakeupCoeffs
+	sel    selectCoeffs
+}
+
+// Calibrated constants, fitted to the paper's Hspice data (see package
+// comment). Keyed by vlsi.Technology.Name.
+var calibrations = map[string]calib{
+	vlsi.Tech080.Name: {
+		rename: renameCoeffs{
+			decoder:  coeff3{450, 3.0, 0},
+			wordline: coeff3{330, 4.8, 0.13},
+			bitline:  coeff3{319.2, 18.0, 0.40},
+			senseAmp: coeff3{363, 1.0, 0},
+		},
+		wakeup: wakeupCoeffs{
+			or0: 215, or1: 60,
+			tm0: 60, tm1: 20,
+			td0: 380, tdLin: 0.204,
+			tagCellPitch: 20.89,
+		},
+		sel: selectCoeffs{req0: 600, reqSlope: 20, root: 700, grant0: 499.4, grantSlope: 20},
+	},
+	vlsi.Tech035.Name: {
+		rename: renameCoeffs{
+			decoder:  coeff3{150, 3.0, 0},
+			wordline: coeff3{105, 4.8, 0.12},
+			bitline:  coeff3{163.5, 11.0, 0.30},
+			senseAmp: coeff3{122.8, 1.0, 0},
+		},
+		wakeup: wakeupCoeffs{
+			or0: 79.5, or1: 22.2,
+			tm0: 25, tm1: 11,
+			td0: 135, tdLin: 0.147,
+			tagCellPitch: 18.54,
+		},
+		sel: selectCoeffs{req0: 270, reqSlope: 10, root: 310, grant0: 224.8, grantSlope: 10},
+	},
+	vlsi.Tech018.Name: {
+		rename: renameCoeffs{
+			decoder:  coeff3{70, 2.0, 0},
+			wordline: coeff3{50, 3.5, 0.08},
+			bitline:  coeff3{109, 8.72, 0.254},
+			senseAmp: coeff3{55.77, 1.0, 0},
+		},
+		wakeup: wakeupCoeffs{
+			or0: 43, or1: 12,
+			tm0: 12, tm1: 6,
+			td0: 110, tdLin: 0.13,
+			tagCellPitch: 13.61,
+		},
+		sel: selectCoeffs{req0: 100, reqSlope: 4, root: 120, grant0: 83, grantSlope: 4},
+	},
+}
+
+func calibFor(t vlsi.Technology) (calib, error) {
+	c, ok := calibrations[t.Name]
+	if !ok {
+		return calib{}, fmt.Errorf("delaymodel: no calibration for technology %q", t.Name)
+	}
+	return c, nil
+}
+
+// RenameDelay is the rename-logic critical path, broken into the components
+// of Figure 3. All values in picoseconds.
+type RenameDelay struct {
+	Decoder  float64
+	Wordline float64
+	Bitline  float64
+	SenseAmp float64
+}
+
+// Total returns the rename critical-path delay.
+func (d RenameDelay) Total() float64 { return d.Decoder + d.Wordline + d.Bitline + d.SenseAmp }
+
+// Rename models the RAM-scheme map table of Section 4.1 (the scheme used in
+// the MIPS R10000). Issue width affects the delay through the number of map
+// table ports, which lengthens predecode, wordline and bitline wires.
+func Rename(t vlsi.Technology, issueWidth int) (RenameDelay, error) {
+	c, err := calibFor(t)
+	if err != nil {
+		return RenameDelay{}, err
+	}
+	if issueWidth < 1 {
+		return RenameDelay{}, fmt.Errorf("delaymodel: issue width %d < 1", issueWidth)
+	}
+	w := float64(issueWidth)
+	return RenameDelay{
+		Decoder:  c.rename.decoder.at(w),
+		Wordline: c.rename.wordline.at(w),
+		Bitline:  c.rename.bitline.at(w),
+		SenseAmp: c.rename.senseAmp.at(w),
+	}, nil
+}
+
+// WakeupDelay is the wakeup-logic critical path, broken into the components
+// of Figure 6. All values in picoseconds.
+type WakeupDelay struct {
+	TagDrive float64
+	TagMatch float64
+	MatchOR  float64
+}
+
+// Total returns the wakeup critical-path delay.
+func (d WakeupDelay) Total() float64 { return d.TagDrive + d.TagMatch + d.MatchOR }
+
+// Wakeup models the CAM-style issue window of Section 4.2: result tags are
+// broadcast on tag lines spanning the window; each entry compares them
+// against its operand tags and ORs the match lines.
+func Wakeup(t vlsi.Technology, issueWidth, windowSize int) (WakeupDelay, error) {
+	c, err := calibFor(t)
+	if err != nil {
+		return WakeupDelay{}, err
+	}
+	if issueWidth < 1 || windowSize < 1 {
+		return WakeupDelay{}, fmt.Errorf("delaymodel: invalid issue width %d / window size %d", issueWidth, windowSize)
+	}
+	iw := float64(issueWidth)
+	ws := float64(windowSize)
+	// The tag line runs the full height of the CAM array. Every entry is
+	// tagCellPitch·IW λ tall (one matchline pair per result tag).
+	tagLine := circuit.Wire{Tech: t, LenLamda: ws * c.wakeup.tagCellPitch * iw}
+	drive := c.wakeup.td0 + c.wakeup.tdLin*iw*ws + tagLine.DistributedDelay()
+	return WakeupDelay{
+		TagDrive: drive,
+		TagMatch: c.wakeup.tm0 + c.wakeup.tm1*iw,
+		MatchOR:  c.wakeup.or0 + c.wakeup.or1*iw,
+	}, nil
+}
+
+// SelectDelay is the selection-logic critical path, broken into the
+// components of Figure 8. All values in picoseconds.
+type SelectDelay struct {
+	RequestPropagation float64
+	Root               float64
+	GrantPropagation   float64
+}
+
+// Total returns the selection critical-path delay.
+func (d SelectDelay) Total() float64 {
+	return d.RequestPropagation + d.Root + d.GrantPropagation
+}
+
+// Select models the tree of 4-input arbiter cells of Section 4.3. Request
+// signals propagate up the tree, the root grants, and the grant propagates
+// back down, so delay grows with log₄ of the window size.
+func Select(t vlsi.Technology, windowSize int) (SelectDelay, error) {
+	c, err := calibFor(t)
+	if err != nil {
+		return SelectDelay{}, err
+	}
+	if windowSize < 1 {
+		return SelectDelay{}, fmt.Errorf("delaymodel: window size %d < 1", windowSize)
+	}
+	depth := math.Log(float64(windowSize)) / math.Log(4)
+	return SelectDelay{
+		RequestPropagation: c.sel.req0 + c.sel.reqSlope*depth,
+		Root:               c.sel.root,
+		GrantPropagation:   c.sel.grant0 + c.sel.grantSlope*depth,
+	}, nil
+}
+
+// Layout constants for the bypass network of Figure 9, in λ. The result
+// wires span a stack of issueWidth functional units plus the register file.
+// A functional unit's height is its base height plus per-result-bus tracks
+// (the operand MUX fan-in grows with issue width); the register file's
+// height is numRegs cells, each 3·IW ports tall (two read ports and one
+// write port per issue slot).
+const (
+	fuBaseHeightLambda     = 2505.0
+	fuPerIssueLambda       = 250.0
+	regfileCellPitchLambda = 4.5
+	regfileRegs            = 120
+	regfilePortsPerIssue   = 3
+)
+
+// BypassWireLengthLambda returns the modelled result-wire length in λ for
+// the given issue width.
+func BypassWireLengthLambda(issueWidth int) float64 {
+	iw := float64(issueWidth)
+	fu := iw * (fuBaseHeightLambda + fuPerIssueLambda*iw)
+	rf := regfileRegs * regfilePortsPerIssue * iw * regfileCellPitchLambda
+	return fu + rf
+}
+
+// BypassDelay is the bypass critical path (Table 1).
+type BypassDelay struct {
+	WireLengthLambda float64
+	Delay            float64 // ps
+}
+
+// Bypass models the result-wire broadcast of Section 4.4. The delay is the
+// distributed RC of the result wire and, under the paper's scaling model,
+// is the same for all three technologies at a fixed issue width.
+func Bypass(t vlsi.Technology, issueWidth int) (BypassDelay, error) {
+	if issueWidth < 1 {
+		return BypassDelay{}, fmt.Errorf("delaymodel: issue width %d < 1", issueWidth)
+	}
+	l := BypassWireLengthLambda(issueWidth)
+	w := circuit.Wire{Tech: t, LenLamda: l}
+	return BypassDelay{WireLengthLambda: l, Delay: w.DistributedDelay()}, nil
+}
+
+// ReservationTable models the dependence-based microarchitecture's
+// reservation table (Section 5.3, Table 4): one bit per physical register,
+// laid out as ceil(physRegs/8) entries of 8 bits with a column MUX.
+// The paper reports 0.18 µm values; other technologies scale the (purely
+// logic) delay by the technology's fitted logic-speed ratio.
+func ReservationTable(t vlsi.Technology, issueWidth, physRegs int) (float64, error) {
+	if _, err := calibFor(t); err != nil {
+		return 0, err
+	}
+	if issueWidth < 1 || physRegs < 1 {
+		return 0, fmt.Errorf("delaymodel: invalid issue width %d / physical registers %d", issueWidth, physRegs)
+	}
+	entries := (physRegs + 7) / 8
+	base := 114.1 + 4.6*float64(entries) + 8.0*float64(issueWidth)
+	return base * t.LogicScale, nil
+}
+
+// Overall aggregates the Table 2 view for a design point: rename delay,
+// window (wakeup + select) delay, and bypass delay.
+type Overall struct {
+	Tech       vlsi.Technology
+	IssueWidth int
+	WindowSize int
+	Rename     RenameDelay
+	Wakeup     WakeupDelay
+	Select     SelectDelay
+	Bypass     BypassDelay
+}
+
+// WakeupSelect returns the combined window-logic delay, the paper's
+// "wakeup + select" column.
+func (o Overall) WakeupSelect() float64 { return o.Wakeup.Total() + o.Select.Total() }
+
+// CriticalPath returns the slowest of the three structures — the paper's
+// measure of the cycle-time limit imposed by the structures studied.
+func (o Overall) CriticalPath() float64 {
+	return math.Max(o.Rename.Total(), math.Max(o.WakeupSelect(), o.Bypass.Delay))
+}
+
+// Analyze computes the Table 2 row for a design point.
+func Analyze(t vlsi.Technology, issueWidth, windowSize int) (Overall, error) {
+	ren, err := Rename(t, issueWidth)
+	if err != nil {
+		return Overall{}, err
+	}
+	wak, err := Wakeup(t, issueWidth, windowSize)
+	if err != nil {
+		return Overall{}, err
+	}
+	sel, err := Select(t, windowSize)
+	if err != nil {
+		return Overall{}, err
+	}
+	byp, err := Bypass(t, issueWidth)
+	if err != nil {
+		return Overall{}, err
+	}
+	return Overall{
+		Tech:       t,
+		IssueWidth: issueWidth,
+		WindowSize: windowSize,
+		Rename:     ren,
+		Wakeup:     wak,
+		Select:     sel,
+		Bypass:     byp,
+	}, nil
+}
+
+// DependenceBasedClock estimates the cycle time of the dependence-based
+// microarchitecture at a design point, per Section 5.3: the window logic is
+// replaced by the reservation-table access plus FIFO-head selection, so the
+// critical stage becomes the slower of the rename logic and the (much
+// smaller) wakeup+select of a machine whose window is only the FIFO heads.
+// Section 5.5 bounds it by the wakeup+select delay of a conventional 4-way,
+// 32-entry window machine; we return both the optimistic (rename-limited)
+// and conservative (4-way window) estimates.
+type DependenceBasedClock struct {
+	Optimistic   float64 // rename-limited, Section 5.3
+	Conservative float64 // 4-way 32-entry window bound, Section 5.5
+}
+
+// ClockEstimate computes the dependence-based clock estimates for an 8-way
+// machine in the given technology.
+func ClockEstimate(t vlsi.Technology) (DependenceBasedClock, error) {
+	ren, err := Rename(t, 8)
+	if err != nil {
+		return DependenceBasedClock{}, err
+	}
+	wak, err := Wakeup(t, 4, 32)
+	if err != nil {
+		return DependenceBasedClock{}, err
+	}
+	sel, err := Select(t, 32)
+	if err != nil {
+		return DependenceBasedClock{}, err
+	}
+	return DependenceBasedClock{
+		Optimistic:   ren.Total(),
+		Conservative: wak.Total() + sel.Total(),
+	}, nil
+}

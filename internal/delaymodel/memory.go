@@ -1,0 +1,165 @@
+package delaymodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/vlsi"
+)
+
+// This file models the two structures Section 2.1 sets aside with
+// citations — the register file (Farkas, Jouppi & Chow) and caches (Wada
+// et al.; Wilton & Jouppi) — with the same first-order methodology used
+// for the rename logic: a RAM access path (decode, wordline, bitline,
+// sense) whose wire lengths grow with the port count and capacity.
+// Section 6 argues these structures, unlike window and bypass logic, can
+// be pipelined; PipelineStages quantifies that.
+
+// RegFileDelay is the register file access critical path.
+type RegFileDelay struct {
+	Decoder  float64
+	Wordline float64
+	Bitline  float64
+	SenseAmp float64
+}
+
+// Total returns the access time in picoseconds.
+func (d RegFileDelay) Total() float64 {
+	return d.Decoder + d.Wordline + d.Bitline + d.SenseAmp
+}
+
+// Register file geometry constants (λ per port for the cell pitch in each
+// dimension; a cell grows in both width and height with every port).
+const (
+	rfCellPitchPerPort = 5.0
+	rfBitsPerWord      = 64
+)
+
+// RegFile models the access time of a multiported register file with the
+// given number of registers and ports (an issue width of W needs about 3W
+// ports: two reads and one write per instruction). Wordline length grows
+// with bits×portPitch, bitline length with registers×portPitch, so delay
+// grows roughly quadratically with port count — the reason Section 5.4
+// counts fewer ports per cluster copy as a clustering benefit.
+func RegFile(t vlsi.Technology, registers, ports int) (RegFileDelay, error) {
+	c, err := calibFor(t)
+	if err != nil {
+		return RegFileDelay{}, err
+	}
+	if registers < 1 || ports < 1 {
+		return RegFileDelay{}, fmt.Errorf("delaymodel: invalid register file %d regs × %d ports", registers, ports)
+	}
+	p := float64(ports)
+	// Logic components borrow the rename map table's calibrated decode
+	// and sense constants (it is the same circuit style); the rename
+	// table's issue-width terms are replaced by explicit wire terms.
+	dec := c.rename.decoder.c0 * (1 + 0.05*math.Log2(float64(registers)/32))
+	wl := c.rename.wordline.c0 * 0.8
+	bl := c.rename.bitline.c0 * 0.8
+	sa := c.rename.senseAmp.c0
+
+	wordline := circuit.Wire{Tech: t, LenLamda: rfBitsPerWord * rfCellPitchPerPort * p}
+	bitline := circuit.Wire{Tech: t, LenLamda: float64(registers) * rfCellPitchPerPort * p}
+	return RegFileDelay{
+		Decoder:  dec,
+		Wordline: wl + wordline.DistributedDelay() + 0.35*p,
+		Bitline:  bl + bitline.DistributedDelay() + 0.9*p,
+		SenseAmp: sa,
+	}, nil
+}
+
+// CacheDelay is the cache access critical path.
+type CacheDelay struct {
+	Decoder    float64
+	WordBit    float64 // wordline + bitline through the data array
+	SenseAmp   float64
+	TagCompare float64
+	MuxDrive   float64 // way select and output drive
+}
+
+// Total returns the access time in picoseconds.
+func (d CacheDelay) Total() float64 {
+	return d.Decoder + d.WordBit + d.SenseAmp + d.TagCompare + d.MuxDrive
+}
+
+// CacheAccess models a set-associative SRAM cache's access time in the
+// style of Wada et al. / Wilton & Jouppi: the data array is split into
+// subarrays whose wordline/bitline wires grow with the square root of
+// capacity; associativity adds tag comparison and way-select muxing.
+func CacheAccess(t vlsi.Technology, sizeBytes, ways int) (CacheDelay, error) {
+	c, err := calibFor(t)
+	if err != nil {
+		return CacheDelay{}, err
+	}
+	if sizeBytes < 1024 || ways < 1 {
+		return CacheDelay{}, fmt.Errorf("delaymodel: invalid cache %dB × %d ways", sizeBytes, ways)
+	}
+	bits := float64(sizeBytes) * 8
+	// Square subarray: side = sqrt(bits) cells of 4λ pitch, banked into 4.
+	side := math.Sqrt(bits) / 2 * 4 // λ
+	wire := circuit.Wire{Tech: t, LenLamda: side}
+	dec := c.rename.decoder.c0 * (1 + 0.08*math.Log2(bits/(32*1024*8)+1))
+	wordbit := (c.rename.wordline.c0+c.rename.bitline.c0)*0.9 + 2*wire.DistributedDelay()
+	sa := c.rename.senseAmp.c0
+	tag := (30 + 12*math.Log2(float64(ways)+1)) * t.LogicScale
+	mux := (20 + 8*float64(ways)) * t.LogicScale
+	return CacheDelay{
+		Decoder:    dec,
+		WordBit:    wordbit,
+		SenseAmp:   sa,
+		TagCompare: tag,
+		MuxDrive:   mux,
+	}, nil
+}
+
+// PipelineStages returns how many pipeline stages a structure of the given
+// delay needs at a target cycle time — Section 6's observation that
+// register files and caches can be pipelined while window and bypass logic
+// cannot (without losing back-to-back execution of dependents).
+func PipelineStages(delayPs, cycleTimePs float64) (int, error) {
+	if delayPs < 0 || cycleTimePs <= 0 {
+		return 0, fmt.Errorf("delaymodel: invalid delays %g/%g", delayPs, cycleTimePs)
+	}
+	return int(math.Ceil(delayPs / cycleTimePs)), nil
+}
+
+// ClusteredRegFileComparison contrasts the central register file of an
+// N-wide machine with the per-cluster copies of Section 5.4: each copy
+// keeps all registers but serves only one cluster's ports (plus one write
+// port per remote cluster for propagated results).
+type ClusteredRegFileComparison struct {
+	CentralPorts int
+	CentralDelay RegFileDelay
+	ClusterPorts int
+	ClusterDelay RegFileDelay
+}
+
+// CompareClusteredRegFile computes the Section 5.4 claim "using multiple
+// copies of the register file reduces the number of ports on the register
+// file and will make the access time of the register file faster" for an
+// issueWidth-wide machine split into `clusters` clusters.
+func CompareClusteredRegFile(t vlsi.Technology, registers, issueWidth, clusters int) (ClusteredRegFileComparison, error) {
+	if clusters < 1 || issueWidth < clusters {
+		return ClusteredRegFileComparison{}, fmt.Errorf("delaymodel: invalid clustering %d-way × %d clusters", issueWidth, clusters)
+	}
+	centralPorts := 3 * issueWidth
+	central, err := RegFile(t, registers, centralPorts)
+	if err != nil {
+		return ClusteredRegFileComparison{}, err
+	}
+	perCluster := issueWidth / clusters
+	// 3 ports per local instruction plus one write port per remote
+	// cluster to sink propagated results.
+	clusterPorts := 3*perCluster + (clusters - 1)
+	cluster, err := RegFile(t, registers, clusterPorts)
+	if err != nil {
+		return ClusteredRegFileComparison{}, err
+	}
+	return ClusteredRegFileComparison{
+		CentralPorts: centralPorts,
+		CentralDelay: central,
+		ClusterPorts: clusterPorts,
+		ClusterDelay: cluster,
+	}, nil
+}

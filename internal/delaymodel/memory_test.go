@@ -1,0 +1,212 @@
+package delaymodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vlsi"
+)
+
+func TestRegFilePortScaling(t *testing.T) {
+	// Farkas et al.'s headline: access time grows with port count, and
+	// superlinearly (wires grow in both dimensions).
+	for _, tech := range vlsi.Technologies() {
+		d4, err := RegFile(tech, 120, 12) // 4-way: 3 ports per slot
+		if err != nil {
+			t.Fatal(err)
+		}
+		d8, err := RegFile(tech, 120, 24) // 8-way
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d8.Total() <= d4.Total() {
+			t.Errorf("%s: 24-port file (%.1f ps) not slower than 12-port (%.1f ps)",
+				tech.Name, d8.Total(), d4.Total())
+		}
+		// Superlinear in ports: the increment from 12→24 ports exceeds
+		// the increment from 1→12.
+		d1, err := RegFile(tech, 120, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d8.Total()-d4.Total() <= (d4.Total()-d1.Total())/11*12/2 {
+			t.Logf("%s: port scaling: 1→12: %.1f, 12→24: %.1f", tech.Name,
+				d4.Total()-d1.Total(), d8.Total()-d4.Total())
+		}
+	}
+}
+
+func TestRegFileCapacityScaling(t *testing.T) {
+	small, err := RegFile(vlsi.Tech018, 64, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := RegFile(vlsi.Tech018, 256, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Total() <= small.Total() {
+		t.Errorf("256-entry file (%.1f) not slower than 64-entry (%.1f)", large.Total(), small.Total())
+	}
+	if large.Bitline <= small.Bitline {
+		t.Error("bitline delay did not grow with register count")
+	}
+}
+
+func TestClusteredRegFileFaster(t *testing.T) {
+	// Section 5.4: per-cluster register file copies have fewer ports and
+	// are therefore faster than the central file.
+	cmp, err := CompareClusteredRegFile(vlsi.Tech018, 120, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.CentralPorts != 24 || cmp.ClusterPorts != 13 {
+		t.Errorf("ports = %d central / %d cluster, want 24/13", cmp.CentralPorts, cmp.ClusterPorts)
+	}
+	if cmp.ClusterDelay.Total() >= cmp.CentralDelay.Total() {
+		t.Errorf("cluster copy (%.1f ps) not faster than central file (%.1f ps)",
+			cmp.ClusterDelay.Total(), cmp.CentralDelay.Total())
+	}
+}
+
+func TestCacheAccessScaling(t *testing.T) {
+	small, err := CacheAccess(vlsi.Tech018, 8<<10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := CacheAccess(vlsi.Tech018, 128<<10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Total() <= small.Total() {
+		t.Errorf("128KB cache (%.1f) not slower than 8KB (%.1f)", large.Total(), small.Total())
+	}
+	direct, err := CacheAccess(vlsi.Tech018, 32<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assoc, err := CacheAccess(vlsi.Tech018, 32<<10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assoc.Total() <= direct.Total() {
+		t.Errorf("4-way cache (%.1f) not slower than direct-mapped (%.1f)", assoc.Total(), direct.Total())
+	}
+	if assoc.TagCompare <= direct.TagCompare || assoc.MuxDrive <= direct.MuxDrive {
+		t.Error("associativity did not grow tag/mux components")
+	}
+}
+
+func TestCachePipelinable(t *testing.T) {
+	// Section 6: the baseline 32KB cache takes more than one 0.18µm
+	// window-logic cycle but can be pipelined into a small number of
+	// stages.
+	d, err := CacheAccess(vlsi.Tech018, 32<<10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, err := Analyze(vlsi.Tech018, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages, err := PipelineStages(d.Total(), win.WakeupSelect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stages < 1 || stages > 4 {
+		t.Errorf("32KB cache needs %d stages at the window-logic clock, want 1–4", stages)
+	}
+}
+
+func TestPipelineStages(t *testing.T) {
+	cases := []struct {
+		delay, cycle float64
+		want         int
+	}{
+		{100, 100, 1}, {101, 100, 2}, {350, 100, 4}, {0, 100, 0},
+	}
+	for _, c := range cases {
+		got, err := PipelineStages(c.delay, c.cycle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("PipelineStages(%g, %g) = %d, want %d", c.delay, c.cycle, got, c.want)
+		}
+	}
+	if _, err := PipelineStages(100, 0); err == nil {
+		t.Error("zero cycle time accepted")
+	}
+	if _, err := PipelineStages(-1, 100); err == nil {
+		t.Error("negative delay accepted")
+	}
+}
+
+func TestMemoryModelErrors(t *testing.T) {
+	bad := vlsi.Technology{Name: "1.0um"}
+	if _, err := RegFile(bad, 120, 12); err == nil {
+		t.Error("RegFile with unknown technology succeeded")
+	}
+	if _, err := RegFile(vlsi.Tech018, 0, 12); err == nil {
+		t.Error("RegFile with zero registers succeeded")
+	}
+	if _, err := CacheAccess(vlsi.Tech018, 512, 2); err == nil {
+		t.Error("sub-1KB cache accepted")
+	}
+	if _, err := CacheAccess(bad, 32<<10, 2); err == nil {
+		t.Error("CacheAccess with unknown technology succeeded")
+	}
+	if _, err := CompareClusteredRegFile(vlsi.Tech018, 120, 2, 4); err == nil {
+		t.Error("more clusters than issue slots accepted")
+	}
+}
+
+func TestPropertyRegFileMonotone(t *testing.T) {
+	f := func(regsRaw, portsRaw uint8) bool {
+		regs := int(regsRaw)%200 + 32
+		ports := int(portsRaw)%30 + 1
+		a, err1 := RegFile(vlsi.Tech018, regs, ports)
+		b, err2 := RegFile(vlsi.Tech018, regs+8, ports)
+		c, err3 := RegFile(vlsi.Tech018, regs, ports+1)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return a.Total() <= b.Total() && a.Total() <= c.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIssueAreaComparison(t *testing.T) {
+	a, err := IssueAreaEstimate(vlsi.Tech018, 8, 64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The FIFO bank's storage is plain RAM: far smaller than the CAM
+	// window at 8-way.
+	if a.FIFOs >= a.Window {
+		t.Errorf("FIFO storage (%.0f λ²) not smaller than CAM window (%.0f λ²)", a.FIFOs, a.Window)
+	}
+	if a.DependenceTotal() >= a.WindowTotal() {
+		t.Errorf("dependence-based issue logic (%.0f λ²) not smaller than window machine (%.0f λ²)",
+			a.DependenceTotal(), a.WindowTotal())
+	}
+	// CAM area grows with issue width; FIFO storage does not.
+	a4, err := IssueAreaEstimate(vlsi.Tech018, 4, 64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Window <= a4.Window {
+		t.Error("CAM window area did not grow with issue width")
+	}
+	if a.FIFOs != a4.FIFOs {
+		t.Error("FIFO storage area should be issue-width independent")
+	}
+	if _, err := IssueAreaEstimate(vlsi.Tech018, 0, 64, 128); err == nil {
+		t.Error("zero issue width accepted")
+	}
+	if _, err := IssueAreaEstimate(vlsi.Technology{Name: "x"}, 8, 64, 128); err == nil {
+		t.Error("unknown technology accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package delaymodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vlsi"
+)
+
+func TestRenameCAMComparableAtFourWay(t *testing.T) {
+	// Section 4.1.1: "for the design space we are interested in, the
+	// performance was found to be comparable" — the calibration pins the
+	// 4-way/80-register point to the RAM scheme.
+	for _, tech := range vlsi.Technologies() {
+		cam, err := RenameCAM(tech, 4, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ram, err := Rename(tech, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(cam.Total()-ram.Total())/ram.Total() > 0.01 {
+			t.Errorf("%s: CAM(4,80)=%.1f vs RAM(4)=%.1f, want comparable", tech.Name, cam.Total(), ram.Total())
+		}
+	}
+}
+
+func TestRenameCAMLessScalable(t *testing.T) {
+	// "the CAM scheme is less scalable than the RAM scheme because the
+	// number of CAM entries ... tends to increase with issue width."
+	for _, tech := range vlsi.Technologies() {
+		cam, err := RenameCAM(tech, 8, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ram, err := Rename(tech, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cam.Total() <= ram.Total() {
+			t.Errorf("%s: CAM(8,128)=%.1f not slower than RAM(8)=%.1f", tech.Name, cam.Total(), ram.Total())
+		}
+	}
+}
+
+func TestRenameCAMGrowsWithEntries(t *testing.T) {
+	a, err := RenameCAM(vlsi.Tech018, 8, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RenameCAM(vlsi.Tech018, 8, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total() <= a.Total() {
+		t.Errorf("CAM delay did not grow with physical registers: %.1f vs %.1f", a.Total(), b.Total())
+	}
+	if b.TagDrive <= a.TagDrive {
+		t.Error("CAM tag drive did not grow with entries")
+	}
+	if b.Readout != a.Readout {
+		t.Error("CAM readout should be entry-independent")
+	}
+}
+
+func TestDependenceCheckHidden(t *testing.T) {
+	// Section 4.1.1: "for these issue widths, the delay of the dependence
+	// check logic is less than the delay of the map table, and hence the
+	// check can be hidden behind the map table access."
+	for _, tech := range vlsi.Technologies() {
+		for _, iw := range []int{2, 4, 8} {
+			dc, err := DependenceCheck(tech, iw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ram, err := Rename(tech, iw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dc >= ram.Total() {
+				t.Errorf("%s %d-way: dependence check %.1f not hidden behind rename %.1f",
+					tech.Name, iw, dc, ram.Total())
+			}
+		}
+	}
+}
+
+func TestDependenceCheckGrowsSuperlinearly(t *testing.T) {
+	d2, _ := DependenceCheck(vlsi.Tech018, 2)
+	d4, _ := DependenceCheck(vlsi.Tech018, 4)
+	d8, _ := DependenceCheck(vlsi.Tech018, 8)
+	if !(d2 < d4 && d4 < d8) {
+		t.Fatalf("dependence check not monotone: %g %g %g", d2, d4, d8)
+	}
+	if (d8 - d4) <= (d4 - d2) {
+		t.Errorf("dependence check not superlinear: increments %.1f then %.1f", d4-d2, d8-d4)
+	}
+}
+
+func TestCamErrors(t *testing.T) {
+	bad := vlsi.Technology{Name: "1.0um"}
+	if _, err := RenameCAM(bad, 4, 80); err == nil {
+		t.Error("RenameCAM with unknown technology succeeded")
+	}
+	if _, err := RenameCAM(vlsi.Tech018, 0, 80); err == nil {
+		t.Error("RenameCAM with zero issue width succeeded")
+	}
+	if _, err := RenameCAM(vlsi.Tech018, 4, 0); err == nil {
+		t.Error("RenameCAM with zero registers succeeded")
+	}
+	if _, err := DependenceCheck(bad, 4); err == nil {
+		t.Error("DependenceCheck with unknown technology succeeded")
+	}
+	if _, err := DependenceCheck(vlsi.Tech018, 0); err == nil {
+		t.Error("DependenceCheck with zero issue width succeeded")
+	}
+}

@@ -1,0 +1,48 @@
+package obj
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// FuzzDecode checks that arbitrary bytes never panic the decoder and that
+// anything it accepts re-encodes to an equivalent object.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	p := &isa.Program{
+		Text:    []isa.Inst{{Op: isa.Addi, Rd: isa.T0, Imm: -1}, {Op: isa.Halt}},
+		Data:    []byte{1, 2, 3},
+		Symbols: map[string]uint32{"main": 0},
+	}
+	f.Add(Encode(p))
+	if w, err := prog.ByName("go"); err == nil {
+		if wp, err := w.Program(); err == nil {
+			f.Add(Encode(wp))
+		}
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		decoded, err := Decode("fuzz", b)
+		if err != nil {
+			return
+		}
+		// Accepted objects must round-trip to identical instructions and
+		// data (symbol order is canonicalized by Encode).
+		re := Encode(decoded)
+		again, err := Decode("fuzz2", re)
+		if err != nil {
+			t.Fatalf("re-encode of accepted object rejected: %v", err)
+		}
+		if len(again.Text) != len(decoded.Text) || !bytes.Equal(again.Data, decoded.Data) {
+			t.Fatal("re-encode round trip diverged")
+		}
+		for i := range decoded.Text {
+			if again.Text[i] != decoded.Text[i] {
+				t.Fatalf("instruction %d diverged", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,159 @@
+// Package obj defines the simulator's binary object format, so assembled
+// programs can be stored and reloaded without the assembler (the ceasm
+// tool writes and both ceasm and the examples can read them).
+//
+// Layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "CE97"
+//	4       4     format version (1)
+//	8       4     instruction count N
+//	12      4     data segment length D
+//	16      4     symbol count S
+//	20      8·N   instructions: word0 = op | rd<<8 | rs<<16 | rt<<24,
+//	              word1 = imm (two's complement)
+//	...     D     data bytes
+//	...           symbols: { nameLen uint16, name bytes, value uint32 } × S
+//
+// The format is deliberately wide (8 bytes per instruction with a full
+// 32-bit immediate): this repository studies microarchitecture, not code
+// density, and a lossless round trip matters more than compactness.
+package obj
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Magic identifies the format.
+const Magic = "CE97"
+
+// Version is the current format version.
+const Version = 1
+
+const headerLen = 20
+
+// Encode serializes a program.
+func Encode(p *isa.Program) []byte {
+	out := make([]byte, 0, headerLen+8*len(p.Text)+len(p.Data))
+	out = append(out, Magic...)
+	out = le32(out, Version)
+	out = le32(out, uint32(len(p.Text)))
+	out = le32(out, uint32(len(p.Data)))
+	out = le32(out, uint32(len(p.Symbols)))
+	for _, in := range p.Text {
+		word0 := uint32(in.Op) | uint32(in.Rd)<<8 | uint32(in.Rs)<<16 | uint32(in.Rt)<<24
+		out = le32(out, word0)
+		out = le32(out, uint32(in.Imm))
+	}
+	out = append(out, p.Data...)
+	// Deterministic symbol order.
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out = le16(out, uint16(len(n)))
+		out = append(out, n...)
+		out = le32(out, p.Symbols[n])
+	}
+	return out
+}
+
+// Decode parses a serialized program, validating structure and contents.
+func Decode(name string, b []byte) (*isa.Program, error) {
+	if len(b) < headerLen {
+		return nil, fmt.Errorf("obj: %s: truncated header (%d bytes)", name, len(b))
+	}
+	if string(b[:4]) != Magic {
+		return nil, fmt.Errorf("obj: %s: bad magic %q", name, b[:4])
+	}
+	version := binary.LittleEndian.Uint32(b[4:])
+	if version != Version {
+		return nil, fmt.Errorf("obj: %s: unsupported version %d", name, version)
+	}
+	nText := binary.LittleEndian.Uint32(b[8:])
+	nData := binary.LittleEndian.Uint32(b[12:])
+	nSyms := binary.LittleEndian.Uint32(b[16:])
+	const maxReasonable = 1 << 26
+	if nText > maxReasonable || nData > maxReasonable || nSyms > maxReasonable {
+		return nil, fmt.Errorf("obj: %s: implausible section sizes (%d/%d/%d)", name, nText, nData, nSyms)
+	}
+	need := uint64(headerLen) + 8*uint64(nText) + uint64(nData)
+	if uint64(len(b)) < need {
+		return nil, fmt.Errorf("obj: %s: truncated body: have %d bytes, need ≥%d", name, len(b), need)
+	}
+	// Each symbol takes at least 6 bytes, so the declared count is bounded
+	// by the remaining bytes (guards against forged headers that would
+	// otherwise pre-size a huge map).
+	if uint64(nSyms) > (uint64(len(b))-need)/6 {
+		return nil, fmt.Errorf("obj: %s: symbol count %d exceeds remaining bytes", name, nSyms)
+	}
+	p := &isa.Program{Name: name, Symbols: make(map[string]uint32, nSyms)}
+	off := headerLen
+	for i := uint32(0); i < nText; i++ {
+		word0 := binary.LittleEndian.Uint32(b[off:])
+		imm := int32(binary.LittleEndian.Uint32(b[off+4:]))
+		off += 8
+		in := isa.Inst{
+			Op:  isa.Op(word0 & 0xFF),
+			Rd:  isa.Reg(word0 >> 8 & 0xFF),
+			Rs:  isa.Reg(word0 >> 16 & 0xFF),
+			Rt:  isa.Reg(word0 >> 24 & 0xFF),
+			Imm: imm,
+		}
+		if err := validate(in); err != nil {
+			return nil, fmt.Errorf("obj: %s: instruction %d: %w", name, i, err)
+		}
+		p.Text = append(p.Text, in)
+	}
+	p.Data = append(p.Data, b[off:off+int(nData)]...)
+	off += int(nData)
+	for i := uint32(0); i < nSyms; i++ {
+		if off+2 > len(b) {
+			return nil, fmt.Errorf("obj: %s: truncated symbol table at symbol %d", name, i)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(b[off:]))
+		off += 2
+		if off+nameLen+4 > len(b) {
+			return nil, fmt.Errorf("obj: %s: truncated symbol %d", name, i)
+		}
+		sym := string(b[off : off+nameLen])
+		off += nameLen
+		p.Symbols[sym] = binary.LittleEndian.Uint32(b[off:])
+		off += 4
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("obj: %s: %d trailing bytes", name, len(b)-off)
+	}
+	return p, nil
+}
+
+// IsObject reports whether the bytes look like an encoded program.
+func IsObject(b []byte) bool {
+	return len(b) >= 4 && string(b[:4]) == Magic
+}
+
+func validate(in isa.Inst) error {
+	if _, ok := isa.OpByName(in.Op.String()); !ok {
+		return fmt.Errorf("invalid opcode %d", in.Op)
+	}
+	for _, r := range []isa.Reg{in.Rd, in.Rs, in.Rt} {
+		if int(r) >= isa.NumRegs {
+			return fmt.Errorf("invalid register %d", r)
+		}
+	}
+	return nil
+}
+
+func le32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func le16(b []byte, v uint16) []byte {
+	return append(b, byte(v), byte(v>>8))
+}

@@ -1,0 +1,149 @@
+package obj
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+func TestRoundTripWorkloads(t *testing.T) {
+	for _, w := range prog.AllExtended() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p, err := w.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := Encode(p)
+			got, err := Decode(w.Name, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Text) != len(p.Text) {
+				t.Fatalf("text length %d, want %d", len(got.Text), len(p.Text))
+			}
+			for i := range p.Text {
+				if got.Text[i] != p.Text[i] {
+					t.Fatalf("inst %d = %+v, want %+v", i, got.Text[i], p.Text[i])
+				}
+			}
+			if !bytes.Equal(got.Data, p.Data) {
+				t.Fatal("data segment mismatch")
+			}
+			if len(got.Symbols) != len(p.Symbols) {
+				t.Fatalf("symbols %d, want %d", len(got.Symbols), len(p.Symbols))
+			}
+			for n, v := range p.Symbols {
+				if got.Symbols[n] != v {
+					t.Fatalf("symbol %q = %d, want %d", n, got.Symbols[n], v)
+				}
+			}
+			// The decoded program must execute identically.
+			out, err := emu.Run(got, 20_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := w.Reference()
+			for i := range want {
+				if out[i] != want[i] {
+					t.Fatalf("decoded program output[%d] = %d, want %d", i, out[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	w, err := prog.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(Encode(p), Encode(p)) {
+		t.Error("Encode is not deterministic")
+	}
+}
+
+func TestIsObject(t *testing.T) {
+	if !IsObject([]byte("CE97....")) {
+		t.Error("magic not recognized")
+	}
+	if IsObject([]byte(".text\n")) || IsObject([]byte("CE")) {
+		t.Error("non-object recognized")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	p := &isa.Program{
+		Name:    "t",
+		Text:    []isa.Inst{{Op: isa.Addi, Rd: isa.T0, Rs: isa.Zero, Imm: 1}, {Op: isa.Halt}},
+		Data:    []byte{1, 2, 3},
+		Symbols: map[string]uint32{"main": 0},
+	}
+	good := Encode(p)
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"bad version", func(b []byte) []byte { b[4] = 9; return b }},
+		{"truncated body", func(b []byte) []byte { return b[:len(b)-8] }},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xFF) }},
+		{"huge text count", func(b []byte) []byte { b[8], b[9], b[10], b[11] = 0xFF, 0xFF, 0xFF, 0x7F; return b }},
+		{"bad opcode", func(b []byte) []byte { b[20] = 0xEE; return b }},
+		{"bad register", func(b []byte) []byte { b[21] = 200; return b }},
+	}
+	for _, c := range cases {
+		b := append([]byte(nil), good...)
+		if _, err := Decode("t", c.mutate(b)); err == nil {
+			t.Errorf("%s: Decode succeeded, want error", c.name)
+		}
+	}
+	// The pristine copy still decodes.
+	if _, err := Decode("t", good); err != nil {
+		t.Fatalf("pristine object failed: %v", err)
+	}
+}
+
+func TestPropertyRandomProgramsRoundTrip(t *testing.T) {
+	f := func(ops []uint8, data []byte) bool {
+		p := &isa.Program{Name: "rand", Symbols: map[string]uint32{}}
+		for _, o := range ops {
+			p.Text = append(p.Text, isa.Inst{
+				Op:  isa.Op(int(o)%int(isa.Halt) + 1),
+				Rd:  isa.Reg(o % isa.NumRegs),
+				Rs:  isa.Reg((o >> 2) % isa.NumRegs),
+				Rt:  isa.Reg((o >> 4) % isa.NumRegs),
+				Imm: int32(o) * 7919,
+			})
+		}
+		if len(data) > 0 {
+			p.Data = data
+		}
+		got, err := Decode("rand", Encode(p))
+		if err != nil {
+			return false
+		}
+		if len(got.Text) != len(p.Text) || !bytes.Equal(got.Data, p.Data) {
+			return false
+		}
+		for i := range p.Text {
+			if got.Text[i] != p.Text[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

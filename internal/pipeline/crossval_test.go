@@ -1,0 +1,53 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/prog"
+)
+
+// TestIPCBoundedByDataflowLimit cross-validates the timing simulator
+// against the dynamic profiler: with perfect branch prediction and a
+// flexible window, committed IPC can never exceed the workload's
+// dataflow-limit ILP (the IPC of an infinite machine with unit latencies),
+// nor the issue width. Violating either bound would mean the simulator
+// issues instructions before their operands exist.
+func TestIPCBoundedByDataflowLimit(t *testing.T) {
+	for _, name := range prog.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, err := prog.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := w.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prof, err := profile.Profile(p, 50_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := cfg("bound", 1, 0, window64) // perfect branch prediction
+			sim, err := New(c, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := sim.Run(200_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ipc := st.IPC()
+			if ipc > float64(c.IssueWidth) {
+				t.Errorf("IPC %.2f exceeds issue width %d", ipc, c.IssueWidth)
+			}
+			// Loads can take >1 cycle in the simulator while the dataflow
+			// bound assumes unit latency, so the bound holds with margin
+			// to spare; allow 1% numerical slack.
+			if ipc > prof.DataflowILP*1.01 {
+				t.Errorf("IPC %.2f exceeds the dataflow-limit ILP %.2f", ipc, prof.DataflowILP)
+			}
+		})
+	}
+}

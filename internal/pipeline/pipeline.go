@@ -1,0 +1,773 @@
+// Package pipeline implements the out-of-order superscalar timing
+// simulator used for the paper's Section 5 evaluation. It models the
+// baseline pipeline of Figure 1 (fetch, decode/rename, dispatch,
+// wakeup+select, execute with bypass, commit) with the Table 3 machine
+// parameters, and accepts any core.Scheduler, so the same engine times the
+// conventional window machine, the dependence-based FIFO machine, and the
+// clustered organizations of Section 5.6.
+//
+// The simulator is trace-driven, like the paper's modified SimpleScalar:
+// the functional emulator supplies resolved dynamic instructions, branch
+// predictions are checked against actual outcomes, and a misprediction
+// stalls fetch until the branch executes (no wrong-path execution).
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/rename"
+	"repro/internal/stats"
+)
+
+// Config describes one machine organization.
+type Config struct {
+	// Name labels the configuration in reports.
+	Name string
+	// FetchWidth is instructions fetched per cycle ("any 8 instructions"
+	// in Table 3 — fetch may span taken branches).
+	FetchWidth int
+	// DecodeWidth bounds instructions renamed/dispatched per cycle.
+	DecodeWidth int
+	// IssueWidth bounds instructions issued per cycle across all clusters.
+	IssueWidth int
+	// RetireWidth bounds instructions committed per cycle.
+	RetireWidth int
+	// MaxInFlight is the reorder-buffer capacity.
+	MaxInFlight int
+	// PhysRegs is the number of physical integer registers.
+	PhysRegs int
+	// Clusters and FUsPerCluster shape the execution core; total
+	// functional units = Clusters × FUsPerCluster.
+	Clusters      int
+	FUsPerCluster int
+	// LSPorts bounds loads+stores issued per cycle (shared by clusters).
+	LSPorts int
+	// InterClusterDelay is the extra bypass latency, in cycles, for a
+	// value consumed in a different cluster than it was produced in
+	// (0 for uniform single-cycle bypass).
+	InterClusterDelay int
+	// FrontEndDepth is the fetch-to-dispatch latency in cycles
+	// (decode + rename stages).
+	FrontEndDepth int
+	// FetchQueueSize bounds instructions fetched but not yet dispatched.
+	FetchQueueSize int
+	// PerfectBPred disables the direction predictor (every conditional
+	// branch predicted correctly); unconditional control is always
+	// predicted perfectly, per Table 3.
+	PerfectBPred bool
+
+	// PipelinedWakeupSelect models splitting the atomic wakeup+select
+	// loop across two pipeline stages (Figure 10): dependent instructions
+	// can no longer issue in consecutive cycles — every result becomes
+	// visible to consumers one cycle later. The paper argues this is why
+	// window logic must fit in a single cycle; the ablation quantifies it.
+	PipelinedWakeupSelect bool
+	// LocalBypassExtra adds cycles before a result is consumable in its
+	// own cluster (0 = the full single-cycle bypass network of Table 3;
+	// 2 ≈ no bypassing, operands only via the register file — the
+	// incomplete-bypassing regime of Ahuja et al. discussed in §4.5).
+	LocalBypassExtra int
+	// RingTopology routes inter-cluster bypasses around a unidirectional
+	// ring (the PEWs-style interconnect of §5.6.2's discussion): the
+	// extra latency is InterClusterDelay per hop instead of a flat
+	// InterClusterDelay to every other cluster.
+	RingTopology bool
+	// StoreForwarding lets a load whose address matches an older
+	// in-flight store receive the value at hit latency over the bypass
+	// network instead of accessing the data cache.
+	StoreForwarding bool
+	// FetchBreakOnTaken ends a fetch cycle at the first taken control
+	// instruction (Table 3's baseline fetches "any 8 instructions", i.e.
+	// across taken branches; this models a conventional fetch unit).
+	FetchBreakOnTaken bool
+	// RecordTimeline captures a per-instruction pipeline timeline
+	// (retrievable via Timeline) — intended for small programs.
+	RecordTimeline bool
+	// WrongPathExecution upgrades the misprediction model: instead of
+	// stalling fetch until the branch resolves (the trace-driven
+	// SimpleScalar approximation), fetch follows the predicted path,
+	// executing wrong-path instructions speculatively — they occupy
+	// physical registers and scheduler slots and pollute the data cache —
+	// and squashes them when the branch resolves.
+	WrongPathExecution bool
+
+	// NewScheduler builds the dispatch/issue structure for a run.
+	NewScheduler func() core.Scheduler
+	// NewPredictor builds the direction predictor for a run; nil selects
+	// the paper's gshare (4K counters, 12-bit history).
+	NewPredictor func() bpred.Predictor
+	// DCache is the data cache geometry; zero value selects the paper's
+	// baseline cache.
+	DCache cache.Config
+	// ICache, when non-nil, models an instruction cache: a fetch cycle
+	// touching a new line that misses stalls fetch for the miss penalty.
+	// Nil is the paper's perfect instruction cache (Table 3).
+	ICache *cache.Config
+}
+
+// Validate checks the configuration for internal consistency.
+func (c *Config) Validate() error {
+	switch {
+	case c.NewScheduler == nil:
+		return fmt.Errorf("pipeline: %s: NewScheduler is nil", c.Name)
+	case c.FetchWidth <= 0 || c.DecodeWidth <= 0 || c.IssueWidth <= 0 || c.RetireWidth <= 0:
+		return fmt.Errorf("pipeline: %s: non-positive width", c.Name)
+	case c.MaxInFlight <= 0 || c.PhysRegs <= isa.NumRegs:
+		return fmt.Errorf("pipeline: %s: in-flight %d / physical registers %d too small", c.Name, c.MaxInFlight, c.PhysRegs)
+	case c.Clusters <= 0 || c.FUsPerCluster <= 0 || c.LSPorts <= 0:
+		return fmt.Errorf("pipeline: %s: malformed execution core", c.Name)
+	case c.FrontEndDepth < 0 || c.FetchQueueSize <= 0:
+		return fmt.Errorf("pipeline: %s: malformed front end", c.Name)
+	}
+	return nil
+}
+
+// Stats aggregates one run.
+type Stats struct {
+	Config    string
+	Workload  string
+	Cycles    int64
+	Committed uint64
+
+	CondBranches uint64
+	Mispredicts  uint64
+
+	// InterClusterUops counts committed instructions that received at
+	// least one operand over an inter-cluster bypass (Figure 17 bottom).
+	InterClusterUops uint64
+
+	// ForwardedLoads counts loads satisfied by store-to-load forwarding
+	// (only with Config.StoreForwarding).
+	ForwardedLoads uint64
+
+	// SquashedUops counts wrong-path instructions flushed at branch
+	// resolution (only with Config.WrongPathExecution).
+	SquashedUops uint64
+
+	// Structural stall accounting (dispatch attempts that failed).
+	SchedulerStalls uint64
+	PhysRegStalls   uint64
+	ROBStalls       uint64
+
+	Cache  cache.Stats
+	ICache cache.Stats
+
+	// IssuedPerCycle is the distribution of instructions issued per cycle
+	// (bucket 0 counts idle-issue cycles).
+	IssuedPerCycle *stats.Histogram
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// MispredictRate returns mispredictions per conditional branch.
+func (s Stats) MispredictRate() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.CondBranches)
+}
+
+// InterClusterFrequency returns the fraction of committed instructions
+// that exercised an inter-cluster bypass.
+func (s Stats) InterClusterFrequency() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.InterClusterUops) / float64(s.Committed)
+}
+
+const neverReady = math.MaxInt64
+
+// regWriteDelay is the number of cycles after completion for a result to
+// be written into a cluster's register file; consumers issuing before then
+// read the value from the bypass network (used only for the inter-cluster
+// bypass statistic).
+const regWriteDelay = 2
+
+// Simulator times one program on one configuration.
+type Simulator struct {
+	cfg     Config
+	machine *emu.Machine
+	sched   core.Scheduler
+	pred    bpred.Predictor
+	dcache  *cache.Cache
+	rt      *rename.Table
+
+	cycle int64
+	seq   uint64
+
+	fetchQ []*core.Uop
+	rob    []*core.Uop
+
+	// regReady[c][p]: first cycle at which an instruction issuing in
+	// cluster c may consume physical register p.
+	regReady [][]int64
+	// prodCluster/prodComplete: who produced p and when (for the
+	// inter-cluster bypass statistic); -1 cluster = initial value.
+	prodCluster  []int8
+	prodComplete []int64
+
+	// unissuedStores holds dispatched-but-unissued stores in program
+	// order; head advances as stores issue (memory disambiguation:
+	// loads wait for all prior store addresses).
+	unissuedStores []*core.Uop
+
+	// redirect, when non-nil, is the mispredicted branch fetch is
+	// stalled on; fetch resumes at its completion cycle.
+	redirect *core.Uop
+
+	// Wrong-path execution state: resolving is the mispredicted branch
+	// being speculated past, checkpoint restores the machine when it
+	// resolves, and wrongPathDone notes that speculative fetch hit a dead
+	// end (off the text segment, or a speculative halt).
+	resolving     *core.Uop
+	checkpoint    emu.Checkpoint
+	wrongPathDone bool
+
+	// icache state (only with Config.ICache).
+	icache            *cache.Cache
+	icacheLastLine    uint32
+	icacheHasLine     bool
+	fetchBlockedUntil int64
+
+	timeline []TimelineEntry
+
+	traceDone bool
+	stats     Stats
+}
+
+// TimelineEntry is one committed instruction's trip through the pipeline
+// (recorded only with Config.RecordTimeline).
+type TimelineEntry struct {
+	Seq     uint64
+	PC      uint32
+	Inst    isa.Inst
+	Cluster int
+	FIFO    int // FIFO the instruction was steered to, -1 for windows
+
+	Fetch    int64
+	Dispatch int64
+	Issue    int64
+	Complete int64
+	Commit   int64
+}
+
+// New builds a simulator for the given machine and program.
+func New(cfg Config, prog *isa.Program) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DCache == (cache.Config{}) {
+		cfg.DCache = cache.Baseline()
+	}
+	dc, err := cache.New(cfg.DCache)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := rename.New(cfg.PhysRegs)
+	if err != nil {
+		return nil, err
+	}
+	sched := cfg.NewScheduler()
+	if sched.Clusters() != cfg.Clusters {
+		return nil, fmt.Errorf("pipeline: %s: scheduler feeds %d clusters, config has %d", cfg.Name, sched.Clusters(), cfg.Clusters)
+	}
+	var pred bpred.Predictor
+	if !cfg.PerfectBPred {
+		if cfg.NewPredictor != nil {
+			pred = cfg.NewPredictor()
+		} else {
+			pred = bpred.NewGshare(12, 12)
+		}
+	}
+	s := &Simulator{
+		cfg:          cfg,
+		machine:      emu.New(prog),
+		sched:        sched,
+		pred:         pred,
+		dcache:       dc,
+		rt:           rt,
+		prodCluster:  make([]int8, cfg.PhysRegs),
+		prodComplete: make([]int64, cfg.PhysRegs),
+	}
+	if cfg.ICache != nil {
+		ic, err := cache.New(*cfg.ICache)
+		if err != nil {
+			return nil, err
+		}
+		s.icache = ic
+	}
+	s.regReady = make([][]int64, cfg.Clusters)
+	for c := range s.regReady {
+		s.regReady[c] = make([]int64, cfg.PhysRegs)
+	}
+	for p := range s.prodCluster {
+		s.prodCluster[p] = -1
+		s.prodComplete[p] = math.MinInt64 / 2
+	}
+	s.stats.Config = cfg.Name
+	s.stats.Workload = prog.Name
+	s.stats.IssuedPerCycle = stats.NewHistogram(cfg.IssueWidth)
+	return s, nil
+}
+
+// Run simulates until the program's trace is fully committed or maxCycles
+// elapse, returning the run statistics. A maxCycles of 0 means no limit.
+func (s *Simulator) Run(maxCycles int64) (Stats, error) {
+	for !s.done() {
+		if maxCycles > 0 && s.cycle >= maxCycles {
+			return s.stats, fmt.Errorf("pipeline: %s/%s: exceeded %d cycles (%d committed)",
+				s.cfg.Name, s.stats.Workload, maxCycles, s.stats.Committed)
+		}
+		if err := s.step(); err != nil {
+			return s.stats, err
+		}
+	}
+	s.stats.Cycles = s.cycle
+	s.stats.Cache = s.dcache.Stats()
+	if s.icache != nil {
+		s.stats.ICache = s.icache.Stats()
+	}
+	return s.stats, nil
+}
+
+// Timeline returns the committed instructions' pipeline timelines (empty
+// unless Config.RecordTimeline was set).
+func (s *Simulator) Timeline() []TimelineEntry { return s.timeline }
+
+func (s *Simulator) done() bool {
+	return s.traceDone && s.resolving == nil && len(s.fetchQ) == 0 && len(s.rob) == 0
+}
+
+// step advances one clock cycle. Stage order within the cycle — commit,
+// issue, dispatch, fetch — gives dispatch→issue and fetch→dispatch the
+// one-cycle latencies of the Figure 1 pipeline.
+func (s *Simulator) step() error {
+	if s.resolving != nil && s.resolving.Issued && s.cycle >= s.resolving.CompleteCycle {
+		if err := s.squash(); err != nil {
+			return err
+		}
+	}
+	s.commit()
+	s.issue()
+	if err := s.dispatch(); err != nil {
+		return err
+	}
+	if err := s.fetch(); err != nil {
+		return err
+	}
+	s.cycle++
+	return nil
+}
+
+// commit retires completed instructions in program order.
+func (s *Simulator) commit() {
+	n := 0
+	for n < s.cfg.RetireWidth && len(s.rob) > 0 {
+		u := s.rob[0]
+		if !u.Issued || s.cycle < u.CompleteCycle {
+			break
+		}
+		if u.Speculative {
+			// Wrong-path instructions are squashed at resolution, which
+			// always runs before commit in the same cycle.
+			break
+		}
+		if u.Class == isa.ClassStore {
+			// The write is performed at commit (write-back cache model);
+			// its latency is off the critical path.
+			s.dcache.Access(u.Rec.Addr, true)
+		}
+		s.rt.Release(u.OldDest)
+		if u.UsedInterClusterBypass {
+			s.stats.InterClusterUops++
+		}
+		if s.cfg.RecordTimeline {
+			s.timeline = append(s.timeline, TimelineEntry{
+				Seq:      u.Seq,
+				PC:       u.Rec.PC,
+				Inst:     u.Rec.Inst,
+				Cluster:  u.Cluster,
+				FIFO:     u.FIFO,
+				Fetch:    u.FetchCycle,
+				Dispatch: u.DispatchCycle,
+				Issue:    u.IssueCycle,
+				Complete: u.CompleteCycle,
+				Commit:   s.cycle,
+			})
+		}
+		s.rob = s.rob[1:]
+		s.stats.Committed++
+		n++
+	}
+}
+
+// squash flushes everything younger than the resolving mispredicted
+// branch: wrong-path uops leave the fetch queue, scheduler and ROB, their
+// renames are unwound youngest-first, and the functional machine is
+// restored to the branch's architectural state.
+func (s *Simulator) squash() error {
+	br := s.resolving
+	// Fetch queue: everything is younger than the branch (which was
+	// dispatched before speculation began or is in the ROB).
+	for _, u := range s.fetchQ {
+		if u.Seq <= br.Seq {
+			return fmt.Errorf("pipeline: %s: non-speculative uop %d in fetch queue at squash", s.cfg.Name, u.Seq)
+		}
+	}
+	s.stats.SquashedUops += uint64(len(s.fetchQ))
+	s.fetchQ = s.fetchQ[:0]
+	// ROB tail, youngest first, so rename unwinding restores the map.
+	for len(s.rob) > 0 {
+		u := s.rob[len(s.rob)-1]
+		if u.Seq <= br.Seq {
+			break
+		}
+		if dest, ok := u.Rec.Inst.Dest(); ok {
+			s.rt.Undo(dest, u.PhysDest, u.OldDest)
+		}
+		s.rob = s.rob[:len(s.rob)-1]
+		s.stats.SquashedUops++
+	}
+	s.sched.Squash(br.Seq)
+	kept := s.unissuedStores[:0]
+	for _, st := range s.unissuedStores {
+		if st.Seq <= br.Seq {
+			kept = append(kept, st)
+		}
+	}
+	s.unissuedStores = kept
+	// Roll the functional machine back to just after the branch and
+	// resume on the architectural path.
+	if err := s.machine.Restore(s.checkpoint); err != nil {
+		return fmt.Errorf("pipeline: %s: %w", s.cfg.Name, err)
+	}
+	s.seq = br.Seq + 1
+	s.resolving = nil
+	s.wrongPathDone = false
+	s.traceDone = false
+	return nil
+}
+
+// bypassExtra returns the additional cycles before a value produced in
+// cluster `from` is consumable in cluster `to`, beyond the producer's
+// completion.
+func (s *Simulator) bypassExtra(from, to int) int64 {
+	extra := int64(0)
+	if from == to {
+		extra = int64(s.cfg.LocalBypassExtra)
+	} else if s.cfg.RingTopology {
+		hops := (to - from + s.cfg.Clusters) % s.cfg.Clusters
+		extra = int64(s.cfg.InterClusterDelay) * int64(hops)
+	} else {
+		extra = int64(s.cfg.InterClusterDelay)
+	}
+	if s.cfg.PipelinedWakeupSelect {
+		extra++
+	}
+	return extra
+}
+
+// issue performs wakeup+select: the scheduler offers candidates in
+// priority order and the pipeline issues those whose operands and
+// resources are available.
+func (s *Simulator) issue() {
+	// Memory disambiguation horizon: a load may issue only if every older
+	// store has issued (its address is then known).
+	for len(s.unissuedStores) > 0 && s.unissuedStores[0].Issued {
+		s.unissuedStores = s.unissuedStores[1:]
+	}
+	storeHorizon := uint64(math.MaxUint64)
+	if len(s.unissuedStores) > 0 {
+		storeHorizon = s.unissuedStores[0].Seq
+	}
+
+	fuUsed := make([]int, s.cfg.Clusters)
+	lsUsed := 0
+	issued := 0
+
+	s.sched.Select(func(u *core.Uop) bool {
+		if issued >= s.cfg.IssueWidth {
+			return false
+		}
+		isMem := u.Class == isa.ClassLoad || u.Class == isa.ClassStore
+		if isMem && lsUsed >= s.cfg.LSPorts {
+			return false
+		}
+		if u.Class == isa.ClassLoad && u.Seq > storeHorizon {
+			return false
+		}
+		c := u.Cluster
+		if c < 0 {
+			// Execution-driven steering: place the instruction in the
+			// first cluster (static order) where its operands are ready
+			// and a functional unit is free.
+			c = s.pickCluster(u, fuUsed)
+			if c < 0 {
+				return false
+			}
+			u.Cluster = c
+		} else {
+			if fuUsed[c] >= s.cfg.FUsPerCluster {
+				return false
+			}
+			if !s.operandsReady(u, c) {
+				return false
+			}
+		}
+
+		latency := 1
+		if u.Class == isa.ClassLoad {
+			if s.cfg.StoreForwarding && s.forwardingStore(u) {
+				latency = s.cfg.DCache.HitCycles
+				s.stats.ForwardedLoads++
+			} else {
+				latency, _ = s.dcache.Access(u.Rec.Addr, false)
+			}
+		}
+		u.Issued = true
+		u.IssueCycle = s.cycle
+		u.CompleteCycle = s.cycle + int64(latency)
+		s.noteBypasses(u, c)
+		if u.PhysDest >= 0 {
+			for k := range s.regReady {
+				s.regReady[k][u.PhysDest] = u.CompleteCycle + s.bypassExtra(c, k)
+			}
+			s.prodCluster[u.PhysDest] = int8(c)
+			s.prodComplete[u.PhysDest] = u.CompleteCycle
+		}
+		fuUsed[c]++
+		issued++
+		if isMem {
+			lsUsed++
+		}
+		return true
+	})
+	s.stats.IssuedPerCycle.Add(issued)
+}
+
+// operandsReady reports whether every source of u is consumable in
+// cluster c this cycle.
+func (s *Simulator) operandsReady(u *core.Uop, c int) bool {
+	for _, p := range u.PhysSrcs {
+		if p >= 0 && s.regReady[c][p] > s.cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// pickCluster implements execution-driven steering (Section 5.6.1):
+// clusters are tried in static order, so ties go to cluster 0.
+func (s *Simulator) pickCluster(u *core.Uop, fuUsed []int) int {
+	for c := 0; c < s.cfg.Clusters; c++ {
+		if fuUsed[c] < s.cfg.FUsPerCluster && s.operandsReady(u, c) {
+			return c
+		}
+	}
+	return -1
+}
+
+// noteBypasses records whether u consumed any operand over an
+// inter-cluster bypass path: the producer ran in another cluster and the
+// value had not yet been written into this cluster's register file.
+func (s *Simulator) noteBypasses(u *core.Uop, c int) {
+	for _, p := range u.PhysSrcs {
+		if p < 0 {
+			continue
+		}
+		pc := s.prodCluster[p]
+		if pc < 0 || int(pc) == c {
+			continue
+		}
+		arrival := s.prodComplete[p] + s.bypassExtra(int(pc), c)
+		if s.cycle < arrival+regWriteDelay {
+			u.UsedInterClusterBypass = true
+			return
+		}
+	}
+}
+
+// forwardingStore reports whether an older in-flight store writes the
+// load's word. The load's issue is already gated on all older store
+// addresses being known, so the in-order ROB scan is sound.
+func (s *Simulator) forwardingStore(load *core.Uop) bool {
+	word := load.Rec.Addr >> 2
+	for i := len(s.rob) - 1; i >= 0; i-- {
+		st := s.rob[i]
+		if st.Seq >= load.Seq || st.Class != isa.ClassStore {
+			continue
+		}
+		if st.Rec.Addr>>2 == word {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatch renames and inserts fetched instructions into the scheduler.
+func (s *Simulator) dispatch() error {
+	for n := 0; n < s.cfg.DecodeWidth && len(s.fetchQ) > 0; n++ {
+		u := s.fetchQ[0]
+		if u.FetchCycle+int64(s.cfg.FrontEndDepth) > s.cycle {
+			break // still in decode/rename stages
+		}
+		if len(s.rob) >= s.cfg.MaxInFlight {
+			s.stats.ROBStalls++
+			break
+		}
+		srcs := u.Rec.Inst.Sources()
+		dest, hasDest := u.Rec.Inst.Dest()
+		physSrcs, physDest, oldDest, ok := s.rt.Rename(srcs, dest, hasDest)
+		if !ok {
+			s.stats.PhysRegStalls++
+			break
+		}
+		u.PhysSrcs = physSrcs
+		u.PhysDest = physDest
+		u.OldDest = oldDest
+		if physDest >= 0 {
+			// The destination is not ready anywhere until it executes.
+			for k := range s.regReady {
+				s.regReady[k][physDest] = neverReady
+			}
+		}
+		if !s.sched.Dispatch(u) {
+			if physDest >= 0 {
+				for k := range s.regReady {
+					s.regReady[k][physDest] = 0
+				}
+			}
+			s.rt.Undo(dest, physDest, oldDest)
+			s.stats.SchedulerStalls++
+			break
+		}
+		u.DispatchCycle = s.cycle
+		s.rob = append(s.rob, u)
+		if u.Class == isa.ClassStore {
+			s.unissuedStores = append(s.unissuedStores, u)
+		}
+		s.fetchQ = s.fetchQ[1:]
+	}
+	return nil
+}
+
+// fetch pulls instructions from the functional emulator. Fetch stalls on a
+// mispredicted conditional branch until the branch executes (trace-driven
+// misprediction model: the wrong path is not executed, its fetch slots are
+// simply lost).
+func (s *Simulator) fetch() error {
+	if s.redirect != nil {
+		if !s.redirect.Issued || s.cycle < s.redirect.CompleteCycle {
+			return nil
+		}
+		s.redirect = nil
+	}
+	if s.cycle < s.fetchBlockedUntil {
+		return nil
+	}
+	for n := 0; n < s.cfg.FetchWidth; n++ {
+		if s.traceDone || s.wrongPathDone || len(s.fetchQ) >= s.cfg.FetchQueueSize {
+			return nil
+		}
+		if s.icache != nil {
+			// Probe the next instruction's line before consuming it, so a
+			// miss stalls fetch without losing the instruction.
+			line := s.machine.PC() * 4 / uint32(s.cfg.ICache.LineBytes)
+			if !s.icacheHasLine || line != s.icacheLastLine {
+				lat, hit := s.icache.Access(s.machine.PC()*4, false)
+				s.icacheLastLine = line
+				s.icacheHasLine = true
+				if !hit {
+					s.fetchBlockedUntil = s.cycle + int64(lat-s.cfg.ICache.HitCycles)
+					return nil
+				}
+			}
+		}
+		rec, err := s.machine.Step()
+		if err != nil {
+			if s.resolving != nil {
+				// The wrong path ran off the rails (out-of-range PC);
+				// fetch idles until the branch resolves.
+				s.wrongPathDone = true
+				return nil
+			}
+			return fmt.Errorf("pipeline: %s/%s: functional emulation: %w", s.cfg.Name, s.stats.Workload, err)
+		}
+		u := &core.Uop{
+			Seq:         s.seq,
+			Rec:         rec,
+			Class:       isa.ClassOf(rec.Inst.Op),
+			FetchCycle:  s.cycle,
+			Cluster:     -1,
+			FIFO:        -1,
+			Speculative: s.resolving != nil,
+		}
+		s.seq++
+		s.fetchQ = append(s.fetchQ, u)
+		if s.machine.Halted() {
+			if s.resolving != nil {
+				s.wrongPathDone = true
+			} else {
+				s.traceDone = true
+			}
+		}
+		if u.Class == isa.ClassBranch && !u.Speculative {
+			// Wrong-path branches follow the speculative machine's
+			// concrete execution; only architectural branches train and
+			// consult the predictor.
+			s.stats.CondBranches++
+			if !s.cfg.PerfectBPred {
+				predTaken := s.pred.Predict(rec.PC)
+				s.pred.Update(rec.PC, rec.Taken)
+				if predTaken != rec.Taken {
+					s.stats.Mispredicts++
+					u.Mispredicted = true
+					if !s.cfg.WrongPathExecution {
+						s.redirect = u
+						return nil
+					}
+					// Speculate: checkpoint the architectural state
+					// (PC already at the correct target) and force the
+					// machine down the predicted path.
+					s.resolving = u
+					s.checkpoint = s.machine.Checkpoint()
+					target := rec.PC + 1 // predicted not-taken
+					if predTaken {
+						target = uint32(rec.Inst.Imm)
+					}
+					s.machine.SetPC(target)
+				}
+			}
+		}
+		// Fetch-break follows the direction fetch actually went: the
+		// predicted one for a mispredicted branch being speculated past.
+		effectiveTaken := rec.Taken
+		if u.Mispredicted && s.cfg.WrongPathExecution {
+			effectiveTaken = !rec.Taken
+		}
+		if s.cfg.FetchBreakOnTaken && effectiveTaken {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Machine exposes the underlying functional machine (for output checks in
+// tests and examples).
+func (s *Simulator) Machine() *emu.Machine { return s.machine }
+
+// Scheduler exposes the scheduler (for diagnostics).
+func (s *Simulator) Scheduler() core.Scheduler { return s.sched }

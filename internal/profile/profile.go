@@ -1,0 +1,170 @@
+// Package profile computes dynamic workload characterizations from the
+// functional emulator: instruction mix, branch behaviour, register
+// dependence distances, dataflow-limit ILP, basic-block lengths and memory
+// footprint. These are the properties the paper's issue logic and steering
+// heuristic are sensitive to; the profiles ground the claim that the
+// SPEC95-like kernels behave like their namesakes.
+package profile
+
+import (
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+// Report is a workload's dynamic profile.
+type Report struct {
+	Name         string
+	Instructions uint64
+
+	// Mix is the fraction of dynamic instructions per class.
+	Mix map[isa.Class]float64
+
+	// CondBranches and TakenRate summarize conditional branch behaviour;
+	// BranchEvery is the mean dynamic distance between branches.
+	CondBranches uint64
+	TakenRate    float64
+	BranchEvery  float64
+
+	// DepDistance is the distribution of register dependence distances:
+	// for every operand read, the number of dynamic instructions since
+	// its producer (clamped to 256). Short distances mean a small window
+	// captures most dependences.
+	DepDistance *stats.Histogram
+
+	// DataflowILP is N / dataflow-critical-path-length: the IPC an
+	// infinite machine with unit latencies and perfect prediction could
+	// reach (register and memory dependences only).
+	DataflowILP float64
+
+	// BasicBlock is the distribution of dynamic basic-block lengths
+	// (instructions between control transfers, clamped to 64).
+	BasicBlock *stats.Histogram
+
+	// FootprintBytes is the number of distinct memory words touched × 4.
+	FootprintBytes uint64
+}
+
+// Profile runs the program functionally (up to maxInsts) and returns its
+// dynamic profile.
+func Profile(p *isa.Program, maxInsts uint64) (*Report, error) {
+	m := emu.New(p)
+	r := &Report{
+		Name:        p.Name,
+		Mix:         make(map[isa.Class]float64),
+		DepDistance: stats.NewHistogram(256),
+		BasicBlock:  stats.NewHistogram(64),
+	}
+	classCounts := make(map[isa.Class]uint64)
+
+	// lastWrite[reg] is the dynamic index of the register's last writer;
+	// depth tracks the dataflow critical path.
+	var lastWrite [isa.NumRegs]uint64
+	var regDepth [isa.NumRegs]uint64
+	memDepth := make(map[uint32]uint64) // word address → producing depth
+	touched := make(map[uint32]struct{})
+	var maxDepth uint64
+
+	var taken uint64
+	blockLen := 0
+
+	for !m.Halted() {
+		if m.Executed >= maxInsts {
+			return nil, fmt.Errorf("profile: %s exceeded %d instructions", p.Name, maxInsts)
+		}
+		idx := m.Executed
+		rec, err := m.Step()
+		if err != nil {
+			return nil, err
+		}
+		in := rec.Inst
+		class := isa.ClassOf(in.Op)
+		classCounts[class]++
+
+		// Dependence distances and dataflow depth.
+		depth := uint64(0)
+		for _, src := range in.Sources() {
+			r.DepDistance.Add(int(idx - lastWrite[src]))
+			if regDepth[src] > depth {
+				depth = regDepth[src]
+			}
+		}
+		if class == isa.ClassLoad {
+			if d, ok := memDepth[rec.Addr>>2]; ok && d > depth {
+				depth = d
+			}
+			touched[rec.Addr>>2] = struct{}{}
+		}
+		depth++
+		if dest, ok := in.Dest(); ok {
+			lastWrite[dest] = idx
+			regDepth[dest] = depth
+		}
+		if class == isa.ClassStore {
+			memDepth[rec.Addr>>2] = depth
+			touched[rec.Addr>>2] = struct{}{}
+		}
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+
+		// Control behaviour.
+		blockLen++
+		if in.IsControl() {
+			r.BasicBlock.Add(blockLen)
+			blockLen = 0
+		}
+		if class == isa.ClassBranch {
+			r.CondBranches++
+			if rec.Taken {
+				taken++
+			}
+		}
+	}
+
+	r.Instructions = m.Executed
+	for c, n := range classCounts {
+		r.Mix[c] = float64(n) / float64(m.Executed)
+	}
+	if r.CondBranches > 0 {
+		r.TakenRate = float64(taken) / float64(r.CondBranches)
+		r.BranchEvery = float64(m.Executed) / float64(r.CondBranches)
+	}
+	if maxDepth > 0 {
+		r.DataflowILP = float64(m.Executed) / float64(maxDepth)
+	}
+	r.FootprintBytes = uint64(len(touched)) * 4
+	return r, nil
+}
+
+// WindowCoverage returns the fraction of register dependences whose
+// producer is within `window` dynamic instructions — the quantity a
+// window (or FIFO bank) of that size can capture.
+func (r *Report) WindowCoverage(window int) float64 {
+	if r.DepDistance.Total() == 0 {
+		return 0
+	}
+	var covered uint64
+	for d := 0; d <= window && d <= 256; d++ {
+		covered += r.DepDistance.Count(d)
+	}
+	return float64(covered) / float64(r.DepDistance.Total())
+}
+
+// String renders the profile as a short report.
+func (r *Report) String() string {
+	out := fmt.Sprintf("%s: %d instructions\n", r.Name, r.Instructions)
+	out += fmt.Sprintf("  mix: alu %.0f%%, load %.0f%%, store %.0f%%, branch %.0f%%, jump %.0f%%, mul/div %.0f%%\n",
+		r.Mix[isa.ClassALU]*100, r.Mix[isa.ClassLoad]*100, r.Mix[isa.ClassStore]*100,
+		r.Mix[isa.ClassBranch]*100, r.Mix[isa.ClassJump]*100,
+		(r.Mix[isa.ClassMul]+r.Mix[isa.ClassDiv])*100)
+	out += fmt.Sprintf("  branches: every %.1f insts, %.0f%% taken\n", r.BranchEvery, r.TakenRate*100)
+	out += fmt.Sprintf("  dependence distance: P50 %d, P90 %d; window-64 coverage %.0f%%\n",
+		r.DepDistance.Percentile(50), r.DepDistance.Percentile(90), r.WindowCoverage(64)*100)
+	out += fmt.Sprintf("  dataflow-limit ILP: %.1f\n", r.DataflowILP)
+	out += fmt.Sprintf("  basic block: mean %.1f insts\n", r.BasicBlock.Mean())
+	out += fmt.Sprintf("  memory footprint: %d bytes\n", r.FootprintBytes)
+	return out
+}

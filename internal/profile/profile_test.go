@@ -1,0 +1,183 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+func mustProfile(t *testing.T, src string) *Report {
+	t.Helper()
+	p, err := asm.Assemble("prof.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Profile(p, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSerialChainProfile(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("\t.text\n")
+	for i := 0; i < 100; i++ {
+		b.WriteString("\taddi $t0, $t0, 1\n")
+	}
+	b.WriteString("\thalt\n")
+	r := mustProfile(t, b.String())
+	// A pure serial chain: dataflow ILP ≈ 1, every dependence distance 1.
+	if r.DataflowILP > 1.1 {
+		t.Errorf("serial chain dataflow ILP = %.2f, want ≈1", r.DataflowILP)
+	}
+	if got := r.DepDistance.Percentile(50); got != 1 {
+		t.Errorf("P50 dependence distance = %d, want 1", got)
+	}
+	if r.WindowCoverage(4) < 0.99 {
+		t.Errorf("window-4 coverage = %.2f, want ≈1", r.WindowCoverage(4))
+	}
+}
+
+func TestParallelStreamsProfile(t *testing.T) {
+	regs := []string{"$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7"}
+	var b strings.Builder
+	b.WriteString("\t.text\n")
+	for i := 0; i < 400; i++ {
+		b.WriteString("\taddi " + regs[i%8] + ", " + regs[i%8] + ", 1\n")
+	}
+	b.WriteString("\thalt\n")
+	r := mustProfile(t, b.String())
+	// Eight independent chains: dataflow ILP ≈ 8, distances ≈ 8.
+	if r.DataflowILP < 6 {
+		t.Errorf("8-stream dataflow ILP = %.2f, want ≈8", r.DataflowILP)
+	}
+	if got := r.DepDistance.Percentile(50); got != 8 {
+		t.Errorf("P50 dependence distance = %d, want 8", got)
+	}
+}
+
+func TestMemoryDependenceTracked(t *testing.T) {
+	// A chain through memory: store then dependent load must serialize
+	// the dataflow.
+	var b strings.Builder
+	b.WriteString("\t.text\n")
+	for i := 0; i < 50; i++ {
+		b.WriteString("\tlw $t0, 0x40000($zero)\n")
+		b.WriteString("\taddi $t0, $t0, 1\n")
+		b.WriteString("\tsw $t0, 0x40000($zero)\n")
+	}
+	b.WriteString("\thalt\n")
+	r := mustProfile(t, b.String())
+	if r.DataflowILP > 1.5 {
+		t.Errorf("memory chain dataflow ILP = %.2f, want ≈1", r.DataflowILP)
+	}
+	if r.FootprintBytes != 4 {
+		t.Errorf("footprint = %d bytes, want 4 (one word)", r.FootprintBytes)
+	}
+}
+
+func TestBranchStats(t *testing.T) {
+	r := mustProfile(t, `
+		.text
+		li   $s0, 100
+loop:	addi $s0, $s0, -1
+		bgtz $s0, loop
+		halt
+	`)
+	if r.CondBranches != 100 {
+		t.Errorf("branches = %d, want 100", r.CondBranches)
+	}
+	if r.TakenRate < 0.98 {
+		t.Errorf("taken rate = %.2f, want ≈0.99", r.TakenRate)
+	}
+	// Loop body is two instructions: basic blocks of length 2.
+	if mean := r.BasicBlock.Mean(); mean < 1.8 || mean > 2.5 {
+		t.Errorf("basic block mean = %.2f, want ≈2", mean)
+	}
+}
+
+func TestMixSumsToOne(t *testing.T) {
+	w, err := prog.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Profile(p, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, f := range r.Mix {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("mix sums to %.4f", sum)
+	}
+	if r.Mix[isa.ClassLoad] == 0 || r.Mix[isa.ClassBranch] == 0 {
+		t.Error("compress profile missing loads or branches")
+	}
+	if !strings.Contains(r.String(), "dataflow-limit ILP") {
+		t.Error("String() missing dataflow section")
+	}
+}
+
+func TestWorkloadProfilesShapeExpectations(t *testing.T) {
+	// The kernels must show their namesakes' qualitative shapes.
+	get := func(name string) *Report {
+		w, err := prog.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := w.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Profile(p, 20_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	// micro.chase is a single serial pointer chain: its dataflow-limit
+	// ILP must be far below the blocked-transform ijpeg kernel. (Note li
+	// is NOT a good lower bound here: its 60 lists are mutually
+	// independent, so an infinite machine could chase them all at once —
+	// dataflow-limit ILP measures inherent parallelism, not what a
+	// finite window achieves.)
+	chase := get("micro.chase")
+	ijpeg := get("ijpeg")
+	if chase.DataflowILP >= ijpeg.DataflowILP/2 {
+		t.Errorf("micro.chase dataflow ILP (%.1f) not well below ijpeg (%.1f)",
+			chase.DataflowILP, ijpeg.DataflowILP)
+	}
+	// gcc is branch-dense.
+	gcc := get("gcc")
+	if gcc.BranchEvery > 12 {
+		t.Errorf("gcc branch distance = %.1f, want dense (≤12)", gcc.BranchEvery)
+	}
+	// A 64-entry window captures the large majority of dependences in
+	// every paper workload — the premise behind Table 3's window size.
+	for _, name := range prog.Names() {
+		r := get(name)
+		if cov := r.WindowCoverage(64); cov < 0.70 {
+			t.Errorf("%s: window-64 dependence coverage %.0f%%, want ≥70%%", name, cov*100)
+		}
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	p, err := asm.Assemble("inf.s", ".text\nloop: j loop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Profile(p, 1000); err == nil {
+		t.Error("infinite loop not bounded")
+	}
+}

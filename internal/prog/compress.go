@@ -1,0 +1,155 @@
+package prog
+
+// compress mirrors SPEC95 129.compress: an LZW-style compressor. The kernel
+// hashes (prefix, symbol) pairs into an open-addressed dictionary, emitting
+// a code whenever the pair is new. It produces the long serial dependence
+// chains through the hash table that made compress a low-ILP benchmark.
+
+const (
+	compressN       = 8000        // input bytes
+	compressTabBits = 12          // 4096-entry dictionary
+	compressMaxCode = 3500        // stop growing the dictionary here
+	compressHashMul = -1640531527 // 2654435761 as int32 (Knuth multiplicative hash)
+)
+
+func compressRef() []int32 {
+	input := make([]byte, compressN)
+	s := int32(12345)
+	for i := range input {
+		s = lcg(s)
+		input[i] = byte((s >> 16) & 7)
+	}
+	const size = 1 << compressTabBits
+	const mask = size - 1
+	hkey := make([]int32, size)
+	hval := make([]int32, size)
+	for i := range hkey {
+		hkey[i] = -1
+	}
+	w := int32(input[0])
+	var csum, codes int32
+	next := int32(8)
+	emit := func() {
+		codes++
+		csum = csum*31 + w
+	}
+	for i := 1; i < compressN; i++ {
+		c := int32(input[i])
+		key := w<<8 | c
+		idx := int32(uint32(key*compressHashMul)>>20) & mask
+		for {
+			k := hkey[idx]
+			if k == key {
+				w = hval[idx]
+				break
+			}
+			if k == -1 {
+				emit()
+				if next < compressMaxCode {
+					hkey[idx] = key
+					hval[idx] = next
+					next++
+				}
+				w = c
+				break
+			}
+			idx = (idx + 1) & mask
+		}
+	}
+	emit()
+	return []int32{codes, next, csum}
+}
+
+const compressSrc = `
+# compress: LZW-style dictionary compressor (mirrors SPEC95 129.compress).
+		.data
+input:	.space 8000
+hkey:	.space 16384          # 4096 dictionary keys
+hval:	.space 16384          # 4096 dictionary codes
+		.text
+main:
+		# Generate the input: 8000 symbols in 0..7 from the shared LCG.
+		la   $s0, input
+		li   $t0, 12345        # seed
+		li   $t1, 0            # i
+		li   $s2, 8000         # N
+		li   $t5, 1103515245
+gen:	mul  $t0, $t0, $t5
+		addi $t0, $t0, 12345
+		srl  $t2, $t0, 16
+		andi $t2, $t2, 7
+		add  $t3, $s0, $t1
+		sb   $t2, 0($t3)
+		addi $t1, $t1, 1
+		blt  $t1, $s2, gen
+
+		# Clear the dictionary: every key slot holds -1.
+		la   $s7, hkey
+		li   $t1, 0
+		li   $t2, 4096
+		li   $t3, -1
+init:	sll  $t4, $t1, 2
+		add  $t4, $s7, $t4
+		sw   $t3, 0($t4)
+		addi $t1, $t1, 1
+		blt  $t1, $t2, init
+
+		# LZW main loop.
+		la   $fp, hval
+		lbu  $s3, 0($s0)       # w = input[0]
+		li   $s4, 0            # csum
+		li   $s5, 0            # codes emitted
+		li   $s6, 8            # next dictionary code
+		li   $s1, 1            # i
+		li   $t9, -1640531527  # hash multiplier
+		li   $t8, 31           # checksum multiplier
+loop:	bge  $s1, $s2, finish
+		add  $t0, $s0, $s1
+		lbu  $t1, 0($t0)       # c = input[i]
+		sll  $t2, $s3, 8
+		or   $t2, $t2, $t1     # key = w<<8 | c
+		mul  $t3, $t2, $t9
+		srl  $t3, $t3, 20
+		andi $t3, $t3, 0xFFF   # idx = hash(key)
+probe:	sll  $t4, $t3, 2
+		add  $t5, $s7, $t4
+		lw   $t6, 0($t5)       # k = hkey[idx]
+		beq  $t6, $t2, found
+		li   $t7, -1
+		beq  $t6, $t7, empty
+		addi $t3, $t3, 1
+		andi $t3, $t3, 0xFFF
+		j    probe
+found:	add  $t5, $fp, $t4
+		lw   $s3, 0($t5)       # w = hval[idx]
+		addi $s1, $s1, 1
+		j    loop
+empty:	addi $s5, $s5, 1       # emit code for w
+		mul  $s4, $s4, $t8
+		add  $s4, $s4, $s3
+		li   $t7, 3500
+		bge  $s6, $t7, noadd
+		sw   $t2, 0($t5)       # hkey[idx] = key
+		add  $t5, $fp, $t4
+		sw   $s6, 0($t5)       # hval[idx] = next
+		addi $s6, $s6, 1
+noadd:	move $s3, $t1          # w = c
+		addi $s1, $s1, 1
+		j    loop
+finish:	addi $s5, $s5, 1       # emit the final prefix
+		mul  $s4, $s4, $t8
+		add  $s4, $s4, $s3
+		out  $s5
+		out  $s6
+		out  $s4
+		halt
+`
+
+func init() {
+	register(&Workload{
+		Name:        "compress",
+		Description: "LZW-style dictionary compression over an 8000-symbol stream (mirrors SPEC95 129.compress)",
+		Source:      compressSrc,
+		Reference:   compressRef,
+	})
+}

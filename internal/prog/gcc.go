@@ -1,0 +1,173 @@
+package prog
+
+// gcc mirrors SPEC95 126.gcc: table-driven token processing with highly
+// data-dependent control flow. A 32-state finite automaton consumes a
+// skewed token stream; per-token action code is an unpredictable branch
+// ladder, the behaviour that made gcc a branch-limited benchmark.
+
+const (
+	gccNTokens = 12000
+	gccStates  = 32
+	gccSymbols = 16
+)
+
+func gccRef() []int32 {
+	tokens := make([]byte, gccNTokens)
+	s := int32(777)
+	for i := range tokens {
+		s = lcg(s)
+		t := (s >> 16) & 0xFF
+		switch {
+		case t < 120:
+			tokens[i] = byte(t & 3) // common punctuation/identifiers
+		case t < 200:
+			tokens[i] = byte(4 + (t & 7)) // keywords
+		default:
+			tokens[i] = byte(12 + (t & 3)) // rare tokens
+		}
+	}
+	// Transition table, filled by formula (same loop in assembly).
+	var trans [gccStates * gccSymbols]int32
+	for st := int32(0); st < gccStates; st++ {
+		for tk := int32(0); tk < gccSymbols; tk++ {
+			trans[st*gccSymbols+tk] = (st*5 + tk*3 + 7) & (gccStates - 1)
+		}
+	}
+	var st, cnt0, cnt1, cnt2, cnt3, csum int32
+	for i := 0; i < gccNTokens; i++ {
+		tok := int32(tokens[i])
+		st = trans[st*gccSymbols+tok]
+		switch {
+		case tok < 4:
+			cnt0 += st
+		case tok < 8:
+			cnt1 ^= st << 1
+		case tok < 12:
+			cnt2 += tok * st
+		default:
+			if st&1 != 0 {
+				cnt3++
+			} else {
+				cnt3 += tok
+			}
+		}
+		csum = csum*33 + st
+	}
+	return []int32{st, cnt0, cnt1, cnt2, cnt3, csum}
+}
+
+const gccSrc = `
+# gcc: table-driven finite automaton over a skewed token stream
+# (mirrors SPEC95 126.gcc's branchy, table-driven core).
+		.data
+tokens:	.space 12000
+trans:	.space 2048            # 32 states x 16 symbols, words
+		.text
+main:
+		# Token generation with a skewed distribution.
+		la   $s0, tokens
+		li   $t0, 777          # seed
+		li   $t1, 0
+		li   $s2, 12000
+		li   $t5, 1103515245
+gen:	mul  $t0, $t0, $t5
+		addi $t0, $t0, 12345
+		srl  $t2, $t0, 16
+		andi $t2, $t2, 0xFF
+		li   $t3, 120
+		blt  $t2, $t3, common
+		li   $t3, 200
+		blt  $t2, $t3, keyword
+		andi $t2, $t2, 3
+		addi $t2, $t2, 12      # rare token
+		j    store
+common:	andi $t2, $t2, 3
+		j    store
+keyword: andi $t2, $t2, 7
+		addi $t2, $t2, 4
+store:	add  $t3, $s0, $t1
+		sb   $t2, 0($t3)
+		addi $t1, $t1, 1
+		blt  $t1, $s2, gen
+
+		# Build the transition table: trans[st][tk] = (st*5 + tk*3 + 7) & 31.
+		la   $s1, trans
+		li   $t1, 0            # st
+tloop:	li   $t2, 0            # tk
+tinner:	li   $t4, 5
+		mul  $t3, $t1, $t4
+		li   $t4, 3
+		mul  $t4, $t2, $t4
+		add  $t3, $t3, $t4
+		addi $t3, $t3, 7
+		andi $t3, $t3, 31
+		sll  $t4, $t1, 4
+		add  $t4, $t4, $t2
+		sll  $t4, $t4, 2
+		add  $t4, $s1, $t4
+		sw   $t3, 0($t4)
+		addi $t2, $t2, 1
+		li   $t4, 16
+		blt  $t2, $t4, tinner
+		addi $t1, $t1, 1
+		li   $t4, 32
+		blt  $t1, $t4, tloop
+
+		# Drive the automaton.
+		li   $s3, 0            # st
+		li   $s4, 0            # cnt0
+		li   $s5, 0            # cnt1
+		li   $s6, 0            # cnt2
+		li   $s7, 0            # cnt3
+		li   $fp, 0            # csum
+		li   $t1, 0            # i
+		li   $t9, 33
+run:	add  $t2, $s0, $t1
+		lbu  $t3, 0($t2)       # tok
+		sll  $t4, $s3, 4
+		add  $t4, $t4, $t3
+		sll  $t4, $t4, 2
+		add  $t4, $s1, $t4
+		lw   $s3, 0($t4)       # st = trans[st][tok]
+		li   $t5, 4
+		blt  $t3, $t5, act0
+		li   $t5, 8
+		blt  $t3, $t5, act1
+		li   $t5, 12
+		blt  $t3, $t5, act2
+		andi $t5, $s3, 1
+		beq  $t5, $zero, act3e
+		addi $s7, $s7, 1
+		j    actdone
+act3e:	add  $s7, $s7, $t3
+		j    actdone
+act0:	add  $s4, $s4, $s3
+		j    actdone
+act1:	sll  $t5, $s3, 1
+		xor  $s5, $s5, $t5
+		j    actdone
+act2:	mul  $t5, $t3, $s3
+		add  $s6, $s6, $t5
+actdone:
+		mul  $fp, $fp, $t9
+		add  $fp, $fp, $s3
+		addi $t1, $t1, 1
+		blt  $t1, $s2, run
+
+		out  $s3
+		out  $s4
+		out  $s5
+		out  $s6
+		out  $s7
+		out  $fp
+		halt
+`
+
+func init() {
+	register(&Workload{
+		Name:        "gcc",
+		Description: "table-driven 32-state automaton over 12000 skewed tokens with branchy per-token actions (mirrors SPEC95 126.gcc)",
+		Source:      gccSrc,
+		Reference:   gccRef,
+	})
+}

@@ -1,0 +1,211 @@
+package prog
+
+// gogame mirrors SPEC95 099.go: evaluation of a Go board position. The
+// kernel seeds a 19×19 board with stones and iterates an influence
+// function over the grid — array scans with spatially local loads and
+// data-dependent branches on stone colour, the mix that characterized go.
+
+const (
+	goSize  = 21 // 19×19 playing area inside a border
+	goIters = 30
+)
+
+func goRef() []int32 {
+	const n = goSize * goSize
+	board := make([]byte, n)
+	// Border ring.
+	for i := 0; i < goSize; i++ {
+		board[i] = 3
+		board[n-goSize+i] = 3
+		board[i*goSize] = 3
+		board[i*goSize+goSize-1] = 3
+	}
+	// Stones from the LCG: ~3/16 black, ~3/16 white.
+	s := int32(4242)
+	for y := 1; y < goSize-1; y++ {
+		for x := 1; x < goSize-1; x++ {
+			s = lcg(s)
+			v := (s >> 16) & 15
+			switch {
+			case v < 3:
+				board[y*goSize+x] = 1
+			case v < 6:
+				board[y*goSize+x] = 2
+			default:
+				board[y*goSize+x] = 0
+			}
+		}
+	}
+	inf := make([]int32, n)
+	for it := 0; it < goIters; it++ {
+		for y := 1; y < goSize-1; y++ {
+			for x := 1; x < goSize-1; x++ {
+				p := y*goSize + x
+				switch board[p] {
+				case 1:
+					inf[p] = 64
+				case 2:
+					inf[p] = -64
+				default:
+					inf[p] = (inf[p]*2 + inf[p-1] + inf[p+1] + inf[p-goSize] + inf[p+goSize]) >> 3
+				}
+			}
+		}
+	}
+	var black, white, csum int32
+	for y := 1; y < goSize-1; y++ {
+		for x := 1; x < goSize-1; x++ {
+			v := inf[y*goSize+x]
+			if v > 8 {
+				black++
+			} else if v < -8 {
+				white++
+			}
+			csum = csum*17 + v
+		}
+	}
+	return []int32{black, white, csum}
+}
+
+const goSrc = `
+# go: board-influence evaluation on a 19x19 Go board
+# (mirrors SPEC95 099.go's array-scan, branch-on-colour style).
+		.data
+board:	.space 441             # 21x21 bytes
+inf:	.space 1764            # 21x21 words
+		.text
+main:
+		# Border ring: board value 3.
+		la   $s0, board
+		li   $t1, 0
+		li   $t2, 21
+		li   $t3, 3
+bord:	add  $t4, $s0, $t1     # top row
+		sb   $t3, 0($t4)
+		add  $t4, $s0, $t1     # bottom row
+		sb   $t3, 420($t4)
+		li   $t5, 21
+		mul  $t5, $t1, $t5
+		add  $t4, $s0, $t5     # left column
+		sb   $t3, 0($t4)
+		add  $t4, $t4, $zero
+		sb   $t3, 20($t4)      # right column
+		addi $t1, $t1, 1
+		blt  $t1, $t2, bord
+
+		# Stones from the LCG.
+		li   $t0, 4242         # seed
+		li   $t8, 1103515245
+		li   $s1, 1            # y
+yloop:	li   $s2, 1            # x
+xloop:	mul  $t0, $t0, $t8
+		addi $t0, $t0, 12345
+		srl  $t2, $t0, 16
+		andi $t2, $t2, 15
+		li   $t3, 21
+		mul  $t4, $s1, $t3
+		add  $t4, $t4, $s2
+		add  $t4, $s0, $t4     # &board[p]
+		li   $t3, 3
+		blt  $t2, $t3, black
+		li   $t3, 6
+		blt  $t2, $t3, white
+		sb   $zero, 0($t4)
+		j    next
+black:	li   $t3, 1
+		sb   $t3, 0($t4)
+		j    next
+white:	li   $t3, 2
+		sb   $t3, 0($t4)
+next:	addi $s2, $s2, 1
+		li   $t3, 20
+		blt  $s2, $t3, xloop
+		addi $s1, $s1, 1
+		blt  $s1, $t3, yloop
+
+		# Influence iterations.
+		la   $s7, inf
+		li   $s6, 0            # it
+iter:	li   $s1, 1            # y
+iy:		li   $s2, 1            # x
+ix:		li   $t3, 21
+		mul  $t4, $s1, $t3
+		add  $t4, $t4, $s2     # p
+		add  $t5, $s0, $t4
+		lbu  $t6, 0($t5)       # board[p]
+		sll  $t7, $t4, 2
+		add  $t7, $s7, $t7     # &inf[p]
+		li   $t3, 1
+		beq  $t6, $t3, sb1
+		li   $t3, 2
+		beq  $t6, $t3, sb2
+		lw   $t1, 0($t7)       # inf[p]
+		sll  $t1, $t1, 1
+		lw   $t2, -4($t7)
+		add  $t1, $t1, $t2
+		lw   $t2, 4($t7)
+		add  $t1, $t1, $t2
+		lw   $t2, -84($t7)
+		add  $t1, $t1, $t2
+		lw   $t2, 84($t7)
+		add  $t1, $t1, $t2
+		sra  $t1, $t1, 3
+		sw   $t1, 0($t7)
+		j    inext
+sb1:	li   $t1, 64
+		sw   $t1, 0($t7)
+		j    inext
+sb2:	li   $t1, -64
+		sw   $t1, 0($t7)
+inext:	addi $s2, $s2, 1
+		li   $t3, 20
+		blt  $s2, $t3, ix
+		addi $s1, $s1, 1
+		blt  $s1, $t3, iy
+		addi $s6, $s6, 1
+		li   $t3, 30
+		blt  $s6, $t3, iter
+
+		# Territory count and checksum.
+		li   $s3, 0            # black territory
+		li   $s4, 0            # white territory
+		li   $s5, 0            # csum
+		li   $t9, 17
+		li   $s1, 1
+cy:		li   $s2, 1
+cx:		li   $t3, 21
+		mul  $t4, $s1, $t3
+		add  $t4, $t4, $s2
+		sll  $t4, $t4, 2
+		add  $t4, $s7, $t4
+		lw   $t1, 0($t4)
+		li   $t3, 8
+		blt  $t3, $t1, isb     # v > 8
+		li   $t3, -8
+		blt  $t1, $t3, isw     # v < -8
+		j    cnext
+isb:	addi $s3, $s3, 1
+		j    cnext
+isw:	addi $s4, $s4, 1
+cnext:	mul  $s5, $s5, $t9
+		add  $s5, $s5, $t1
+		addi $s2, $s2, 1
+		li   $t3, 20
+		blt  $s2, $t3, cx
+		addi $s1, $s1, 1
+		blt  $s1, $t3, cy
+
+		out  $s3
+		out  $s4
+		out  $s5
+		halt
+`
+
+func init() {
+	register(&Workload{
+		Name:        "go",
+		Description: "iterative influence evaluation over a bordered 19x19 Go board (mirrors SPEC95 099.go)",
+		Source:      goSrc,
+		Reference:   goRef,
+	})
+}

@@ -1,0 +1,172 @@
+package prog
+
+// ijpeg mirrors SPEC95 132.ijpeg: blocked integer image transforms. The
+// paper's evaluation used seven of the eight SPECint95 programs (ijpeg was
+// omitted), so this workload is registered as an *extension*: it does not
+// participate in the paper's figures, but is available to cesim and the
+// ablation studies. The kernel runs a butterfly transform over 8×8 blocks
+// followed by quantization — wide, regular ILP with few branches, the
+// profile that made ijpeg the highest-IPC SPECint95 member.
+
+const (
+	ijpegBlocks = 120
+	ijpegSize   = 8
+)
+
+func ijpegRef() []int32 {
+	var block [ijpegSize * ijpegSize]int32
+	s := int32(1357)
+	var csum, nonzero int32
+	for b := 0; b < ijpegBlocks; b++ {
+		for i := range block {
+			s = lcg(s)
+			block[i] = ((s >> 16) & 0xFF) - 128
+		}
+		// Row butterflies.
+		for r := 0; r < ijpegSize; r++ {
+			base := r * ijpegSize
+			for k := 0; k < 4; k++ {
+				x, y := block[base+k], block[base+7-k]
+				block[base+k] = x + y
+				block[base+7-k] = (x - y) * int32(k+1)
+			}
+		}
+		// Column butterflies.
+		for c := 0; c < ijpegSize; c++ {
+			for k := 0; k < 4; k++ {
+				i1, i2 := k*ijpegSize+c, (7-k)*ijpegSize+c
+				x, y := block[i1], block[i2]
+				block[i1] = x + y
+				block[i2] = (x - y) * int32(k+1)
+			}
+		}
+		// Quantize and accumulate.
+		for i := range block {
+			q := block[i] >> uint(2+(i&3))
+			csum = csum*31 + q
+			if q > 0 {
+				nonzero++
+			}
+		}
+	}
+	return []int32{nonzero, csum}
+}
+
+const ijpegSrc = `
+# ijpeg: 8x8 block butterfly transform and quantization
+# (mirrors SPEC95 132.ijpeg's blocked integer image processing).
+		.data
+block:	.space 256             # 64 words
+		.text
+main:
+		la   $s0, block
+		li   $t0, 1357         # seed
+		li   $t8, 1103515245
+		li   $s1, 0            # block counter
+		li   $s4, 0            # csum
+		li   $s5, 0            # nonzero
+		li   $t9, 31
+blockloop:
+		# Fill the block from the LCG: pixel - 128.
+		li   $t1, 0
+fill:	mul  $t0, $t0, $t8
+		addi $t0, $t0, 12345
+		srl  $t2, $t0, 16
+		andi $t2, $t2, 0xFF
+		addi $t2, $t2, -128
+		sll  $t3, $t1, 2
+		add  $t3, $s0, $t3
+		sw   $t2, 0($t3)
+		addi $t1, $t1, 1
+		li   $t3, 64
+		blt  $t1, $t3, fill
+
+		# Row butterflies.
+		li   $t1, 0            # r
+rowloop: sll  $t2, $t1, 3      # base = r*8
+		li   $t3, 0            # k
+rowk:	add  $t4, $t2, $t3     # base+k
+		sll  $t4, $t4, 2
+		add  $t4, $s0, $t4
+		li   $t5, 7
+		sub  $t5, $t5, $t3     # 7-k
+		add  $t5, $t2, $t5
+		sll  $t5, $t5, 2
+		add  $t5, $s0, $t5
+		lw   $t6, 0($t4)       # x
+		lw   $t7, 0($t5)       # y
+		add  $v0, $t6, $t7
+		sw   $v0, 0($t4)
+		sub  $v0, $t6, $t7
+		addi $v1, $t3, 1
+		mul  $v0, $v0, $v1
+		sw   $v0, 0($t5)
+		addi $t3, $t3, 1
+		li   $v1, 4
+		blt  $t3, $v1, rowk
+		addi $t1, $t1, 1
+		li   $v1, 8
+		blt  $t1, $v1, rowloop
+
+		# Column butterflies.
+		li   $t1, 0            # c
+colloop: li  $t3, 0            # k
+colk:	sll  $t4, $t3, 3       # k*8
+		add  $t4, $t4, $t1
+		sll  $t4, $t4, 2
+		add  $t4, $s0, $t4     # &block[k*8+c]
+		li   $t5, 7
+		sub  $t5, $t5, $t3
+		sll  $t5, $t5, 3
+		add  $t5, $t5, $t1
+		sll  $t5, $t5, 2
+		add  $t5, $s0, $t5     # &block[(7-k)*8+c]
+		lw   $t6, 0($t4)
+		lw   $t7, 0($t5)
+		add  $v0, $t6, $t7
+		sw   $v0, 0($t4)
+		sub  $v0, $t6, $t7
+		addi $v1, $t3, 1
+		mul  $v0, $v0, $v1
+		sw   $v0, 0($t5)
+		addi $t3, $t3, 1
+		li   $v1, 4
+		blt  $t3, $v1, colk
+		addi $t1, $t1, 1
+		li   $v1, 8
+		blt  $t1, $v1, colloop
+
+		# Quantize and accumulate.
+		li   $t1, 0
+quant:	sll  $t3, $t1, 2
+		add  $t3, $s0, $t3
+		lw   $t4, 0($t3)
+		andi $t5, $t1, 3
+		addi $t5, $t5, 2
+		srav $t4, $t4, $t5     # q = v >> (2 + (i&3))
+		mul  $s4, $s4, $t9
+		add  $s4, $s4, $t4
+		blez $t4, notpos
+		addi $s5, $s5, 1
+notpos:	addi $t1, $t1, 1
+		li   $t5, 64
+		blt  $t1, $t5, quant
+
+		addi $s1, $s1, 1
+		li   $t5, 120
+		blt  $s1, $t5, blockloop
+
+		out  $s5
+		out  $s4
+		halt
+`
+
+func init() {
+	register(&Workload{
+		Name:        "ijpeg",
+		Description: "8x8 block butterfly transform with quantization — extension, not in the paper's seven (mirrors SPEC95 132.ijpeg)",
+		Source:      ijpegSrc,
+		Reference:   ijpegRef,
+		Extension:   true,
+	})
+}

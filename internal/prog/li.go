@@ -1,0 +1,144 @@
+package prog
+
+// li mirrors SPEC95 130.li (xlisp): cons-cell list manipulation dominated
+// by pointer chasing. The kernel builds linked lists in a cell heap, then
+// repeatedly reverses and reduces them in place — serial load-to-load
+// dependence chains with almost no ILP, which is why li shows the largest
+// degradation on the FIFO microarchitecture in the paper (Figure 13).
+
+const (
+	liNLists = 60
+	liPasses = 8
+)
+
+func liRef() []int32 {
+	type cell struct{ car, cdr int32 } // cdr is a cell index+1; 0 = nil
+	var heap []cell
+	heads := make([]int32, liNLists)
+	s := int32(31415)
+	var cells int32
+	for i := 0; i < liNLists; i++ {
+		s = lcg(s)
+		length := 3 + (s>>16)&63
+		var prev int32 // nil
+		for k := int32(0); k < length; k++ {
+			s = lcg(s)
+			heap = append(heap, cell{car: (s >> 16) & 0xFF, cdr: prev})
+			cells++
+			prev = cells // index+1
+		}
+		heads[i] = prev
+	}
+	var csum int32
+	for pass := 0; pass < liPasses; pass++ {
+		for i := 0; i < liNLists; i++ {
+			// Reverse in place.
+			var prev int32
+			cur := heads[i]
+			for cur != 0 {
+				next := heap[cur-1].cdr
+				heap[cur-1].cdr = prev
+				prev = cur
+				cur = next
+			}
+			heads[i] = prev
+			// Sum and destructively increment the elements.
+			var sum int32
+			for p := prev; p != 0; p = heap[p-1].cdr {
+				sum += heap[p-1].car
+				heap[p-1].car++
+			}
+			csum = csum*31 + sum
+		}
+	}
+	return []int32{cells, csum}
+}
+
+const liSrc = `
+# li: cons-cell list building, reversal and reduction
+# (mirrors SPEC95 130.li's pointer-chasing interpreter heap).
+#
+# Cells are 8 bytes: car word then cdr word. Pointers are byte addresses;
+# 0 is nil. The heap is bump-allocated.
+		.data
+heads:	.space 240             # 60 list heads
+heap:	.space 40960           # up to 5120 cells
+		.text
+main:
+		la   $s0, heap         # bump pointer
+		la   $s1, heads
+		li   $t0, 31415        # seed
+		li   $t8, 1103515245
+		li   $s2, 0            # list index
+		li   $s3, 0            # total cells
+build:	mul  $t0, $t0, $t8
+		addi $t0, $t0, 12345
+		srl  $t1, $t0, 16
+		andi $t1, $t1, 63
+		addi $t1, $t1, 3       # length
+		li   $t2, 0            # prev = nil
+bcell:	mul  $t0, $t0, $t8
+		addi $t0, $t0, 12345
+		srl  $t3, $t0, 16
+		andi $t3, $t3, 0xFF    # value
+		sw   $t3, 0($s0)       # car
+		sw   $t2, 4($s0)       # cdr = prev
+		move $t2, $s0          # prev = this cell
+		addi $s0, $s0, 8
+		addi $s3, $s3, 1
+		addi $t1, $t1, -1
+		bgtz $t1, bcell
+		sll  $t4, $s2, 2
+		add  $t4, $s1, $t4
+		sw   $t2, 0($t4)       # heads[i]
+		addi $s2, $s2, 1
+		li   $t4, 60
+		blt  $s2, $t4, build
+
+		li   $s4, 0            # csum
+		li   $s5, 0            # pass
+		li   $t9, 31
+pass:	li   $s2, 0            # list index
+plist:	sll  $t4, $s2, 2
+		add  $s6, $s1, $t4     # &heads[i]
+		lw   $t1, 0($s6)       # cur
+		li   $t2, 0            # prev
+rev:	beq  $t1, $zero, revdone
+		lw   $t3, 4($t1)       # next = cur->cdr
+		sw   $t2, 4($t1)       # cur->cdr = prev
+		move $t2, $t1
+		move $t1, $t3
+		j    rev
+revdone:
+		sw   $t2, 0($s6)       # heads[i] = prev
+		li   $t5, 0            # sum
+sum:	beq  $t2, $zero, sumdone
+		lw   $t6, 0($t2)       # car
+		add  $t5, $t5, $t6
+		addi $t6, $t6, 1
+		sw   $t6, 0($t2)       # car++
+		lw   $t2, 4($t2)       # chase cdr
+		j    sum
+sumdone:
+		mul  $s4, $s4, $t9
+		add  $s4, $s4, $t5
+		addi $s2, $s2, 1
+		li   $t4, 60
+		blt  $s2, $t4, plist
+		addi $s5, $s5, 1
+		li   $t4, 8
+		blt  $s5, $t4, pass
+
+		out  $s3
+		out  $s4
+		halt
+`
+
+func init() {
+	register(&Workload{
+		Name:        "li",
+		Description: "cons-cell list reversal and reduction with destructive updates (mirrors SPEC95 130.li)",
+		Source:      liSrc,
+		Reference:   liRef,
+	})
+}

@@ -1,0 +1,247 @@
+package prog
+
+// m88ksim mirrors SPEC95 124.m88ksim: an instruction-set simulator. The
+// kernel interprets a 64-word guest program on a toy 8-register machine —
+// a fetch/decode/dispatch loop through a jump table with indirect jumps
+// and serialized loads, the classic interpreter profile.
+
+const (
+	m88kSteps    = 15000
+	m88kProgSize = 64
+)
+
+func m88kRef() []int32 {
+	// Guest program: 64 random words.
+	prog := make([]int32, m88kProgSize)
+	s := int32(2718)
+	for i := range prog {
+		s = lcg(s)
+		prog[i] = s
+	}
+	var regs [8]int32
+	for i := range regs {
+		regs[i] = int32(i)*3 + 1
+	}
+	pc := int32(0)
+	for step := 0; step < m88kSteps; step++ {
+		w := prog[pc]
+		op := w & 15
+		rd := (w >> 4) & 7
+		rs := (w >> 7) & 7
+		rt := (w >> 10) & 7
+		imm := (w >> 13) & 0xFF
+		next := (pc + 1) & (m88kProgSize - 1)
+		switch op {
+		case 0:
+			regs[rd] = regs[rs] + regs[rt]
+		case 1:
+			regs[rd] = regs[rs] - regs[rt]
+		case 2:
+			regs[rd] = regs[rs] & regs[rt]
+		case 3:
+			regs[rd] = regs[rs] | regs[rt]
+		case 4:
+			regs[rd] = regs[rs] ^ regs[rt]
+		case 5:
+			regs[rd] = regs[rs] + imm
+		case 6:
+			regs[rd] = regs[rs] << 1
+		case 7:
+			regs[rd] = int32(uint32(regs[rs]) >> 1)
+		case 8:
+			if regs[rd] == regs[rs] {
+				next = imm & (m88kProgSize - 1)
+			}
+		case 9:
+			if regs[rd] != regs[rs] {
+				next = imm & (m88kProgSize - 1)
+			}
+		case 10:
+			next = imm & (m88kProgSize - 1)
+		case 11:
+			regs[rd] = regs[rs] * regs[rt]
+		case 12:
+			if regs[rs] < regs[rt] {
+				regs[rd] = 1
+			} else {
+				regs[rd] = 0
+			}
+		case 13:
+			regs[rd] = -regs[rs]
+		case 14:
+			// nop
+		case 15:
+			regs[rd] = regs[rs] + 1
+		}
+		pc = next
+	}
+	var csum int32
+	for i := range regs {
+		csum = csum*31 + regs[i]
+	}
+	return []int32{pc, csum}
+}
+
+const m88kSrc = `
+# m88ksim: interpreter for a toy 8-register guest machine
+# (mirrors SPEC95 124.m88ksim's fetch/decode/dispatch loop).
+		.text
+main:
+		# Generate the 64-word guest program.
+		la   $s0, gprog
+		li   $t0, 2718         # seed
+		li   $t8, 1103515245
+		li   $t1, 0
+ggen:	mul  $t0, $t0, $t8
+		addi $t0, $t0, 12345
+		sll  $t2, $t1, 2
+		add  $t2, $s0, $t2
+		sw   $t0, 0($t2)
+		addi $t1, $t1, 1
+		li   $t2, 64
+		blt  $t1, $t2, ggen
+
+		# Guest registers: regs[i] = i*3 + 1.
+		la   $s1, gregs
+		li   $t1, 0
+rinit:	li   $t2, 3
+		mul  $t2, $t1, $t2
+		addi $t2, $t2, 1
+		sll  $t3, $t1, 2
+		add  $t3, $s1, $t3
+		sw   $t2, 0($t3)
+		addi $t1, $t1, 1
+		li   $t3, 8
+		blt  $t1, $t3, rinit
+
+		la   $s4, jtab
+		li   $s2, 0            # guest pc
+		li   $s3, 15000        # steps remaining
+step:	sll  $t0, $s2, 2
+		add  $t0, $s0, $t0
+		lw   $t0, 0($t0)       # w = gprog[pc]
+		addi $s2, $s2, 1       # default next pc
+		andi $s2, $s2, 63
+		andi $t1, $t0, 15      # op
+		srl  $t2, $t0, 4
+		andi $t2, $t2, 7
+		sll  $t2, $t2, 2
+		add  $t2, $s1, $t2     # &regs[rd]
+		srl  $t3, $t0, 7
+		andi $t3, $t3, 7
+		sll  $t3, $t3, 2
+		add  $t3, $s1, $t3     # &regs[rs]
+		srl  $t4, $t0, 10
+		andi $t4, $t4, 7
+		sll  $t4, $t4, 2
+		add  $t4, $s1, $t4     # &regs[rt]
+		srl  $t5, $t0, 13
+		andi $t5, $t5, 0xFF    # imm
+		sll  $t6, $t1, 2
+		add  $t6, $s4, $t6
+		lw   $t6, 0($t6)
+		jr   $t6               # dispatch
+
+hadd:	lw   $t7, 0($t3)
+		lw   $t9, 0($t4)
+		add  $t7, $t7, $t9
+		sw   $t7, 0($t2)
+		j    stepend
+hsub:	lw   $t7, 0($t3)
+		lw   $t9, 0($t4)
+		sub  $t7, $t7, $t9
+		sw   $t7, 0($t2)
+		j    stepend
+hand:	lw   $t7, 0($t3)
+		lw   $t9, 0($t4)
+		and  $t7, $t7, $t9
+		sw   $t7, 0($t2)
+		j    stepend
+hor:	lw   $t7, 0($t3)
+		lw   $t9, 0($t4)
+		or   $t7, $t7, $t9
+		sw   $t7, 0($t2)
+		j    stepend
+hxor:	lw   $t7, 0($t3)
+		lw   $t9, 0($t4)
+		xor  $t7, $t7, $t9
+		sw   $t7, 0($t2)
+		j    stepend
+haddi:	lw   $t7, 0($t3)
+		add  $t7, $t7, $t5
+		sw   $t7, 0($t2)
+		j    stepend
+hsll:	lw   $t7, 0($t3)
+		sll  $t7, $t7, 1
+		sw   $t7, 0($t2)
+		j    stepend
+hsrl:	lw   $t7, 0($t3)
+		srl  $t7, $t7, 1
+		sw   $t7, 0($t2)
+		j    stepend
+hbeq:	lw   $t7, 0($t2)
+		lw   $t9, 0($t3)
+		bne  $t7, $t9, stepend
+		andi $s2, $t5, 63
+		j    stepend
+hbne:	lw   $t7, 0($t2)
+		lw   $t9, 0($t3)
+		beq  $t7, $t9, stepend
+		andi $s2, $t5, 63
+		j    stepend
+hjmp:	andi $s2, $t5, 63
+		j    stepend
+hmul:	lw   $t7, 0($t3)
+		lw   $t9, 0($t4)
+		mul  $t7, $t7, $t9
+		sw   $t7, 0($t2)
+		j    stepend
+hslt:	lw   $t7, 0($t3)
+		lw   $t9, 0($t4)
+		slt  $t7, $t7, $t9
+		sw   $t7, 0($t2)
+		j    stepend
+hneg:	lw   $t7, 0($t3)
+		neg  $t7, $t7
+		sw   $t7, 0($t2)
+		j    stepend
+hnop:	j    stepend
+hinc:	lw   $t7, 0($t3)
+		addi $t7, $t7, 1
+		sw   $t7, 0($t2)
+stepend:
+		addi $s3, $s3, -1
+		bgtz $s3, step
+
+		# Checksum the guest registers.
+		li   $s5, 0
+		li   $t9, 31
+		li   $t1, 0
+csum:	sll  $t2, $t1, 2
+		add  $t2, $s1, $t2
+		lw   $t3, 0($t2)
+		mul  $s5, $s5, $t9
+		add  $s5, $s5, $t3
+		addi $t1, $t1, 1
+		li   $t2, 8
+		blt  $t1, $t2, csum
+		out  $s2
+		out  $s5
+		halt
+
+		# Data last: jtab refers to handler labels defined above.
+		.data
+gprog:	.space 256             # 64 guest instructions
+gregs:	.space 32              # 8 guest registers
+jtab:	.word hadd, hsub, hand, hor, hxor, haddi, hsll, hsrl
+		.word hbeq, hbne, hjmp, hmul, hslt, hneg, hnop, hinc
+`
+
+func init() {
+	register(&Workload{
+		Name:        "m88ksim",
+		Description: "jump-table interpreter executing 15000 steps of a toy 8-register guest machine (mirrors SPEC95 124.m88ksim)",
+		Source:      m88kSrc,
+		Reference:   m88kRef,
+	})
+}

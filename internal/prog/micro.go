@@ -1,0 +1,385 @@
+package prog
+
+// Microbenchmarks (extensions): five tiny kernels that each isolate one
+// microarchitectural mechanism. They are not part of the paper's figure
+// set; the characterization example and the scheduler tests use them to
+// show each mechanism in isolation.
+
+const (
+	microChainIters = 9000
+	microChainLinks = 8
+
+	microParIters   = 3000
+	microParStreams = 8
+
+	microChaseNodes = 4096
+	microChaseSteps = 100000
+
+	microBranchIters = 30000
+
+	microStreamWords  = 16384 // 64 KB
+	microStreamPasses = 3
+)
+
+func microChainRef() []int32 {
+	v := int32(1)
+	for i := 0; i < microChainIters; i++ {
+		for k := 0; k < microChainLinks; k++ {
+			v = v*3 + 1
+		}
+	}
+	return []int32{v}
+}
+
+const microChainSrc = `
+# micro.chain: one serial dependence chain (8 multiply-add links per iteration) — IPC pinned near 1 on any
+# machine with single-cycle ALUs.
+		.text
+main:	li   $s0, 9000
+		li   $t0, 1
+loop:
+` + chainBody + `
+		addi $s0, $s0, -1
+		bgtz $s0, loop
+		out  $t0
+		halt
+`
+
+// chainBody is 8 dependent multiply-add link pairs.
+const chainBody = `		li   $t9, 3
+		mul  $t0, $t0, $t9
+		addi $t0, $t0, 1
+		mul  $t0, $t0, $t9
+		addi $t0, $t0, 1
+		mul  $t0, $t0, $t9
+		addi $t0, $t0, 1
+		mul  $t0, $t0, $t9
+		addi $t0, $t0, 1
+		mul  $t0, $t0, $t9
+		addi $t0, $t0, 1
+		mul  $t0, $t0, $t9
+		addi $t0, $t0, 1
+		mul  $t0, $t0, $t9
+		addi $t0, $t0, 1
+		mul  $t0, $t0, $t9
+		addi $t0, $t0, 1
+`
+
+func microParallelRef() []int32 {
+	var v [microParStreams]int32
+	for i := range v {
+		v[i] = int32(i + 1)
+	}
+	for i := 0; i < microParIters; i++ {
+		for k := 0; k < 4; k++ {
+			for s := range v {
+				v[s] = v[s]*5 + int32(s)
+			}
+		}
+	}
+	var csum int32
+	for _, x := range v {
+		csum = csum*31 + x
+	}
+	return []int32{csum}
+}
+
+const microParallelSrc = `
+# micro.parallel: eight independent dependence chains — enough ILP to
+# saturate an 8-wide machine.
+		.text
+main:	li   $s0, 3000
+		li   $t0, 1
+		li   $t1, 2
+		li   $t2, 3
+		li   $t3, 4
+		li   $t4, 5
+		li   $t5, 6
+		li   $t6, 7
+		li   $t7, 8
+		li   $t9, 5
+loop:
+` + parBody + parBody + parBody + parBody + `
+		addi $s0, $s0, -1
+		bgtz $s0, loop
+		li   $s1, 0
+		li   $s2, 31
+		mul  $s1, $s1, $s2
+		add  $s1, $s1, $t0
+		mul  $s1, $s1, $s2
+		add  $s1, $s1, $t1
+		mul  $s1, $s1, $s2
+		add  $s1, $s1, $t2
+		mul  $s1, $s1, $s2
+		add  $s1, $s1, $t3
+		mul  $s1, $s1, $s2
+		add  $s1, $s1, $t4
+		mul  $s1, $s1, $s2
+		add  $s1, $s1, $t5
+		mul  $s1, $s1, $s2
+		add  $s1, $s1, $t6
+		mul  $s1, $s1, $s2
+		add  $s1, $s1, $t7
+		out  $s1
+		halt
+`
+
+const parBody = `		mul  $t0, $t0, $t9
+		addi $t0, $t0, 0
+		mul  $t1, $t1, $t9
+		addi $t1, $t1, 1
+		mul  $t2, $t2, $t9
+		addi $t2, $t2, 2
+		mul  $t3, $t3, $t9
+		addi $t3, $t3, 3
+		mul  $t4, $t4, $t9
+		addi $t4, $t4, 4
+		mul  $t5, $t5, $t9
+		addi $t5, $t5, 5
+		mul  $t6, $t6, $t9
+		addi $t6, $t6, 6
+		mul  $t7, $t7, $t9
+		addi $t7, $t7, 7
+`
+
+func microChaseRef() []int32 {
+	next := make([]int32, microChaseNodes)
+	s := int32(8675309)
+	// Sattolo's algorithm: a single cycle through all nodes.
+	perm := make([]int32, microChaseNodes)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for i := microChaseNodes - 1; i > 0; i-- {
+		s = lcg(s)
+		j := int(uint32(s)>>16) % i
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := 0; i < microChaseNodes; i++ {
+		next[perm[i]] = perm[(i+1)%microChaseNodes]
+	}
+	p := perm[0]
+	var csum int32
+	for step := 0; step < microChaseSteps; step++ {
+		p = next[p]
+		csum += p
+	}
+	return []int32{p, csum}
+}
+
+const microChaseSrc = `
+# micro.chase: pointer chasing through a permutation ring — every load
+# depends on the previous load.
+		.data
+nextp:	.space 16384           # 4096 words
+perm:	.space 16384
+		.text
+main:
+		# perm = identity
+		la   $s0, perm
+		li   $t1, 0
+idloop:	sll  $t2, $t1, 2
+		add  $t2, $s0, $t2
+		sw   $t1, 0($t2)
+		addi $t1, $t1, 1
+		li   $t2, 4096
+		blt  $t1, $t2, idloop
+
+		# Sattolo shuffle: for i = 4095 downto 1: j = rand % i; swap
+		li   $t0, 8675309      # seed
+		li   $t8, 1103515245
+		li   $t1, 4095         # i
+shuf:	mul  $t0, $t0, $t8
+		addi $t0, $t0, 12345
+		srl  $t2, $t0, 16      # rand 16-bit
+		rem  $t2, $t2, $t1     # j = rand % i
+		sll  $t3, $t1, 2
+		add  $t3, $s0, $t3     # &perm[i]
+		sll  $t4, $t2, 2
+		add  $t4, $s0, $t4     # &perm[j]
+		lw   $t5, 0($t3)
+		lw   $t6, 0($t4)
+		sw   $t6, 0($t3)
+		sw   $t5, 0($t4)
+		addi $t1, $t1, -1
+		bgtz $t1, shuf
+
+		# next[perm[i]] = perm[(i+1) % N]
+		la   $s1, nextp
+		li   $t1, 0
+link:	sll  $t2, $t1, 2
+		add  $t2, $s0, $t2
+		lw   $t3, 0($t2)       # perm[i]
+		addi $t4, $t1, 1
+		andi $t4, $t4, 4095
+		sll  $t4, $t4, 2
+		add  $t4, $s0, $t4
+		lw   $t5, 0($t4)       # perm[i+1]
+		sll  $t3, $t3, 2
+		add  $t3, $s1, $t3
+		sw   $t5, 0($t3)
+		addi $t1, $t1, 1
+		li   $t2, 4096
+		blt  $t1, $t2, link
+
+		# Chase.
+		lw   $t1, 0($s0)       # p = perm[0]
+		li   $s3, 0            # csum
+		li   $s2, 100000       # steps
+chase:	sll  $t2, $t1, 2
+		add  $t2, $s1, $t2
+		lw   $t1, 0($t2)       # p = next[p]
+		add  $s3, $s3, $t1
+		addi $s2, $s2, -1
+		bgtz $s2, chase
+		out  $t1
+		out  $s3
+		halt
+`
+
+func microBranchRef() []int32 {
+	s := int32(13579)
+	var a, b, c int32
+	for i := 0; i < microBranchIters; i++ {
+		s = lcg(s)
+		bit := (s >> 16) & 3
+		switch bit {
+		case 0:
+			a++
+		case 1:
+			b += a
+		case 2:
+			c ^= b
+		default:
+			a -= 1
+		}
+	}
+	return []int32{a, b, c}
+}
+
+const microBranchSrc = `
+# micro.branchy: a four-way data-dependent branch ladder driven by LCG
+# bits — stresses the branch predictor and misprediction recovery.
+		.text
+main:	li   $t0, 13579
+		li   $t8, 1103515245
+		li   $s0, 30000
+		li   $s1, 0            # a
+		li   $s2, 0            # b
+		li   $s3, 0            # c
+loop:	mul  $t0, $t0, $t8
+		addi $t0, $t0, 12345
+		srl  $t1, $t0, 16
+		andi $t1, $t1, 3
+		beq  $t1, $zero, c0
+		li   $t2, 1
+		beq  $t1, $t2, c1
+		li   $t2, 2
+		beq  $t1, $t2, c2
+		addi $s1, $s1, -1
+		j    next
+c0:		addi $s1, $s1, 1
+		j    next
+c1:		add  $s2, $s2, $s1
+		j    next
+c2:		xor  $s3, $s3, $s2
+next:	addi $s0, $s0, -1
+		bgtz $s0, loop
+		out  $s1
+		out  $s2
+		out  $s3
+		halt
+`
+
+func microStreamRef() []int32 {
+	arr := make([]int32, microStreamWords)
+	s := int32(24680)
+	for i := range arr {
+		s = lcg(s)
+		arr[i] = s >> 16
+	}
+	var csum int32
+	for p := 0; p < microStreamPasses; p++ {
+		for i := 0; i < microStreamWords; i++ {
+			csum += arr[i]
+			arr[i] = csum
+		}
+	}
+	return []int32{csum}
+}
+
+const microStreamSrc = `
+# micro.stream: sequential read-modify-write sweeps over a 64 KB array —
+# twice the D-cache, so every pass streams through memory.
+		.data
+arr:	.space 65536
+		.text
+main:	la   $s0, arr
+		li   $t0, 24680
+		li   $t8, 1103515245
+		li   $t1, 0
+fill:	mul  $t0, $t0, $t8
+		addi $t0, $t0, 12345
+		sra  $t2, $t0, 16
+		sll  $t3, $t1, 2
+		add  $t3, $s0, $t3
+		sw   $t2, 0($t3)
+		addi $t1, $t1, 1
+		li   $t3, 16384
+		blt  $t1, $t3, fill
+
+		li   $s1, 0            # csum
+		li   $s2, 0            # pass
+pass:	li   $t1, 0
+sweep:	sll  $t3, $t1, 2
+		add  $t3, $s0, $t3
+		lw   $t4, 0($t3)
+		add  $s1, $s1, $t4
+		sw   $s1, 0($t3)
+		addi $t1, $t1, 1
+		li   $t4, 16384
+		blt  $t1, $t4, sweep
+		addi $s2, $s2, 1
+		li   $t4, 3
+		blt  $s2, $t4, pass
+		out  $s1
+		halt
+`
+
+func init() {
+	register(&Workload{
+		Name:        "micro.chain",
+		Description: "microbenchmark: one serial multiply-add dependence chain (IPC ≈ 2/3 per link pair)",
+		Source:      microChainSrc,
+		Reference:   microChainRef,
+		Extension:   true,
+	})
+	register(&Workload{
+		Name:        "micro.parallel",
+		Description: "microbenchmark: eight independent dependence chains (saturates an 8-wide machine)",
+		Source:      microParallelSrc,
+		Reference:   microParallelRef,
+		Extension:   true,
+	})
+	register(&Workload{
+		Name:        "micro.chase",
+		Description: "microbenchmark: pointer chasing through a 4096-node permutation ring (load-to-load chain)",
+		Source:      microChaseSrc,
+		Reference:   microChaseRef,
+		Extension:   true,
+	})
+	register(&Workload{
+		Name:        "micro.branchy",
+		Description: "microbenchmark: LCG-driven four-way branch ladder (predictor stress)",
+		Source:      microBranchSrc,
+		Reference:   microBranchRef,
+		Extension:   true,
+	})
+	register(&Workload{
+		Name:        "micro.stream",
+		Description: "microbenchmark: streaming read-modify-write over 64KB (cache-miss bound)",
+		Source:      microStreamSrc,
+		Reference:   microStreamRef,
+		Extension:   true,
+	})
+}

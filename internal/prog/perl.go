@@ -1,0 +1,181 @@
+package prog
+
+// perl mirrors SPEC95 134.perl: associative-array (hash) manipulation over
+// generated "words". Rolling string hashes feed an open-addressed table;
+// an insert phase is followed by hit and miss lookup phases — short serial
+// hash chains, data-dependent probe loops, and hard-to-predict branches.
+
+const (
+	perlNWords  = 1500
+	perlTabBits = 11 // 2048 slots
+)
+
+// perlHashStream generates the word stream from a seed and calls fn with
+// each word's rolling hash (forced odd so 0 can mean "empty slot").
+func perlHashStream(seed int32, n int, fn func(h int32)) {
+	s := seed
+	for i := 0; i < n; i++ {
+		s = lcg(s)
+		length := 3 + (s>>16)&7
+		h := int32(0)
+		for k := int32(0); k < length; k++ {
+			s = lcg(s)
+			c := 97 + (s>>16)&15
+			h = h*31 + c
+		}
+		fn(h | 1)
+	}
+}
+
+func perlRef() []int32 {
+	const size = 1 << perlTabBits
+	const mask = size - 1
+	key := make([]int32, size)
+	count := make([]int32, size)
+	probe := func(h int32) int32 {
+		idx := int32(uint32(h)>>4) & mask
+		for key[idx] != 0 && key[idx] != h {
+			idx = (idx + 1) & mask
+		}
+		return idx
+	}
+	var distinct int32
+	perlHashStream(8191, perlNWords, func(h int32) {
+		idx := probe(h)
+		if key[idx] == 0 {
+			key[idx] = h
+			distinct++
+		}
+		count[idx]++
+	})
+	var found, foundSum int32
+	perlHashStream(8191, perlNWords, func(h int32) {
+		idx := probe(h)
+		if key[idx] == h {
+			found++
+			foundSum += count[idx]
+		}
+	})
+	var miss int32
+	perlHashStream(5557, perlNWords, func(h int32) {
+		idx := probe(h)
+		if key[idx] == 0 {
+			miss++
+		}
+	})
+	return []int32{distinct, found, foundSum, miss}
+}
+
+const perlSrc = `
+# perl: rolling-hash word hashing into an open-addressed associative array
+# (mirrors SPEC95 134.perl's hash-dominated execution).
+		.data
+hkey:	.space 8192            # 2048 slots
+hcnt:	.space 8192
+		.text
+main:
+		la   $s0, hkey
+		la   $s1, hcnt
+		li   $t8, 1103515245
+
+		# Phase 1: insert perlNWords words (seed 8191).
+		li   $s2, 8191         # stream seed
+		li   $s3, 1500         # words remaining
+		li   $s5, 0            # distinct
+ins:	jal  nexthash          # $v0 = word hash
+		jal  probe             # $v1 = slot address
+		lw   $t1, 0($v1)
+		bne  $t1, $zero, seen
+		sw   $v0, 0($v1)       # key[idx] = h
+		addi $s5, $s5, 1
+seen:	add  $t2, $v1, $zero
+		sub  $t2, $t2, $s0
+		add  $t2, $s1, $t2     # &count[idx]
+		lw   $t1, 0($t2)
+		addi $t1, $t1, 1
+		sw   $t1, 0($t2)
+		addi $s3, $s3, -1
+		bgtz $s3, ins
+
+		# Phase 2: re-generate the same stream; every word must hit.
+		li   $s2, 8191
+		li   $s3, 1500
+		li   $s6, 0            # found
+		li   $s7, 0            # foundSum
+hit:	jal  nexthash
+		jal  probe
+		lw   $t1, 0($v1)
+		bne  $t1, $v0, nothit
+		addi $s6, $s6, 1
+		add  $t2, $v1, $zero
+		sub  $t2, $t2, $s0
+		add  $t2, $s1, $t2
+		lw   $t1, 0($t2)
+		add  $s7, $s7, $t1
+nothit:	addi $s3, $s3, -1
+		bgtz $s3, hit
+
+		# Phase 3: a different stream (seed 5557); mostly misses.
+		li   $s2, 5557
+		li   $s3, 1500
+		li   $fp, 0            # miss
+mis:	jal  nexthash
+		jal  probe
+		lw   $t1, 0($v1)
+		bne  $t1, $zero, notmiss
+		addi $fp, $fp, 1
+notmiss: addi $s3, $s3, -1
+		bgtz $s3, mis
+
+		out  $s5
+		out  $s6
+		out  $s7
+		out  $fp
+		halt
+
+# nexthash: draw the next word from the stream in $s2 and return its
+# rolling hash (forced odd) in $v0. Clobbers $t0-$t3.
+nexthash:
+		mul  $s2, $s2, $t8
+		addi $s2, $s2, 12345
+		srl  $t0, $s2, 16
+		andi $t0, $t0, 7
+		addi $t0, $t0, 3       # length
+		li   $v0, 0
+		li   $t3, 31
+nhchar:	mul  $s2, $s2, $t8
+		addi $s2, $s2, 12345
+		srl  $t1, $s2, 16
+		andi $t1, $t1, 15
+		addi $t1, $t1, 97      # char
+		mul  $v0, $v0, $t3
+		add  $v0, $v0, $t1
+		addi $t0, $t0, -1
+		bgtz $t0, nhchar
+		ori  $v0, $v0, 1
+		jr   $ra
+
+# probe: open-address probe for hash $v0; returns the slot address (first
+# matching or first empty) in $v1. Clobbers $t0-$t1.
+probe:
+		srl  $t0, $v0, 4
+		andi $t0, $t0, 0x7FF   # idx
+ploop:	sll  $t1, $t0, 2
+		add  $v1, $s0, $t1
+		lw   $t1, 0($v1)
+		beq  $t1, $zero, pdone
+		beq  $t1, $v0, pdone
+		addi $t0, $t0, 1
+		andi $t0, $t0, 0x7FF
+		j    ploop
+pdone:	jr   $ra
+`
+
+func init() {
+	register(&Workload{
+		Name:        "perl",
+		Description: "rolling-hash word insertion and lookup in an open-addressed associative array (mirrors SPEC95 134.perl)",
+		Source:      perlSrc,
+		Reference:   perlRef,
+	})
+}

@@ -1,0 +1,120 @@
+// Package prog contains the benchmark programs used to evaluate the
+// microarchitectures, written in the assembly language of package asm.
+//
+// The paper evaluated seven programs from the SPEC'95 integer suite
+// (compress, gcc, go, li, m88ksim, perl, vortex). SPEC'95 binaries cannot
+// be redistributed, so each workload here is a from-scratch kernel whose
+// algorithmic structure mirrors the corresponding SPEC program: the same
+// kind of dependence chains, branch behaviour and memory access patterns
+// that the issue logic and steering heuristics are sensitive to. Inputs
+// are generated deterministically (linear congruential generators seeded
+// per workload), and every workload carries an independent Go reference
+// implementation; the test suite checks that the assembly program and the
+// Go reference produce identical outputs, validating both the programs and
+// the emulator.
+package prog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	// Name is the SPEC'95 program the kernel mirrors, e.g. "compress".
+	Name string
+	// Description summarizes the kernel and what behaviour it models.
+	Description string
+	// Source is the assembly source text.
+	Source string
+	// Reference computes the expected Out-instruction values with an
+	// independent Go implementation of the same algorithm.
+	Reference func() []int32
+	// Extension marks workloads beyond the paper's seven benchmarks;
+	// they are excluded from Names()/All() (the paper's figure set) but
+	// returned by ExtendedNames()/AllExtended().
+	Extension bool
+
+	once sync.Once
+	prog *isa.Program
+	err  error
+}
+
+// Program assembles the workload (cached after the first call).
+func (w *Workload) Program() (*isa.Program, error) {
+	w.once.Do(func() {
+		w.prog, w.err = asm.Assemble(w.Name+".s", w.Source)
+		if w.err == nil {
+			w.prog.Name = w.Name
+		}
+	})
+	return w.prog, w.err
+}
+
+var registry = map[string]*Workload{}
+
+func register(w *Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic("prog: duplicate workload " + w.Name)
+	}
+	registry[w.Name] = w
+}
+
+// Names returns the paper's seven workload names in figure order
+// (extensions excluded).
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n, w := range registry {
+		if !w.Extension {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ExtendedNames returns every registered workload, including extensions.
+func ExtendedNames() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns the paper's workloads, ordered by name.
+func All() []*Workload {
+	var out []*Workload
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// AllExtended returns every workload including extensions, ordered by name.
+func AllExtended() []*Workload {
+	var out []*Workload
+	for _, n := range ExtendedNames() {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// ByName returns the named workload.
+func ByName(name string) (*Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("prog: unknown workload %q (want one of %v)", name, Names())
+	}
+	return w, nil
+}
+
+// lcg advances the shared linear congruential generator. Both the assembly
+// programs and the Go references use this exact recurrence (int32
+// wraparound), so their input streams match bit for bit.
+func lcg(s int32) int32 { return s*1103515245 + 12345 }

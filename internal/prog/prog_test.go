@@ -1,0 +1,115 @@
+package prog
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+)
+
+// maxInsts bounds workload execution in tests; every workload must finish
+// well inside it.
+const maxInsts = 20_000_000
+
+func TestWorkloadsMatchReferences(t *testing.T) {
+	for _, w := range AllExtended() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p, err := w.Program()
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			m := emu.New(p)
+			for !m.Halted() {
+				if m.Executed >= maxInsts {
+					t.Fatalf("exceeded %d instructions", int64(maxInsts))
+				}
+				if _, err := m.Step(); err != nil {
+					t.Fatalf("step (after %d insts): %v", m.Executed, err)
+				}
+			}
+			want := w.Reference()
+			if len(m.Output) != len(want) {
+				t.Fatalf("output %v, want %v", m.Output, want)
+			}
+			for i := range want {
+				if m.Output[i] != want[i] {
+					t.Errorf("output[%d] = %d, want %d (full: %v vs %v)", i, m.Output[i], want[i], m.Output, want)
+				}
+			}
+			t.Logf("%s: %d dynamic instructions, output %v", w.Name, m.Executed, m.Output)
+		})
+	}
+}
+
+func TestWorkloadDynamicLengths(t *testing.T) {
+	// Workloads must be long enough for the IPC measurements to be stable
+	// yet short enough for the full sweep to run quickly.
+	for _, w := range AllExtended() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p, err := w.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := emu.New(p)
+			for !m.Halted() && m.Executed < maxInsts {
+				if _, err := m.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if m.Executed < 100_000 {
+				t.Errorf("only %d dynamic instructions; want ≥100k", m.Executed)
+			}
+			if m.Executed > 3_000_000 {
+				t.Errorf("%d dynamic instructions; want ≤3M for sweep speed", m.Executed)
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 7 {
+		t.Fatalf("paper workload set = %v, want the seven benchmarks", names)
+	}
+	for _, n := range names {
+		if n == "ijpeg" {
+			t.Error("extension workload leaked into the paper set")
+		}
+	}
+	ext := ExtendedNames()
+	if len(ext) != len(names)+6 {
+		t.Errorf("extended set = %v, want paper set plus ijpeg and five microbenchmarks", ext)
+	}
+	found := false
+	for _, n := range ext {
+		if n == "ijpeg" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("ijpeg missing from extended set")
+	}
+	for _, n := range names {
+		w, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Name != n {
+			t.Errorf("ByName(%q).Name = %q", n, w.Name)
+		}
+		if w.Description == "" {
+			t.Errorf("%s: empty description", n)
+		}
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("ByName(nonesuch) succeeded")
+	}
+	// Program() caching returns the same pointer.
+	w := All()[0]
+	p1, _ := w.Program()
+	p2, _ := w.Program()
+	if p1 != p2 {
+		t.Error("Program() not cached")
+	}
+}

@@ -1,0 +1,223 @@
+package prog
+
+// vortex mirrors SPEC95 147.vortex: an object-oriented database running a
+// transaction mix. Records live in a flat store; a sorted key column is
+// searched with binary search; transactions are a lookup-heavy mix with
+// updates and inserts — pointer-ish loads, compares, and stores over a
+// working set larger than the L1 sets it touches.
+
+const (
+	vortexInitial  = 300
+	vortexMax      = 400
+	vortexRecWords = 8
+	vortexTxns     = 4000
+)
+
+func vortexRef() []int32 {
+	rec := make([]int32, vortexMax*vortexRecWords)
+	count := int32(vortexInitial)
+	for i := int32(0); i < count; i++ {
+		base := i * vortexRecWords
+		rec[base] = i*7 + 3 // sorted key column
+		for j := int32(1); j < vortexRecWords; j++ {
+			rec[base+j] = rec[base]*j + 5
+		}
+	}
+	// Binary search for key; the key is always present by construction.
+	find := func(key int32) int32 {
+		lo, hi := int32(0), count-1
+		for lo < hi {
+			mid := int32(uint32(lo+hi) >> 1)
+			if rec[mid*vortexRecWords] < key {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	var csum int32
+	s := int32(60601)
+	for t := 0; t < vortexTxns; t++ {
+		s = lcg(s)
+		op := (s >> 16) & 15
+		s = lcg(s)
+		// Scaled pick in [0, count) without division.
+		pick := int32((uint32(s) >> 16) * uint32(count) >> 16)
+		key := pick*7 + 3
+		switch {
+		case op < 11: // lookup
+			i := find(key)
+			base := i * vortexRecWords
+			for j := int32(1); j < vortexRecWords; j++ {
+				csum += rec[base+j]
+			}
+		case op < 14: // update
+			i := find(key)
+			f := 1 + (s & 7)
+			if f >= vortexRecWords {
+				f = 1
+			}
+			rec[i*vortexRecWords+f] += op
+			csum ^= rec[i*vortexRecWords+f]
+		default: // insert (append keeps the key column sorted)
+			if count < vortexMax {
+				base := count * vortexRecWords
+				rec[base] = count*7 + 3
+				for j := int32(1); j < vortexRecWords; j++ {
+					rec[base+j] = rec[base]*j + 5
+				}
+				count++
+			}
+			// Scan checksum over the most recent records.
+			for i := count - 16; i < count; i++ {
+				csum = csum*5 + rec[i*vortexRecWords]
+			}
+		}
+	}
+	return []int32{count, csum}
+}
+
+const vortexSrc = `
+# vortex: object store with binary-searched key column and a
+# lookup/update/insert transaction mix (mirrors SPEC95 147.vortex).
+		.data
+rec:	.space 12800           # 400 records x 8 words
+		.text
+main:
+		la   $s0, rec
+		li   $s1, 300          # count
+		li   $t8, 1103515245
+
+		# Initialize the store: key = i*7+3, field j = key*j+5.
+		li   $t1, 0            # i
+initr:	li   $t2, 7
+		mul  $t2, $t1, $t2
+		addi $t2, $t2, 3       # key
+		sll  $t3, $t1, 5       # byte offset of record (8 words)
+		add  $t3, $s0, $t3
+		sw   $t2, 0($t3)
+		li   $t4, 1            # j
+initf:	mul  $t5, $t2, $t4
+		addi $t5, $t5, 5
+		sll  $t6, $t4, 2
+		add  $t6, $t3, $t6
+		sw   $t5, 0($t6)
+		addi $t4, $t4, 1
+		li   $t6, 8
+		blt  $t4, $t6, initf
+		addi $t1, $t1, 1
+		blt  $t1, $s1, initr
+
+		li   $s4, 0            # csum
+		li   $s3, 4000         # transactions remaining
+		li   $s2, 60601        # seed
+txn:	mul  $s2, $s2, $t8
+		addi $s2, $s2, 12345
+		srl  $s5, $s2, 16
+		andi $s5, $s5, 15      # op
+		mul  $s2, $s2, $t8
+		addi $s2, $s2, 12345
+		srl  $t1, $s2, 16      # (uint32(s) >> 16)
+		mul  $t1, $t1, $s1
+		srl  $t1, $t1, 16      # pick in [0, count)
+		li   $t2, 7
+		mul  $s6, $t1, $t2
+		addi $s6, $s6, 3       # key
+		li   $t2, 11
+		blt  $s5, $t2, lookup
+		li   $t2, 14
+		blt  $s5, $t2, update
+		j    insert
+
+lookup:	jal  find              # $v0 = record index
+		sll  $t3, $v0, 5
+		add  $t3, $s0, $t3
+		li   $t4, 1
+lkf:	sll  $t5, $t4, 2
+		add  $t5, $t3, $t5
+		lw   $t6, 0($t5)
+		add  $s4, $s4, $t6
+		addi $t4, $t4, 1
+		li   $t5, 8
+		blt  $t4, $t5, lkf
+		j    txnend
+
+update:	jal  find
+		andi $t4, $s2, 7
+		addi $t4, $t4, 1       # field 1..8
+		li   $t5, 8
+		blt  $t4, $t5, updok
+		li   $t4, 1
+updok:	sll  $t5, $v0, 5
+		add  $t5, $s0, $t5
+		sll  $t6, $t4, 2
+		add  $t5, $t5, $t6
+		lw   $t6, 0($t5)
+		add  $t6, $t6, $s5
+		sw   $t6, 0($t5)
+		xor  $s4, $s4, $t6
+		j    txnend
+
+insert:	li   $t2, 400
+		bge  $s1, $t2, noins
+		li   $t2, 7
+		mul  $t3, $s1, $t2
+		addi $t3, $t3, 3       # new key
+		sll  $t4, $s1, 5
+		add  $t4, $s0, $t4     # record base
+		sw   $t3, 0($t4)
+		li   $t5, 1
+insf:	mul  $t6, $t3, $t5
+		addi $t6, $t6, 5
+		sll  $t7, $t5, 2
+		add  $t7, $t4, $t7
+		sw   $t6, 0($t7)
+		addi $t5, $t5, 1
+		li   $t7, 8
+		blt  $t5, $t7, insf
+		addi $s1, $s1, 1
+noins:	addi $t2, $s1, -16     # scan the newest 16 records
+		li   $t7, 5
+scan:	sll  $t3, $t2, 5
+		add  $t3, $s0, $t3
+		lw   $t4, 0($t3)
+		mul  $s4, $s4, $t7
+		add  $s4, $s4, $t4
+		addi $t2, $t2, 1
+		blt  $t2, $s1, scan
+
+txnend:	addi $s3, $s3, -1
+		bgtz $s3, txn
+
+		out  $s1
+		out  $s4
+		halt
+
+# find: binary search for key $s6 in the sorted key column; returns the
+# record index in $v0. Clobbers $t5-$t7.
+find:
+		li   $v0, 0            # lo
+		addi $t5, $s1, -1      # hi
+floop:	bge  $v0, $t5, fdone
+		add  $t6, $v0, $t5
+		srl  $t6, $t6, 1       # mid
+		sll  $t7, $t6, 5
+		add  $t7, $s0, $t7
+		lw   $t7, 0($t7)       # key[mid]
+		bge  $t7, $s6, fhigh
+		addi $v0, $t6, 1       # lo = mid+1
+		j    floop
+fhigh:	move $t5, $t6          # hi = mid
+		j    floop
+fdone:	jr   $ra
+`
+
+func init() {
+	register(&Workload{
+		Name:        "vortex",
+		Description: "object store with binary-searched keys and a lookup/update/insert transaction mix (mirrors SPEC95 147.vortex)",
+		Source:      vortexSrc,
+		Reference:   vortexRef,
+	})
+}

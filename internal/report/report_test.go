@@ -1,0 +1,67 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{Title: "T", Headers: []string{"name", "value"}}
+	t.AddRow("alpha", "1")
+	t.AddRowf("beta", 2.5)
+	t.AddRowf("gamma", 42)
+	return t
+}
+
+func TestStringAlignment(t *testing.T) {
+	out := sample().String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, underline, header, separator, 3 rows.
+	if len(lines) != 7 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "T" || lines[1] != "=" {
+		t.Errorf("title block = %q, %q", lines[0], lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "name ") {
+		t.Errorf("header = %q", lines[2])
+	}
+	if !strings.Contains(out, "beta") || !strings.Contains(out, "2.50") {
+		t.Errorf("float row missing: %s", out)
+	}
+	// All data lines are equally wide (aligned columns).
+	w := len(lines[2])
+	for _, l := range lines[3:] {
+		if len(l) > w+2 {
+			t.Errorf("row wider than header block: %q", l)
+		}
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tb := &Table{Headers: []string{"a"}}
+	tb.AddRow("x")
+	if strings.HasPrefix(tb.String(), "\n") || strings.Contains(tb.String(), "=") {
+		t.Errorf("title block rendered for empty title: %q", tb.String())
+	}
+}
+
+func TestShortRow(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow("only")
+	out := tb.String()
+	if !strings.Contains(out, "only") {
+		t.Errorf("short row lost: %s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := &Table{Headers: []string{"name", "note"}}
+	tb.AddRow("x", "plain")
+	tb.AddRow("y", `has "quotes", and commas`)
+	got := tb.CSV()
+	want := "name,note\nx,plain\ny,\"has \"\"quotes\"\", and commas\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}

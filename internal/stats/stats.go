@@ -1,0 +1,131 @@
+// Package stats provides the small statistical helpers used when
+// aggregating experiment results.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean; every input must be positive.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: geometric mean of no values")
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geometric mean requires positive values, got %g", x)
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs))), nil
+}
+
+// MinMax returns the extrema (zeros for an empty slice).
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Histogram is a fixed-bucket counter for small integer samples (e.g.
+// instructions issued per cycle).
+type Histogram struct {
+	buckets []uint64
+	total   uint64
+}
+
+// NewHistogram creates a histogram with buckets 0..max (values above max
+// clamp into the last bucket).
+func NewHistogram(max int) *Histogram {
+	return &Histogram{buckets: make([]uint64, max+1)}
+}
+
+// Add records a sample.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.buckets) {
+		v = len(h.buckets) - 1
+	}
+	h.buckets[v]++
+	h.total++
+}
+
+// Count returns the samples recorded in bucket v.
+func (h *Histogram) Count(v int) uint64 {
+	if v < 0 || v >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[v]
+}
+
+// Total returns the number of samples.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Mean returns the mean sample value.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var s uint64
+	for v, n := range h.buckets {
+		s += uint64(v) * n
+	}
+	return float64(s) / float64(h.total)
+}
+
+// Percentile returns the p-th percentile bucket (0 ≤ p ≤ 100).
+func (h *Histogram) Percentile(p float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.total)))
+	var cum uint64
+	for v, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			return v
+		}
+	}
+	return len(h.buckets) - 1
+}
+
+// Median of a float slice (0 for empty).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got, err := GeoMean([]float64{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean = %g, want 4", got)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("GeoMean(nil) succeeded")
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Error("GeoMean with negative input succeeded")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %g, %g", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Errorf("MinMax(nil) = %g, %g", lo, hi)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Errorf("odd median = %g", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %g", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("Median(nil) = %g", got)
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Error("Median sorted its input in place")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(8)
+	for _, v := range []int{0, 1, 1, 2, 8, 100, -5} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Count(1) != 2 {
+		t.Errorf("count(1) = %d", h.Count(1))
+	}
+	if h.Count(8) != 2 { // 8 and the clamped 100
+		t.Errorf("count(8) = %d", h.Count(8))
+	}
+	if h.Count(0) != 2 { // 0 and the clamped -5
+		t.Errorf("count(0) = %d", h.Count(0))
+	}
+	if h.Count(-1) != 0 || h.Count(99) != 0 {
+		t.Error("out-of-range Count not zero")
+	}
+	if got := h.Percentile(50); got != 1 {
+		t.Errorf("P50 = %d, want 1", got)
+	}
+	if got := h.Percentile(100); got != 8 {
+		t.Errorf("P100 = %d, want 8", got)
+	}
+	if NewHistogram(4).Mean() != 0 {
+		t.Error("empty histogram mean not 0")
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(2)
+	h.Add(4)
+	if got := h.Mean(); got != 3 {
+		t.Errorf("mean = %g", got)
+	}
+}
+
+func TestPropertyMeanWithinRange(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		m := Mean(xs)
+		lo, hi := MinMax(xs)
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGeoMeanLEArithMean(t *testing.T) {
+	f := func(raw []uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			xs = append(xs, float64(r)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g, err := GeoMean(xs)
+		return err == nil && g <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

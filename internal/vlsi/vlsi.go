@@ -1,0 +1,93 @@
+// Package vlsi defines the process-technology models used by the delay
+// analysis in this repository.
+//
+// The paper (Palacharla, Jouppi & Smith, ISCA 1997) studies three CMOS
+// generations — 0.8 µm, 0.35 µm and 0.18 µm — under a scaling model in which
+// logic delay shrinks with feature size while the intrinsic RC delay of a
+// wire of fixed length in λ (λ = half the feature size) stays constant.
+// This package captures those technologies as data: feature size, λ, metal
+// wire parasitics, and a fitted logic-speed scale used by the structure
+// models in package delaymodel.
+package vlsi
+
+import "fmt"
+
+// Technology describes one CMOS process generation.
+type Technology struct {
+	// Name is the conventional label, e.g. "0.18um".
+	Name string
+	// FeatureUm is the drawn feature size in micrometres.
+	FeatureUm float64
+	// LambdaUm is λ in micrometres (half the feature size).
+	LambdaUm float64
+	// RPerUm is metal wire resistance in ohms per micrometre.
+	RPerUm float64
+	// CPerUm is metal wire capacitance in femtofarads per micrometre.
+	CPerUm float64
+	// LogicScale is the fitted ratio of this technology's logic delay to
+	// the 0.18 µm technology's. It is calibrated from the paper's Hspice
+	// results rather than assumed to be exactly FeatureUm/0.18, because
+	// the published delays shrink slightly faster than linearly with
+	// feature size (supply/threshold scaling effects absorbed here).
+	LogicScale float64
+}
+
+// The three technologies studied in the paper. Wire parasitics are chosen so
+// that the delay of a wire of fixed λ-length is identical in all three
+// processes, matching the constant-wire-delay scaling model the paper
+// assumes (Section 4.4.3: "The delays are the same for the three
+// technologies since wire delays are constant according to the scaling
+// model assumed").
+var (
+	Tech080 = Technology{
+		Name:       "0.8um",
+		FeatureUm:  0.80,
+		LambdaUm:   0.40,
+		RPerUm:     0.0275,
+		CPerUm:     0.200,
+		LogicScale: 4.50,
+	}
+	Tech035 = Technology{
+		Name:       "0.35um",
+		FeatureUm:  0.35,
+		LambdaUm:   0.175,
+		RPerUm:     0.1435,
+		CPerUm:     0.200,
+		LogicScale: 1.95,
+	}
+	Tech018 = Technology{
+		Name:       "0.18um",
+		FeatureUm:  0.18,
+		LambdaUm:   0.09,
+		RPerUm:     0.540,
+		CPerUm:     0.201,
+		LogicScale: 1.00,
+	}
+)
+
+// Technologies lists the studied processes from oldest to newest, the order
+// used by every figure in the paper.
+func Technologies() []Technology {
+	return []Technology{Tech080, Tech035, Tech018}
+}
+
+// ByName returns the technology with the given name.
+func ByName(name string) (Technology, error) {
+	for _, t := range Technologies() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return Technology{}, fmt.Errorf("vlsi: unknown technology %q (want one of 0.8um, 0.35um, 0.18um)", name)
+}
+
+// WireRC returns the product R·C per λ² of wire, in picoseconds per λ².
+// Under the scaling model this is the same for every technology; a wire of
+// length L λ has intrinsic (distributed) RC delay ½·WireRC·L² ps.
+func (t Technology) WireRC() float64 {
+	// R [Ω/µm] · C [fF/µm] = 10⁻³ ps/µm²; convert µm² to λ².
+	return t.RPerUm * t.CPerUm * 1e-3 * t.LambdaUm * t.LambdaUm
+}
+
+// LambdaToUm converts a length in λ to micrometres.
+func (t Technology) LambdaToUm(lambda float64) float64 { return lambda * t.LambdaUm }

@@ -1,0 +1,79 @@
+package vlsi
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTechnologiesOrdered(t *testing.T) {
+	techs := Technologies()
+	if len(techs) != 3 {
+		t.Fatalf("Technologies() returned %d entries, want 3", len(techs))
+	}
+	for i := 1; i < len(techs); i++ {
+		if techs[i].FeatureUm >= techs[i-1].FeatureUm {
+			t.Errorf("technologies not ordered oldest→newest: %s then %s",
+				techs[i-1].Name, techs[i].Name)
+		}
+	}
+}
+
+func TestLambdaIsHalfFeature(t *testing.T) {
+	for _, tech := range Technologies() {
+		if math.Abs(tech.LambdaUm-tech.FeatureUm/2) > 1e-9 {
+			t.Errorf("%s: λ=%g, want feature/2=%g", tech.Name, tech.LambdaUm, tech.FeatureUm/2)
+		}
+	}
+}
+
+func TestWireRCConstantAcrossTechnologies(t *testing.T) {
+	// The paper's scaling model: a wire of fixed λ-length has the same
+	// intrinsic RC delay in every technology.
+	base := Tech018.WireRC()
+	for _, tech := range Technologies() {
+		got := tech.WireRC()
+		if math.Abs(got-base)/base > 0.01 {
+			t.Errorf("%s: WireRC=%g, want within 1%% of %g", tech.Name, got, base)
+		}
+	}
+}
+
+func TestWireRCValue(t *testing.T) {
+	// Calibrated so a 20500 λ wire (Table 1, 4-way) has ½·RC·L² ≈ 184.9 ps.
+	l := 20500.0
+	got := 0.5 * Tech018.WireRC() * l * l
+	if math.Abs(got-184.9) > 2.0 {
+		t.Errorf("4-way bypass wire delay = %.1f ps, want ≈184.9", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, tech := range Technologies() {
+		got, err := ByName(tech.Name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", tech.Name, err)
+		}
+		if got.Name != tech.Name {
+			t.Errorf("ByName(%q).Name = %q", tech.Name, got.Name)
+		}
+	}
+	if _, err := ByName("0.13um"); err == nil {
+		t.Error("ByName(unknown) succeeded, want error")
+	}
+}
+
+func TestLogicScaleOrdering(t *testing.T) {
+	if !(Tech080.LogicScale > Tech035.LogicScale && Tech035.LogicScale > Tech018.LogicScale) {
+		t.Errorf("LogicScale must decrease with feature size: %g, %g, %g",
+			Tech080.LogicScale, Tech035.LogicScale, Tech018.LogicScale)
+	}
+	if Tech018.LogicScale != 1.0 {
+		t.Errorf("Tech018.LogicScale = %g, want 1 (reference technology)", Tech018.LogicScale)
+	}
+}
+
+func TestLambdaToUm(t *testing.T) {
+	if got := Tech080.LambdaToUm(10); math.Abs(got-4.0) > 1e-9 {
+		t.Errorf("Tech080.LambdaToUm(10) = %g, want 4", got)
+	}
+}
