@@ -22,11 +22,9 @@ import (
 // clustered case, Figure 17).
 func SteeringAblation() (*report.Table, error) {
 	mk := func(name string, policy core.SteerPolicy) Config {
-		return table3(name, 1, 0, func() core.Scheduler {
-			return core.NewFIFOBank(core.FIFOBankConfig{
-				Name: name, Clusters: 1, FIFOsPerCluster: 8, Depth: 8, Policy: policy,
-			})
-		})
+		return table3(name, 1, 0, core.FIFOBankSpec(core.FIFOBankConfig{
+			Name: name, Clusters: 1, FIFOsPerCluster: 8, Depth: 8, Policy: policy,
+		}))
 	}
 	cfgs := []Config{
 		BaselineConfig(),
@@ -61,13 +59,10 @@ func FIFOGeometry() (*report.Table, error) {
 	lo, hi := stats.MinMax(ipcs)
 	tbl.AddRowf("64-entry window", stats.Mean(ipcs), lo, hi)
 	for _, g := range []struct{ fifos, depth int }{{4, 16}, {8, 8}, {16, 4}, {32, 2}} {
-		g := g
 		name := fmt.Sprintf("%d fifos x %d", g.fifos, g.depth)
-		cfg := table3(name, 1, 0, func() core.Scheduler {
-			return core.NewFIFOBank(core.FIFOBankConfig{
-				Name: name, Clusters: 1, FIFOsPerCluster: g.fifos, Depth: g.depth,
-			})
-		})
+		cfg := table3(name, 1, 0, core.FIFOBankSpec(core.FIFOBankConfig{
+			Name: name, Clusters: 1, FIFOsPerCluster: g.fifos, Depth: g.depth,
+		}))
 		res, err := RunMatrix([]Config{cfg}, ws)
 		if err != nil {
 			return nil, err
@@ -253,9 +248,7 @@ func SelectionPolicyAblation() (*report.Table, error) {
 	}
 	age := BaselineConfig()
 	age.Name = "oldest-first (position)"
-	random := table3("random-select", 1, 0, func() core.Scheduler {
-		return core.NewRandomSelectWindow(64)
-	})
+	random := table3("random-select", 1, 0, core.RandomSelectSpec(64))
 	random.Name = "random"
 	res, err := RunMatrix([]Config{age, random}, ws)
 	if err != nil {

@@ -215,20 +215,20 @@ func BenchmarkFig17ClusterDesignSpace(b *testing.B) {
 }
 
 func BenchmarkSpeedupEstimate(b *testing.B) {
-	var mean float64
+	var sum SpeedupSummary
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, mean, err = SpeedupEstimate()
+		_, sum, err = SpeedupEstimate()
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
-	sws, m, err := SpeedupEstimate()
+	sws, s, err := SpeedupEstimate()
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.Logf("\n%s", SpeedupTable(sws, m))
-	b.ReportMetric(mean, "net-speedup")
+	b.Logf("\n%s", SpeedupTable(sws, s))
+	b.ReportMetric(sum.Arith, "net-speedup")
 }
 
 // BenchmarkSimulatorThroughput measures the raw speed of the timing

@@ -19,10 +19,7 @@ package ce
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
-	"repro/internal/bpred"
 	"repro/internal/core"
 	"repro/internal/pipeline"
 	"repro/internal/prog"
@@ -39,8 +36,10 @@ type Stats = pipeline.Stats
 const maxCycles = 200_000_000
 
 // table3 returns the shared Table 3 parameters; callers fill in the
-// scheduler and clustering.
-func table3(name string, clusters, interDelay int, sched func() core.Scheduler) Config {
+// scheduler and clustering. Schedulers are given as serializable specs
+// so every stock configuration has a structural fingerprint (Config.Key)
+// and is eligible for run memoization.
+func table3(name string, clusters, interDelay int, sched core.SchedulerSpec) Config {
 	return Config{
 		Name:              name,
 		FetchWidth:        8,
@@ -55,7 +54,7 @@ func table3(name string, clusters, interDelay int, sched func() core.Scheduler) 
 		InterClusterDelay: interDelay,
 		FrontEndDepth:     2,
 		FetchQueueSize:    32,
-		NewScheduler:      sched,
+		Scheduler:         &sched,
 	}
 }
 
@@ -63,20 +62,16 @@ func table3(name string, clusters, interDelay int, sched func() core.Scheduler) 
 // 64-entry flexible issue window with uniform single-cycle bypass. It is
 // also Figure 17's "1-cluster, 1 window" ideal organization.
 func BaselineConfig() Config {
-	return table3("baseline-8way-64win", 1, 0, func() core.Scheduler {
-		return core.NewCentralWindow(64)
-	})
+	return table3("baseline-8way-64win", 1, 0, core.WindowSpec(64))
 }
 
 // DependenceConfig is the (unclustered) dependence-based microarchitecture
 // of Section 5.2: eight 8-entry FIFOs, issue from FIFO heads only, uniform
 // single-cycle bypass. Compared against BaselineConfig in Figure 13.
 func DependenceConfig() Config {
-	return table3("dependence-8fifo-x8", 1, 0, func() core.Scheduler {
-		return core.NewFIFOBank(core.FIFOBankConfig{
-			Name: "fifos-8x8", Clusters: 1, FIFOsPerCluster: 8, Depth: 8,
-		})
-	})
+	return table3("dependence-8fifo-x8", 1, 0, core.FIFOBankSpec(core.FIFOBankConfig{
+		Name: "fifos-8x8", Clusters: 1, FIFOsPerCluster: 8, Depth: 8,
+	}))
 }
 
 // ClusteredDependenceConfig is the 2×4-way clustered dependence-based
@@ -84,11 +79,9 @@ func DependenceConfig() Config {
 // four functional units each, per-cluster FIFO free lists, local bypass in
 // one cycle and inter-cluster bypass in two.
 func ClusteredDependenceConfig() Config {
-	return table3("2x4way-fifos-dispatch", 2, 1, func() core.Scheduler {
-		return core.NewFIFOBank(core.FIFOBankConfig{
-			Name: "fifos-2x4x8", Clusters: 2, FIFOsPerCluster: 4, Depth: 8,
-		})
-	})
+	return table3("2x4way-fifos-dispatch", 2, 1, core.FIFOBankSpec(core.FIFOBankConfig{
+		Name: "fifos-2x4x8", Clusters: 2, FIFOsPerCluster: 4, Depth: 8,
+	}))
 }
 
 // WindowsDispatchConfig is Figure 16(b) with dependence-aware dispatch
@@ -96,42 +89,34 @@ func ClusteredDependenceConfig() Config {
 // window that the steering heuristic treats as eight conceptual 4-slot
 // FIFOs; instructions issue from any slot.
 func WindowsDispatchConfig() Config {
-	return table3("2x4way-windows-dispatch", 2, 1, func() core.Scheduler {
-		return core.NewFIFOBank(core.FIFOBankConfig{
-			Name: "windows-2x8x4", Clusters: 2, FIFOsPerCluster: 8, Depth: 4,
-			AnySlot: true,
-		})
-	})
+	return table3("2x4way-windows-dispatch", 2, 1, core.FIFOBankSpec(core.FIFOBankConfig{
+		Name: "windows-2x8x4", Clusters: 2, FIFOsPerCluster: 8, Depth: 4,
+		AnySlot: true,
+	}))
 }
 
 // ExecSteeredConfig is Figure 16(a) (Section 5.6.1): a single 64-entry
 // central window feeding two clusters, with cluster assignment made at
 // execution time (greedy earliest-operands placement, ties to cluster 0).
 func ExecSteeredConfig() Config {
-	return table3("2x4way-central-exec", 2, 1, func() core.Scheduler {
-		return core.NewExecSteeredWindow(64, 2)
-	})
+	return table3("2x4way-central-exec", 2, 1, core.ExecSteeredSpec(64, 2))
 }
 
 // RandomSteerConfig is the Section 5.6.3 basis point: two 32-entry
 // windows with random cluster steering (fall back to the other cluster
 // when the chosen window is full).
 func RandomSteerConfig() Config {
-	return table3("2x4way-windows-random", 2, 1, func() core.Scheduler {
-		return core.NewFIFOBank(core.FIFOBankConfig{
-			Name: "windows-random", Clusters: 2, FIFOsPerCluster: 1, Depth: 32,
-			AnySlot: true, Policy: core.SteerRandom,
-		})
-	})
+	return table3("2x4way-windows-random", 2, 1, core.FIFOBankSpec(core.FIFOBankConfig{
+		Name: "windows-random", Clusters: 2, FIFOsPerCluster: 1, Depth: 32,
+		AnySlot: true, Policy: core.SteerRandom,
+	}))
 }
 
 // FourWayConfig is a conventional 4-way, 32-entry window machine — the
 // machine whose window logic bounds the dependence-based clock in Section
 // 5.5, provided for ablations.
 func FourWayConfig() Config {
-	c := table3("baseline-4way-32win", 1, 0, func() core.Scheduler {
-		return core.NewCentralWindow(32)
-	})
+	c := table3("baseline-4way-32win", 1, 0, core.WindowSpec(32))
 	c.FetchWidth = 4
 	c.DecodeWidth = 4
 	c.IssueWidth = 4
@@ -140,16 +125,13 @@ func FourWayConfig() Config {
 	return c
 }
 
-// WithPredictor returns a copy of cfg using the given branch predictor
-// factory (ablation support).
+// WithPredictor returns a copy of cfg using the named branch predictor
+// (ablation support). The predictor is recorded as a serializable name,
+// not a factory closure, so the result keeps its run-cache eligibility.
 func WithPredictor(cfg Config, name string) (Config, error) {
 	switch name {
-	case "gshare":
-		cfg.NewPredictor = func() bpred.Predictor { return bpred.NewGshare(12, 12) }
-	case "bimodal":
-		cfg.NewPredictor = func() bpred.Predictor { return bpred.NewBimodal(12) }
-	case "taken":
-		cfg.NewPredictor = func() bpred.Predictor { return bpred.Static{Taken: true} }
+	case "gshare", "bimodal", "taken":
+		cfg.Predictor = name
 	case "perfect":
 		cfg.PerfectBPred = true
 	default:
@@ -215,41 +197,9 @@ func run(cfg Config, workload string) (Stats, []TimelineEntry, error) {
 }
 
 // RunMatrix runs every (config, workload) pair, in parallel across CPUs,
-// returning results indexed [config][workload] in the given orders.
+// returning results indexed [config][workload] in the given orders. Runs
+// go through DefaultEngine's content-addressed cache, so pairs already
+// simulated anywhere in this process are recalled instead of re-run.
 func RunMatrix(cfgs []Config, workloads []string) ([][]Stats, error) {
-	out := make([][]Stats, len(cfgs))
-	for i := range out {
-		out[i] = make([]Stats, len(workloads))
-	}
-	type job struct{ ci, wi int }
-	jobs := make(chan job)
-	errs := make(chan error, len(cfgs)*len(workloads))
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	for k := 0; k < workers; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				st, err := Run(cfgs[j.ci], workloads[j.wi])
-				if err != nil {
-					errs <- err
-					continue
-				}
-				out[j.ci][j.wi] = st
-			}
-		}()
-	}
-	for ci := range cfgs {
-		for wi := range workloads {
-			jobs <- job{ci, wi}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		return nil, err
-	}
-	return out, nil
+	return DefaultEngine.RunMatrix(cfgs, workloads)
 }

@@ -37,8 +37,13 @@ func TestConfigsValidate(t *testing.T) {
 		if err := cfg.Validate(); err != nil {
 			t.Errorf("%s: %v", cfg.Name, err)
 		}
+		// Stock configurations are spec-built, so they are fingerprintable
+		// and eligible for run memoization.
+		if _, ok := cfg.Key(); !ok {
+			t.Errorf("%s: no structural fingerprint", cfg.Name)
+		}
 		// Scheduler cluster count must match the config.
-		if got := cfg.NewScheduler().Clusters(); got != cfg.Clusters {
+		if got := cfg.Scheduler.Build().Clusters(); got != cfg.Clusters {
 			t.Errorf("%s: scheduler clusters %d != config %d", cfg.Name, got, cfg.Clusters)
 		}
 	}
@@ -194,7 +199,7 @@ func TestFigure17Ordering(t *testing.T) {
 // clustered machine's IPC with its clock advantage yields a net win on
 // every benchmark (the paper reports 10–22%, average 16%).
 func TestSpeedupEstimate(t *testing.T) {
-	sws, mean, err := SpeedupEstimate()
+	sws, sum, err := SpeedupEstimate()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,12 +214,17 @@ func TestSpeedupEstimate(t *testing.T) {
 			t.Errorf("%s: clock ratio %.3f, want ≈1.25", s.Workload, s.ClockRatio)
 		}
 	}
-	if mean < 1.05 || mean > 1.25 {
-		t.Errorf("mean net speedup %.3f, want in [1.05, 1.25] (paper: 1.16)", mean)
+	if sum.Arith < 1.05 || sum.Arith > 1.25 {
+		t.Errorf("mean net speedup %.3f, want in [1.05, 1.25] (paper: 1.16)", sum.Arith)
 	}
-	tbl := SpeedupTable(sws, mean)
-	if len(tbl.Rows) != len(sws)+1 {
-		t.Errorf("speedup table has %d rows, want %d", len(tbl.Rows), len(sws)+1)
+	// The geometric mean of positive ratios is bounded by the arithmetic
+	// mean (AM–GM) and must stay a net win.
+	if sum.Geo <= 1.0 || sum.Geo > sum.Arith {
+		t.Errorf("geomean net speedup %.3f, want in (1, %.3f]", sum.Geo, sum.Arith)
+	}
+	tbl := SpeedupTable(sws, sum)
+	if len(tbl.Rows) != len(sws)+2 {
+		t.Errorf("speedup table has %d rows, want %d", len(tbl.Rows), len(sws)+2)
 	}
 }
 

@@ -11,9 +11,18 @@
 //	cesweep -tradeoff      # window-size trade-off (extension)
 //	cesweep -all           # everything
 //	cesweep -all -csv      # CSV output
+//
+// Sweeps share one content-addressed run cache, so a (config, workload)
+// pair revisited by several figures is simulated once per process.
+// Observability flags:
+//
+//	-v                  per-run progress and cache statistics on stderr
+//	-metrics-json FILE  dump per-run metrics and cache counters as JSON
+//	-cache-dir DIR      persist run results on disk across invocations
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +41,9 @@ var (
 	profiles  = flag.Bool("profiles", false, "print dynamic workload profiles (extension)")
 	all       = flag.Bool("all", false, "regenerate every simulation result")
 	csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	verbose   = flag.Bool("v", false, "print per-run progress and cache statistics to stderr")
+	metrics   = flag.String("metrics-json", "", "write per-run metrics and cache statistics to this file as JSON")
+	cacheDir  = flag.String("cache-dir", "", "persist simulation results as JSON under this directory")
 )
 
 func main() {
@@ -40,6 +52,58 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cesweep:", err)
 		os.Exit(1)
 	}
+}
+
+// setupObservability wires the -v, -cache-dir and -metrics-json flags to
+// the default sweep engine; the returned function finishes the report
+// after the sweep.
+func setupObservability() (func() error, error) {
+	eng := ce.DefaultEngine
+	if *cacheDir != "" {
+		if err := eng.SetCacheDir(*cacheDir); err != nil {
+			return nil, err
+		}
+	}
+	if *metrics != "" {
+		// Fail on an unwritable path now, not after minutes of simulation.
+		f, err := os.OpenFile(*metrics, os.O_WRONLY|os.O_CREATE, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		f.Close()
+	}
+	if *verbose {
+		eng.SetObserver(func(m ce.RunMetrics) {
+			if m.Cached {
+				fmt.Fprintf(os.Stderr, "cesweep: %-28s %-12s cached (ipc %.2f)\n",
+					m.Config, m.Workload, m.IPC)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "cesweep: %-28s %-12s %9d cycles  ipc %.2f  %6.0f ms  %5.1f Mcyc/s\n",
+				m.Config, m.Workload, m.Cycles, m.IPC, m.WallSeconds*1000, m.MCyclesPerSec)
+		})
+	}
+	finish := func() error {
+		cs := eng.CacheStats()
+		if *verbose {
+			fmt.Fprintf(os.Stderr,
+				"cesweep: cache: %d lookups — %d hits, %d coalesced, %d disk hits, %d misses (%d uncacheable); %d simulator runs saved\n",
+				cs.Lookups(), cs.Hits, cs.Coalesced, cs.DiskHits, cs.Misses, cs.Uncacheable, cs.Saved())
+		}
+		if *metrics == "" {
+			return nil
+		}
+		dump := struct {
+			Runs  []ce.RunMetrics `json:"runs"`
+			Cache ce.CacheStats   `json:"cache"`
+		}{Runs: eng.Metrics(), Cache: cs}
+		data, err := json.MarshalIndent(dump, "", "\t")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(*metrics, append(data, '\n'), 0o644)
+	}
+	return finish, nil
 }
 
 func emit(t *report.Table) {
@@ -51,6 +115,10 @@ func emit(t *report.Table) {
 }
 
 func run() error {
+	finish, err := setupObservability()
+	if err != nil {
+		return err
+	}
 	ran := false
 	if *figure == 13 || *all {
 		ran = true
@@ -79,11 +147,11 @@ func run() error {
 	}
 	if *speedup || *all {
 		ran = true
-		sws, mean, err := ce.SpeedupEstimate()
+		sws, sum, err := ce.SpeedupEstimate()
 		if err != nil {
 			return err
 		}
-		emit(ce.SpeedupTable(sws, mean))
+		emit(ce.SpeedupTable(sws, sum))
 	}
 	if *tradeoff || *all {
 		ran = true
@@ -135,5 +203,5 @@ func run() error {
 		flag.Usage()
 		return fmt.Errorf("nothing selected: pass -fig N, -speedup, -tradeoff, -ablations, -micro or -all")
 	}
-	return nil
+	return finish()
 }

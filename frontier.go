@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/delaymodel"
 	"repro/internal/report"
 	"repro/internal/stats"
@@ -43,7 +44,7 @@ func Frontier() ([]FrontierPoint, error) {
 	for _, iw := range []int{2, 4, 8} {
 		for _, ws := range []int{16, 32, 64} {
 			iw, ws := iw, ws
-			cfg := table3(fmt.Sprintf("window-%dway-%dentries", iw, ws), 1, 0, newWindowFactory(ws))
+			cfg := table3(fmt.Sprintf("window-%dway-%dentries", iw, ws), 1, 0, core.WindowSpec(ws))
 			cfg.FetchWidth = iw
 			cfg.DecodeWidth = iw
 			cfg.IssueWidth = iw

@@ -3,6 +3,7 @@
 package clitest
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -161,5 +162,61 @@ func TestCesweepFigure13(t *testing.T) {
 	}
 	if out, err := run(t, "cesweep"); err == nil {
 		t.Errorf("cesweep with no flags succeeded:\n%s", out)
+	}
+}
+
+func TestCesweepObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	cacheDir := filepath.Join(dir, "runs")
+	// -fig 15 and -speedup in one invocation: the speedup estimate reuses
+	// the Figure 15 matrix, so -v must report saved simulator runs.
+	out := mustRun(t, "cesweep", "-fig", "15", "-speedup",
+		"-v", "-metrics-json", metrics, "-cache-dir", cacheDir)
+	for _, want := range []string{"Figure 15", "geomean", "cesweep: cache:", "simulator runs saved", "Mcyc/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cesweep -v output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("metrics file not written: %v", err)
+	}
+	var dump struct {
+		Runs []struct {
+			Config   string  `json:"config"`
+			Workload string  `json:"workload"`
+			Cached   bool    `json:"cached"`
+			Cycles   int64   `json:"cycles"`
+			IPC      float64 `json:"ipc"`
+		} `json:"runs"`
+		Cache struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("metrics JSON malformed: %v\n%s", err, data)
+	}
+	// 14 fresh pairs for Figure 15, then 14 cache hits for the estimate.
+	if len(dump.Runs) != 28 {
+		t.Errorf("metrics recorded %d runs, want 28", len(dump.Runs))
+	}
+	if dump.Cache.Misses != 14 || dump.Cache.Hits != 14 {
+		t.Errorf("cache counters = %+v, want 14 misses / 14 hits", dump.Cache)
+	}
+	for _, r := range dump.Runs {
+		if r.Cycles <= 0 || r.IPC <= 0 {
+			t.Errorf("degenerate run metric: %+v", r)
+		}
+	}
+
+	// A second process over the same -cache-dir simulates nothing.
+	out = mustRun(t, "cesweep", "-fig", "15", "-v", "-cache-dir", cacheDir)
+	if !strings.Contains(out, "14 disk hits, 0 misses") {
+		t.Errorf("disk cache not used on rerun:\n%s", out)
 	}
 }

@@ -1,0 +1,97 @@
+package core
+
+import "fmt"
+
+// SchedKind enumerates the scheduler organizations a SchedulerSpec can
+// describe.
+type SchedKind int
+
+const (
+	// SchedCentralWindow is the conventional flexible issue window
+	// (NewCentralWindow).
+	SchedCentralWindow SchedKind = iota
+	// SchedExecSteered is the Section 5.6.1 central window with cluster
+	// assignment at issue time (NewExecSteeredWindow).
+	SchedExecSteered
+	// SchedRandomSelect is the central window with a random selection
+	// policy (NewRandomSelectWindow).
+	SchedRandomSelect
+	// SchedFIFOBank is the dependence-based FIFO bank and its windowed
+	// variants (NewFIFOBank).
+	SchedFIFOBank
+)
+
+// SchedulerSpec is a serializable description of a scheduler. Unlike an
+// opaque factory closure, a spec can be fingerprinted, so configurations
+// built from specs are eligible for run memoization (see
+// pipeline.Config.Key and internal/runcache).
+type SchedulerSpec struct {
+	Kind SchedKind
+	// Size is the window entry count (the central-window kinds).
+	Size int
+	// Clusters is the cluster count fed by an exec-steered window.
+	Clusters int
+	// FIFO is the bank geometry (SchedFIFOBank only).
+	FIFO FIFOBankConfig
+}
+
+// WindowSpec describes a single-cluster central window of the given size.
+func WindowSpec(size int) SchedulerSpec {
+	return SchedulerSpec{Kind: SchedCentralWindow, Size: size}
+}
+
+// ExecSteeredSpec describes a central window feeding `clusters` clusters
+// with execution-driven steering.
+func ExecSteeredSpec(size, clusters int) SchedulerSpec {
+	return SchedulerSpec{Kind: SchedExecSteered, Size: size, Clusters: clusters}
+}
+
+// RandomSelectSpec describes a single-cluster window with random
+// selection.
+func RandomSelectSpec(size int) SchedulerSpec {
+	return SchedulerSpec{Kind: SchedRandomSelect, Size: size}
+}
+
+// FIFOBankSpec describes a FIFO-bank scheduler.
+func FIFOBankSpec(cfg FIFOBankConfig) SchedulerSpec {
+	return SchedulerSpec{Kind: SchedFIFOBank, FIFO: cfg}
+}
+
+// Build constructs the described scheduler. Every call returns a fresh
+// instance with identical (deterministic) behavior, which is what makes
+// spec-built configurations memoizable.
+func (s SchedulerSpec) Build() Scheduler {
+	switch s.Kind {
+	case SchedCentralWindow:
+		return NewCentralWindow(s.Size)
+	case SchedExecSteered:
+		return NewExecSteeredWindow(s.Size, s.Clusters)
+	case SchedRandomSelect:
+		return NewRandomSelectWindow(s.Size)
+	case SchedFIFOBank:
+		return NewFIFOBank(s.FIFO)
+	default:
+		panic(fmt.Sprintf("core: unknown scheduler kind %d", s.Kind))
+	}
+}
+
+// Key returns a canonical fingerprint of every behavior-relevant field.
+// The FIFO bank's display name is deliberately excluded: it labels
+// reports but never changes timing, so renamed copies of one geometry
+// share a fingerprint.
+func (s SchedulerSpec) Key() string {
+	switch s.Kind {
+	case SchedCentralWindow:
+		return fmt.Sprintf("window/%d", s.Size)
+	case SchedExecSteered:
+		return fmt.Sprintf("exec-steer/%d/%d", s.Size, s.Clusters)
+	case SchedRandomSelect:
+		return fmt.Sprintf("random-select/%d", s.Size)
+	case SchedFIFOBank:
+		return fmt.Sprintf("fifos/%dx%dx%d/any=%v/pol=%d",
+			s.FIFO.Clusters, s.FIFO.FIFOsPerCluster, s.FIFO.Depth,
+			s.FIFO.AnySlot, s.FIFO.Policy)
+	default:
+		panic(fmt.Sprintf("core: unknown scheduler kind %d", s.Kind))
+	}
+}

@@ -1,0 +1,138 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+// specCfg returns a fingerprintable Table 3 baseline configuration.
+func specCfg(name string, spec core.SchedulerSpec) Config {
+	c := cfg(name, 1, 0, nil)
+	c.NewScheduler = nil
+	c.Scheduler = &spec
+	return c
+}
+
+func TestKeyIgnoresLabels(t *testing.T) {
+	a := specCfg("alpha", core.WindowSpec(64))
+	b := specCfg("beta", core.WindowSpec(64))
+	ka, ok := a.Key()
+	if !ok {
+		t.Fatal("spec-built config not fingerprintable")
+	}
+	kb, _ := b.Key()
+	if ka != kb {
+		t.Errorf("renamed twins have different keys:\n%s\n%s", ka, kb)
+	}
+	// The FIFO bank's display name is a label too.
+	f1 := specCfg("x", core.FIFOBankSpec(core.FIFOBankConfig{
+		Name: "one", Clusters: 1, FIFOsPerCluster: 8, Depth: 8,
+	}))
+	f2 := specCfg("y", core.FIFOBankSpec(core.FIFOBankConfig{
+		Name: "two", Clusters: 1, FIFOsPerCluster: 8, Depth: 8,
+	}))
+	k1, _ := f1.Key()
+	k2, _ := f2.Key()
+	if k1 != k2 {
+		t.Errorf("renamed FIFO banks have different keys:\n%s\n%s", k1, k2)
+	}
+}
+
+func TestKeySeparatesBehavior(t *testing.T) {
+	base := specCfg("base", core.WindowSpec(64))
+	baseKey, _ := base.Key()
+	mutations := map[string]func(*Config){
+		"window size": func(c *Config) { s := core.WindowSpec(32); c.Scheduler = &s },
+		"scheduler kind": func(c *Config) {
+			s := core.FIFOBankSpec(core.FIFOBankConfig{Clusters: 1, FIFOsPerCluster: 8, Depth: 8})
+			c.Scheduler = &s
+		},
+		"random select":  func(c *Config) { s := core.RandomSelectSpec(64); c.Scheduler = &s },
+		"issue width":    func(c *Config) { c.IssueWidth = 4 },
+		"predictor":      func(c *Config) { c.Predictor = "bimodal"; c.PerfectBPred = false },
+		"perfect bpred":  func(c *Config) { c.PerfectBPred = false },
+		"bypass extra":   func(c *Config) { c.LocalBypassExtra = 1 },
+		"pipelined w+s":  func(c *Config) { c.PipelinedWakeupSelect = true },
+		"store fwd":      func(c *Config) { c.StoreForwarding = true },
+		"wrong path":     func(c *Config) { c.WrongPathExecution = true },
+		"fetch break":    func(c *Config) { c.FetchBreakOnTaken = true },
+		"dcache":         func(c *Config) { c.DCache = cache.Config{SizeBytes: 8 << 10, Ways: 1, LineBytes: 32, HitCycles: 1, MissCycles: 6} },
+		"icache":         func(c *Config) { c.ICache = &cache.Config{SizeBytes: 16 << 10, Ways: 2, LineBytes: 32, HitCycles: 1, MissCycles: 6} },
+		"frontend depth": func(c *Config) { c.FrontEndDepth = 4 },
+	}
+	for name, mutate := range mutations {
+		c := specCfg("mut", core.WindowSpec(64))
+		mutate(&c)
+		k, ok := c.Key()
+		if !ok {
+			t.Errorf("%s: mutated config not fingerprintable", name)
+			continue
+		}
+		if k == baseKey {
+			t.Errorf("%s: behavior change did not change the key", name)
+		}
+	}
+}
+
+func TestKeyNormalizesDefaultDCache(t *testing.T) {
+	a := specCfg("a", core.WindowSpec(64)) // zero DCache → baseline at New
+	b := specCfg("b", core.WindowSpec(64))
+	b.DCache = cache.Baseline()
+	ka, _ := a.Key()
+	kb, _ := b.Key()
+	if ka != kb {
+		t.Errorf("implicit and explicit baseline D-cache differ:\n%s\n%s", ka, kb)
+	}
+}
+
+func TestKeyRefusesOpaqueConfigs(t *testing.T) {
+	c := cfg("closure", 1, 0, window64)
+	if _, ok := c.Key(); ok {
+		t.Error("closure-built config reported a fingerprint")
+	}
+	d := specCfg("pred-closure", core.WindowSpec(64))
+	d.PerfectBPred = false
+	d.NewPredictor = func() bpred.Predictor { return bpred.NewGshare(12, 12) }
+	if _, ok := d.Key(); ok {
+		t.Error("closure-predictor config reported a fingerprint")
+	}
+	d.NewPredictor = nil
+	d.Predictor = "gshare"
+	if _, ok := d.Key(); !ok {
+		t.Error("named-predictor config not fingerprintable")
+	}
+}
+
+// TestSpecConfigRuns checks that a spec-built configuration simulates
+// identically to its closure-built twin.
+func TestSpecConfigRuns(t *testing.T) {
+	p := mustProgram(t, chainSrc(64))
+	run := func(c Config) Stats {
+		sim, err := New(c, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a := run(cfg("closure", 1, 0, window64))
+	b := run(specCfg("spec", core.WindowSpec(64)))
+	if a.Cycles != b.Cycles || a.Committed != b.Committed || a.Mispredicts != b.Mispredicts {
+		t.Errorf("spec-built run diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestUnknownPredictorRejected(t *testing.T) {
+	c := specCfg("badpred", core.WindowSpec(64))
+	c.PerfectBPred = false
+	c.Predictor = "oracle9000"
+	if _, err := New(c, mustProgram(t, chainSrc(8))); err == nil {
+		t.Error("unknown predictor name accepted")
+	}
+}

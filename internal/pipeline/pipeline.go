@@ -97,10 +97,22 @@ type Config struct {
 	// and squashes them when the branch resolves.
 	WrongPathExecution bool
 
-	// NewScheduler builds the dispatch/issue structure for a run.
+	// Scheduler describes the dispatch/issue structure declaratively.
+	// Spec-built configurations can be fingerprinted (Key) and therefore
+	// memoized across runs.
+	Scheduler *core.SchedulerSpec
+	// NewScheduler builds the dispatch/issue structure for a run. It is
+	// the escape hatch for custom schedulers; when set it takes
+	// precedence over Scheduler and makes the configuration opaque to
+	// the run cache.
 	NewScheduler func() core.Scheduler
-	// NewPredictor builds the direction predictor for a run; nil selects
-	// the paper's gshare (4K counters, 12-bit history).
+	// Predictor selects the direction predictor by name: "gshare" (the
+	// paper's 4K-counter, 12-bit-history default, also chosen by ""),
+	// "bimodal" or "taken". Ignored under PerfectBPred.
+	Predictor string
+	// NewPredictor builds the direction predictor for a run; when set it
+	// takes precedence over Predictor and makes the configuration opaque
+	// to the run cache. Nil selects Predictor.
 	NewPredictor func() bpred.Predictor
 	// DCache is the data cache geometry; zero value selects the paper's
 	// baseline cache.
@@ -114,8 +126,8 @@ type Config struct {
 // Validate checks the configuration for internal consistency.
 func (c *Config) Validate() error {
 	switch {
-	case c.NewScheduler == nil:
-		return fmt.Errorf("pipeline: %s: NewScheduler is nil", c.Name)
+	case c.NewScheduler == nil && c.Scheduler == nil:
+		return fmt.Errorf("pipeline: %s: no scheduler (Scheduler and NewScheduler both nil)", c.Name)
 	case c.FetchWidth <= 0 || c.DecodeWidth <= 0 || c.IssueWidth <= 0 || c.RetireWidth <= 0:
 		return fmt.Errorf("pipeline: %s: non-positive width", c.Name)
 	case c.MaxInFlight <= 0 || c.PhysRegs <= isa.NumRegs:
@@ -280,17 +292,13 @@ func New(cfg Config, prog *isa.Program) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	sched := cfg.NewScheduler()
+	sched := cfg.buildScheduler()
 	if sched.Clusters() != cfg.Clusters {
 		return nil, fmt.Errorf("pipeline: %s: scheduler feeds %d clusters, config has %d", cfg.Name, sched.Clusters(), cfg.Clusters)
 	}
-	var pred bpred.Predictor
-	if !cfg.PerfectBPred {
-		if cfg.NewPredictor != nil {
-			pred = cfg.NewPredictor()
-		} else {
-			pred = bpred.NewGshare(12, 12)
-		}
+	pred, err := cfg.buildPredictor()
+	if err != nil {
+		return nil, err
 	}
 	s := &Simulator{
 		cfg:          cfg,

@@ -106,6 +106,11 @@ func (t *Table) CSV() string {
 	}
 	writeRow(t.Headers)
 	for _, row := range t.Rows {
+		// Match String(): cells beyond the header count are dropped, as
+		// AddRow documents (String's width loop never reaches them).
+		if len(row) > len(t.Headers) {
+			row = row[:len(t.Headers)]
+		}
 		writeRow(row)
 	}
 	return b.String()

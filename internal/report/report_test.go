@@ -65,3 +65,24 @@ func TestCSV(t *testing.T) {
 		t.Errorf("CSV = %q, want %q", got, want)
 	}
 }
+
+// TestRaggedRowConsistency is the regression test for the AddRow
+// contract: cells beyond the header count are dropped by *both*
+// renderers, so CSV and String always agree on the column count.
+func TestRaggedRowConsistency(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow("x", "y", "EXTRA")
+	if s := tb.String(); strings.Contains(s, "EXTRA") {
+		t.Errorf("String rendered a dropped cell: %q", s)
+	}
+	got := tb.CSV()
+	want := "a,b\nx,y\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q (extra cell must be dropped)", got, want)
+	}
+	for i, line := range strings.Split(strings.TrimSuffix(got, "\n"), "\n") {
+		if n := strings.Count(line, ",") + 1; n != len(tb.Headers) {
+			t.Errorf("CSV line %d has %d columns, want %d", i, n, len(tb.Headers))
+		}
+	}
+}

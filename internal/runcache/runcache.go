@@ -1,0 +1,197 @@
+// Package runcache memoizes simulation results. The timing simulator is
+// deterministic — a (configuration fingerprint, workload) pair always
+// produces the same Stats — so the paper's evaluation matrix, which
+// revisits the same machines across figures, ablations and the frontier,
+// only ever needs to simulate each distinct pair once per process.
+//
+// The cache is concurrency-safe and single-flight: when two goroutines
+// request the same key, one computes and the other waits for (and
+// shares) the result. With a directory configured, results also persist
+// as JSON, so repeated sweep invocations skip simulation entirely.
+package runcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/pipeline"
+)
+
+// Stats counts cache outcomes. Hits + Coalesced + DiskHits is the number
+// of simulator runs the cache avoided; Misses is the number it actually
+// performed.
+type Stats struct {
+	// Hits are lookups served from a completed in-memory entry.
+	Hits uint64 `json:"hits"`
+	// Coalesced are lookups that joined an in-flight computation of the
+	// same key (single-flight duplicates).
+	Coalesced uint64 `json:"coalesced"`
+	// DiskHits are lookups served from the persistence directory.
+	DiskHits uint64 `json:"disk_hits"`
+	// Misses are lookups that ran the simulator.
+	Misses uint64 `json:"misses"`
+	// Uncacheable are runs bypassing the cache because their
+	// configuration has no fingerprint (opaque factory closures).
+	Uncacheable uint64 `json:"uncacheable"`
+}
+
+// Lookups returns the total number of cache consultations.
+func (s Stats) Lookups() uint64 {
+	return s.Hits + s.Coalesced + s.DiskHits + s.Misses
+}
+
+// Saved returns the number of simulator runs the cache avoided.
+func (s Stats) Saved() uint64 {
+	return s.Hits + s.Coalesced + s.DiskHits
+}
+
+type entry struct {
+	done chan struct{}
+	st   pipeline.Stats
+	err  error
+}
+
+// Cache is a content-addressed memo of simulation results.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	dir     string
+	stats   Stats
+}
+
+// New returns an empty in-memory cache.
+func New() *Cache {
+	return &Cache{entries: make(map[string]*entry)}
+}
+
+// SetDir enables on-disk persistence under dir (created if missing).
+// An empty dir disables persistence.
+func (c *Cache) SetDir(dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("runcache: %v", err)
+		}
+	}
+	c.mu.Lock()
+	c.dir = dir
+	c.mu.Unlock()
+	return nil
+}
+
+// Do returns the memoized result for key, computing it at most once per
+// process. hit reports whether the result was served without invoking
+// compute (including joining another goroutine's in-flight computation).
+// Errors are memoized too: a deterministic simulator fails the same way
+// every time, and callers must see the failure rather than a zero Stats.
+func (c *Cache) Do(key string, compute func() (pipeline.Stats, error)) (st pipeline.Stats, hit bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		select {
+		case <-e.done:
+			c.stats.Hits++
+		default:
+			c.stats.Coalesced++
+		}
+		c.mu.Unlock()
+		<-e.done
+		return e.st, true, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	c.entries[key] = e
+	dir := c.dir
+	c.mu.Unlock()
+
+	if dir != "" {
+		if st, ok := c.loadDisk(dir, key); ok {
+			c.mu.Lock()
+			c.stats.DiskHits++
+			c.mu.Unlock()
+			e.st = st
+			close(e.done)
+			return st, true, nil
+		}
+	}
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	e.st, e.err = compute()
+	close(e.done)
+	if e.err == nil && dir != "" {
+		// Persistence is best-effort: a read-only directory degrades to
+		// in-memory memoization rather than failing the sweep.
+		c.saveDisk(dir, key, e.st)
+	}
+	return e.st, false, e.err
+}
+
+// RecordUncacheable notes one run that bypassed the cache.
+func (c *Cache) RecordUncacheable() {
+	c.mu.Lock()
+	c.stats.Uncacheable++
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of memoized keys.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops all in-memory entries and counters (the persistence
+// directory is untouched).
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.entries = make(map[string]*entry)
+	c.stats = Stats{}
+	c.mu.Unlock()
+}
+
+// diskEntry is the persisted form: the full key is stored alongside the
+// result so hash collisions are detected and files are debuggable.
+type diskEntry struct {
+	Key   string         `json:"key"`
+	Stats pipeline.Stats `json:"stats"`
+}
+
+func diskPath(dir, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(dir, hex.EncodeToString(sum[:])[:32]+".json")
+}
+
+func (c *Cache) loadDisk(dir, key string) (pipeline.Stats, bool) {
+	data, err := os.ReadFile(diskPath(dir, key))
+	if err != nil {
+		return pipeline.Stats{}, false
+	}
+	var de diskEntry
+	if err := json.Unmarshal(data, &de); err != nil || de.Key != key {
+		return pipeline.Stats{}, false
+	}
+	return de.Stats, true
+}
+
+func (c *Cache) saveDisk(dir, key string, st pipeline.Stats) {
+	data, err := json.MarshalIndent(diskEntry{Key: key, Stats: st}, "", "\t")
+	if err != nil {
+		return
+	}
+	path := diskPath(dir, key)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, path)
+}

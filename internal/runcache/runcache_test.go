@@ -1,0 +1,156 @@
+package runcache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+func fakeStats(cycles int64) pipeline.Stats {
+	h := stats.NewHistogram(8)
+	h.Add(3)
+	h.Add(5)
+	return pipeline.Stats{
+		Config:         "cfg",
+		Workload:       "wl",
+		Cycles:         cycles,
+		Committed:      uint64(2 * cycles),
+		IssuedPerCycle: h,
+	}
+}
+
+func TestDoMemoizes(t *testing.T) {
+	c := New()
+	var calls int32
+	compute := func() (pipeline.Stats, error) {
+		atomic.AddInt32(&calls, 1)
+		return fakeStats(100), nil
+	}
+	st, hit, err := c.Do("k", compute)
+	if err != nil || hit || st.Cycles != 100 {
+		t.Fatalf("first Do = %+v, hit=%v, err=%v", st, hit, err)
+	}
+	st, hit, err = c.Do("k", compute)
+	if err != nil || !hit || st.Cycles != 100 {
+		t.Fatalf("second Do = %+v, hit=%v, err=%v", st, hit, err)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	cs := c.Stats()
+	if cs.Misses != 1 || cs.Hits != 1 || cs.Saved() != 1 || cs.Lookups() != 2 {
+		t.Errorf("stats = %+v", cs)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestDoSingleFlight(t *testing.T) {
+	c := New()
+	var calls int32
+	release := make(chan struct{})
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, _, err := c.Do("k", func() (pipeline.Stats, error) {
+				atomic.AddInt32(&calls, 1)
+				<-release
+				return fakeStats(7), nil
+			})
+			if err != nil || st.Cycles != 7 {
+				t.Errorf("Do = %+v, %v", st, err)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+	if calls != 1 {
+		t.Errorf("compute ran %d times under concurrency, want 1", calls)
+	}
+	cs := c.Stats()
+	if cs.Misses != 1 || cs.Hits+cs.Coalesced != n-1 {
+		t.Errorf("stats = %+v", cs)
+	}
+}
+
+func TestDoMemoizesErrors(t *testing.T) {
+	c := New()
+	boom := errors.New("boom")
+	var calls int32
+	for i := 0; i < 2; i++ {
+		_, _, err := c.Do("bad", func() (pipeline.Stats, error) {
+			atomic.AddInt32(&calls, 1)
+			return pipeline.Stats{}, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want boom", err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("failing compute ran %d times, want 1 (errors memoized)", calls)
+	}
+}
+
+func TestDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	c := New()
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := fakeStats(42)
+	if _, _, err := c.Do("k", func() (pipeline.Stats, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh cache over the same directory serves the result without
+	// computing, and the histogram survives the JSON round trip.
+	c2 := New()
+	if err := c2.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	st, hit, err := c2.Do("k", func() (pipeline.Stats, error) {
+		t.Fatal("compute called despite disk entry")
+		return pipeline.Stats{}, nil
+	})
+	if err != nil || !hit {
+		t.Fatalf("disk Do: hit=%v err=%v", hit, err)
+	}
+	if st.Cycles != want.Cycles || st.Committed != want.Committed {
+		t.Errorf("disk stats = %+v, want %+v", st, want)
+	}
+	if st.IssuedPerCycle == nil || st.IssuedPerCycle.Total() != 2 || st.IssuedPerCycle.Count(3) != 1 {
+		t.Errorf("histogram lost in round trip: %+v", st.IssuedPerCycle)
+	}
+	if cs := c2.Stats(); cs.DiskHits != 1 || cs.Misses != 0 {
+		t.Errorf("stats = %+v", cs)
+	}
+
+	// A different key does not collide with the stored entry.
+	var computed bool
+	if _, hit, _ := c2.Do("other", func() (pipeline.Stats, error) {
+		computed = true
+		return fakeStats(1), nil
+	}); hit || !computed {
+		t.Errorf("unrelated key served from disk: hit=%v computed=%v", hit, computed)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	if _, _, err := c.Do("k", func() (pipeline.Stats, error) { return fakeStats(1), nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.RecordUncacheable()
+	c.Reset()
+	if c.Len() != 0 || c.Stats() != (Stats{}) {
+		t.Errorf("reset left len=%d stats=%+v", c.Len(), c.Stats())
+	}
+}

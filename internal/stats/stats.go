@@ -3,6 +3,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -100,12 +101,19 @@ func (h *Histogram) Mean() float64 {
 	return float64(s) / float64(h.total)
 }
 
-// Percentile returns the p-th percentile bucket (0 ≤ p ≤ 100).
+// Percentile returns the p-th percentile bucket (0 ≤ p ≤ 100). p=0 is
+// defined as the minimum occupied bucket (and p=100 the maximum), so the
+// result is always a bucket that actually holds samples.
 func (h *Histogram) Percentile(p float64) int {
 	if h.total == 0 {
 		return 0
 	}
 	target := uint64(math.Ceil(p / 100 * float64(h.total)))
+	if target < 1 {
+		// Without the clamp, p=0 makes every bucket satisfy cum >= 0 and
+		// bucket 0 is returned even when it is empty.
+		target = 1
+	}
 	var cum uint64
 	for v, n := range h.buckets {
 		cum += n
@@ -114,6 +122,26 @@ func (h *Histogram) Percentile(p float64) int {
 		}
 	}
 	return len(h.buckets) - 1
+}
+
+// MarshalJSON encodes the histogram as its bucket counts, so run results
+// holding histograms can be persisted (see internal/runcache).
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(h.buckets)
+}
+
+// UnmarshalJSON restores a histogram from its bucket counts.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var buckets []uint64
+	if err := json.Unmarshal(data, &buckets); err != nil {
+		return err
+	}
+	h.buckets = buckets
+	h.total = 0
+	for _, n := range buckets {
+		h.total += n
+	}
+	return nil
 }
 
 // Median of a float slice (0 for empty).

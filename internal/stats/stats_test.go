@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -132,5 +133,52 @@ func TestPropertyGeoMeanLEArithMean(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestPercentileBounds is the regression test for the p=0 bug: with an
+// empty bucket 0, Percentile(0) used to return 0 (target computed to 0,
+// so the very first bucket satisfied cum >= target). p=0 is defined as
+// the minimum occupied bucket and p=100 as the maximum.
+func TestPercentileBounds(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []int{3, 5, 5, 9} {
+		h.Add(v)
+	}
+	if got := h.Percentile(0); got != 3 {
+		t.Errorf("P0 = %d, want 3 (minimum occupied bucket)", got)
+	}
+	if got := h.Percentile(100); got != 9 {
+		t.Errorf("P100 = %d, want 9 (maximum occupied bucket)", got)
+	}
+	// When bucket 0 is occupied, P0 is genuinely 0.
+	h.Add(0)
+	if got := h.Percentile(0); got != 0 {
+		t.Errorf("P0 with occupied bucket 0 = %d, want 0", got)
+	}
+	// Empty histogram: every percentile reports bucket 0.
+	e := NewHistogram(4)
+	if e.Percentile(0) != 0 || e.Percentile(100) != 0 {
+		t.Error("empty histogram percentile not 0")
+	}
+}
+
+// TestHistogramJSONRoundTrip guards the encoding used by the on-disk
+// run cache.
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(4)
+	for _, v := range []int{0, 2, 2, 4} {
+		h.Add(v)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Histogram
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != h.Total() || got.Count(2) != 2 || got.Percentile(100) != 4 {
+		t.Errorf("round trip lost data: %+v", got)
 	}
 }

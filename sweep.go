@@ -1,0 +1,177 @@
+package ce
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/runcache"
+)
+
+// RunMetrics records the observability data for one simulation run (or
+// cache hit) performed by an Engine.
+type RunMetrics struct {
+	// Config is the configuration's display name, Workload the benchmark.
+	Config   string `json:"config"`
+	Workload string `json:"workload"`
+	// Cached reports whether the result came from the run cache (memory,
+	// disk, or a coalesced in-flight computation) instead of a fresh
+	// simulation.
+	Cached bool `json:"cached"`
+	// Cycles and Committed are the simulated totals; IPC is their ratio.
+	Cycles    int64   `json:"cycles"`
+	Committed uint64  `json:"committed"`
+	IPC       float64 `json:"ipc"`
+	// WallSeconds is the host time this run took; for cached results it
+	// is the (negligible) lookup time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// MCyclesPerSec is the simulator's throughput in millions of
+	// simulated cycles per host second (0 for cached results).
+	MCyclesPerSec float64 `json:"mcycles_per_sec"`
+}
+
+// CacheStats re-exports the run cache counters.
+type CacheStats = runcache.Stats
+
+// Engine is the sweep orchestration layer: it runs (config, workload)
+// matrices through a shared content-addressed run cache and records
+// per-run metrics. Every figure, ablation and frontier evaluation routed
+// through one Engine shares one result pool, so duplicated design points
+// (the baseline appears in Figures 13, 15, 17, the speedup estimate and
+// the frontier) are simulated exactly once per process.
+type Engine struct {
+	cache *runcache.Cache
+
+	mu       sync.Mutex
+	observer func(RunMetrics)
+	runs     []RunMetrics
+}
+
+// NewEngine returns an Engine with an empty in-memory run cache.
+func NewEngine() *Engine {
+	return &Engine{cache: runcache.New()}
+}
+
+// DefaultEngine is the process-wide engine behind the package-level
+// RunMatrix and therefore behind every figure, ablation and frontier
+// runner in this package.
+var DefaultEngine = NewEngine()
+
+// SetObserver installs fn as the per-run progress callback (nil
+// disables). It is invoked after every run, including cache hits.
+func (e *Engine) SetObserver(fn func(RunMetrics)) {
+	e.mu.Lock()
+	e.observer = fn
+	e.mu.Unlock()
+}
+
+// SetCacheDir enables on-disk persistence of run results under dir.
+func (e *Engine) SetCacheDir(dir string) error { return e.cache.SetDir(dir) }
+
+// CacheStats returns a snapshot of the engine's run-cache counters.
+func (e *Engine) CacheStats() CacheStats { return e.cache.Stats() }
+
+// Metrics returns a copy of every run metric recorded so far, in
+// completion order.
+func (e *Engine) Metrics() []RunMetrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]RunMetrics, len(e.runs))
+	copy(out, e.runs)
+	return out
+}
+
+// ResetMetrics clears the recorded run metrics (the cache is untouched).
+func (e *Engine) ResetMetrics() {
+	e.mu.Lock()
+	e.runs = nil
+	e.mu.Unlock()
+}
+
+// runOne simulates (or recalls) a single pair and records its metrics.
+func (e *Engine) runOne(cfg Config, workload string) (Stats, error) {
+	start := time.Now()
+	var (
+		st     Stats
+		err    error
+		cached bool
+	)
+	if key, ok := cfg.Key(); ok {
+		st, cached, err = e.cache.Do(key+"\x00"+workload, func() (Stats, error) {
+			return Run(cfg, workload)
+		})
+	} else {
+		e.cache.RecordUncacheable()
+		st, err = Run(cfg, workload)
+	}
+	if err != nil {
+		return Stats{}, err
+	}
+	// A cached result may have been computed under a renamed twin of this
+	// configuration; relabel the copy we hand back.
+	st.Config = cfg.Name
+	wall := time.Since(start).Seconds()
+	m := RunMetrics{
+		Config:      cfg.Name,
+		Workload:    workload,
+		Cached:      cached,
+		Cycles:      st.Cycles,
+		Committed:   st.Committed,
+		IPC:         st.IPC(),
+		WallSeconds: wall,
+	}
+	if !cached && wall > 0 {
+		m.MCyclesPerSec = float64(st.Cycles) / wall / 1e6
+	}
+	e.mu.Lock()
+	e.runs = append(e.runs, m)
+	obs := e.observer
+	e.mu.Unlock()
+	if obs != nil {
+		obs(m)
+	}
+	return st, nil
+}
+
+// RunMatrix runs every (config, workload) pair through the engine's run
+// cache, in parallel across CPUs, returning results indexed
+// [config][workload] in the given orders. Any pair's failure fails the
+// whole matrix; duplicate pairs — within one matrix or across calls —
+// are simulated once.
+func (e *Engine) RunMatrix(cfgs []Config, workloads []string) ([][]Stats, error) {
+	out := make([][]Stats, len(cfgs))
+	for i := range out {
+		out[i] = make([]Stats, len(workloads))
+	}
+	type job struct{ ci, wi int }
+	jobs := make(chan job)
+	errs := make(chan error, len(cfgs)*len(workloads))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				st, err := e.runOne(cfgs[j.ci], workloads[j.wi])
+				if err != nil {
+					errs <- err
+					continue
+				}
+				out[j.ci][j.wi] = st
+			}
+		}()
+	}
+	for ci := range cfgs {
+		for wi := range workloads {
+			jobs <- job{ci, wi}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+	return out, nil
+}
