@@ -114,11 +114,19 @@ func emit(t *report.Table) {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	finish, err := setupObservability()
 	if err != nil {
 		return err
 	}
+	// Flush observability output even when a sweep fails partway: the
+	// metrics file and -v cache statistics then cover every run that did
+	// complete, which is exactly what a failure post-mortem needs.
+	defer func() {
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}()
 	ran := false
 	if *figure == 13 || *all {
 		ran = true
@@ -199,9 +207,18 @@ func run() error {
 		}
 		emit(tbl)
 	}
+	// An unrecognized figure number used to fall through to the
+	// misleading "nothing selected" error below; reject it by name. The
+	// check sits after the sweeps so that other selections on the same
+	// command line still run (and their metrics still flush).
+	switch *figure {
+	case 0, 13, 15, 17:
+	default:
+		return fmt.Errorf("unknown figure %d (want 13, 15 or 17)", *figure)
+	}
 	if !ran {
 		flag.Usage()
 		return fmt.Errorf("nothing selected: pass -fig N, -speedup, -tradeoff, -ablations, -micro or -all")
 	}
-	return finish()
+	return nil
 }

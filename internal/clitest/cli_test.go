@@ -165,6 +165,62 @@ func TestCesweepFigure13(t *testing.T) {
 	}
 }
 
+func TestCesweepUnknownFigure(t *testing.T) {
+	out, err := run(t, "cesweep", "-fig", "14")
+	if err == nil {
+		t.Fatalf("cesweep -fig 14 succeeded:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown figure 14 (want 13, 15 or 17)") {
+		t.Errorf("cesweep -fig 14 error not explicit:\n%s", out)
+	}
+	if strings.Contains(out, "nothing selected") {
+		t.Errorf("cesweep -fig 14 still reports the misleading fall-through error:\n%s", out)
+	}
+}
+
+// TestCesweepFlushesMetricsOnError: when a sweep invocation fails after
+// some runs completed, the metrics file and -v cache statistics must
+// still cover the completed runs — the regression for run() returning
+// early without calling finish(), which left -metrics-json as the empty
+// pre-flight file.
+func TestCesweepFlushesMetricsOnError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	metrics := filepath.Join(t.TempDir(), "metrics.json")
+	// -speedup completes its matrix, then the unknown figure errors out.
+	out, err := run(t, "cesweep", "-speedup", "-fig", "14", "-v", "-metrics-json", metrics)
+	if err == nil {
+		t.Fatalf("cesweep -speedup -fig 14 succeeded:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown figure 14") {
+		t.Errorf("missing figure error:\n%s", out)
+	}
+	if !strings.Contains(out, "cesweep: cache:") {
+		t.Errorf("-v cache statistics not printed on the error path:\n%s", out)
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("metrics file not written on error path: %v", err)
+	}
+	var dump struct {
+		Runs []struct {
+			Cycles int64 `json:"cycles"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("metrics JSON malformed (empty pre-flight file?): %v\n%s", err, data)
+	}
+	if len(dump.Runs) == 0 {
+		t.Fatal("metrics file has no runs despite a completed -speedup sweep")
+	}
+	for _, r := range dump.Runs {
+		if r.Cycles <= 0 {
+			t.Errorf("degenerate run metric on error path: %+v", r)
+		}
+	}
+}
+
 func TestCesweepObservability(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation sweep in -short mode")

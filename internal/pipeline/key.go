@@ -61,8 +61,9 @@ func cacheKey(cc cache.Config) string {
 // key for a run cache.
 //
 // Name is excluded — it labels reports without affecting timing, so
-// renamed copies of one machine share a key. RecordTimeline is excluded
-// for the same reason (it changes what is recorded, not what happens).
+// renamed copies of one machine share a key. RecordTimeline and
+// CheckInvariants are excluded for the same reason (they change what is
+// recorded or asserted, not what happens).
 // Configurations using the opaque NewScheduler/NewPredictor closures
 // report ok=false and must be simulated directly.
 func (c *Config) Key() (key string, ok bool) {

@@ -89,6 +89,11 @@ type Config struct {
 	// RecordTimeline captures a per-instruction pipeline timeline
 	// (retrievable via Timeline) — intended for small programs.
 	RecordTimeline bool
+	// CheckInvariants arms the cycle-level invariant checker (see
+	// invariants.go): Run fails on the first violated pipeline invariant.
+	// A verification instrument for tests and the differential harness —
+	// it adds per-cycle ROB scans, so it stays off outside of them.
+	CheckInvariants bool
 	// WrongPathExecution upgrades the misprediction model: instead of
 	// stalling fetch until the branch resolves (the trace-driven
 	// SimpleScalar approximation), fetch follows the predicted path,
@@ -256,6 +261,10 @@ type Simulator struct {
 
 	timeline []TimelineEntry
 
+	// check is the cycle-level invariant checker (nil unless
+	// Config.CheckInvariants).
+	check *checker
+
 	traceDone bool
 	stats     Stats
 }
@@ -328,6 +337,9 @@ func New(cfg Config, prog *isa.Program) (*Simulator, error) {
 	s.stats.Config = cfg.Name
 	s.stats.Workload = prog.Name
 	s.stats.IssuedPerCycle = stats.NewHistogram(cfg.IssueWidth)
+	if cfg.CheckInvariants {
+		s.check = &checker{s: s}
+	}
 	return s, nil
 }
 
@@ -347,6 +359,12 @@ func (s *Simulator) Run(maxCycles int64) (Stats, error) {
 	s.stats.Cache = s.dcache.Stats()
 	if s.icache != nil {
 		s.stats.ICache = s.icache.Stats()
+	}
+	if s.check != nil {
+		s.check.onDone()
+		if s.check.err != nil {
+			return s.stats, s.check.err
+		}
 	}
 	return s.stats, nil
 }
@@ -375,6 +393,12 @@ func (s *Simulator) step() error {
 	}
 	if err := s.fetch(); err != nil {
 		return err
+	}
+	if s.check != nil {
+		s.check.onCycleEnd()
+		if s.check.err != nil {
+			return s.check.err
+		}
 	}
 	s.cycle++
 	return nil
@@ -419,6 +443,9 @@ func (s *Simulator) commit() {
 		s.rob = s.rob[1:]
 		s.stats.Committed++
 		n++
+		if s.check != nil {
+			s.check.onCommit(u)
+		}
 	}
 }
 
@@ -466,6 +493,16 @@ func (s *Simulator) squash() error {
 	s.resolving = nil
 	s.wrongPathDone = false
 	s.traceDone = false
+	// Wrong-path fetch may have left an instruction-cache stall pending
+	// (or a stale last-line note); the redirect cancels both — the
+	// architectural path must not inherit a wrong-path fetch stall, and
+	// its first fetch re-probes the cache. The miss that caused the stall
+	// has already installed its line, so cache pollution is preserved.
+	s.fetchBlockedUntil = 0
+	s.icacheHasLine = false
+	if s.check != nil {
+		s.check.onSquash(br.Seq)
+	}
 	return nil
 }
 
@@ -560,6 +597,9 @@ func (s *Simulator) issue() {
 		issued++
 		if isMem {
 			lsUsed++
+		}
+		if s.check != nil {
+			s.check.onIssue(u, c, isMem)
 		}
 		return true
 	})

@@ -1,0 +1,267 @@
+package prog
+
+// Seeded random program generator for the differential harness in
+// internal/verify. Generated programs exercise the ALU/load/store/branch
+// mix, loop nesting and memory footprint the timing models are sensitive
+// to, while terminating by construction: backward branches occur only as
+// counted loops over reserved counter registers ($s0–$s3), every other
+// branch is forward, and divisors are forced odd so no architectural
+// path divides by zero.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// RandomConfig tunes the random program generator. The zero value of any
+// field selects its default.
+type RandomConfig struct {
+	// Seed selects the program; equal configs generate identical programs.
+	Seed int64
+	// Size is the approximate number of static body instructions
+	// (default 120).
+	Size int
+	// LoopDepth bounds counted-loop nesting, 0–4 (default 2).
+	LoopDepth int
+	// MemWords is the scratch-array footprint in 32-bit words (default 64).
+	MemWords int
+	// ALU, Load, Store and Branch weight the instruction mix
+	// (defaults 8/3/2/3). A zero weight disables that kind entirely, so
+	// the zero value of RandomConfig uses the defaults, and a config with
+	// any weight set uses exactly the weights given.
+	ALU, Load, Store, Branch int
+}
+
+func (c RandomConfig) withDefaults() RandomConfig {
+	if c.Size <= 0 {
+		c.Size = 120
+	}
+	if c.LoopDepth <= 0 {
+		c.LoopDepth = 2
+	}
+	if c.LoopDepth > 4 {
+		c.LoopDepth = 4
+	}
+	if c.MemWords <= 0 {
+		c.MemWords = 64
+	}
+	if c.ALU == 0 && c.Load == 0 && c.Store == 0 && c.Branch == 0 {
+		c.ALU, c.Load, c.Store, c.Branch = 8, 3, 2, 3
+	}
+	return c
+}
+
+// pool is the set of registers random instructions read and write.
+// $s0–$s3 are reserved as loop counters, $gp holds the scratch-array
+// base, $k0 is the divisor scratch, and $zero stays hardwired.
+var pool = []string{
+	"$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+	"$s4", "$s5", "$s6", "$s7", "$a0", "$a1", "$a2", "$a3",
+	"$v0", "$v1", "$t8", "$t9",
+}
+
+type rgen struct {
+	cfg    RandomConfig
+	rng    *rand.Rand
+	b      strings.Builder
+	labels int
+}
+
+// Random generates the program selected by c and assembles it.
+func Random(c RandomConfig) (*isa.Program, error) {
+	c = c.withDefaults()
+	name := fmt.Sprintf("random.%d", c.Seed)
+	p, err := asm.Assemble(name+".s", RandomSource(c))
+	if err != nil {
+		return nil, fmt.Errorf("prog: generated program %s does not assemble: %w", name, err)
+	}
+	p.Name = name
+	return p, nil
+}
+
+// RandomSource generates the assembly source of the program selected by
+// c. It is exposed so a diverging program found by the fuzzer can be
+// printed and minimized by hand.
+func RandomSource(c RandomConfig) string {
+	c = c.withDefaults()
+	g := &rgen{cfg: c, rng: rand.New(rand.NewSource(c.Seed))}
+	fmt.Fprintf(&g.b, "# generated: seed=%d size=%d loopdepth=%d memwords=%d mix=%d/%d/%d/%d\n",
+		c.Seed, c.Size, c.LoopDepth, c.MemWords, c.ALU, c.Load, c.Store, c.Branch)
+	g.b.WriteString("\t\t.data\n")
+	g.b.WriteString("scratch:")
+	for i := 0; i < c.MemWords; i++ {
+		if i%8 == 0 {
+			g.b.WriteString("\n\t\t.word ")
+		} else {
+			g.b.WriteString(", ")
+		}
+		fmt.Fprintf(&g.b, "%d", int32(g.rng.Uint32()))
+	}
+	g.b.WriteString("\n\t\t.text\n")
+	g.b.WriteString("main:\tla   $gp, scratch\n")
+	for _, r := range pool {
+		g.inst("li   %s, %d", r, int32(g.rng.Uint32()))
+	}
+	g.block(0, c.Size)
+	// Capture the final architectural state in the output stream: every
+	// pool register, plus a sample of the scratch array.
+	for _, r := range pool {
+		g.inst("out  %s", r)
+	}
+	for i := 0; i < c.MemWords && i < 8; i++ {
+		g.inst("lw   $k0, %d($gp)", 4*i)
+		g.inst("out  $k0")
+	}
+	g.inst("halt")
+	return g.b.String()
+}
+
+func (g *rgen) inst(format string, args ...any) {
+	g.b.WriteString("\t\t")
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+func (g *rgen) label() string {
+	g.labels++
+	return fmt.Sprintf("L%d", g.labels)
+}
+
+func (g *rgen) reg() string { return pool[g.rng.Intn(len(pool))] }
+
+// block emits about budget instructions at the given loop depth and
+// returns the number emitted.
+func (g *rgen) block(depth, budget int) int {
+	emitted := 0
+	for emitted < budget {
+		remaining := budget - emitted
+		// Nested counted loop: bounded trip count on a reserved counter.
+		if depth < g.cfg.LoopDepth && remaining >= 8 && g.rng.Intn(8) == 0 {
+			counter := fmt.Sprintf("$s%d", depth)
+			trip := 2 + g.rng.Intn(5)
+			top := g.label()
+			g.inst("li   %s, %d", counter, trip)
+			g.b.WriteString(top + ":\n")
+			body := g.block(depth+1, 3+g.rng.Intn(remaining-5))
+			g.inst("addi %s, %s, -1", counter, counter)
+			g.inst("bgtz %s, %s", counter, top)
+			emitted += body + 3
+			continue
+		}
+		if g.rng.Intn(24) == 0 {
+			g.inst("out  %s", g.reg())
+			emitted++
+			continue
+		}
+		emitted += g.operation(remaining)
+	}
+	return emitted
+}
+
+// operation emits one instruction of the weighted mix (or a forward
+// branch plus its skippable block) and returns the instruction count.
+func (g *rgen) operation(remaining int) int {
+	c := g.cfg
+	w := g.rng.Intn(c.ALU + c.Load + c.Store + c.Branch)
+	switch {
+	case w < c.ALU:
+		return g.alu()
+	case w < c.ALU+c.Load:
+		return g.load()
+	case w < c.ALU+c.Load+c.Store:
+		return g.store()
+	default:
+		return g.branch(remaining)
+	}
+}
+
+var regOps = []string{"add", "sub", "and", "or", "xor", "nor", "sllv", "srlv", "srav", "slt", "sltu", "mul"}
+var immOps = []string{"addi", "andi", "ori", "xori", "slti", "sltiu"}
+var shiftOps = []string{"slli", "srli", "srai"}
+
+func (g *rgen) alu() int {
+	switch r := g.rng.Intn(10); {
+	case r < 5:
+		g.inst("%-4s %s, %s, %s", regOps[g.rng.Intn(len(regOps))], g.reg(), g.reg(), g.reg())
+		return 1
+	case r < 6:
+		// Division: force the divisor odd so it is never zero (int32
+		// overflow on MinInt32/-1 wraps, which Go and the emulator agree
+		// on).
+		op := "div"
+		if g.rng.Intn(2) == 0 {
+			op = "rem"
+		}
+		g.inst("ori  $k0, %s, 1", g.reg())
+		g.inst("%-4s %s, %s, $k0", op, g.reg(), g.reg())
+		return 2
+	case r < 7:
+		g.inst("%-4s %s, %s, %d", shiftOps[g.rng.Intn(len(shiftOps))], g.reg(), g.reg(), g.rng.Intn(32))
+		return 1
+	case r < 8:
+		g.inst("lui  %s, %d", g.reg(), g.rng.Intn(1<<16))
+		return 1
+	default:
+		g.inst("%-4s %s, %s, %d", immOps[g.rng.Intn(len(immOps))], g.reg(), g.reg(), g.rng.Intn(1<<16)-(1<<15))
+		return 1
+	}
+}
+
+func (g *rgen) load() int {
+	if g.rng.Intn(4) == 0 {
+		op := "lb"
+		if g.rng.Intn(2) == 0 {
+			op = "lbu"
+		}
+		g.inst("%-4s %s, %d($gp)", op, g.reg(), g.rng.Intn(4*g.cfg.MemWords))
+	} else {
+		g.inst("lw   %s, %d($gp)", g.reg(), 4*g.rng.Intn(g.cfg.MemWords))
+	}
+	return 1
+}
+
+func (g *rgen) store() int {
+	if g.rng.Intn(4) == 0 {
+		g.inst("sb   %s, %d($gp)", g.reg(), g.rng.Intn(4*g.cfg.MemWords))
+	} else {
+		g.inst("sw   %s, %d($gp)", g.reg(), 4*g.rng.Intn(g.cfg.MemWords))
+	}
+	return 1
+}
+
+// branch emits a data-dependent forward branch skipping a small block —
+// the only non-loop control flow, so it cannot affect termination.
+func (g *rgen) branch(remaining int) int {
+	skip := g.label()
+	if g.rng.Intn(2) == 0 {
+		ops := []string{"beq", "bne", "blt", "bge"}
+		g.inst("%-4s %s, %s, %s", ops[g.rng.Intn(len(ops))], g.reg(), g.reg(), skip)
+	} else {
+		ops := []string{"bltz", "bgez", "blez", "bgtz"}
+		g.inst("%-4s %s, %s", ops[g.rng.Intn(len(ops))], g.reg(), skip)
+	}
+	n := 1 + g.rng.Intn(4)
+	if max := remaining - 1; n > max {
+		n = max
+	}
+	emitted := 1
+	for i := 0; i < n; i++ {
+		switch r := g.rng.Intn(4); {
+		case r == 0 && g.cfg.Load > 0:
+			emitted += g.load()
+		case r == 1 && g.cfg.Store > 0:
+			emitted += g.store()
+		case g.cfg.ALU > 0:
+			emitted += g.alu()
+		default:
+			g.inst("nop")
+			emitted++
+		}
+	}
+	g.b.WriteString(skip + ":\n")
+	return emitted
+}

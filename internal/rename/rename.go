@@ -45,6 +45,13 @@ func (t *Table) Available() int { return len(t.free) }
 // Lookup returns the physical register currently mapped to r.
 func (t *Table) Lookup(r isa.Reg) int16 { return t.mapping[r] }
 
+// InFlight returns the number of physical registers allocated beyond the
+// isa.NumRegs backing the architectural state — one per in-flight
+// instruction with a destination. A nonzero value after the pipeline
+// drains is a free-list leak (an allocation whose Release or Undo was
+// lost); the invariant checker in package pipeline asserts it is zero.
+func (t *Table) InFlight() int { return t.nPhys - isa.NumRegs - len(t.free) }
+
 // Rename maps the instruction's sources through the current table and, if
 // the instruction writes a register, allocates a new physical destination.
 // It returns the physical sources, the new physical destination (None if

@@ -114,6 +114,39 @@ func TestUndo(t *testing.T) {
 	}
 }
 
+func TestInFlightTracksAllocations(t *testing.T) {
+	rt, _ := New(40)
+	if rt.InFlight() != 0 {
+		t.Fatalf("fresh table InFlight = %d, want 0", rt.InFlight())
+	}
+	_, d, old, ok := rt.Rename(nil, isa.T0, true)
+	if !ok {
+		t.Fatal("rename failed")
+	}
+	if rt.InFlight() != 1 {
+		t.Errorf("after one rename InFlight = %d, want 1", rt.InFlight())
+	}
+	_, _, old2, ok := rt.Rename(nil, isa.T1, true)
+	if !ok {
+		t.Fatal("rename failed")
+	}
+	if rt.InFlight() != 2 {
+		t.Errorf("after two renames InFlight = %d, want 2", rt.InFlight())
+	}
+	// Commit path: releasing the previous mappings restores balance.
+	rt.Release(old)
+	rt.Release(old2)
+	if rt.InFlight() != 0 {
+		t.Errorf("after releases InFlight = %d, want 0 (leak)", rt.InFlight())
+	}
+	// Squash path: Undo restores balance too.
+	_, d, old, _ = rt.Rename(nil, isa.T2, true)
+	rt.Undo(isa.T2, d, old)
+	if rt.InFlight() != 0 {
+		t.Errorf("after undo InFlight = %d, want 0", rt.InFlight())
+	}
+}
+
 func TestReleaseNoneIsNoop(t *testing.T) {
 	rt, _ := New(40)
 	avail := rt.Available()

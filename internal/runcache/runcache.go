@@ -172,12 +172,17 @@ func diskPath(dir, key string) string {
 }
 
 func (c *Cache) loadDisk(dir, key string) (pipeline.Stats, bool) {
-	data, err := os.ReadFile(diskPath(dir, key))
+	path := diskPath(dir, key)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return pipeline.Stats{}, false
 	}
 	var de diskEntry
 	if err := json.Unmarshal(data, &de); err != nil || de.Key != key {
+		// The file is unusable — corrupt JSON from a crashed writer or a
+		// hash collision with a different key. Delete it so the slot can
+		// be rewritten; otherwise it would shadow this key forever.
+		_ = os.Remove(path)
 		return pipeline.Stats{}, false
 	}
 	return de.Stats, true
@@ -188,10 +193,20 @@ func (c *Cache) saveDisk(dir, key string, st pipeline.Stats) {
 	if err != nil {
 		return
 	}
-	path := diskPath(dir, key)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	// Write to a uniquely named temp file and rename into place: a fixed
+	// temp name would let two processes sharing the directory interleave
+	// writes and rename a torn file over the entry.
+	tmp, err := os.CreateTemp(dir, "entry-*.tmp")
+	if err != nil {
 		return
 	}
-	_ = os.Rename(tmp, path)
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), diskPath(dir, key)); err != nil {
+		_ = os.Remove(tmp.Name())
+	}
 }

@@ -1,7 +1,10 @@
 package runcache
 
 import (
+	"encoding/json"
 	"errors"
+	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -140,6 +143,100 @@ func TestDiskPersistence(t *testing.T) {
 		return fakeStats(1), nil
 	}); hit || !computed {
 		t.Errorf("unrelated key served from disk: hit=%v computed=%v", hit, computed)
+	}
+}
+
+// TestDiskConcurrentWriters runs two caches over one directory writing
+// the same keys concurrently — the regression for the shared fixed-name
+// temp file, which let one process rename another's half-written JSON
+// into place. Every surviving file must be complete and loadable.
+func TestDiskConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	caches := [2]*Cache{New(), New()}
+	for _, c := range caches {
+		if err := c.SetDir(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const keys = 16
+	var wg sync.WaitGroup
+	for _, c := range caches {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				key := "key" + string(rune('a'+k))
+				if _, _, err := c.Do(key, func() (pipeline.Stats, error) {
+					return fakeStats(int64(k + 1)), nil
+				}); err != nil {
+					t.Errorf("Do(%s): %v", key, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// No temp files left behind, and every entry round-trips.
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range names {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("stale temp file %s left in cache dir", e.Name())
+		}
+	}
+	fresh := New()
+	if err := fresh.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < keys; k++ {
+		key := "key" + string(rune('a'+k))
+		st, hit, err := fresh.Do(key, func() (pipeline.Stats, error) {
+			t.Errorf("key %s not persisted", key)
+			return pipeline.Stats{}, nil
+		})
+		if err != nil || !hit || st.Cycles != int64(k+1) {
+			t.Errorf("reload %s: hit=%v cycles=%d err=%v", key, hit, st.Cycles, err)
+		}
+	}
+}
+
+// TestDiskDropsUnusableFiles: a file whose stored key mismatches (hash
+// collision) or whose JSON is torn must be deleted on load, not silently
+// ignored, so the slot can be rewritten.
+func TestDiskDropsUnusableFiles(t *testing.T) {
+	for name, contents := range map[string]string{
+		"mismatched key": `{"key":"some other key","stats":{}}`,
+		"torn JSON":      `{"key":"k","st`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := diskPath(dir, "k")
+			if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			c := New()
+			if err := c.SetDir(dir); err != nil {
+				t.Fatal(err)
+			}
+			st, hit, err := c.Do("k", func() (pipeline.Stats, error) {
+				return fakeStats(9), nil
+			})
+			if err != nil || hit || st.Cycles != 9 {
+				t.Fatalf("Do over bad file: st=%+v hit=%v err=%v", st, hit, err)
+			}
+			// The bad file was replaced by the fresh result.
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("entry not rewritten: %v", err)
+			}
+			var de diskEntry
+			if err := json.Unmarshal(data, &de); err != nil || de.Key != "k" {
+				t.Errorf("rewritten entry unusable: key=%q err=%v", de.Key, err)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,43 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/prog"
+)
+
+// FuzzDifferential feeds fuzzer-chosen generator parameters through the
+// differential harness. The interesting search space is the generator
+// configuration, not raw bytes: every input is a well-formed terminating
+// program, so all fuzzing time goes into exercising timing-model
+// bookkeeping rather than assembler error paths.
+//
+// Reproduce a failure by turning the corpus entry's arguments into a
+// prog.RandomConfig and calling verify.CheckSeed (see EXPERIMENTS.md).
+func FuzzDifferential(f *testing.F) {
+	f.Add(int64(1), uint16(120), uint8(2), uint16(64), uint8(8), uint8(3), uint8(2), uint8(3))
+	f.Add(int64(42), uint16(60), uint8(4), uint16(8), uint8(4), uint8(2), uint8(2), uint8(6))
+	f.Add(int64(7), uint16(200), uint8(1), uint16(512), uint8(4), uint8(6), uint8(4), uint8(1))
+	f.Add(int64(9), uint16(40), uint8(0), uint16(16), uint8(1), uint8(0), uint8(0), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, size uint16, loopDepth uint8, memWords uint16, alu, load, store, branch uint8) {
+		rc := clamp(seed, size, loopDepth, memWords, alu, load, store, branch)
+		if err := CheckSeed(rc); err != nil {
+			t.Fatalf("%+v\nprogram:\n%s\n%v", rc, prog.RandomSource(rc), err)
+		}
+	})
+}
+
+// clamp keeps fuzzer-chosen parameters inside the generator's supported
+// envelope without rejecting any input.
+func clamp(seed int64, size uint16, loopDepth uint8, memWords uint16, alu, load, store, branch uint8) prog.RandomConfig {
+	return prog.RandomConfig{
+		Seed:      seed,
+		Size:      int(size%400) + 10,
+		LoopDepth: int(loopDepth % 5),
+		MemWords:  int(memWords%1024) + 1,
+		ALU:       int(alu % 16),
+		Load:      int(load % 16),
+		Store:     int(store % 16),
+		Branch:    int(branch % 16),
+	}
+}

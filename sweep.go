@@ -136,8 +136,11 @@ func (e *Engine) runOne(cfg Config, workload string) (Stats, error) {
 // RunMatrix runs every (config, workload) pair through the engine's run
 // cache, in parallel across CPUs, returning results indexed
 // [config][workload] in the given orders. Any pair's failure fails the
-// whole matrix; duplicate pairs — within one matrix or across calls —
-// are simulated once.
+// whole matrix with the error of the first failing pair in matrix order
+// (row-major: configs outer, workloads inner) — never whichever worker
+// happened to lose the race — and no further pairs are dispatched once a
+// failure is known. Duplicate pairs — within one matrix or across calls
+// — are simulated once.
 func (e *Engine) RunMatrix(cfgs []Config, workloads []string) ([][]Stats, error) {
 	out := make([][]Stats, len(cfgs))
 	for i := range out {
@@ -145,7 +148,23 @@ func (e *Engine) RunMatrix(cfgs []Config, workloads []string) ([][]Stats, error)
 	}
 	type job struct{ ci, wi int }
 	jobs := make(chan job)
-	errs := make(chan error, len(cfgs)*len(workloads))
+	var (
+		errMu    sync.Mutex
+		firstErr error
+		firstIdx int
+	)
+	record := func(idx int, err error) {
+		errMu.Lock()
+		if firstErr == nil || idx < firstIdx {
+			firstErr, firstIdx = err, idx
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
 	var wg sync.WaitGroup
 	workers := runtime.GOMAXPROCS(0)
 	for k := 0; k < workers; k++ {
@@ -155,23 +174,26 @@ func (e *Engine) RunMatrix(cfgs []Config, workloads []string) ([][]Stats, error)
 			for j := range jobs {
 				st, err := e.runOne(cfgs[j.ci], workloads[j.wi])
 				if err != nil {
-					errs <- err
+					record(j.ci*len(workloads)+j.wi, err)
 					continue
 				}
 				out[j.ci][j.wi] = st
 			}
 		}()
 	}
+dispatch:
 	for ci := range cfgs {
 		for wi := range workloads {
+			if failed() {
+				break dispatch
+			}
 			jobs <- job{ci, wi}
 		}
 	}
 	close(jobs)
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		return nil, err
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package ce
 
 import (
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -152,6 +153,31 @@ func TestRunMatrixErrorPropagation(t *testing.T) {
 	// Errors must also surface when the failing pair is already memoized.
 	if _, err := eng.RunMatrix([]Config{bad}, []string{"micro.chain"}); err == nil {
 		t.Error("memoized failure returned success")
+	}
+}
+
+// TestRunMatrixFirstErrorDeterministic: with several failing pairs the
+// matrix must always report the first one in matrix order, not whichever
+// worker lost the race — sweep callers surface the error to users, and a
+// nondeterministic message turns one bug into an apparent flaky suite.
+func TestRunMatrixFirstErrorDeterministic(t *testing.T) {
+	// Two structurally distinct malformed configs (distinct cache keys),
+	// so each carries its own error message.
+	first := BaselineConfig()
+	first.Name = "bad-first"
+	first.MaxInFlight = 0 // rejected by Config.Validate at pipeline.New
+	second := BaselineConfig()
+	second.Name = "bad-second"
+	second.FetchQueueSize = 0 // also rejected, with a different message
+	for i := 0; i < 20; i++ {
+		eng := NewEngine()
+		_, err := eng.RunMatrix([]Config{first, second}, []string{"micro.chain"})
+		if err == nil {
+			t.Fatal("matrix with two malformed configs succeeded")
+		}
+		if !strings.Contains(err.Error(), "bad-first") {
+			t.Fatalf("iteration %d: got error for a later pair: %v", i, err)
+		}
 	}
 }
 
