@@ -1,0 +1,87 @@
+package ce
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/verify"
+)
+
+// PipelineBenchResult is one configuration's simulator-performance
+// measurement: how fast the timing simulator itself runs (host metrics),
+// not how well the simulated machine performs. Serialized into
+// BENCH_pipeline.json by `cesweep -bench-json` so the performance
+// trajectory is tracked across changes.
+type PipelineBenchResult struct {
+	Config         string  `json:"config"`
+	Workload       string  `json:"workload"`
+	Cycles         int64   `json:"cycles"`
+	Committed      uint64  `json:"committed"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	MCyclesPerSec  float64 `json:"mcycles_per_sec"`
+	HostAllocs     uint64  `json:"host_allocs"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+}
+
+// PipelineBenchConfigs returns the differential-verification panel with
+// its instruments (invariant checker, timeline recording) stripped, so
+// the production fast path — event-driven wakeup plus idle-cycle
+// skipping — is what gets measured. One configuration per mechanism the
+// simulator implements.
+func PipelineBenchConfigs() []Config {
+	cfgs := verify.Panel()
+	for i := range cfgs {
+		cfgs[i].CheckInvariants = false
+		cfgs[i].RecordTimeline = false
+	}
+	return cfgs
+}
+
+// PipelineBench times every panel configuration on one workload with a
+// fresh simulator per run (no run cache), returning per-configuration
+// host-performance results.
+func PipelineBench(workload string) ([]PipelineBenchResult, error) {
+	out := make([]PipelineBenchResult, 0, 7)
+	for _, cfg := range PipelineBenchConfigs() {
+		st, err := Run(cfg, workload)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s/%s: %w", cfg.Name, workload, err)
+		}
+		r := PipelineBenchResult{
+			Config:      cfg.Name,
+			Workload:    workload,
+			Cycles:      st.Cycles,
+			Committed:   st.Committed,
+			WallSeconds: st.HostWallSeconds,
+			HostAllocs:  st.HostAllocs,
+		}
+		if st.HostWallSeconds > 0 {
+			r.MCyclesPerSec = float64(st.Cycles) / st.HostWallSeconds / 1e6
+		}
+		if st.Cycles > 0 {
+			r.AllocsPerCycle = float64(st.HostAllocs) / float64(st.Cycles)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// WriteBenchJSON runs PipelineBench and writes the results to path as
+// indented JSON (the BENCH_pipeline.json emitter behind
+// `cesweep -bench-json`).
+func WriteBenchJSON(path, workload string) ([]PipelineBenchResult, error) {
+	res, err := PipelineBench(workload)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,75 @@
+package ce
+
+// Simulator host-performance benchmarks: how fast the timing simulator
+// runs on this machine, per panel configuration. These are the numbers
+// `cesweep -bench-json` snapshots into BENCH_pipeline.json; run them
+// directly with `go test -bench=Simulator -benchtime=1x .` (the CI smoke
+// invocation) or longer benchtimes for stable measurements.
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/prog"
+)
+
+// BenchmarkSimulatorPanel runs the compress workload through every
+// verification-panel configuration with the instruments stripped (the
+// production fast path) and reports simulated Mcycles per wall-clock
+// second plus allocations per simulated cycle.
+func BenchmarkSimulatorPanel(b *testing.B) {
+	w, err := prog.ByName("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range PipelineBenchConfigs() {
+		cfg := cfg
+		b.Run(cfg.Name, func(b *testing.B) {
+			var cycles int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim, err := pipeline.New(cfg, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := sim.Run(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += st.Cycles
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds()/1e6, "Mcycles/s")
+		})
+	}
+}
+
+// TestPipelineBench exercises the BENCH_pipeline.json emitter end to end
+// on a short workload and sanity-checks every reported field.
+func TestPipelineBench(t *testing.T) {
+	path := t.TempDir() + "/BENCH_pipeline.json"
+	res, err := WriteBenchJSON(path, "micro.chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(PipelineBenchConfigs()) {
+		t.Fatalf("got %d results, want one per panel config (%d)",
+			len(res), len(PipelineBenchConfigs()))
+	}
+	for _, r := range res {
+		if r.Cycles <= 0 || r.Committed == 0 {
+			t.Errorf("%s: empty run: %+v", r.Config, r)
+		}
+		if r.WallSeconds <= 0 || r.MCyclesPerSec <= 0 {
+			t.Errorf("%s: missing host timing: %+v", r.Config, r)
+		}
+		if r.Workload != "micro.chain" {
+			t.Errorf("%s: workload = %q", r.Config, r.Workload)
+		}
+	}
+}

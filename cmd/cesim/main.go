@@ -6,12 +6,19 @@
 //	cesim -config baseline -workload compress
 //	cesim -config dependence -workload li -predictor bimodal
 //	cesim -list
+//
+// Host-profiling flags for working on the simulator itself:
+//
+//	cesim -cpuprofile cpu.pprof -workload compress
+//	cesim -memprofile mem.pprof -workload compress
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"repro"
@@ -33,14 +40,60 @@ var (
 	predictor  = flag.String("predictor", "", "branch predictor override: gshare, bimodal, taken or perfect")
 	timeline   = flag.Int("timeline", 0, "print a pipeline timeline for the first N committed instructions")
 	list       = flag.Bool("list", false, "list configurations and workloads")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 )
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	stop, err := startProfiling(*cpuprofile, *memprofile)
+	if err == nil {
+		err = run()
+		if perr := stop(); err == nil {
+			err = perr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cesim:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiling arms the -cpuprofile/-memprofile flags; the returned
+// function flushes the profiles after the run (heap profile after a final
+// GC, so it shows live retention rather than garbage).
+func startProfiling(cpu, mem string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 func run() error {

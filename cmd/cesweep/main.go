@@ -19,6 +19,13 @@
 //	-v                  per-run progress and cache statistics on stderr
 //	-metrics-json FILE  dump per-run metrics and cache counters as JSON
 //	-cache-dir DIR      persist run results on disk across invocations
+//
+// Host-performance flags for working on the simulator itself:
+//
+//	-bench-json FILE    benchmark the simulator on every verification-panel
+//	                    configuration and write BENCH_pipeline.json
+//	-cpuprofile FILE    write a CPU profile of the sweep
+//	-memprofile FILE    write a heap profile taken after the sweep
 package main
 
 import (
@@ -26,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro"
 	"repro/internal/report"
@@ -44,14 +53,62 @@ var (
 	verbose   = flag.Bool("v", false, "print per-run progress and cache statistics to stderr")
 	metrics   = flag.String("metrics-json", "", "write per-run metrics and cache statistics to this file as JSON")
 	cacheDir  = flag.String("cache-dir", "", "persist simulation results as JSON under this directory")
+	benchJSON = flag.String("bench-json", "", "benchmark the simulator per panel config and write results to this file")
+	benchWork = flag.String("bench-workload", "compress", "workload for -bench-json")
+	cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprof   = flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 )
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	stop, err := startProfiling(*cpuprof, *memprof)
+	if err == nil {
+		err = run()
+		if perr := stop(); err == nil {
+			err = perr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cesweep:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiling arms the -cpuprofile/-memprofile flags; the returned
+// function flushes the profiles after the sweep (heap profile after a
+// final GC, so it shows live retention rather than garbage).
+func startProfiling(cpu, mem string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 // setupObservability wires the -v, -cache-dir and -metrics-json flags to
@@ -207,6 +264,18 @@ func run() (err error) {
 		}
 		emit(tbl)
 	}
+	if *benchJSON != "" {
+		ran = true
+		res, err := ce.WriteBenchJSON(*benchJSON, *benchWork)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Simulator performance on %s (written to %s):\n", *benchWork, *benchJSON)
+		for _, r := range res {
+			fmt.Printf("  %-28s %9d cycles  %6.0f ms  %6.2f Mcycles/s  %.3f allocs/cycle\n",
+				r.Config, r.Cycles, r.WallSeconds*1000, r.MCyclesPerSec, r.AllocsPerCycle)
+		}
+	}
 	// An unrecognized figure number used to fall through to the
 	// misleading "nothing selected" error below; reject it by name. The
 	// check sits after the sweeps so that other selections on the same
@@ -218,7 +287,7 @@ func run() (err error) {
 	}
 	if !ran {
 		flag.Usage()
-		return fmt.Errorf("nothing selected: pass -fig N, -speedup, -tradeoff, -ablations, -micro or -all")
+		return fmt.Errorf("nothing selected: pass -fig N, -speedup, -tradeoff, -ablations, -micro, -bench-json or -all")
 	}
 	return nil
 }

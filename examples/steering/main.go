@@ -69,7 +69,7 @@ func main() {
 		var issuedNow []uint64
 		var done []int16
 		n := 0
-		bank.Select(func(u *core.Uop) bool {
+		bank.Select(int64(cycle), func(u *core.Uop) bool {
 			if n >= 4 {
 				return false
 			}

@@ -12,8 +12,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/emu"
 	"repro/internal/isa"
 )
@@ -59,23 +57,46 @@ type Uop struct {
 	// UsedInterClusterBypass marks that at least one operand arrived over
 	// an inter-cluster bypass path (Figure 17, bottom).
 	UsedInterClusterBypass bool
+
+	// Event-driven wakeup bookkeeping (see wakeboard.go), written by the
+	// pipeline at dispatch and maintained by the scheduler: WakePending
+	// counts sources whose producer has not issued yet, WakeMask marks
+	// their indices in PhysSrcs, and WakeCycle is a lower bound on the
+	// first cycle every operand could be consumable in some cluster.
+	WakePending int8
+	WakeMask    uint8
+	WakeCycle   int64
 }
 
 // Scheduler buffers renamed instructions until they issue.
 //
 // The pipeline calls Dispatch in program order; false means a structural
 // stall (window full, no free FIFO, FIFO full) and the pipeline retries
-// next cycle. Each cycle the pipeline calls Select with a tryIssue
-// callback; the scheduler offers candidates in selection-priority order
-// (the paper's position/age-based policy) and removes a candidate when
-// tryIssue accepts it. tryIssue is only called for uops the scheduler is
-// prepared to issue, and a true return means the uop has issued.
+// next cycle. Each cycle the pipeline calls Select with the current cycle
+// and a tryIssue callback; the scheduler offers candidates in
+// selection-priority order (the paper's position/age-based policy) and
+// removes a candidate when tryIssue accepts it. tryIssue is only called
+// for uops the scheduler is prepared to issue, and a true return means
+// the uop has issued.
+//
+// Wakeup and NextWake support the event-driven issue loop: the pipeline
+// reports each issued producer via Wakeup, and NextWake lets it skip
+// cycles on which Select provably cannot offer a candidate.
 type Scheduler interface {
 	Name() string
 	// Clusters reports how many execution clusters the scheduler feeds.
 	Clusters() int
 	Dispatch(u *Uop) bool
-	Select(tryIssue func(u *Uop) bool)
+	Select(now int64, tryIssue func(u *Uop) bool)
+	// Wakeup notes that the producer of physical register p has issued
+	// and its result becomes consumable — in the nearest cluster — at
+	// readyCycle. The pipeline calls it once per issued uop with a
+	// destination, before that uop's consumers can issue.
+	Wakeup(p int16, readyCycle int64)
+	// NextWake returns a lower bound on the next cycle Select may offer a
+	// candidate: WakeNow when a candidate is already awake, the earliest
+	// pending wake cycle otherwise, and NeverWake when empty.
+	NextWake() int64
 	// Squash removes every buffered uop with Seq > afterSeq (wrong-path
 	// instructions being flushed at branch resolution).
 	Squash(afterSeq uint64)
@@ -95,7 +116,14 @@ type CentralWindow struct {
 	assignAtIssue bool
 	randomSelect  bool
 	rng           int32
-	entries       []*Uop
+	occupancy     int
+
+	// board drives event-driven wakeup for the age-ordered selection
+	// policies. Random selection must visit every entry each cycle anyway
+	// (its rng stream advances per buffered entry), so it keeps the
+	// entries scan.
+	board   wakeBoard
+	entries []*Uop
 }
 
 // NewCentralWindow builds a single-cluster window of the given size; every
@@ -136,14 +164,14 @@ func (w *CentralWindow) Name() string {
 func (w *CentralWindow) Clusters() int { return w.clusters }
 
 // Len implements Scheduler.
-func (w *CentralWindow) Len() int { return len(w.entries) }
+func (w *CentralWindow) Len() int { return w.occupancy }
 
 // Capacity implements Scheduler.
 func (w *CentralWindow) Capacity() int { return w.size }
 
 // Dispatch implements Scheduler.
 func (w *CentralWindow) Dispatch(u *Uop) bool {
-	if len(w.entries) >= w.size {
+	if w.occupancy >= w.size {
 		return false
 	}
 	if w.assignAtIssue {
@@ -151,22 +179,35 @@ func (w *CentralWindow) Dispatch(u *Uop) bool {
 	} else {
 		u.Cluster = 0
 	}
-	w.entries = append(w.entries, u)
+	if w.randomSelect {
+		w.entries = append(w.entries, u)
+	} else {
+		w.board.add(u)
+	}
+	w.occupancy++
 	return true
 }
 
-// Select implements Scheduler. Entries are kept in dispatch (age) order,
-// which is the paper's position-based selection policy; with random
-// selection the candidate order is shuffled deterministically each cycle.
-func (w *CentralWindow) Select(tryIssue func(u *Uop) bool) {
+// Select implements Scheduler. Awake candidates are offered in dispatch
+// (age) order, which is the paper's position-based selection policy; with
+// random selection every entry is a candidate and the order is shuffled
+// deterministically each cycle.
+func (w *CentralWindow) Select(now int64, tryIssue func(u *Uop) bool) {
 	if !w.randomSelect {
-		kept := w.entries[:0]
-		for _, u := range w.entries {
-			if !tryIssue(u) {
+		w.board.promote(now)
+		ready := w.board.ready
+		kept := ready[:0]
+		for _, u := range ready {
+			if tryIssue(u) {
+				w.occupancy--
+			} else {
 				kept = append(kept, u)
 			}
 		}
-		w.entries = kept
+		for i := len(kept); i < len(ready); i++ {
+			ready[i] = nil
+		}
+		w.board.ready = kept
 		return
 	}
 	order := make([]*Uop, len(w.entries))
@@ -176,9 +217,12 @@ func (w *CentralWindow) Select(tryIssue func(u *Uop) bool) {
 		j := int(uint32(w.rng)>>16) % (i + 1)
 		order[i], order[j] = order[j], order[i]
 	}
-	issued := make(map[*Uop]bool)
+	var issued map[*Uop]bool
 	for _, u := range order {
 		if tryIssue(u) {
+			if issued == nil {
+				issued = make(map[*Uop]bool)
+			}
 			issued[u] = true
 		}
 	}
@@ -191,18 +235,50 @@ func (w *CentralWindow) Select(tryIssue func(u *Uop) bool) {
 			kept = append(kept, u)
 		}
 	}
+	for i := len(kept); i < len(w.entries); i++ {
+		w.entries[i] = nil
+	}
 	w.entries = kept
+	w.occupancy = len(kept)
+}
+
+// Wakeup implements Scheduler.
+func (w *CentralWindow) Wakeup(p int16, readyCycle int64) {
+	if !w.randomSelect {
+		w.board.wakeup(p, readyCycle)
+	}
+}
+
+// NextWake implements Scheduler. Random selection reshuffles — and
+// advances its rng stream — every cycle the window is occupied, so its
+// Select must run every such cycle.
+func (w *CentralWindow) NextWake() int64 {
+	if w.randomSelect {
+		if w.occupancy > 0 {
+			return WakeNow
+		}
+		return NeverWake
+	}
+	return w.board.nextWake()
 }
 
 // Squash implements Scheduler.
 func (w *CentralWindow) Squash(afterSeq uint64) {
+	if !w.randomSelect {
+		w.occupancy -= w.board.squash(afterSeq)
+		return
+	}
 	kept := w.entries[:0]
 	for _, u := range w.entries {
 		if u.Seq <= afterSeq {
 			kept = append(kept, u)
 		}
 	}
+	for i := len(kept); i < len(w.entries); i++ {
+		w.entries[i] = nil
+	}
 	w.entries = kept
+	w.occupancy = len(kept)
 }
 
 // SteerPolicy selects how a FIFOBank routes instructions.
@@ -252,6 +328,11 @@ type FIFOBank struct {
 
 	occupancy int
 	rng       int32
+
+	// board drives event-driven wakeup; headSnap is the per-FIFO head
+	// snapshot Select gates candidates on (reused across cycles).
+	board    wakeBoard
+	headSnap []*Uop
 
 	// StallNoFIFO counts dispatch stalls due to steering (full target
 	// FIFO and no free FIFO).
@@ -329,6 +410,7 @@ func (b *FIFOBank) Dispatch(u *Uop) bool {
 	if u.PhysDest >= 0 {
 		b.producer[u.PhysDest] = u
 	}
+	b.board.add(u)
 	return true
 }
 
@@ -386,26 +468,59 @@ func (b *FIFOBank) steerRandom() int {
 }
 
 // Select implements Scheduler: candidates are FIFO heads (or, with
-// AnySlot, all entries), offered oldest first.
-func (b *FIFOBank) Select(tryIssue func(u *Uop) bool) {
-	var cands []*Uop
-	for i := range b.fifos {
-		q := b.fifos[i].q
-		if len(q) == 0 {
+// AnySlot, all entries), offered oldest first. The awake candidates come
+// from the wake board in Seq order; without AnySlot they are additionally
+// gated on a start-of-cycle head snapshot, so an entry exposed by its
+// head issuing this same cycle must wait for the next — exactly the
+// head-only semantics of the full-scan implementation.
+func (b *FIFOBank) Select(now int64, tryIssue func(u *Uop) bool) {
+	b.board.promote(now)
+	if len(b.board.ready) == 0 {
+		return
+	}
+	if !b.anySlot {
+		for len(b.headSnap) < len(b.fifos) {
+			b.headSnap = append(b.headSnap, nil)
+		}
+		for i := range b.fifos {
+			if q := b.fifos[i].q; len(q) > 0 {
+				b.headSnap[i] = q[0]
+			} else {
+				b.headSnap[i] = nil
+			}
+		}
+	}
+	ready := b.board.ready
+	kept := ready[:0]
+	for _, u := range ready {
+		if !b.anySlot && b.headSnap[u.FIFO] != u {
+			kept = append(kept, u)
 			continue
 		}
-		if b.anySlot {
-			cands = append(cands, q...)
-		} else {
-			cands = append(cands, q[0])
-		}
-	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].Seq < cands[j].Seq })
-	for _, u := range cands {
 		if tryIssue(u) {
 			b.remove(u)
+		} else {
+			kept = append(kept, u)
 		}
 	}
+	for i := len(kept); i < len(ready); i++ {
+		ready[i] = nil
+	}
+	b.board.ready = kept
+}
+
+// Wakeup implements Scheduler.
+func (b *FIFOBank) Wakeup(p int16, readyCycle int64) {
+	b.board.wakeup(p, readyCycle)
+}
+
+// NextWake implements Scheduler. The bound ignores head-only gating (a
+// non-head uop may be awake but unofferable); that only makes the bound
+// conservative, never late, because a blocked awake uop implies an awake
+// head in the same FIFO with an equal-or-earlier wake cycle is still
+// unissued — and Select runs while any candidate is awake.
+func (b *FIFOBank) NextWake() int64 {
+	return b.board.nextWake()
 }
 
 // remove deletes an issued uop from its FIFO and recycles empty FIFOs.
@@ -413,7 +528,9 @@ func (b *FIFOBank) remove(u *Uop) {
 	f := &b.fifos[u.FIFO]
 	for i, x := range f.q {
 		if x == u {
-			f.q = append(f.q[:i], f.q[i+1:]...)
+			copy(f.q[i:], f.q[i+1:])
+			f.q[len(f.q)-1] = nil
+			f.q = f.q[:len(f.q)-1]
 			break
 		}
 	}
@@ -438,6 +555,7 @@ func (b *FIFOBank) Squash(afterSeq uint64) {
 			if tail.Seq <= afterSeq {
 				break
 			}
+			f.q[len(f.q)-1] = nil
 			f.q = f.q[:len(f.q)-1]
 			b.occupancy--
 			if tail.PhysDest >= 0 && b.producer[tail.PhysDest] == tail {
@@ -449,6 +567,7 @@ func (b *FIFOBank) Squash(afterSeq uint64) {
 			b.freeFIFOs[f.cluster] = append(b.freeFIFOs[f.cluster], i)
 		}
 	}
+	b.board.squash(afterSeq)
 }
 
 // FIFOOccupancy returns the per-FIFO queue lengths (diagnostics and the

@@ -12,7 +12,7 @@ func mkUop(seq uint64, dest int16, srcs ...int16) *Uop {
 
 func issueAll(s Scheduler) []*Uop {
 	var out []*Uop
-	s.Select(func(u *Uop) bool {
+	s.Select(0, func(u *Uop) bool {
 		out = append(out, u)
 		return true
 	})
@@ -41,7 +41,7 @@ func TestCentralWindowSelectsInAgeOrder(t *testing.T) {
 		w.Dispatch(mkUop(uint64(i), int16(i+40)))
 	}
 	var seen []uint64
-	w.Select(func(u *Uop) bool {
+	w.Select(0, func(u *Uop) bool {
 		seen = append(seen, u.Seq)
 		return u.Seq%2 == 0 // issue evens only
 	})
@@ -151,7 +151,7 @@ func TestHeadsOnlySelection(t *testing.T) {
 	b.Dispatch(u0)
 	b.Dispatch(u1)
 	var offered []uint64
-	b.Select(func(u *Uop) bool {
+	b.Select(0, func(u *Uop) bool {
 		offered = append(offered, u.Seq)
 		return false
 	})
@@ -167,7 +167,7 @@ func TestAnySlotSelection(t *testing.T) {
 	b.Dispatch(mkUop(0, 40))
 	b.Dispatch(mkUop(1, 41, 40))
 	var offered []uint64
-	b.Select(func(u *Uop) bool {
+	b.Select(0, func(u *Uop) bool {
 		offered = append(offered, u.Seq)
 		return false
 	})
@@ -310,7 +310,7 @@ func TestFigure12Steering(t *testing.T) {
 		// in an earlier cycle).
 		n := 0
 		var doneRegs []int16
-		b.Select(func(u *Uop) bool {
+		b.Select(0, func(u *Uop) bool {
 			if n >= 4 {
 				return false
 			}
@@ -376,7 +376,7 @@ func TestPropertyFIFOOrderRespectsProgramOrder(t *testing.T) {
 			}
 			if seq%5 == 0 {
 				// Issue the current heads now and then.
-				b.Select(func(u *Uop) bool { return true })
+				b.Select(0, func(u *Uop) bool { return true })
 			}
 		}
 		for _, q := range b.FIFOContents() {
@@ -428,7 +428,7 @@ func TestRandomSelectWindow(t *testing.T) {
 	// entry must be offered exactly once.
 	offered := map[uint64]int{}
 	n := 0
-	w.Select(func(u *Uop) bool {
+	w.Select(0, func(u *Uop) bool {
 		offered[u.Seq]++
 		n++
 		return n%2 == 0
@@ -447,7 +447,7 @@ func TestRandomSelectWindow(t *testing.T) {
 	// Remaining entries keep age order for the next cycle's bookkeeping.
 	var prev uint64
 	first := true
-	w.Select(func(u *Uop) bool { return false })
+	w.Select(0, func(u *Uop) bool { return false })
 	for _, u := range w.entries {
 		if !first && u.Seq < prev {
 			t.Error("survivors lost age order")

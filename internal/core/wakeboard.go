@@ -1,0 +1,232 @@
+package core
+
+import "math"
+
+// NeverWake is returned by Scheduler.NextWake when the scheduler holds no
+// buffered uops: no future cycle can see it offer an issue candidate.
+const NeverWake int64 = math.MaxInt64
+
+// WakeNow is returned by Scheduler.NextWake when an issue candidate is
+// already awake: Select must run this cycle.
+const WakeNow int64 = math.MinInt64
+
+// wakeBoard is the event-driven wakeup structure shared by CentralWindow
+// and FIFOBank. Instead of rescanning every buffered uop each cycle, the
+// board tracks three disjoint sets:
+//
+//   - waiters[p]: uops with at least one source whose producer has not
+//     issued yet, filed under each such source's physical register (the
+//     paper's Section 4.2 point that wakeup work should be proportional
+//     to result events, not window size);
+//   - sleeping: uops whose producers have all issued but whose earliest
+//     possible issue cycle (WakeCycle) is still in the future, in a
+//     min-heap on (WakeCycle, Seq);
+//   - ready: uops whose WakeCycle has arrived, in Seq (age) order — the
+//     candidate list Select walks.
+//
+// WakeCycle is a lower bound on the first cycle the uop could issue in
+// *some* cluster (the pipeline computes it from min-over-clusters operand
+// readiness), so the ready list is a superset of the truly issuable uops;
+// the pipeline's tryIssue callback remains the authority on per-cluster
+// readiness, functional units and ports. That makes the issued set — and
+// therefore all timing — identical to the full-scan implementation.
+type wakeBoard struct {
+	waiters  [][]*Uop // indexed by physical register
+	sleeping []*Uop   // min-heap on (WakeCycle, Seq)
+	ready    []*Uop   // Seq-ordered issue candidates
+}
+
+// add registers a dispatched uop: as a waiter on each pending source, or
+// straight into the sleeping heap when every producer has already issued.
+func (b *wakeBoard) add(u *Uop) {
+	if u.WakePending == 0 {
+		b.push(u)
+		return
+	}
+	for i, p := range u.PhysSrcs {
+		if u.WakeMask&(1<<uint(i)) == 0 {
+			continue
+		}
+		for int(p) >= len(b.waiters) {
+			b.waiters = append(b.waiters, nil)
+		}
+		b.waiters[p] = append(b.waiters[p], u)
+	}
+}
+
+// wakeup broadcasts that the producer of physical register p has issued
+// and its result is consumable (in the nearest cluster) at readyCycle.
+// Waiters on p lose one pending source; those with none left go to sleep
+// until their WakeCycle.
+func (b *wakeBoard) wakeup(p int16, readyCycle int64) {
+	if int(p) >= len(b.waiters) {
+		return
+	}
+	ws := b.waiters[p]
+	if len(ws) == 0 {
+		return
+	}
+	b.waiters[p] = ws[:0]
+	for _, u := range ws {
+		if readyCycle > u.WakeCycle {
+			u.WakeCycle = readyCycle
+		}
+		u.WakePending--
+		if u.WakePending == 0 {
+			b.push(u)
+		}
+	}
+	for i := range ws {
+		ws[i] = nil
+	}
+}
+
+// push inserts u into the sleeping min-heap.
+func (b *wakeBoard) push(u *Uop) {
+	b.sleeping = append(b.sleeping, u)
+	i := len(b.sleeping) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !wakeLess(b.sleeping[i], b.sleeping[parent]) {
+			break
+		}
+		b.sleeping[i], b.sleeping[parent] = b.sleeping[parent], b.sleeping[i]
+		i = parent
+	}
+}
+
+func wakeLess(a, b *Uop) bool {
+	return a.WakeCycle < b.WakeCycle || (a.WakeCycle == b.WakeCycle && a.Seq < b.Seq)
+}
+
+// promote moves every sleeping uop whose WakeCycle has arrived into the
+// Seq-ordered ready list.
+func (b *wakeBoard) promote(now int64) {
+	for len(b.sleeping) > 0 && b.sleeping[0].WakeCycle <= now {
+		u := b.popSleeping()
+		// Insert by binary search; promotions arrive roughly in age order,
+		// so the shifted suffix is short.
+		lo, hi := 0, len(b.ready)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if b.ready[mid].Seq < u.Seq {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		b.ready = append(b.ready, nil)
+		copy(b.ready[lo+1:], b.ready[lo:])
+		b.ready[lo] = u
+	}
+}
+
+// popSleeping removes the heap minimum.
+func (b *wakeBoard) popSleeping() *Uop {
+	u := b.sleeping[0]
+	last := len(b.sleeping) - 1
+	b.sleeping[0] = b.sleeping[last]
+	b.sleeping[last] = nil
+	b.sleeping = b.sleeping[:last]
+	b.siftDown(0)
+	return u
+}
+
+func (b *wakeBoard) siftDown(i int) {
+	n := len(b.sleeping)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && wakeLess(b.sleeping[l], b.sleeping[min]) {
+			min = l
+		}
+		if r < n && wakeLess(b.sleeping[r], b.sleeping[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		b.sleeping[i], b.sleeping[min] = b.sleeping[min], b.sleeping[i]
+		i = min
+	}
+}
+
+// nextWake reports the earliest cycle Select may offer a candidate.
+func (b *wakeBoard) nextWake() int64 {
+	if len(b.ready) > 0 {
+		return WakeNow
+	}
+	if len(b.sleeping) > 0 {
+		return b.sleeping[0].WakeCycle
+	}
+	return NeverWake
+}
+
+// squash drops every tracked uop with Seq > afterSeq and returns how many
+// distinct uops were removed. Wrong-path consumers are strictly younger
+// than the branch, and so are consumers of any squashed producer, so
+// surviving entries never reference removed uops.
+func (b *wakeBoard) squash(afterSeq uint64) int {
+	removed := 0
+	// Ready is Seq-ordered: wrong-path uops form a suffix.
+	for i, u := range b.ready {
+		if u.Seq > afterSeq {
+			removed += len(b.ready) - i
+			for j := i; j < len(b.ready); j++ {
+				b.ready[j] = nil
+			}
+			b.ready = b.ready[:i]
+			break
+		}
+	}
+	// Sleeping: compact in place, then restore the heap property.
+	kept := b.sleeping[:0]
+	for _, u := range b.sleeping {
+		if u.Seq <= afterSeq {
+			kept = append(kept, u)
+		} else {
+			removed++
+		}
+	}
+	for i := len(kept); i < len(b.sleeping); i++ {
+		b.sleeping[i] = nil
+	}
+	b.sleeping = kept
+	for i := len(b.sleeping)/2 - 1; i >= 0; i-- {
+		b.siftDown(i)
+	}
+	// Waiters: a waiting uop holds exactly WakePending entries across all
+	// lists, so it is counted once — when its last entry is dropped.
+	for p, ws := range b.waiters {
+		n := 0
+		for _, u := range ws {
+			if u.Seq <= afterSeq {
+				ws[n] = u
+				n++
+				continue
+			}
+			u.WakePending--
+			if u.WakePending == 0 {
+				removed++
+			}
+		}
+		for i := n; i < len(ws); i++ {
+			ws[i] = nil
+		}
+		b.waiters[p] = ws[:n]
+	}
+	return removed
+}
+
+// empty reports whether the board tracks no uops.
+func (b *wakeBoard) empty() bool {
+	if len(b.ready) > 0 || len(b.sleeping) > 0 {
+		return false
+	}
+	for _, ws := range b.waiters {
+		if len(ws) > 0 {
+			return false
+		}
+	}
+	return true
+}

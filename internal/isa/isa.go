@@ -245,13 +245,14 @@ type Inst struct {
 	Imm int32
 }
 
-// Sources returns the architectural registers the instruction reads
-// (register 0 and unused fields excluded).
-func (in Inst) Sources() []Reg {
-	var out []Reg
+// SourceRegs returns the architectural registers the instruction reads
+// (register 0 and unused fields excluded) without allocating: the first n
+// entries of srcs are valid. An instruction reads at most two registers.
+func (in Inst) SourceRegs() (srcs [2]Reg, n int) {
 	add := func(r Reg) {
 		if r != Zero {
-			out = append(out, r)
+			srcs[n] = r
+			n++
 		}
 	}
 	switch in.Op {
@@ -271,6 +272,18 @@ func (in Inst) Sources() []Reg {
 	case Lui, J, Jal, Halt:
 		// No register sources.
 	}
+	return srcs, n
+}
+
+// Sources returns the architectural registers the instruction reads, as a
+// freshly allocated slice; hot paths use SourceRegs.
+func (in Inst) Sources() []Reg {
+	srcs, n := in.SourceRegs()
+	if n == 0 {
+		return nil
+	}
+	out := make([]Reg, n)
+	copy(out, srcs[:n])
 	return out
 }
 

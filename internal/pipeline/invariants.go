@@ -102,7 +102,8 @@ func (k *checker) onIssue(u *core.Uop, cluster int, isMem bool) {
 		}
 	}
 	if u.Class == isa.ClassLoad {
-		for _, st := range k.s.unissuedStores {
+		for i := 0; i < k.s.unissuedStores.Len(); i++ {
+			st := k.s.unissuedStores.At(i)
 			if st.Seq < u.Seq && !st.Issued {
 				k.failf("load %d issued past unissued older store %d", u.Seq, st.Seq)
 			}
@@ -118,16 +119,17 @@ func (k *checker) onSquash(brSeq uint64) {
 	if k.s.resolving != nil {
 		k.failf("resolving branch still set after squash")
 	}
-	for _, u := range k.s.rob {
+	for i := 0; i < k.s.rob.Len(); i++ {
+		u := k.s.rob.At(i)
 		if u.Speculative || u.Seq > brSeq {
 			k.failf("wrong-path uop %d survived squash of branch %d in ROB", u.Seq, brSeq)
 		}
 	}
-	for _, u := range k.s.fetchQ {
-		k.failf("uop %d survived squash of branch %d in fetch queue", u.Seq, brSeq)
+	for i := 0; i < k.s.fetchQ.Len(); i++ {
+		k.failf("uop %d survived squash of branch %d in fetch queue", k.s.fetchQ.At(i).Seq, brSeq)
 	}
-	for _, st := range k.s.unissuedStores {
-		if st.Seq > brSeq {
+	for i := 0; i < k.s.unissuedStores.Len(); i++ {
+		if st := k.s.unissuedStores.At(i); st.Seq > brSeq {
 			k.failf("wrong-path store %d survived squash of branch %d", st.Seq, brSeq)
 		}
 	}
@@ -138,14 +140,15 @@ func (k *checker) onSquash(brSeq uint64) {
 func (k *checker) onCycleEnd() {
 	k.committed, k.issued, k.memIssued = 0, 0, 0
 	s := k.s
-	if len(s.rob) > s.cfg.MaxInFlight {
-		k.failf("ROB holds %d instructions, capacity %d", len(s.rob), s.cfg.MaxInFlight)
+	if s.rob.Len() > s.cfg.MaxInFlight {
+		k.failf("ROB holds %d instructions, capacity %d", s.rob.Len(), s.cfg.MaxInFlight)
 	}
 	if s.sched.Len() > s.sched.Capacity() {
 		k.failf("scheduler holds %d instructions, capacity %d", s.sched.Len(), s.sched.Capacity())
 	}
 	unissued, dests := 0, 0
-	for _, u := range s.rob {
+	for i := 0; i < s.rob.Len(); i++ {
+		u := s.rob.At(i)
 		if !u.Issued {
 			unissued++
 		}
@@ -164,14 +167,14 @@ func (k *checker) onCycleEnd() {
 // onDone checks the drained end-of-run state.
 func (k *checker) onDone() {
 	s := k.s
-	if len(s.rob) != 0 || len(s.fetchQ) != 0 {
-		k.failf("run finished with %d ROB / %d fetch-queue entries", len(s.rob), len(s.fetchQ))
+	if s.rob.Len() != 0 || s.fetchQ.Len() != 0 {
+		k.failf("run finished with %d ROB / %d fetch-queue entries", s.rob.Len(), s.fetchQ.Len())
 	}
 	if s.sched.Len() != 0 {
 		k.failf("run finished with %d instructions in the scheduler", s.sched.Len())
 	}
-	for _, st := range s.unissuedStores {
-		if !st.Issued {
+	for i := 0; i < s.unissuedStores.Len(); i++ {
+		if st := s.unissuedStores.At(i); !st.Issued {
 			k.failf("run finished with unissued store %d", st.Seq)
 		}
 	}

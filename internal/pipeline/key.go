@@ -90,6 +90,10 @@ func (c *Config) Key() (key string, ok bool) {
 		c.predictorKey(), c.PipelinedWakeupSelect, c.LocalBypassExtra,
 		c.RingTopology, c.StoreForwarding, c.FetchBreakOnTaken,
 		c.WrongPathExecution)
+	// NoCycleSkip is timing-neutral by construction (the differential
+	// harness asserts it), but it stays in the key so a skip-path
+	// regression could never be masked by a cache hit from the other path.
+	fmt.Fprintf(&b, "|ncs=%v", c.NoCycleSkip)
 	fmt.Fprintf(&b, "|sched=%s|dc=%s|ic=%s", c.Scheduler.Key(), cacheKey(dcache), icache)
 	return b.String(), true
 }

@@ -15,6 +15,8 @@ package pipeline
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"time"
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/rename"
+	"repro/internal/ring"
 	"repro/internal/stats"
 )
 
@@ -94,6 +97,14 @@ type Config struct {
 	// A verification instrument for tests and the differential harness —
 	// it adds per-cycle ROB scans, so it stays off outside of them.
 	CheckInvariants bool
+	// NoCycleSkip disables idle-cycle skipping (the event-driven fast
+	// path that jumps over cycles on which commit, issue, dispatch and
+	// fetch are all provably blocked). Skipping is timing-neutral — the
+	// differential harness asserts identical cycle counts with it on and
+	// off — so this exists for that assertion and for debugging. Skipping
+	// is also disabled automatically by CheckInvariants or RecordTimeline,
+	// which observe individual idle cycles.
+	NoCycleSkip bool
 	// WrongPathExecution upgrades the misprediction model: instead of
 	// stalling fetch until the branch resolves (the trace-driven
 	// SimpleScalar approximation), fetch follows the predicted path,
@@ -178,6 +189,13 @@ type Stats struct {
 	// IssuedPerCycle is the distribution of instructions issued per cycle
 	// (bucket 0 counts idle-issue cycles).
 	IssuedPerCycle *stats.Histogram
+
+	// Host-performance accounting for the run itself: heap allocations
+	// (runtime.MemStats.Mallocs delta) and wall-clock seconds spent
+	// inside Run. Simulator metrics about the simulator, not the
+	// simulated machine.
+	HostAllocs      uint64
+	HostWallSeconds float64
 }
 
 // IPC returns committed instructions per cycle.
@@ -225,8 +243,12 @@ type Simulator struct {
 	cycle int64
 	seq   uint64
 
-	fetchQ []*core.Uop
-	rob    []*core.Uop
+	fetchQ ring.Buffer[*core.Uop]
+	rob    ring.Buffer[*core.Uop]
+
+	// pool recycles Uops at commit and squash so the steady state
+	// allocates nothing per fetched instruction.
+	pool core.UopPool
 
 	// regReady[c][p]: first cycle at which an instruction issuing in
 	// cluster c may consume physical register p.
@@ -239,7 +261,24 @@ type Simulator struct {
 	// unissuedStores holds dispatched-but-unissued stores in program
 	// order; head advances as stores issue (memory disambiguation:
 	// loads wait for all prior store addresses).
-	unissuedStores []*core.Uop
+	unissuedStores ring.Buffer[*core.Uop]
+
+	// fast enables idle-cycle skipping (see skipAhead); set at New from
+	// the configuration.
+	fast bool
+
+	// Per-issue()-call scratch state, held on the Simulator so the
+	// tryIssue callback (tryIssueFn, bound once at New) captures nothing
+	// and the issue loop allocates nothing.
+	tryIssueFn   func(*core.Uop) bool
+	fuUsed       []int
+	lsUsed       int
+	issuedCount  int
+	storeHorizon uint64
+
+	// squashScratch collects ROB-tail pops during squash so they can be
+	// recycled after the scheduler and store queue drop their references.
+	squashScratch []*core.Uop
 
 	// redirect, when non-nil, is the mispredicted branch fetch is
 	// stalled on; fetch resumes at its completion cycle.
@@ -337,6 +376,9 @@ func New(cfg Config, prog *isa.Program) (*Simulator, error) {
 	s.stats.Config = cfg.Name
 	s.stats.Workload = prog.Name
 	s.stats.IssuedPerCycle = stats.NewHistogram(cfg.IssueWidth)
+	s.fuUsed = make([]int, cfg.Clusters)
+	s.tryIssueFn = s.tryIssue
+	s.fast = !cfg.CheckInvariants && !cfg.RecordTimeline && !cfg.NoCycleSkip
 	if cfg.CheckInvariants {
 		s.check = &checker{s: s}
 	}
@@ -346,14 +388,16 @@ func New(cfg Config, prog *isa.Program) (*Simulator, error) {
 // Run simulates until the program's trace is fully committed or maxCycles
 // elapse, returning the run statistics. A maxCycles of 0 means no limit.
 func (s *Simulator) Run(maxCycles int64) (Stats, error) {
-	for !s.done() {
-		if maxCycles > 0 && s.cycle >= maxCycles {
-			return s.stats, fmt.Errorf("pipeline: %s/%s: exceeded %d cycles (%d committed)",
-				s.cfg.Name, s.stats.Workload, maxCycles, s.stats.Committed)
-		}
-		if err := s.step(); err != nil {
-			return s.stats, err
-		}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	startAllocs := ms.Mallocs
+	startWall := time.Now()
+	err := s.run(maxCycles)
+	s.stats.HostWallSeconds = time.Since(startWall).Seconds()
+	runtime.ReadMemStats(&ms)
+	s.stats.HostAllocs = ms.Mallocs - startAllocs
+	if err != nil {
+		return s.stats, err
 	}
 	s.stats.Cycles = s.cycle
 	s.stats.Cache = s.dcache.Stats()
@@ -369,18 +413,34 @@ func (s *Simulator) Run(maxCycles int64) (Stats, error) {
 	return s.stats, nil
 }
 
+func (s *Simulator) run(maxCycles int64) error {
+	for !s.done() {
+		if maxCycles > 0 && s.cycle >= maxCycles {
+			return fmt.Errorf("pipeline: %s/%s: exceeded %d cycles (%d committed)",
+				s.cfg.Name, s.stats.Workload, maxCycles, s.stats.Committed)
+		}
+		if err := s.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Timeline returns the committed instructions' pipeline timelines (empty
 // unless Config.RecordTimeline was set).
 func (s *Simulator) Timeline() []TimelineEntry { return s.timeline }
 
 func (s *Simulator) done() bool {
-	return s.traceDone && s.resolving == nil && len(s.fetchQ) == 0 && len(s.rob) == 0
+	return s.traceDone && s.resolving == nil && s.fetchQ.Len() == 0 && s.rob.Len() == 0
 }
 
 // step advances one clock cycle. Stage order within the cycle — commit,
 // issue, dispatch, fetch — gives dispatch→issue and fetch→dispatch the
 // one-cycle latencies of the Figure 1 pipeline.
 func (s *Simulator) step() error {
+	if s.fast {
+		s.skipAhead()
+	}
 	if s.resolving != nil && s.resolving.Issued && s.cycle >= s.resolving.CompleteCycle {
 		if err := s.squash(); err != nil {
 			return err
@@ -404,11 +464,101 @@ func (s *Simulator) step() error {
 	return nil
 }
 
+// skipAhead advances s.cycle directly to the next cycle on which any
+// pipeline stage can act, when every stage is provably blocked until a
+// known event. The skipped cycles are pure spinning — commit finds no
+// completed head, Select has no awake candidate, dispatch has nothing
+// decoded, fetch is stalled — so jumping over them is timing-neutral; the
+// differential harness asserts cycle counts are identical with skipping
+// on and off. Conservatism is always safe: when in doubt, don't skip.
+func (s *Simulator) skipAhead() {
+	next := int64(math.MaxInt64)
+	consider := func(c int64) {
+		if c < next {
+			next = c
+		}
+	}
+
+	// Squash / wrong-path resolution.
+	if s.resolving != nil {
+		if !s.resolving.Issued {
+			// Resolution cycle unknown; the branch is still in the
+			// scheduler and NextWake bounds its issue below.
+		} else if s.resolving.CompleteCycle <= s.cycle {
+			return // squash acts this cycle
+		} else {
+			consider(s.resolving.CompleteCycle)
+		}
+	}
+
+	// Commit: blocked until the ROB head completes. A speculative head
+	// never commits; the resolving branch event above bounds its flush.
+	if s.rob.Len() > 0 {
+		u := s.rob.Front()
+		if u.Issued && !u.Speculative {
+			if u.CompleteCycle <= s.cycle {
+				return // commit acts this cycle
+			}
+			consider(u.CompleteCycle)
+		}
+		// An unissued head is covered by the scheduler's NextWake.
+	}
+
+	// Issue: the scheduler knows its next possible candidate. (Stats
+	// note: IssuedPerCycle bucket 0 entries for skipped cycles are
+	// replicated below, so the histogram is preserved.)
+	switch nw := s.sched.NextWake(); {
+	case nw <= s.cycle:
+		return // a candidate may be awake this cycle
+	case nw != core.NeverWake:
+		consider(nw)
+	}
+
+	// Dispatch: acts — or at least attempts and counts a stall — once the
+	// fetch-queue head leaves the front-end decode stages. Skipping must
+	// not swallow stall-counter increments, so any dispatchable head
+	// blocks the skip.
+	if s.fetchQ.Len() > 0 {
+		decoded := s.fetchQ.Front().FetchCycle + int64(s.cfg.FrontEndDepth)
+		if decoded <= s.cycle {
+			return
+		}
+		consider(decoded)
+	}
+
+	// Fetch: blocked on a redirect (resumes at the branch's completion),
+	// an icache miss, a full fetch queue (commit events above cover the
+	// drain), or the trace end.
+	if s.redirect != nil {
+		if s.redirect.Issued {
+			if s.redirect.CompleteCycle <= s.cycle {
+				return
+			}
+			consider(s.redirect.CompleteCycle)
+		}
+		// Unissued redirect: bounded by the scheduler's NextWake.
+	} else if !s.traceDone && !s.wrongPathDone && s.fetchQ.Len() < s.cfg.FetchQueueSize {
+		if s.fetchBlockedUntil <= s.cycle {
+			return // fetch acts this cycle
+		}
+		consider(s.fetchBlockedUntil)
+	}
+
+	if next == int64(math.MaxInt64) || next <= s.cycle {
+		return
+	}
+	// Cycles s.cycle .. next-1 would each execute as pure idle cycles:
+	// account them in the histogram (bucket 0) and in the cycle count,
+	// then let step run the first actionable cycle.
+	s.stats.IssuedPerCycle.AddN(0, uint64(next-s.cycle))
+	s.cycle = next
+}
+
 // commit retires completed instructions in program order.
 func (s *Simulator) commit() {
 	n := 0
-	for n < s.cfg.RetireWidth && len(s.rob) > 0 {
-		u := s.rob[0]
+	for n < s.cfg.RetireWidth && s.rob.Len() > 0 {
+		u := s.rob.Front()
 		if !u.Issued || s.cycle < u.CompleteCycle {
 			break
 		}
@@ -421,6 +571,13 @@ func (s *Simulator) commit() {
 			// The write is performed at commit (write-back cache model);
 			// its latency is off the critical path.
 			s.dcache.Access(u.Rec.Addr, true)
+			// A committing store is the oldest in flight, so if it is
+			// still in the unissued-store queue it is the (issued) head
+			// the next issue() would pop anyway; pop it now so the queue
+			// never outlives a recycled uop.
+			if s.unissuedStores.Len() > 0 && s.unissuedStores.Front() == u {
+				s.unissuedStores.PopFront()
+			}
 		}
 		s.rt.Release(u.OldDest)
 		if u.UsedInterClusterBypass {
@@ -440,11 +597,17 @@ func (s *Simulator) commit() {
 				Commit:   s.cycle,
 			})
 		}
-		s.rob = s.rob[1:]
+		s.rob.PopFront()
 		s.stats.Committed++
 		n++
 		if s.check != nil {
 			s.check.onCommit(u)
+		}
+		// Recycle unless fetch still holds the uop as its redirect (the
+		// mispredicted branch can retire before fetch resumes; fetch
+		// recycles it when the redirect clears).
+		if u != s.redirect {
+			s.pool.Put(u)
 		}
 	}
 }
@@ -457,33 +620,40 @@ func (s *Simulator) squash() error {
 	br := s.resolving
 	// Fetch queue: everything is younger than the branch (which was
 	// dispatched before speculation began or is in the ROB).
-	for _, u := range s.fetchQ {
-		if u.Seq <= br.Seq {
-			return fmt.Errorf("pipeline: %s: non-speculative uop %d in fetch queue at squash", s.cfg.Name, u.Seq)
+	for i := 0; i < s.fetchQ.Len(); i++ {
+		if s.fetchQ.At(i).Seq <= br.Seq {
+			return fmt.Errorf("pipeline: %s: non-speculative uop %d in fetch queue at squash", s.cfg.Name, s.fetchQ.At(i).Seq)
 		}
 	}
-	s.stats.SquashedUops += uint64(len(s.fetchQ))
-	s.fetchQ = s.fetchQ[:0]
+	s.stats.SquashedUops += uint64(s.fetchQ.Len())
+	for s.fetchQ.Len() > 0 {
+		s.pool.Put(s.fetchQ.PopBack())
+	}
 	// ROB tail, youngest first, so rename unwinding restores the map.
-	for len(s.rob) > 0 {
-		u := s.rob[len(s.rob)-1]
+	// Recycling waits until the scheduler and store queue drop their
+	// references below.
+	for s.rob.Len() > 0 {
+		u := s.rob.Back()
 		if u.Seq <= br.Seq {
 			break
 		}
 		if dest, ok := u.Rec.Inst.Dest(); ok {
 			s.rt.Undo(dest, u.PhysDest, u.OldDest)
 		}
-		s.rob = s.rob[:len(s.rob)-1]
+		s.rob.PopBack()
+		s.squashScratch = append(s.squashScratch, u)
 		s.stats.SquashedUops++
 	}
 	s.sched.Squash(br.Seq)
-	kept := s.unissuedStores[:0]
-	for _, st := range s.unissuedStores {
-		if st.Seq <= br.Seq {
-			kept = append(kept, st)
-		}
+	// Wrong-path stores are the youngest: pop them off the tail.
+	for s.unissuedStores.Len() > 0 && s.unissuedStores.Back().Seq > br.Seq {
+		s.unissuedStores.PopBack()
 	}
-	s.unissuedStores = kept
+	for i, u := range s.squashScratch {
+		s.pool.Put(u)
+		s.squashScratch[i] = nil
+	}
+	s.squashScratch = s.squashScratch[:0]
 	// Roll the functional machine back to just after the branch and
 	// resume on the architectural path.
 	if err := s.machine.Restore(s.checkpoint); err != nil {
@@ -531,79 +701,96 @@ func (s *Simulator) bypassExtra(from, to int) int64 {
 func (s *Simulator) issue() {
 	// Memory disambiguation horizon: a load may issue only if every older
 	// store has issued (its address is then known).
-	for len(s.unissuedStores) > 0 && s.unissuedStores[0].Issued {
-		s.unissuedStores = s.unissuedStores[1:]
+	for s.unissuedStores.Len() > 0 && s.unissuedStores.Front().Issued {
+		s.unissuedStores.PopFront()
 	}
-	storeHorizon := uint64(math.MaxUint64)
-	if len(s.unissuedStores) > 0 {
-		storeHorizon = s.unissuedStores[0].Seq
+	s.storeHorizon = uint64(math.MaxUint64)
+	if s.unissuedStores.Len() > 0 {
+		s.storeHorizon = s.unissuedStores.Front().Seq
 	}
 
-	fuUsed := make([]int, s.cfg.Clusters)
-	lsUsed := 0
-	issued := 0
+	for c := range s.fuUsed {
+		s.fuUsed[c] = 0
+	}
+	s.lsUsed = 0
+	s.issuedCount = 0
 
-	s.sched.Select(func(u *core.Uop) bool {
-		if issued >= s.cfg.IssueWidth {
-			return false
-		}
-		isMem := u.Class == isa.ClassLoad || u.Class == isa.ClassStore
-		if isMem && lsUsed >= s.cfg.LSPorts {
-			return false
-		}
-		if u.Class == isa.ClassLoad && u.Seq > storeHorizon {
-			return false
-		}
-		c := u.Cluster
+	s.sched.Select(s.cycle, s.tryIssueFn)
+	s.stats.IssuedPerCycle.Add(s.issuedCount)
+}
+
+// tryIssue is the Select callback: it applies the per-cycle issue gates
+// (width, ports, store horizon, functional units, operand readiness) and
+// performs the issue when they pass. Rejection has no side effects, so
+// the scheduler may offer any superset of the issuable candidates.
+func (s *Simulator) tryIssue(u *core.Uop) bool {
+	if s.issuedCount >= s.cfg.IssueWidth {
+		return false
+	}
+	isMem := u.Class == isa.ClassLoad || u.Class == isa.ClassStore
+	if isMem && s.lsUsed >= s.cfg.LSPorts {
+		return false
+	}
+	if u.Class == isa.ClassLoad && u.Seq > s.storeHorizon {
+		return false
+	}
+	c := u.Cluster
+	if c < 0 {
+		// Execution-driven steering: place the instruction in the
+		// first cluster (static order) where its operands are ready
+		// and a functional unit is free.
+		c = s.pickCluster(u, s.fuUsed)
 		if c < 0 {
-			// Execution-driven steering: place the instruction in the
-			// first cluster (static order) where its operands are ready
-			// and a functional unit is free.
-			c = s.pickCluster(u, fuUsed)
-			if c < 0 {
-				return false
-			}
-			u.Cluster = c
-		} else {
-			if fuUsed[c] >= s.cfg.FUsPerCluster {
-				return false
-			}
-			if !s.operandsReady(u, c) {
-				return false
-			}
+			return false
 		}
+		u.Cluster = c
+	} else {
+		if s.fuUsed[c] >= s.cfg.FUsPerCluster {
+			return false
+		}
+		if !s.operandsReady(u, c) {
+			return false
+		}
+	}
 
-		latency := 1
-		if u.Class == isa.ClassLoad {
-			if s.cfg.StoreForwarding && s.forwardingStore(u) {
-				latency = s.cfg.DCache.HitCycles
-				s.stats.ForwardedLoads++
-			} else {
-				latency, _ = s.dcache.Access(u.Rec.Addr, false)
+	latency := 1
+	if u.Class == isa.ClassLoad {
+		if s.cfg.StoreForwarding && s.forwardingStore(u) {
+			latency = s.cfg.DCache.HitCycles
+			s.stats.ForwardedLoads++
+		} else {
+			latency, _ = s.dcache.Access(u.Rec.Addr, false)
+		}
+	}
+	u.Issued = true
+	u.IssueCycle = s.cycle
+	u.CompleteCycle = s.cycle + int64(latency)
+	s.noteBypasses(u, c)
+	if u.PhysDest >= 0 {
+		minReady := int64(math.MaxInt64)
+		for k := range s.regReady {
+			rc := u.CompleteCycle + s.bypassExtra(c, k)
+			s.regReady[k][u.PhysDest] = rc
+			if rc < minReady {
+				minReady = rc
 			}
 		}
-		u.Issued = true
-		u.IssueCycle = s.cycle
-		u.CompleteCycle = s.cycle + int64(latency)
-		s.noteBypasses(u, c)
-		if u.PhysDest >= 0 {
-			for k := range s.regReady {
-				s.regReady[k][u.PhysDest] = u.CompleteCycle + s.bypassExtra(c, k)
-			}
-			s.prodCluster[u.PhysDest] = int8(c)
-			s.prodComplete[u.PhysDest] = u.CompleteCycle
-		}
-		fuUsed[c]++
-		issued++
-		if isMem {
-			lsUsed++
-		}
-		if s.check != nil {
-			s.check.onIssue(u, c, isMem)
-		}
-		return true
-	})
-	s.stats.IssuedPerCycle.Add(issued)
+		s.prodCluster[u.PhysDest] = int8(c)
+		s.prodComplete[u.PhysDest] = u.CompleteCycle
+		// Wake consumers waiting on this result; the bound is the
+		// nearest-cluster readiness (tryIssue still checks the issuing
+		// cluster's own readiness).
+		s.sched.Wakeup(u.PhysDest, minReady)
+	}
+	s.fuUsed[c]++
+	s.issuedCount++
+	if isMem {
+		s.lsUsed++
+	}
+	if s.check != nil {
+		s.check.onIssue(u, c, isMem)
+	}
+	return true
 }
 
 // operandsReady reports whether every source of u is consumable in
@@ -653,8 +840,8 @@ func (s *Simulator) noteBypasses(u *core.Uop, c int) {
 // addresses being known, so the in-order ROB scan is sound.
 func (s *Simulator) forwardingStore(load *core.Uop) bool {
 	word := load.Rec.Addr >> 2
-	for i := len(s.rob) - 1; i >= 0; i-- {
-		st := s.rob[i]
+	for i := s.rob.Len() - 1; i >= 0; i-- {
+		st := s.rob.At(i)
 		if st.Seq >= load.Seq || st.Class != isa.ClassStore {
 			continue
 		}
@@ -667,18 +854,18 @@ func (s *Simulator) forwardingStore(load *core.Uop) bool {
 
 // dispatch renames and inserts fetched instructions into the scheduler.
 func (s *Simulator) dispatch() error {
-	for n := 0; n < s.cfg.DecodeWidth && len(s.fetchQ) > 0; n++ {
-		u := s.fetchQ[0]
+	for n := 0; n < s.cfg.DecodeWidth && s.fetchQ.Len() > 0; n++ {
+		u := s.fetchQ.Front()
 		if u.FetchCycle+int64(s.cfg.FrontEndDepth) > s.cycle {
 			break // still in decode/rename stages
 		}
-		if len(s.rob) >= s.cfg.MaxInFlight {
+		if s.rob.Len() >= s.cfg.MaxInFlight {
 			s.stats.ROBStalls++
 			break
 		}
-		srcs := u.Rec.Inst.Sources()
+		srcRegs, nSrcs := u.Rec.Inst.SourceRegs()
 		dest, hasDest := u.Rec.Inst.Dest()
-		physSrcs, physDest, oldDest, ok := s.rt.Rename(srcs, dest, hasDest)
+		physSrcs, physDest, oldDest, ok := s.rt.Rename(u.PhysSrcs[:0], srcRegs[:nSrcs], dest, hasDest)
 		if !ok {
 			s.stats.PhysRegStalls++
 			break
@@ -686,6 +873,22 @@ func (s *Simulator) dispatch() error {
 		u.PhysSrcs = physSrcs
 		u.PhysDest = physDest
 		u.OldDest = oldDest
+		// Wakeup bookkeeping for the event-driven scheduler: a source is
+		// pending while its producer has not issued (readiness is
+		// neverReady everywhere); otherwise its min-over-clusters
+		// readiness lower-bounds this uop's first issuable cycle.
+		u.WakePending, u.WakeMask, u.WakeCycle = 0, 0, 0
+		for i, p := range physSrcs {
+			if p < 0 {
+				continue
+			}
+			if s.regReady[0][p] == neverReady {
+				u.WakePending++
+				u.WakeMask |= 1 << uint(i)
+			} else if m := s.minRegReady(p); m > u.WakeCycle {
+				u.WakeCycle = m
+			}
+		}
 		if physDest >= 0 {
 			// The destination is not ready anywhere until it executes.
 			for k := range s.regReady {
@@ -703,13 +906,24 @@ func (s *Simulator) dispatch() error {
 			break
 		}
 		u.DispatchCycle = s.cycle
-		s.rob = append(s.rob, u)
+		s.rob.PushBack(u)
 		if u.Class == isa.ClassStore {
-			s.unissuedStores = append(s.unissuedStores, u)
+			s.unissuedStores.PushBack(u)
 		}
-		s.fetchQ = s.fetchQ[1:]
+		s.fetchQ.PopFront()
 	}
 	return nil
+}
+
+// minRegReady returns the earliest cycle any cluster can consume p.
+func (s *Simulator) minRegReady(p int16) int64 {
+	m := s.regReady[0][p]
+	for k := 1; k < len(s.regReady); k++ {
+		if s.regReady[k][p] < m {
+			m = s.regReady[k][p]
+		}
+	}
+	return m
 }
 
 // fetch pulls instructions from the functional emulator. Fetch stalls on a
@@ -721,13 +935,18 @@ func (s *Simulator) fetch() error {
 		if !s.redirect.Issued || s.cycle < s.redirect.CompleteCycle {
 			return nil
 		}
+		// If the branch already retired, commit left it for fetch to
+		// recycle; if it is still in the ROB, commit will recycle it.
+		if s.redirect.Issued && s.stats.Committed > s.redirect.Seq {
+			s.pool.Put(s.redirect)
+		}
 		s.redirect = nil
 	}
 	if s.cycle < s.fetchBlockedUntil {
 		return nil
 	}
 	for n := 0; n < s.cfg.FetchWidth; n++ {
-		if s.traceDone || s.wrongPathDone || len(s.fetchQ) >= s.cfg.FetchQueueSize {
+		if s.traceDone || s.wrongPathDone || s.fetchQ.Len() >= s.cfg.FetchQueueSize {
 			return nil
 		}
 		if s.icache != nil {
@@ -754,17 +973,16 @@ func (s *Simulator) fetch() error {
 			}
 			return fmt.Errorf("pipeline: %s/%s: functional emulation: %w", s.cfg.Name, s.stats.Workload, err)
 		}
-		u := &core.Uop{
-			Seq:         s.seq,
-			Rec:         rec,
-			Class:       isa.ClassOf(rec.Inst.Op),
-			FetchCycle:  s.cycle,
-			Cluster:     -1,
-			FIFO:        -1,
-			Speculative: s.resolving != nil,
-		}
+		u := s.pool.Get()
+		u.Seq = s.seq
+		u.Rec = rec
+		u.Class = isa.ClassOf(rec.Inst.Op)
+		u.FetchCycle = s.cycle
+		u.Cluster = -1
+		u.FIFO = -1
+		u.Speculative = s.resolving != nil
 		s.seq++
-		s.fetchQ = append(s.fetchQ, u)
+		s.fetchQ.PushBack(u)
 		if s.machine.Halted() {
 			if s.resolving != nil {
 				s.wrongPathDone = true

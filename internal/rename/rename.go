@@ -54,14 +54,16 @@ func (t *Table) InFlight() int { return t.nPhys - isa.NumRegs - len(t.free) }
 
 // Rename maps the instruction's sources through the current table and, if
 // the instruction writes a register, allocates a new physical destination.
-// It returns the physical sources, the new physical destination (None if
-// the instruction writes nothing), and the previous mapping of the
-// destination (to be freed when this instruction commits). ok is false —
-// with no state changed — if no physical register is free.
-func (t *Table) Rename(srcs []isa.Reg, dest isa.Reg, hasDest bool) (physSrcs []int16, physDest, oldDest int16, ok bool) {
-	physSrcs = make([]int16, len(srcs))
-	for i, r := range srcs {
-		physSrcs[i] = t.mapping[r]
+// The physical sources are appended to buf (pass a zero-length slice with
+// retained capacity to rename without allocating). It returns the
+// physical sources, the new physical destination (None if the instruction
+// writes nothing), and the previous mapping of the destination (to be
+// freed when this instruction commits). ok is false — with no state
+// changed — if no physical register is free.
+func (t *Table) Rename(buf []int16, srcs []isa.Reg, dest isa.Reg, hasDest bool) (physSrcs []int16, physDest, oldDest int16, ok bool) {
+	physSrcs = buf
+	for _, r := range srcs {
+		physSrcs = append(physSrcs, t.mapping[r])
 	}
 	if !hasDest {
 		return physSrcs, None, None, true

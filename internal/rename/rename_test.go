@@ -35,7 +35,7 @@ func TestInitialIdentityMapping(t *testing.T) {
 func TestRenameTracksDependences(t *testing.T) {
 	rt, _ := New(64)
 	// i1: t0 = t1 + t2
-	srcs, d1, old1, ok := rt.Rename([]isa.Reg{isa.T1, isa.T2}, isa.T0, true)
+	srcs, d1, old1, ok := rt.Rename(nil, []isa.Reg{isa.T1, isa.T2}, isa.T0, true)
 	if !ok {
 		t.Fatal("rename failed")
 	}
@@ -46,7 +46,7 @@ func TestRenameTracksDependences(t *testing.T) {
 		t.Errorf("old dest = %d, want initial %d", old1, isa.T0)
 	}
 	// i2: t3 = t0 + t0 — must see i1's new mapping.
-	srcs2, _, _, ok := rt.Rename([]isa.Reg{isa.T0, isa.T0}, isa.T3, true)
+	srcs2, _, _, ok := rt.Rename(nil, []isa.Reg{isa.T0, isa.T0}, isa.T3, true)
 	if !ok {
 		t.Fatal("rename failed")
 	}
@@ -58,7 +58,7 @@ func TestRenameTracksDependences(t *testing.T) {
 func TestRenameWithoutDest(t *testing.T) {
 	rt, _ := New(40)
 	avail := rt.Available()
-	_, d, old, ok := rt.Rename([]isa.Reg{isa.T0}, 0, false)
+	_, d, old, ok := rt.Rename(nil, []isa.Reg{isa.T0}, 0, false)
 	if !ok || d != None || old != None {
 		t.Errorf("no-dest rename: d=%d old=%d ok=%v", d, old, ok)
 	}
@@ -69,20 +69,20 @@ func TestRenameWithoutDest(t *testing.T) {
 
 func TestExhaustionAndRelease(t *testing.T) {
 	rt, _ := New(34) // two spare registers
-	_, d1, old1, ok := rt.Rename(nil, isa.T0, true)
+	_, d1, old1, ok := rt.Rename(nil, nil, isa.T0, true)
 	if !ok {
 		t.Fatal("first rename failed")
 	}
-	_, _, _, ok = rt.Rename(nil, isa.T1, true)
+	_, _, _, ok = rt.Rename(nil, nil, isa.T1, true)
 	if !ok {
 		t.Fatal("second rename failed")
 	}
-	if _, _, _, ok = rt.Rename(nil, isa.T2, true); ok {
+	if _, _, _, ok = rt.Rename(nil, nil, isa.T2, true); ok {
 		t.Fatal("rename succeeded with empty free list")
 	}
 	// Committing the first instruction frees its old mapping.
 	rt.Release(old1)
-	_, d3, _, ok := rt.Rename(nil, isa.T2, true)
+	_, d3, _, ok := rt.Rename(nil, nil, isa.T2, true)
 	if !ok {
 		t.Fatal("rename after release failed")
 	}
@@ -96,7 +96,7 @@ func TestUndo(t *testing.T) {
 	rt, _ := New(64)
 	before := rt.Lookup(isa.T0)
 	avail := rt.Available()
-	_, d, old, ok := rt.Rename(nil, isa.T0, true)
+	_, d, old, ok := rt.Rename(nil, nil, isa.T0, true)
 	if !ok {
 		t.Fatal("rename failed")
 	}
@@ -119,14 +119,14 @@ func TestInFlightTracksAllocations(t *testing.T) {
 	if rt.InFlight() != 0 {
 		t.Fatalf("fresh table InFlight = %d, want 0", rt.InFlight())
 	}
-	_, d, old, ok := rt.Rename(nil, isa.T0, true)
+	_, d, old, ok := rt.Rename(nil, nil, isa.T0, true)
 	if !ok {
 		t.Fatal("rename failed")
 	}
 	if rt.InFlight() != 1 {
 		t.Errorf("after one rename InFlight = %d, want 1", rt.InFlight())
 	}
-	_, _, old2, ok := rt.Rename(nil, isa.T1, true)
+	_, _, old2, ok := rt.Rename(nil, nil, isa.T1, true)
 	if !ok {
 		t.Fatal("rename failed")
 	}
@@ -140,7 +140,7 @@ func TestInFlightTracksAllocations(t *testing.T) {
 		t.Errorf("after releases InFlight = %d, want 0 (leak)", rt.InFlight())
 	}
 	// Squash path: Undo restores balance too.
-	_, d, old, _ = rt.Rename(nil, isa.T2, true)
+	_, d, old, _ = rt.Rename(nil, nil, isa.T2, true)
 	rt.Undo(isa.T2, d, old)
 	if rt.InFlight() != 0 {
 		t.Errorf("after undo InFlight = %d, want 0", rt.InFlight())
@@ -174,7 +174,7 @@ func TestPropertyNoDoubleAllocation(t *testing.T) {
 				pending = pending[1:]
 				continue
 			}
-			_, d, old, ok := rt.Rename(nil, dest, true)
+			_, d, old, ok := rt.Rename(nil, nil, dest, true)
 			if !ok {
 				continue
 			}

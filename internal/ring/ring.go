@@ -1,0 +1,108 @@
+// Package ring provides a growable ring buffer used as a double-ended
+// queue. The timing pipeline keeps its program-order queues (fetch queue,
+// reorder buffer, unissued-store queue) in ring buffers so that head pops
+// are O(1) and — unlike reslicing a Go slice — do not leave dead elements
+// reachable through the backing array.
+package ring
+
+// Buffer is a growable ring buffer. The zero value is an empty buffer
+// ready for use. Capacity grows by doubling and is always a power of two,
+// so index wrapping is a mask. Popped and cleared slots are zeroed so the
+// buffer never retains references to removed elements.
+type Buffer[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// Len reports the number of buffered elements.
+func (b *Buffer[T]) Len() int { return b.n }
+
+// PushBack appends v at the tail.
+func (b *Buffer[T]) PushBack(v T) {
+	if b.n == len(b.buf) {
+		b.grow()
+	}
+	b.buf[(b.head+b.n)&(len(b.buf)-1)] = v
+	b.n++
+}
+
+// PopFront removes and returns the head element; it panics on an empty
+// buffer.
+func (b *Buffer[T]) PopFront() T {
+	if b.n == 0 {
+		panic("ring: PopFront on empty buffer")
+	}
+	var zero T
+	v := b.buf[b.head]
+	b.buf[b.head] = zero
+	b.head = (b.head + 1) & (len(b.buf) - 1)
+	b.n--
+	return v
+}
+
+// PopBack removes and returns the tail element; it panics on an empty
+// buffer.
+func (b *Buffer[T]) PopBack() T {
+	if b.n == 0 {
+		panic("ring: PopBack on empty buffer")
+	}
+	var zero T
+	i := (b.head + b.n - 1) & (len(b.buf) - 1)
+	v := b.buf[i]
+	b.buf[i] = zero
+	b.n--
+	return v
+}
+
+// Front returns the head element without removing it; it panics on an
+// empty buffer.
+func (b *Buffer[T]) Front() T {
+	if b.n == 0 {
+		panic("ring: Front on empty buffer")
+	}
+	return b.buf[b.head]
+}
+
+// Back returns the tail element without removing it; it panics on an
+// empty buffer.
+func (b *Buffer[T]) Back() T {
+	if b.n == 0 {
+		panic("ring: Back on empty buffer")
+	}
+	return b.buf[(b.head+b.n-1)&(len(b.buf)-1)]
+}
+
+// At returns the element i positions from the head (At(0) == Front()); it
+// panics when i is out of range.
+func (b *Buffer[T]) At(i int) T {
+	if i < 0 || i >= b.n {
+		panic("ring: At index out of range")
+	}
+	return b.buf[(b.head+i)&(len(b.buf)-1)]
+}
+
+// Clear removes every element, zeroing the occupied slots. Capacity is
+// retained.
+func (b *Buffer[T]) Clear() {
+	var zero T
+	for i := 0; i < b.n; i++ {
+		b.buf[(b.head+i)&(len(b.buf)-1)] = zero
+	}
+	b.head, b.n = 0, 0
+}
+
+// grow doubles capacity, unwrapping the contents to the front of the new
+// backing array.
+func (b *Buffer[T]) grow() {
+	newCap := 16
+	if len(b.buf) > 0 {
+		newCap = len(b.buf) * 2
+	}
+	nb := make([]T, newCap)
+	if b.n > 0 {
+		k := copy(nb, b.buf[b.head:])
+		copy(nb[k:], b.buf[:b.n-k])
+	}
+	b.buf, b.head = nb, 0
+}

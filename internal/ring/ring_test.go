@@ -1,0 +1,143 @@
+package ring
+
+import "testing"
+
+func TestPushPopFIFO(t *testing.T) {
+	var b Buffer[int]
+	for i := 0; i < 100; i++ {
+		b.PushBack(i)
+	}
+	if b.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", b.Len())
+	}
+	if b.Front() != 0 || b.Back() != 99 {
+		t.Fatalf("Front/Back = %d/%d, want 0/99", b.Front(), b.Back())
+	}
+	for i := 0; i < 100; i++ {
+		if got := b.PopFront(); got != i {
+			t.Fatalf("PopFront = %d, want %d", got, i)
+		}
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", b.Len())
+	}
+}
+
+// TestWraparound drives head and tail around the backing array many times
+// at constant occupancy, so pushes and pops cross the wrap point.
+func TestWraparound(t *testing.T) {
+	var b Buffer[int]
+	next := 0
+	for i := 0; i < 12; i++ {
+		b.PushBack(i)
+	}
+	for step := 0; step < 1000; step++ {
+		if got := b.PopFront(); got != next {
+			t.Fatalf("step %d: PopFront = %d, want %d", step, got, next)
+		}
+		next++
+		b.PushBack(step + 12)
+		if b.Len() != 12 {
+			t.Fatalf("step %d: Len = %d, want 12", step, b.Len())
+		}
+		for i := 0; i < b.Len(); i++ {
+			if got := b.At(i); got != next+i {
+				t.Fatalf("step %d: At(%d) = %d, want %d", step, i, got, next+i)
+			}
+		}
+	}
+}
+
+// TestGrowWhileWrapped forces a capacity doubling while the contents wrap
+// around the end of the backing array.
+func TestGrowWhileWrapped(t *testing.T) {
+	var b Buffer[int]
+	// Fill to the initial capacity of 16, then rotate so head != 0.
+	for i := 0; i < 16; i++ {
+		b.PushBack(i)
+	}
+	for i := 0; i < 10; i++ {
+		if got := b.PopFront(); got != i {
+			t.Fatalf("PopFront = %d, want %d", got, i)
+		}
+		b.PushBack(16 + i)
+	}
+	// Buffer holds 10..25 wrapped; pushing past capacity triggers grow.
+	for i := 26; i < 40; i++ {
+		b.PushBack(i)
+	}
+	if b.Len() != 30 {
+		t.Fatalf("Len = %d, want 30", b.Len())
+	}
+	for i := 0; i < 30; i++ {
+		if got := b.At(i); got != 10+i {
+			t.Fatalf("At(%d) = %d, want %d", i, got, 10+i)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		if got := b.PopFront(); got != 10+i {
+			t.Fatalf("PopFront = %d, want %d", got, 10+i)
+		}
+	}
+}
+
+func TestPopBack(t *testing.T) {
+	var b Buffer[int]
+	for i := 0; i < 20; i++ {
+		b.PushBack(i)
+	}
+	for i := 19; i >= 10; i-- {
+		if got := b.PopBack(); got != i {
+			t.Fatalf("PopBack = %d, want %d", got, i)
+		}
+	}
+	if b.Front() != 0 || b.Back() != 9 {
+		t.Fatalf("Front/Back = %d/%d, want 0/9", b.Front(), b.Back())
+	}
+}
+
+// TestPopZeroesSlots checks that removed elements are not retained through
+// the backing array (the ROB reslice leak this package exists to fix).
+func TestPopZeroesSlots(t *testing.T) {
+	var b Buffer[*int]
+	v := new(int)
+	b.PushBack(v)
+	b.PopFront()
+	for i, p := range b.buf {
+		if p != nil {
+			t.Fatalf("buf[%d] still set after PopFront", i)
+		}
+	}
+	b.PushBack(v)
+	b.PushBack(v)
+	b.Clear()
+	for i, p := range b.buf {
+		if p != nil {
+			t.Fatalf("buf[%d] still set after Clear", i)
+		}
+	}
+	b.PushBack(v)
+	b.PopBack()
+	for i, p := range b.buf {
+		if p != nil {
+			t.Fatalf("buf[%d] still set after PopBack", i)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on empty buffer did not panic", name)
+			}
+		}()
+		f()
+	}
+	var b Buffer[int]
+	expectPanic("PopFront", func() { b.PopFront() })
+	expectPanic("PopBack", func() { b.PopBack() })
+	expectPanic("Front", func() { b.Front() })
+	expectPanic("Back", func() { b.Back() })
+	expectPanic("At", func() { b.At(0) })
+}

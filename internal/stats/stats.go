@@ -78,6 +78,19 @@ func (h *Histogram) Add(v int) {
 	h.total++
 }
 
+// AddN records n identical samples (e.g. a run of idle cycles skipped in
+// one step).
+func (h *Histogram) AddN(v int, n uint64) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.buckets) {
+		v = len(h.buckets) - 1
+	}
+	h.buckets[v] += n
+	h.total += n
+}
+
 // Count returns the samples recorded in bucket v.
 func (h *Histogram) Count(v int) uint64 {
 	if v < 0 || v >= len(h.buckets) {

@@ -15,14 +15,27 @@ import (
 // Reproduce a failure by turning the corpus entry's arguments into a
 // prog.RandomConfig and calling verify.CheckSeed (see EXPERIMENTS.md).
 func FuzzDifferential(f *testing.F) {
-	f.Add(int64(1), uint16(120), uint8(2), uint16(64), uint8(8), uint8(3), uint8(2), uint8(3))
-	f.Add(int64(42), uint16(60), uint8(4), uint16(8), uint8(4), uint8(2), uint8(2), uint8(6))
-	f.Add(int64(7), uint16(200), uint8(1), uint16(512), uint8(4), uint8(6), uint8(4), uint8(1))
-	f.Add(int64(9), uint16(40), uint8(0), uint16(16), uint8(1), uint8(0), uint8(0), uint8(1))
-	f.Fuzz(func(t *testing.T, seed int64, size uint16, loopDepth uint8, memWords uint16, alu, load, store, branch uint8) {
+	f.Add(int64(1), uint16(120), uint8(2), uint16(64), uint8(8), uint8(3), uint8(2), uint8(3), false)
+	f.Add(int64(42), uint16(60), uint8(4), uint16(8), uint8(4), uint8(2), uint8(2), uint8(6), false)
+	f.Add(int64(7), uint16(200), uint8(1), uint16(512), uint8(4), uint8(6), uint8(4), uint8(1), true)
+	f.Add(int64(9), uint16(40), uint8(0), uint16(16), uint8(1), uint8(0), uint8(0), uint8(1), true)
+	f.Fuzz(func(t *testing.T, seed int64, size uint16, loopDepth uint8, memWords uint16, alu, load, store, branch uint8, noSkip bool) {
 		rc := clamp(seed, size, loopDepth, memWords, alu, load, store, branch)
-		if err := CheckSeed(rc); err != nil {
-			t.Fatalf("%+v\nprogram:\n%s\n%v", rc, prog.RandomSource(rc), err)
+		// noSkip pins the fast-path comparison run to event-driven wakeup
+		// without idle-cycle skipping, separating wakeup bugs from
+		// skipping bugs in any divergence the fuzzer finds.
+		cfgs := Panel()
+		if noSkip {
+			for i := range cfgs {
+				cfgs[i].NoCycleSkip = true
+			}
+		}
+		p, err := prog.Random(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Check(p, cfgs); err != nil {
+			t.Fatalf("%+v noSkip=%v\nprogram:\n%s\n%v", rc, noSkip, prog.RandomSource(rc), err)
 		}
 	})
 }

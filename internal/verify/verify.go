@@ -170,6 +170,65 @@ func checkOne(p *isa.Program, cfg pipeline.Config, ref *reference) error {
 			return fail("committed[%d] has seq %d", i, e.Seq)
 		}
 	}
+	return checkFastPath(p, cfg, st, ref)
+}
+
+// checkFastPath reruns the program with the verification instruments
+// stripped — which enables the production fast path: event-driven wakeup
+// plus idle-cycle skipping (unless cfg.NoCycleSkip keeps skipping off) —
+// and asserts the timing, not just the architecture, is identical to the
+// instrumented run. This is the guarantee that lets the fast path exist:
+// skipping and event wakeup can never change a cycle count.
+func checkFastPath(p *isa.Program, cfg pipeline.Config, inst pipeline.Stats, ref *reference) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("verify: %s on %s (fast path): %s", p.Name, cfg.Name, fmt.Sprintf(format, args...))
+	}
+	bare := cfg
+	bare.CheckInvariants = false
+	bare.RecordTimeline = false
+	sim, err := pipeline.New(bare, p)
+	if err != nil {
+		return fail("%v", err)
+	}
+	st, err := sim.Run(maxCycles)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if st.Cycles != inst.Cycles {
+		return fail("cycle count %d, instrumented run %d", st.Cycles, inst.Cycles)
+	}
+	if st.Committed != inst.Committed {
+		return fail("committed %d, instrumented run %d", st.Committed, inst.Committed)
+	}
+	if st.Mispredicts != inst.Mispredicts || st.CondBranches != inst.CondBranches {
+		return fail("branches %d/%d mispredicted, instrumented run %d/%d",
+			st.Mispredicts, st.CondBranches, inst.Mispredicts, inst.CondBranches)
+	}
+	if st.SquashedUops != inst.SquashedUops || st.ForwardedLoads != inst.ForwardedLoads ||
+		st.InterClusterUops != inst.InterClusterUops {
+		return fail("squashed/forwarded/intercluster %d/%d/%d, instrumented run %d/%d/%d",
+			st.SquashedUops, st.ForwardedLoads, st.InterClusterUops,
+			inst.SquashedUops, inst.ForwardedLoads, inst.InterClusterUops)
+	}
+	if st.SchedulerStalls != inst.SchedulerStalls || st.PhysRegStalls != inst.PhysRegStalls ||
+		st.ROBStalls != inst.ROBStalls {
+		return fail("stalls sched/physreg/rob %d/%d/%d, instrumented run %d/%d/%d",
+			st.SchedulerStalls, st.PhysRegStalls, st.ROBStalls,
+			inst.SchedulerStalls, inst.PhysRegStalls, inst.ROBStalls)
+	}
+	if st.Cache != inst.Cache || st.ICache != inst.ICache {
+		return fail("cache stats %+v/%+v, instrumented run %+v/%+v",
+			st.Cache, st.ICache, inst.Cache, inst.ICache)
+	}
+	if got, want := st.IssuedPerCycle.Total(), inst.IssuedPerCycle.Total(); got != want {
+		return fail("issue histogram records %d cycles, instrumented run %d", got, want)
+	}
+	if got, want := st.IssuedPerCycle.Mean(), inst.IssuedPerCycle.Mean(); got != want {
+		return fail("issue histogram mean %v, instrumented run %v", got, want)
+	}
+	if sim.Machine().StateHash() != ref.hash {
+		return fail("final architectural state diverges")
+	}
 	return nil
 }
 

@@ -28,6 +28,13 @@ type RunMetrics struct {
 	// MCyclesPerSec is the simulator's throughput in millions of
 	// simulated cycles per host second (0 for cached results).
 	MCyclesPerSec float64 `json:"mcycles_per_sec"`
+	// HostAllocs and HostWallSeconds mirror Stats.HostAllocs and
+	// Stats.HostWallSeconds: heap allocations and wall time inside the
+	// simulator's Run itself (excluding cache lookup and engine
+	// overhead). For cached results they describe the original
+	// computation, not this recall.
+	HostAllocs      uint64  `json:"host_allocs"`
+	HostWallSeconds float64 `json:"host_wall_seconds"`
 }
 
 // CacheStats re-exports the run cache counters.
@@ -119,6 +126,9 @@ func (e *Engine) runOne(cfg Config, workload string) (Stats, error) {
 		Committed:   st.Committed,
 		IPC:         st.IPC(),
 		WallSeconds: wall,
+
+		HostAllocs:      st.HostAllocs,
+		HostWallSeconds: st.HostWallSeconds,
 	}
 	if !cached && wall > 0 {
 		m.MCyclesPerSec = float64(st.Cycles) / wall / 1e6
