@@ -1,10 +1,10 @@
 package ce
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 
+	"repro/internal/canonjson"
 	"repro/internal/verify"
 )
 
@@ -68,18 +68,17 @@ func PipelineBench(workload string) ([]PipelineBenchResult, error) {
 }
 
 // WriteBenchJSON runs PipelineBench and writes the results to path as
-// indented JSON (the BENCH_pipeline.json emitter behind
+// canonical indented JSON (the BENCH_pipeline.json emitter behind
 // `cesweep -bench-json`).
 func WriteBenchJSON(path, workload string) ([]PipelineBenchResult, error) {
 	res, err := PipelineBench(workload)
 	if err != nil {
 		return nil, err
 	}
-	data, err := json.MarshalIndent(res, "", "  ")
+	data, err := canonjson.Marshal(res)
 	if err != nil {
 		return nil, err
 	}
-	data = append(data, '\n')
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return nil, err
 	}

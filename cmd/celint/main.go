@@ -1,0 +1,23 @@
+// Command celint runs the simulator's custom static analyzers (detlint,
+// keylint, hotlint) over Go packages.
+//
+// Standalone:
+//
+//	go run ./cmd/celint ./...
+//
+// As a vet tool (integrates with the build cache and go test's vet
+// phase):
+//
+//	go build -o /tmp/celint ./cmd/celint
+//	go vet -vettool=/tmp/celint ./...
+package main
+
+import (
+	"os"
+
+	"repro/internal/lint/celint"
+)
+
+func main() {
+	os.Exit(celint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

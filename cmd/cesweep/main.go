@@ -29,7 +29,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +36,7 @@ import (
 	"runtime/pprof"
 
 	"repro"
+	"repro/internal/canonjson"
 	"repro/internal/report"
 )
 
@@ -154,11 +154,11 @@ func setupObservability() (func() error, error) {
 			Runs  []ce.RunMetrics `json:"runs"`
 			Cache ce.CacheStats   `json:"cache"`
 		}{Runs: eng.Metrics(), Cache: cs}
-		data, err := json.MarshalIndent(dump, "", "\t")
+		data, err := canonjson.Marshal(dump)
 		if err != nil {
 			return err
 		}
-		return os.WriteFile(*metrics, append(data, '\n'), 0o644)
+		return os.WriteFile(*metrics, data, 0o644)
 	}
 	return finish, nil
 }

@@ -1,0 +1,122 @@
+// Package canonjson renders values as canonical JSON: object keys are
+// sorted, indentation is a single tab per level, and the output ends in
+// one newline. Every artifact the simulator persists or emits as JSON —
+// run-cache entries, -metrics-json dumps, benchmark results — goes
+// through this encoder, so byte-identical inputs produce byte-identical
+// files regardless of struct field order or map iteration order, and
+// artifacts can be diffed and content-addressed.
+//
+// Numbers are preserved verbatim from encoding/json's output (no float64
+// round-trip), so uint64 counters survive untouched.
+package canonjson
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Marshal encodes v canonically. v is first encoded by encoding/json
+// (honoring struct tags and MarshalJSON implementations), then
+// re-rendered with sorted object keys and tab indentation.
+func Marshal(v any) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var doc any
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("canonjson: reparse: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := render(&buf, doc, 0); err != nil {
+		return nil, err
+	}
+	buf.WriteByte('\n')
+	return buf.Bytes(), nil
+}
+
+func render(buf *bytes.Buffer, v any, depth int) error {
+	switch v := v.(type) {
+	case map[string]any:
+		if len(v) == 0 {
+			buf.WriteString("{}")
+			return nil
+		}
+		keys := make([]string, 0, len(v))
+		for k := range v {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf.WriteString("{\n")
+		for i, k := range keys {
+			indent(buf, depth+1)
+			if err := renderString(buf, k); err != nil {
+				return err
+			}
+			buf.WriteString(": ")
+			if err := render(buf, v[k], depth+1); err != nil {
+				return err
+			}
+			if i < len(keys)-1 {
+				buf.WriteByte(',')
+			}
+			buf.WriteByte('\n')
+		}
+		indent(buf, depth)
+		buf.WriteByte('}')
+	case []any:
+		if len(v) == 0 {
+			buf.WriteString("[]")
+			return nil
+		}
+		buf.WriteString("[\n")
+		for i, e := range v {
+			indent(buf, depth+1)
+			if err := render(buf, e, depth+1); err != nil {
+				return err
+			}
+			if i < len(v)-1 {
+				buf.WriteByte(',')
+			}
+			buf.WriteByte('\n')
+		}
+		indent(buf, depth)
+		buf.WriteByte(']')
+	case string:
+		return renderString(buf, v)
+	case json.Number:
+		buf.WriteString(v.String())
+	case bool:
+		if v {
+			buf.WriteString("true")
+		} else {
+			buf.WriteString("false")
+		}
+	case nil:
+		buf.WriteString("null")
+	default:
+		return fmt.Errorf("canonjson: unexpected reparsed type %T", v)
+	}
+	return nil
+}
+
+// renderString delegates escaping to encoding/json so canonical strings
+// match what json.Marshal would emit.
+func renderString(buf *bytes.Buffer, s string) error {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	buf.Write(b)
+	return nil
+}
+
+func indent(buf *bytes.Buffer, depth int) {
+	for i := 0; i < depth; i++ {
+		buf.WriteByte('\t')
+	}
+}

@@ -1,0 +1,82 @@
+package canonjson
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSortedKeysAndStableBytes(t *testing.T) {
+	// Two structs with the same JSON content but different field order
+	// must render identically.
+	type a struct {
+		Zebra int    `json:"zebra"`
+		Alpha string `json:"alpha"`
+	}
+	type b struct {
+		Alpha string `json:"alpha"`
+		Zebra int    `json:"zebra"`
+	}
+	ba, err := Marshal(a{Zebra: 3, Alpha: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := Marshal(b{Alpha: "x", Zebra: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ba) != string(bb) {
+		t.Errorf("field order leaked into output:\n%s\nvs\n%s", ba, bb)
+	}
+	want := "{\n\t\"alpha\": \"x\",\n\t\"zebra\": 3\n}\n"
+	if string(ba) != want {
+		t.Errorf("canonical form = %q, want %q", ba, want)
+	}
+}
+
+func TestMapKeysSorted(t *testing.T) {
+	got, err := Marshal(map[string][]int{"b": {2}, "a": nil, "c": {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, ib, ic := strings.Index(string(got), `"a"`), strings.Index(string(got), `"b"`), strings.Index(string(got), `"c"`)
+	if ia < 0 || ib < 0 || ic < 0 || !(ia < ib && ib < ic) {
+		t.Errorf("keys not sorted:\n%s", got)
+	}
+}
+
+func TestLargeIntegersSurvive(t *testing.T) {
+	// A float64 round-trip would corrupt counters above 2^53.
+	v := map[string]uint64{"cycles": math.MaxUint64}
+	got, err := Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "18446744073709551615") {
+		t.Errorf("uint64 corrupted:\n%s", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	type inner struct {
+		S []string `json:"s"`
+		N int64    `json:"n"`
+	}
+	in := map[string]inner{"x": {S: []string{"a", "b"}, N: -7}, "y": {}}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]inner
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("canonical output not parseable: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch: %+v vs %+v", in, out)
+	}
+	if data[len(data)-1] != '\n' || data[len(data)-2] == '\n' {
+		t.Errorf("output must end in exactly one newline: %q", data)
+	}
+}

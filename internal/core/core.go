@@ -9,6 +9,11 @@
 // candidate order; the timing pipeline (package pipeline) owns operand
 // readiness, functional units and ports, and calls back into the scheduler
 // each cycle to select instructions.
+//
+// Everything here is bit-for-bit deterministic: the "random" steering and
+// selection policies draw from fixed-seed LCG streams, never the host.
+//
+//ce:deterministic
 package core
 
 import (
@@ -170,6 +175,8 @@ func (w *CentralWindow) Len() int { return w.occupancy }
 func (w *CentralWindow) Capacity() int { return w.size }
 
 // Dispatch implements Scheduler.
+//
+//ce:hot
 func (w *CentralWindow) Dispatch(u *Uop) bool {
 	if w.occupancy >= w.size {
 		return false
@@ -192,6 +199,8 @@ func (w *CentralWindow) Dispatch(u *Uop) bool {
 // (age) order, which is the paper's position-based selection policy; with
 // random selection every entry is a candidate and the order is shuffled
 // deterministically each cycle.
+//
+//ce:hot
 func (w *CentralWindow) Select(now int64, tryIssue func(u *Uop) bool) {
 	if !w.randomSelect {
 		w.board.promote(now)
@@ -210,7 +219,7 @@ func (w *CentralWindow) Select(now int64, tryIssue func(u *Uop) bool) {
 		w.board.ready = kept
 		return
 	}
-	order := make([]*Uop, len(w.entries))
+	order := make([]*Uop, len(w.entries)) //ce:alloc-ok random-select ablation only; keeps the published rng stream
 	copy(order, w.entries)
 	for i := len(order) - 1; i > 0; i-- {
 		w.rng = w.rng*1103515245 + 12345
@@ -221,7 +230,7 @@ func (w *CentralWindow) Select(now int64, tryIssue func(u *Uop) bool) {
 	for _, u := range order {
 		if tryIssue(u) {
 			if issued == nil {
-				issued = make(map[*Uop]bool)
+				issued = make(map[*Uop]bool) //ce:alloc-ok random-select ablation only, nil until first issue
 			}
 			issued[u] = true
 		}
@@ -243,6 +252,8 @@ func (w *CentralWindow) Select(now int64, tryIssue func(u *Uop) bool) {
 }
 
 // Wakeup implements Scheduler.
+//
+//ce:hot
 func (w *CentralWindow) Wakeup(p int16, readyCycle int64) {
 	if !w.randomSelect {
 		w.board.wakeup(p, readyCycle)
@@ -252,6 +263,8 @@ func (w *CentralWindow) Wakeup(p int16, readyCycle int64) {
 // NextWake implements Scheduler. Random selection reshuffles — and
 // advances its rng stream — every cycle the window is occupied, so its
 // Select must run every such cycle.
+//
+//ce:hot
 func (w *CentralWindow) NextWake() int64 {
 	if w.randomSelect {
 		if w.occupancy > 0 {
@@ -341,7 +354,7 @@ type FIFOBank struct {
 
 // FIFOBankConfig sizes a FIFOBank.
 type FIFOBankConfig struct {
-	Name            string
+	Name            string //ce:timing-neutral
 	Clusters        int
 	FIFOsPerCluster int
 	Depth           int
@@ -390,6 +403,8 @@ func (b *FIFOBank) Len() int { return b.occupancy }
 func (b *FIFOBank) Capacity() int { return len(b.fifos) * b.depth }
 
 // Dispatch implements Scheduler.
+//
+//ce:hot
 func (b *FIFOBank) Dispatch(u *Uop) bool {
 	var fi int
 	switch b.policy {
@@ -416,6 +431,8 @@ func (b *FIFOBank) Dispatch(u *Uop) bool {
 
 // steerDependence implements the Section 5.1 heuristic, generalized over
 // clusters with the Section 5.5 free-list policy.
+//
+//ce:hot
 func (b *FIFOBank) steerDependence(u *Uop) int {
 	// Try each outstanding source operand in order: if its producer is
 	// the tail of its FIFO and the FIFO has room, follow it.
@@ -438,6 +455,8 @@ func (b *FIFOBank) steerDependence(u *Uop) int {
 
 // allocFIFO takes an empty FIFO, preferring the current cluster's pool and
 // switching the current cluster when its pool is exhausted (Section 5.5).
+//
+//ce:hot
 func (b *FIFOBank) allocFIFO() int {
 	for try := 0; try < b.clusters; try++ {
 		pool := &b.freeFIFOs[b.cur]
@@ -453,6 +472,8 @@ func (b *FIFOBank) allocFIFO() int {
 
 // steerRandom picks a random cluster and falls back to the other(s) when
 // its buffering is full (Section 5.6.3).
+//
+//ce:hot
 func (b *FIFOBank) steerRandom() int {
 	b.rng = b.rng*1103515245 + 12345
 	start := int(uint32(b.rng)>>16) % b.clusters
@@ -473,6 +494,8 @@ func (b *FIFOBank) steerRandom() int {
 // gated on a start-of-cycle head snapshot, so an entry exposed by its
 // head issuing this same cycle must wait for the next — exactly the
 // head-only semantics of the full-scan implementation.
+//
+//ce:hot
 func (b *FIFOBank) Select(now int64, tryIssue func(u *Uop) bool) {
 	b.board.promote(now)
 	if len(b.board.ready) == 0 {
@@ -510,6 +533,8 @@ func (b *FIFOBank) Select(now int64, tryIssue func(u *Uop) bool) {
 }
 
 // Wakeup implements Scheduler.
+//
+//ce:hot
 func (b *FIFOBank) Wakeup(p int16, readyCycle int64) {
 	b.board.wakeup(p, readyCycle)
 }
@@ -519,11 +544,15 @@ func (b *FIFOBank) Wakeup(p int16, readyCycle int64) {
 // conservative, never late, because a blocked awake uop implies an awake
 // head in the same FIFO with an equal-or-earlier wake cycle is still
 // unissued — and Select runs while any candidate is awake.
+//
+//ce:hot
 func (b *FIFOBank) NextWake() int64 {
 	return b.board.nextWake()
 }
 
 // remove deletes an issued uop from its FIFO and recycles empty FIFOs.
+//
+//ce:hot
 func (b *FIFOBank) remove(u *Uop) {
 	f := &b.fifos[u.FIFO]
 	for i, x := range f.q {

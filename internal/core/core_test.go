@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -339,8 +340,13 @@ func TestFigure12Steering(t *testing.T) {
 		pos[s] = i
 	}
 	deps := map[uint64][]uint64{2: {0, 1}, 4: {0}, 5: {4}, 7: {5}, 8: {7}, 9: {8}, 10: {0, 3}, 11: {10}, 12: {6}, 13: {12}, 14: {9, 11}}
-	for c, ps := range deps {
-		for _, p := range ps {
+	consumers := make([]uint64, 0, len(deps))
+	for c := range deps {
+		consumers = append(consumers, c)
+	}
+	sort.Slice(consumers, func(i, j int) bool { return consumers[i] < consumers[j] })
+	for _, c := range consumers {
+		for _, p := range deps[c] {
 			if pos[c] <= pos[p] {
 				t.Errorf("instruction %d issued at %d, before its producer %d at %d", c, pos[c], p, pos[p])
 			}
@@ -436,9 +442,14 @@ func TestRandomSelectWindow(t *testing.T) {
 	if len(offered) != 16 {
 		t.Errorf("offered %d distinct entries, want 16", len(offered))
 	}
-	for seq, c := range offered {
-		if c != 1 {
-			t.Errorf("entry %d offered %d times", seq, c)
+	seqs := make([]uint64, 0, len(offered))
+	for seq := range offered {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		if offered[seq] != 1 {
+			t.Errorf("entry %d offered %d times", seq, offered[seq])
 		}
 	}
 	if w.Len() != 8 {

@@ -11,10 +11,12 @@ type UopPool struct {
 // Get returns a zeroed Uop, reusing a recycled one when available. The
 // PhysSrcs backing array is retained across recycling so rename can
 // append into it without allocating.
+//
+//ce:hot
 func (p *UopPool) Get() *Uop {
 	n := len(p.free)
 	if n == 0 {
-		return &Uop{}
+		return &Uop{} //ce:alloc-ok pool miss: one allocation per pool high-water mark, amortized across the run
 	}
 	u := p.free[n-1]
 	p.free[n-1] = nil
@@ -26,6 +28,8 @@ func (p *UopPool) Get() *Uop {
 
 // Put recycles a Uop the pipeline no longer references. The caller must
 // guarantee no queue, scheduler or waiter list still points at u.
+//
+//ce:hot
 func (p *UopPool) Put(u *Uop) {
 	if u == nil {
 		return

@@ -24,7 +24,11 @@ const (
 // SchedulerSpec is a serializable description of a scheduler. Unlike an
 // opaque factory closure, a spec can be fingerprinted, so configurations
 // built from specs are eligible for run memoization (see
-// pipeline.Config.Key and internal/runcache).
+// pipeline.Config.Key and internal/runcache). keylint (cmd/celint)
+// statically verifies every exported field is folded into Key or marked
+// //ce:timing-neutral.
+//
+//ce:keyed
 type SchedulerSpec struct {
 	Kind SchedKind
 	// Size is the window entry count (the central-window kinds).

@@ -38,6 +38,8 @@ type wakeBoard struct {
 
 // add registers a dispatched uop: as a waiter on each pending source, or
 // straight into the sleeping heap when every producer has already issued.
+//
+//ce:hot
 func (b *wakeBoard) add(u *Uop) {
 	if u.WakePending == 0 {
 		b.push(u)
@@ -58,6 +60,8 @@ func (b *wakeBoard) add(u *Uop) {
 // and its result is consumable (in the nearest cluster) at readyCycle.
 // Waiters on p lose one pending source; those with none left go to sleep
 // until their WakeCycle.
+//
+//ce:hot
 func (b *wakeBoard) wakeup(p int16, readyCycle int64) {
 	if int(p) >= len(b.waiters) {
 		return
@@ -82,6 +86,8 @@ func (b *wakeBoard) wakeup(p int16, readyCycle int64) {
 }
 
 // push inserts u into the sleeping min-heap.
+//
+//ce:hot
 func (b *wakeBoard) push(u *Uop) {
 	b.sleeping = append(b.sleeping, u)
 	i := len(b.sleeping) - 1
@@ -101,6 +107,8 @@ func wakeLess(a, b *Uop) bool {
 
 // promote moves every sleeping uop whose WakeCycle has arrived into the
 // Seq-ordered ready list.
+//
+//ce:hot
 func (b *wakeBoard) promote(now int64) {
 	for len(b.sleeping) > 0 && b.sleeping[0].WakeCycle <= now {
 		u := b.popSleeping()
@@ -122,6 +130,8 @@ func (b *wakeBoard) promote(now int64) {
 }
 
 // popSleeping removes the heap minimum.
+//
+//ce:hot
 func (b *wakeBoard) popSleeping() *Uop {
 	u := b.sleeping[0]
 	last := len(b.sleeping) - 1
@@ -132,6 +142,7 @@ func (b *wakeBoard) popSleeping() *Uop {
 	return u
 }
 
+//ce:hot
 func (b *wakeBoard) siftDown(i int) {
 	n := len(b.sleeping)
 	for {
@@ -152,6 +163,8 @@ func (b *wakeBoard) siftDown(i int) {
 }
 
 // nextWake reports the earliest cycle Select may offer a candidate.
+//
+//ce:hot
 func (b *wakeBoard) nextWake() int64 {
 	if len(b.ready) > 0 {
 		return WakeNow

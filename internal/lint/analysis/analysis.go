@@ -1,0 +1,91 @@
+// Package analysis is a self-contained re-implementation of the core of
+// golang.org/x/tools/go/analysis, providing just the surface the celint
+// analyzers need: an Analyzer descriptor, a per-package Pass, and
+// Diagnostics with optional suggested fixes.
+//
+// The module is intentionally dependency-free (the build environment has
+// no module proxy), so it cannot import x/tools. The types here mirror
+// the x/tools API shape field-for-field; if the dependency ever becomes
+// available, the analyzers port by switching one import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("detlint").
+	Name string
+	// Doc is the one-paragraph help text; its first line is the summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass presents one type-checked package to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one finding. It must be non-nil.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos token.Pos
+	// End optionally marks the end of the offending range.
+	End token.Pos
+	// Category is an optional short rule identifier within the analyzer
+	// ("map-order", "hot-make"), used by tests and tooling.
+	Category string
+	Message  string
+	// SuggestedFixes optionally carry machine-applicable edits.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one candidate resolution of a Diagnostic.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// Validate checks analyzer metadata (mirrors x/tools analysis.Validate in
+// spirit: names must be unique and non-empty, Run non-nil).
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		switch {
+		case a == nil:
+			return fmt.Errorf("analysis: nil analyzer")
+		case a.Name == "":
+			return fmt.Errorf("analysis: analyzer with empty name")
+		case a.Run == nil:
+			return fmt.Errorf("analysis: analyzer %s has nil Run", a.Name)
+		case seen[a.Name]:
+			return fmt.Errorf("analysis: duplicate analyzer name %s", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}

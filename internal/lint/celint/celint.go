@@ -1,0 +1,105 @@
+// Package celint is the driver for the simulator's custom static
+// analyzers (detlint, keylint, hotlint). It runs in two modes:
+//
+//   - standalone: `celint ./...` loads packages through `go list -export`
+//     and analyzes each module package, test files included;
+//   - vet tool: `go vet -vettool=$(which celint) ./...` speaks the cmd/go
+//     unitchecker protocol (-V=full, -flags, and per-package .cfg files),
+//     so findings integrate with the build cache and go test's vet phase.
+//
+// Exit status: 0 clean, 1 findings, 2 operational error.
+package celint
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/detlint"
+	"repro/internal/lint/hotlint"
+	"repro/internal/lint/keylint"
+)
+
+// Analyzers returns the celint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{detlint.Analyzer, keylint.Analyzer, hotlint.Analyzer}
+}
+
+// Main implements the celint command. args excludes the program name.
+func Main(args []string, stdout, stderr io.Writer) int {
+	if err := analysis.Validate(Analyzers()); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	// cmd/go protocol probes.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			return printVersion(stdout, stderr)
+		case "-flags", "--flags":
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		}
+	}
+	if len(args) == 1 && len(args[0]) > 4 && args[0][len(args[0])-4:] == ".cfg" {
+		return vetMode(args[0], stderr)
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	return standalone(patterns, stdout, stderr)
+}
+
+// diagText formats one diagnostic the way go vet does.
+func diagText(fset *token.FileSet, a *analysis.Analyzer, d analysis.Diagnostic) string {
+	return fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), a.Name, d.Message)
+}
+
+// runAnalyzers applies the suite to one loaded package and returns the
+// formatted findings, sorted by position.
+func runAnalyzers(pkg *loadedPackage) ([]string, error) {
+	var out []string
+	for _, a := range Analyzers() {
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.fset,
+			Files:     pkg.files,
+			Pkg:       pkg.types,
+			TypesInfo: pkg.info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", pkg.importPath, a.Name, err)
+		}
+		for _, d := range diags {
+			out = append(out, diagText(pkg.fset, a, d))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func standalone(patterns []string, stdout, stderr io.Writer) int {
+	pkgs, err := loadPackages(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "celint:", err)
+		return 2
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		findings, err := runAnalyzers(pkg)
+		if err != nil {
+			fmt.Fprintln(stderr, "celint:", err)
+			return 2
+		}
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+			exit = 1
+		}
+	}
+	return exit
+}

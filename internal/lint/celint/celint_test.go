@@ -1,0 +1,81 @@
+package celint_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/celint"
+)
+
+// chdir switches to dir for the duration of the test.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chdir(old) })
+}
+
+// TestStandaloneFindsSeededViolations runs the multichecker in-process
+// over a module seeded with one violation per analyzer and checks the
+// exit code and that every analyzer reports by name.
+func TestStandaloneFindsSeededViolations(t *testing.T) {
+	chdir(t, filepath.Join("testdata", "badmod"))
+	var stdout, stderr bytes.Buffer
+	code := celint.Main([]string{"./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"detlint", "map iteration order escapes",
+		"keylint", "Spec.Extra",
+		"hotlint", "make allocates",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagnostics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStandaloneCleanModuleExitsZero checks the happy path on the
+// repository's own lint fixtures-free package.
+func TestStandaloneCleanModuleExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := celint.Main([]string{"repro/internal/canonjson"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+}
+
+// TestVettoolProtocol builds the celint binary and drives it through
+// `go vet -vettool`, exercising the unitchecker protocol end to end.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "celint")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/celint")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building celint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = filepath.Join("testdata", "badmod")
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool exited zero on seeded violations\n%s", out)
+	}
+	for _, want := range []string{"map iteration order escapes", "Spec.Extra", "make allocates"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("vet output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package celint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// loadedPackage is one package ready for analysis.
+type loadedPackage struct {
+	importPath string
+	fset       *token.FileSet
+	files      []*ast.File
+	types      *types.Package
+	info       *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	ImportMap  map[string]string
+}
+
+// loadPackages resolves patterns through `go list -deps -test -export`
+// and type-checks every module root package from source, using the gc
+// export data go list produced for all dependencies. Test variants
+// (pkg [pkg.test]) replace their plain package so _test.go files are
+// analyzed too.
+func loadPackages(patterns []string) ([]*loadedPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-test", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Export,Standard,DepOnly,ForTest,ImportMap",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var listed []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		listed = append(listed, p)
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	// Pick roots: non-dep, non-stdlib packages, preferring the in-package
+	// test variant over the plain package, and skipping the synthesized
+	// .test mains (their sole GoFile is generated).
+	hasTestVariant := make(map[string]bool)
+	for _, p := range listed {
+		if p.ForTest != "" && !p.DepOnly && strings.HasPrefix(p.ImportPath, p.ForTest+" ") {
+			hasTestVariant[p.ForTest] = true
+		}
+	}
+	var pkgs []*loadedPackage
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if hasTestVariant[p.ImportPath] {
+			continue // superseded by pkg [pkg.test]
+		}
+		if len(p.CgoFiles) > 0 {
+			fmt.Fprintf(os.Stderr, "celint: skipping %s: cgo package\n", p.ImportPath)
+			continue
+		}
+		lp, err := typecheck(p, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// typecheck parses and type-checks one package from source, resolving
+// imports through gc export data files.
+func typecheck(p *listPackage, exports map[string]string) (*loadedPackage, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(importPath string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		file, ok := exports[importPath]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", importPath)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	// "pkg [pkg.test]" type-checks under its real import path.
+	path := p.ImportPath
+	if p.ForTest != "" {
+		path = p.ForTest
+	}
+	conf := &types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %v", p.ImportPath, err)
+	}
+	return &loadedPackage{
+		importPath: p.ImportPath,
+		fset:       fset,
+		files:      files,
+		types:      tpkg,
+		info:       info,
+	}, nil
+}

@@ -1,0 +1,33 @@
+// Package badmod seeds one violation of each celint contract; the
+// cmd/celint test asserts the multichecker exits nonzero and names all
+// three analyzers.
+//
+//ce:deterministic
+package badmod
+
+import "fmt"
+
+// Spec is fingerprinted, but Extra is not folded into Key.
+//
+//ce:keyed
+type Spec struct {
+	Size  int
+	Extra int
+}
+
+// Key covers Size only.
+func (s Spec) Key() string { return fmt.Sprint(s.Size) }
+
+// Heads leaks map iteration order into its caller.
+func Heads(m map[string]int, visit func(string)) {
+	for k := range m {
+		visit(k)
+	}
+}
+
+// Step allocates on the hot path.
+//
+//ce:hot
+func Step() []int {
+	return make([]int, 8)
+}

@@ -1,0 +1,161 @@
+package celint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// vetConfig mirrors the fields of cmd/go's per-package vet config file
+// (the JSON handed to -vettool binaries; see x/tools unitchecker.Config).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// printVersion implements -V=full. cmd/go hashes this line into the
+// build cache key, so it must be stable for a given binary: embed the
+// content hash of the executable itself.
+func printVersion(stdout, stderr io.Writer) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(stderr, "celint:", err)
+		return 2
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(stderr, "celint:", err)
+		return 2
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(stderr, "celint:", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "%s version devel buildID=%x\n", exe, h.Sum(nil)[:16])
+	return 0
+}
+
+// vetMode analyzes the single compilation unit described by cfgPath,
+// following the unitchecker protocol: diagnostics to stderr, exit 1 when
+// any are found, and always produce the (empty — celint exports no
+// facts) VetxOutput file so cmd/go's action cache has its output.
+func vetMode(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "celint:", err)
+		return 2
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(stderr, "celint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fmt.Fprintln(stderr, "celint:", err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: celint has no facts to export.
+		writeVetx()
+		return 0
+	}
+	pkg, err := typecheckVetUnit(cfg)
+	if err != nil {
+		writeVetx()
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(stderr, "celint:", err)
+		return 2
+	}
+	findings, err := runAnalyzers(pkg)
+	if err != nil {
+		fmt.Fprintln(stderr, "celint:", err)
+		return 2
+	}
+	writeVetx()
+	for _, f := range findings {
+		fmt.Fprintln(stderr, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// typecheckVetUnit parses and type-checks the unit from cfg, resolving
+// imports via the export files cmd/go listed in PackageFile.
+func typecheckVetUnit(cfg *vetConfig) (*loadedPackage, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, compiler, lookup)
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := &types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+	return &loadedPackage{
+		importPath: cfg.ImportPath,
+		fset:       fset,
+		files:      files,
+		types:      tpkg,
+		info:       info,
+	}, nil
+}

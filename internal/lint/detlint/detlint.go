@@ -1,0 +1,650 @@
+// Package detlint statically enforces the simulator's bit-determinism
+// contract. The differential fuzzing harness and the run cache are both
+// unsound if two runs of the same configuration can diverge, so packages
+// marked //ce:deterministic must not let any nondeterminism source — map
+// iteration order, the host clock, math/rand, goroutine scheduling,
+// pointer formatting — influence their observable behavior.
+//
+// Rules, in packages carrying the //ce:deterministic marker:
+//
+//   - map iteration whose order escapes: a `for range` over a map is
+//     flagged when its body writes outer state order-dependently, appends
+//     to an outer slice (unless the slice is immediately sorted — the
+//     collect-keys-then-sort idiom), exits the loop early, sends on a
+//     channel, or leaks the iteration order through a call. Pure
+//     membership counting, distinct-key writes (`out[k] = v`) and
+//     commutative integer accumulation (`n += v`) pass.
+//   - time.Now / time.Since / time.Until (host clock reads).
+//   - any math/rand import.
+//   - goroutine launches (the cycle loop is single-threaded by contract).
+//   - %p format verbs (pointer values differ run to run).
+//
+// A finding on a line covered by `//ce:nondet-ok <reason>` is suppressed;
+// the reason is mandatory.
+package detlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+// Analyzer is the detlint pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detlint",
+	Doc:  "flags nondeterminism sources in //ce:deterministic packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !directive.PackageMarked(pass.Files, directive.Deterministic) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		c := &checker{pass: pass, hatch: directive.NewIndex(pass.Fset, f, directive.NondetOK)}
+		for _, d := range c.hatch.Malformed() {
+			pass.Report(analysis.Diagnostic{
+				Pos:      d.Pos,
+				Category: "bad-hatch",
+				Message:  "//ce:nondet-ok needs a reason (//ce:nondet-ok <why this is deterministic>)",
+			})
+		}
+		c.file(f)
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	hatch *directive.Index
+}
+
+// report emits a diagnostic unless an escape hatch covers pos.
+func (c *checker) report(pos token.Pos, category, format string, args ...any) {
+	if _, ok := c.hatch.Covering(pos); ok {
+		return
+	}
+	c.pass.Report(analysis.Diagnostic{
+		Pos:      pos,
+		Category: category,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *checker) file(f *ast.File) {
+	for _, imp := range f.Imports {
+		path, _ := strconv.Unquote(imp.Path.Value)
+		if path == "math/rand" || path == "math/rand/v2" {
+			c.report(imp.Pos(), "rand",
+				"import of %s in a //ce:deterministic package (seeded prog-level randomness belongs outside the simulator core)", path)
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			c.report(n.Pos(), "goroutine",
+				"goroutine launch in a //ce:deterministic package (scheduling order is nondeterministic)")
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.RangeStmt:
+			c.rangeStmt(n, followingStmts(f, n))
+		}
+		return true
+	})
+}
+
+// call flags host-clock reads and %p formatting.
+func (c *checker) call(call *ast.CallExpr) {
+	if pkg, name := c.calleePkgFunc(call); pkg == "time" && (name == "Now" || name == "Since" || name == "Until") {
+		c.report(call.Pos(), "clock",
+			"time.%s reads the host clock in a //ce:deterministic package", name)
+	} else if pkg == "fmt" {
+		for _, arg := range call.Args {
+			lit, ok := arg.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				continue
+			}
+			if s, err := strconv.Unquote(lit.Value); err == nil && strings.Contains(s, "%p") {
+				c.report(lit.Pos(), "pointer-format",
+					"%%p formats a pointer value, which differs run to run")
+			}
+		}
+	}
+}
+
+// calleePkgFunc resolves a call to (package path, function name) for
+// direct package-level calls like time.Now(); otherwise ("", "").
+func (c *checker) calleePkgFunc(call *ast.CallExpr) (pkg, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := c.pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// rangeStmt analyzes one `for range` over a map for order escapes.
+// following holds the statements after the loop in its enclosing block
+// (for the collect-then-sort exemption).
+func (c *checker) rangeStmt(rs *ast.RangeStmt, following []ast.Stmt) {
+	t := c.pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	w := newEscapeWalker(c.pass.TypesInfo, rs)
+	w.walkBody()
+	if w.esc == "" {
+		return
+	}
+	if w.onlyAppends && w.sortable != nil && c.sortedAfter(w.sortable, following) {
+		return
+	}
+	c.report(rs.For, "map-order",
+		"map iteration order escapes (%s); iterate a sorted key slice or add //ce:nondet-ok <reason>", w.esc)
+}
+
+// escapeWalker classifies the effects of one map-range body. It records
+// the first order escape; when the only escapes are appends to a single
+// outer slice variable, that variable is the collect-then-sort candidate.
+type escapeWalker struct {
+	info     *types.Info
+	rs       *ast.RangeStmt
+	loopVars map[types.Object]bool // the range key/value variables
+	inner    map[types.Object]bool // objects declared inside the body
+
+	esc         string     // first escape description ("" = none)
+	sortable    *ast.Ident // sole append target, when exempt-eligible
+	onlyAppends bool
+}
+
+func newEscapeWalker(info *types.Info, rs *ast.RangeStmt) *escapeWalker {
+	w := &escapeWalker{
+		info:        info,
+		rs:          rs,
+		loopVars:    make(map[types.Object]bool),
+		inner:       make(map[types.Object]bool),
+		onlyAppends: true,
+	}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := info.Defs[id]; obj != nil {
+			w.loopVars[obj] = true
+		} else if obj := info.Uses[id]; obj != nil {
+			w.loopVars[obj] = true // `for k = range m` assigning an outer k
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				w.inner[obj] = true
+			}
+		}
+		return true
+	})
+	return w
+}
+
+// escape records a non-append order escape.
+func (w *escapeWalker) escape(why string) {
+	if w.esc == "" {
+		w.esc = why
+	}
+	w.onlyAppends = false
+}
+
+func (w *escapeWalker) walkBody() {
+	// `for k = range m` with an outer k leaves the last-iterated key
+	// behind, which is itself order-dependent.
+	if w.rs.Tok == token.ASSIGN {
+		for _, e := range []ast.Expr{w.rs.Key, w.rs.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				w.escape(fmt.Sprintf("loop variable %q outlives the loop with the last-iterated element", id.Name))
+			}
+		}
+	}
+	w.walk(w.rs.Body, walkCtx{})
+}
+
+// walkCtx tracks the syntactic context of the node being visited.
+type walkCtx struct {
+	loopDepth   int // nested for/range loops below the map range
+	switchDepth int // nested switch/select (unlabeled break targets these)
+	funcDepth   int // nested function literals (return exits these)
+}
+
+// walk visits n, dispatching statements to effect classification. It
+// recurses manually so each node sees its enclosing context.
+func (w *escapeWalker) walk(n ast.Node, ctx walkCtx) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		for _, s := range n.List {
+			w.walk(s, ctx)
+		}
+	case *ast.IfStmt:
+		w.walk(n.Init, ctx)
+		w.walkExpr(n.Cond, ctx)
+		w.walk(n.Body, ctx)
+		w.walk(n.Else, ctx)
+	case *ast.ForStmt:
+		inner := ctx
+		inner.loopDepth++
+		w.walk(n.Init, inner)
+		w.walkExpr(n.Cond, inner)
+		w.walk(n.Post, inner)
+		w.walk(n.Body, inner)
+	case *ast.RangeStmt:
+		inner := ctx
+		inner.loopDepth++
+		w.walkExpr(n.X, ctx)
+		// An inner map range is itself suspect, but the enclosing Inspect
+		// visits it separately; here it only contributes its body effects.
+		if n.Tok == token.ASSIGN {
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if e != nil {
+					w.checkWrite(e, token.ASSIGN, nil, inner)
+				}
+			}
+		}
+		w.walk(n.Body, inner)
+	case *ast.SwitchStmt:
+		inner := ctx
+		inner.switchDepth++
+		w.walk(n.Init, ctx)
+		w.walkExpr(n.Tag, ctx)
+		for _, clause := range n.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.walkExpr(e, ctx)
+				}
+				for _, s := range cc.Body {
+					w.walk(s, inner)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		inner := ctx
+		inner.switchDepth++
+		w.walk(n.Init, ctx)
+		w.walk(n.Assign, ctx)
+		for _, clause := range n.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				for _, s := range cc.Body {
+					w.walk(s, inner)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		inner := ctx
+		inner.switchDepth++
+		for _, clause := range n.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				w.walk(cc.Comm, inner)
+				for _, s := range cc.Body {
+					w.walk(s, inner)
+				}
+			}
+		}
+	case *ast.BranchStmt:
+		switch n.Tok {
+		case token.BREAK:
+			if ctx.funcDepth > 0 {
+				return
+			}
+			if n.Label != nil {
+				w.escape("labeled break exits the loop early")
+			} else if ctx.loopDepth == 0 && ctx.switchDepth == 0 {
+				w.escape("break exits the loop early")
+			}
+		case token.GOTO:
+			if ctx.funcDepth == 0 {
+				w.escape("goto may exit the loop early")
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			w.walkExpr(r, ctx)
+		}
+		if ctx.funcDepth == 0 {
+			w.escape("return exits the loop early")
+		}
+	case *ast.SendStmt:
+		w.escape("channel send publishes values in iteration order")
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Reported separately (GoStmt) or out of scope; still scan args.
+		if d, ok := n.(*ast.DeferStmt); ok {
+			w.walkExpr(d.Call, ctx)
+		}
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			var rhs ast.Expr
+			if len(n.Rhs) == len(n.Lhs) {
+				rhs = n.Rhs[i]
+			} else if len(n.Rhs) == 1 {
+				rhs = n.Rhs[0]
+			}
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(w.info, call, "append") {
+				w.checkAppend(lhs, call, ctx)
+				for _, arg := range call.Args[1:] {
+					w.walkExpr(arg, ctx)
+				}
+				continue
+			}
+			w.checkWrite(lhs, n.Tok, rhs, ctx)
+			if rhs != nil {
+				w.walkExpr(rhs, ctx)
+			}
+		}
+	case *ast.IncDecStmt:
+		w.checkWrite(n.X, n.Tok, nil, ctx)
+	case *ast.ExprStmt:
+		w.walkExpr(n.X, ctx)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.walkExpr(v, ctx)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walk(n.Stmt, ctx)
+	}
+}
+
+// walkExpr scans an expression for calls and function literals.
+func (w *escapeWalker) walkExpr(e ast.Expr, ctx walkCtx) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.FuncLit:
+		inner := ctx
+		inner.funcDepth++
+		w.walk(e.Body, inner)
+	case *ast.CallExpr:
+		w.checkCall(e, ctx)
+	default:
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				inner := ctx
+				inner.funcDepth++
+				w.walk(n.Body, inner)
+				return false
+			case *ast.CallExpr:
+				w.checkCall(n, ctx)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// checkCall classifies a call inside the loop body.
+func (w *escapeWalker) checkCall(call *ast.CallExpr, ctx walkCtx) {
+	switch {
+	case isBuiltin(w.info, call, "append"):
+		// An append whose result is discarded or nested has no visible
+		// destination here; the enclosing AssignStmt case handles the
+		// common shape. Scan arguments for nested calls.
+	case isBuiltin(w.info, call, "delete"):
+		// delete(m2, k) removes a distinct key per iteration, and deleting
+		// a loop-independent key is idempotent; both are order-safe.
+		return
+	case isBuiltin(w.info, call, "len"), isBuiltin(w.info, call, "cap"),
+		isBuiltin(w.info, call, "min"), isBuiltin(w.info, call, "max"),
+		isBuiltin(w.info, call, "copy"):
+	default:
+		// A call receiving the loop variables can do anything with them —
+		// hash, print, accumulate — in iteration order.
+		for _, arg := range call.Args {
+			if w.usesLoopVar(arg) {
+				w.escape(fmt.Sprintf("iteration order escapes into call %s", types.ExprString(call.Fun)))
+				return
+			}
+		}
+		// A method call on a loop variable leaks order the same way.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && w.usesLoopVar(sel.X) {
+			w.escape(fmt.Sprintf("iteration order escapes into call %s", types.ExprString(call.Fun)))
+			return
+		}
+	}
+	for _, arg := range call.Args {
+		w.walkExpr(arg, ctx)
+	}
+}
+
+// checkAppend handles `lhs = append(src, ...)`.
+func (w *escapeWalker) checkAppend(lhs ast.Expr, call *ast.CallExpr, ctx walkCtx) {
+	root := w.rootObj(lhs)
+	if root == nil || w.inner[root] || w.loopVars[root] {
+		return // per-iteration slice
+	}
+	id, isIdent := lhs.(*ast.Ident)
+	if !isIdent {
+		w.escape(fmt.Sprintf("append to %q records iteration order", types.ExprString(lhs)))
+		return
+	}
+	if w.esc == "" {
+		w.esc = fmt.Sprintf("append to %q records iteration order", id.Name)
+	}
+	// Sortability: all appends must target this same object.
+	obj := w.objOf(id)
+	if w.sortable == nil && w.onlyAppends {
+		w.sortable = id
+	} else if w.sortable != nil && w.objOf(w.sortable) != obj {
+		w.sortable = nil
+		w.onlyAppends = false
+	}
+}
+
+// checkWrite classifies one assignment to lhs with operator tok.
+func (w *escapeWalker) checkWrite(lhs ast.Expr, tok token.Token, rhs ast.Expr, ctx walkCtx) {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	root := w.rootObj(lhs)
+	if root == nil || w.inner[root] || w.loopVars[root] {
+		return // per-iteration or loop-variable state
+	}
+	// Distinct-key stores: out[k] = ... touches a different element each
+	// iteration, so ordering between iterations cannot matter.
+	if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && w.usesLoopVar(ix.Index) {
+		return
+	}
+	switch tok {
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		if w.isInteger(lhs) {
+			return // commutative, associative integer accumulation
+		}
+		w.escape(fmt.Sprintf("order-dependent %s to %q", tok, types.ExprString(lhs)))
+	case token.INC, token.DEC:
+		if w.isInteger(lhs) {
+			return
+		}
+		w.escape(fmt.Sprintf("order-dependent %s of %q", tok, types.ExprString(lhs)))
+	case token.ASSIGN, token.DEFINE:
+		// Overwriting an outer variable with an iteration-independent
+		// value ("found = true") lands on the same state whatever the
+		// order.
+		if rhs != nil && !w.usesLoopVar(rhs) && !hasCall(rhs) {
+			return
+		}
+		w.escape(fmt.Sprintf("last-writer-wins assignment to %q", types.ExprString(lhs)))
+	default:
+		w.escape(fmt.Sprintf("order-dependent %s to %q", tok, types.ExprString(lhs)))
+	}
+}
+
+func (w *escapeWalker) objOf(id *ast.Ident) types.Object {
+	if obj := w.info.Uses[id]; obj != nil {
+		return obj
+	}
+	return w.info.Defs[id]
+}
+
+// rootObj resolves the outermost base identifier of an lvalue chain
+// (x, x.f, x[i], *x, ...).
+func (w *escapeWalker) rootObj(e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return w.objOf(e)
+	case *ast.SelectorExpr:
+		return w.rootObj(e.X)
+	case *ast.IndexExpr:
+		return w.rootObj(e.X)
+	case *ast.StarExpr:
+		return w.rootObj(e.X)
+	case *ast.ParenExpr:
+		return w.rootObj(e.X)
+	}
+	return nil
+}
+
+func (w *escapeWalker) usesLoopVar(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && w.loopVars[w.info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (w *escapeWalker) isInteger(e ast.Expr) bool {
+	t := w.info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func hasCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := info.Uses[id].(*types.Builtin)
+	return isB
+}
+
+// followingStmts returns the statements after stmt in its innermost
+// enclosing block (empty when not found).
+func followingStmts(f *ast.File, stmt ast.Stmt) []ast.Stmt {
+	var following []ast.Stmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		if following != nil {
+			return false
+		}
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, s := range list {
+			if s == stmt {
+				following = list[i+1:]
+				return false
+			}
+		}
+		return true
+	})
+	return following
+}
+
+// sortedAfter reports whether the appended-to slice is passed to a sort
+// before any other use in the statements following the loop.
+func (c *checker) sortedAfter(target *ast.Ident, following []ast.Stmt) bool {
+	info := c.pass.TypesInfo
+	obj := info.Uses[target]
+	if obj == nil {
+		obj = info.Defs[target]
+	}
+	if obj == nil {
+		return false
+	}
+	uses := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	for _, s := range following {
+		if !uses(s) {
+			continue
+		}
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return false
+		}
+		pkg, name := c.calleePkgFunc(call)
+		isSort := (pkg == "sort" && (strings.HasPrefix(name, "Sort") || name == "Ints" ||
+			name == "Strings" || name == "Float64s" || name == "Slice" ||
+			name == "SliceStable" || name == "Stable")) ||
+			(pkg == "slices" && strings.HasPrefix(name, "Sort"))
+		if !isSort {
+			return false
+		}
+		// The collected slice must be what is being sorted.
+		if id, ok := call.Args[0].(*ast.Ident); ok && info.Uses[id] == obj {
+			return true
+		}
+		return false
+	}
+	return false
+}

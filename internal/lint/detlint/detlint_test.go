@@ -1,0 +1,12 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/detlint"
+)
+
+func TestDetlint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), detlint.Analyzer, "det", "unmarked")
+}

@@ -1,0 +1,162 @@
+// Package det exercises every detlint rule on a marked package.
+//
+//ce:deterministic
+package det
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+type uop struct{ seq int }
+
+// collectUnsorted leaks iteration order into the returned slice.
+func collectUnsorted(m map[int]*uop) []*uop {
+	var out []*uop
+	for _, u := range m { // want "map iteration order escapes"
+		out = append(out, u)
+	}
+	return out
+}
+
+// collectSorted uses the collect-keys-then-sort idiom: exempt.
+func collectSorted(m map[int]*uop) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// anyReady exits the loop early: which element it returns is
+// order-dependent.
+func anyReady(m map[int]*uop) *uop {
+	for _, u := range m { // want "map iteration order escapes"
+		return u
+	}
+	return nil
+}
+
+// count performs pure membership counting: order-independent.
+func count(m map[int]*uop, issued map[*uop]bool) int {
+	n := 0
+	for _, u := range m {
+		if issued[u] {
+			n++
+		}
+	}
+	return n
+}
+
+// invert stores under a distinct key per iteration: order-independent.
+func invert(m map[int]*uop) map[*uop]int {
+	out := make(map[*uop]int, len(m))
+	for k, u := range m {
+		out[u] = k
+	}
+	return out
+}
+
+// pickAny keeps whichever element iterated last.
+func pickAny(m map[int]*uop) *uop {
+	var best *uop
+	for _, u := range m { // want "map iteration order escapes"
+		best = u
+	}
+	return best
+}
+
+// nonEmpty overwrites with an iteration-independent constant: fine.
+func nonEmpty(m map[int]*uop) bool {
+	found := false
+	for range m {
+		found = true
+	}
+	return found
+}
+
+// hashAll leaks the order into a callback.
+func hashAll(m map[int]*uop, h func(int)) {
+	for k := range m { // want "map iteration order escapes"
+		h(k)
+	}
+}
+
+// lastKey leaves the last-iterated key in an outer variable.
+func lastKey(m map[int]*uop) int {
+	var k int
+	for k = range m { // want "map iteration order escapes"
+	}
+	return k
+}
+
+// classify: break inside a switch targets the switch, not the loop, and
+// the accumulation is commutative integer arithmetic.
+func classify(m map[int]*uop) int {
+	n := 0
+	for _, u := range m {
+		switch {
+		case u.seq > 0:
+			n += u.seq
+			break
+		default:
+		}
+	}
+	return n
+}
+
+// innerBreak: break targets the inner for, not the map range.
+func innerBreak(m map[int]*uop) int {
+	n := 0
+	for _, u := range m {
+		for i := 0; i < u.seq; i++ {
+			if i > 2 {
+				break
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// prune deletes from another map, which is order-safe.
+func prune(m map[int]*uop, dead map[int]bool) {
+	for k := range m {
+		delete(dead, k)
+	}
+}
+
+// stamp reads the host clock.
+func stamp() time.Time {
+	return time.Now() // want "time.Now reads the host clock"
+}
+
+// stampOK carries same-line escape hatches.
+func stampOK() time.Duration {
+	start := time.Now() //ce:nondet-ok wall-clock telemetry only
+	return time.Since(start) //ce:nondet-ok wall-clock telemetry only
+}
+
+// stampNext is covered by a standalone hatch on the line above.
+func stampNext() time.Time {
+	//ce:nondet-ok boot banner timestamp, not simulated time
+	return time.Now()
+}
+
+// stampBad: a reason-less hatch is itself flagged and suppresses nothing.
+func stampBad() time.Time {
+	/* want "needs a reason" */ //ce:nondet-ok
+	return time.Now() // want "time.Now reads the host clock"
+}
+
+// launch starts a goroutine.
+func launch(f func()) {
+	go f() // want "goroutine launch"
+}
+
+// ptr formats a pointer.
+func ptr(u *uop) string {
+	return fmt.Sprintf("%p", u) // want "formats a pointer value"
+}

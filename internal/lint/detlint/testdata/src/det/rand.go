@@ -1,0 +1,3 @@
+package det
+
+import _ "math/rand" // want "import of math/rand"

@@ -1,0 +1,17 @@
+// Package unmarked has no //ce:deterministic directive, so detlint must
+// stay silent even on blatant nondeterminism.
+package unmarked
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now()
+}
+
+func collect(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

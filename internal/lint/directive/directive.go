@@ -1,0 +1,146 @@
+// Package directive parses the `//ce:` comment directives that carry the
+// simulator's statically-enforced contracts:
+//
+//	//ce:deterministic          marks a package bit-deterministic (detlint)
+//	//ce:keyed                  marks a struct whose Key() must cover every
+//	                            exported field (keylint)
+//	//ce:timing-neutral         exempts one struct field from Key coverage
+//	//ce:hot                    marks a function allocation-free (hotlint)
+//	//ce:nondet-ok <reason>     per-line detlint escape hatch
+//	//ce:alloc-ok <reason>      per-line hotlint escape hatch
+//
+// Like //go: directives, a //ce: directive has no space after the
+// slashes. The per-line escape hatches require a reason and apply to
+// findings on their own line or, when the directive stands alone, on the
+// line immediately below.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive names.
+const (
+	Deterministic = "deterministic"
+	Keyed         = "keyed"
+	TimingNeutral = "timing-neutral"
+	Hot           = "hot"
+	NondetOK      = "nondet-ok"
+	AllocOK       = "alloc-ok"
+)
+
+// A Directive is one parsed //ce: comment.
+type Directive struct {
+	Pos    token.Pos
+	Name   string // "deterministic", "nondet-ok", ...
+	Reason string // text after the name, trimmed
+}
+
+// parse extracts the directive from one comment, if any.
+func parse(c *ast.Comment) (Directive, bool) {
+	text, ok := strings.CutPrefix(c.Text, "//ce:")
+	if !ok {
+		return Directive{}, false
+	}
+	name, reason, _ := strings.Cut(text, " ")
+	return Directive{Pos: c.Slash, Name: name, Reason: strings.TrimSpace(reason)}, true
+}
+
+// InGroup reports whether the comment group carries the named directive.
+func InGroup(g *ast.CommentGroup, name string) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		if d, ok := parse(c); ok && d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// PackageMarked reports whether any file of the package carries the named
+// package-scope directive (conventionally placed in the package doc
+// comment; any comment in any file of the package counts, so multi-file
+// packages need the marker only once).
+func PackageMarked(files []*ast.File, name string) bool {
+	for _, f := range files {
+		for _, g := range f.Comments {
+			if InGroup(g, name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncMarked reports whether the function's doc comment carries the
+// named directive.
+func FuncMarked(fd *ast.FuncDecl, name string) bool {
+	return InGroup(fd.Doc, name)
+}
+
+// Index is a per-file line-indexed view of one directive name, used for
+// the per-line escape hatches.
+type Index struct {
+	fset *token.FileSet
+	name string
+	// byLine maps a line number to the directive covering it. A directive
+	// covers its own line; a directive on a line by itself (no code before
+	// it) also covers the next line.
+	byLine map[int]Directive
+	// malformed holds directives of this name with an empty reason.
+	malformed []Directive
+}
+
+// NewIndex builds the per-line index of the named escape-hatch directive
+// for one file. lineHasCode reports, per line, whether any non-comment
+// token starts there; standalone directives extend their cover one line
+// down.
+func NewIndex(fset *token.FileSet, f *ast.File, name string) *Index {
+	idx := &Index{fset: fset, name: name, byLine: make(map[int]Directive)}
+	codeLines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, isComment := n.(*ast.Comment); isComment {
+			return false
+		}
+		if _, isGroup := n.(*ast.CommentGroup); isGroup {
+			return false
+		}
+		codeLines[fset.Position(n.Pos()).Line] = true
+		return true
+	})
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			d, ok := parse(c)
+			if !ok || d.Name != name {
+				continue
+			}
+			if d.Reason == "" {
+				idx.malformed = append(idx.malformed, d)
+				continue
+			}
+			line := fset.Position(d.Pos).Line
+			idx.byLine[line] = d
+			if !codeLines[line] {
+				idx.byLine[line+1] = d
+			}
+		}
+	}
+	return idx
+}
+
+// Covering returns the directive covering pos, if any.
+func (idx *Index) Covering(pos token.Pos) (Directive, bool) {
+	d, ok := idx.byLine[idx.fset.Position(pos).Line]
+	return d, ok
+}
+
+// Malformed returns the directives of the indexed name that are missing
+// their required reason.
+func (idx *Index) Malformed() []Directive { return idx.malformed }

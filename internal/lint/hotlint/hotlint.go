@@ -1,0 +1,373 @@
+// Package hotlint statically enforces the hot-path contract from PR 3:
+// a function marked //ce:hot must not allocate. The allocation-free cycle
+// loop is what keeps the simulator "as fast as the hardware allows"; one
+// stray make or boxed closure in tryIssue silently reintroduces GC
+// pressure that no test fails on.
+//
+// The analysis is intraprocedural and conservative about what escapes:
+//
+//   - make / new always flag.
+//   - Composite literals flag when their address is taken (&T{...} — the
+//     pointer can outlive the frame) or when their immediate use boxes
+//     them into an interface (call argument, assignment, or return with
+//     an interface-typed destination). A value composite that is copied —
+//     v := T{...}, *p = T{...}, append(s, T{...}) — is not an allocation.
+//   - append flags when it grows a fresh slice (the assignment target is
+//     not the same expression as append's first argument); self-appends
+//     amortize against pre-grown capacity and are allowed.
+//   - fmt.* calls always flag (interface boxing of arguments).
+//   - Function literals flag when they escape — only a literal that is
+//     called directly or bound to a local variable that is itself only
+//     ever called (like skipAhead's consider) stays on the stack.
+//   - go / defer statements flag (goroutine stacks, deferred frames).
+//
+// //ce:alloc-ok <reason> on the offending line (or alone on the line
+// above) exempts a finding; the reason is mandatory.
+package hotlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+// Analyzer is the hotlint pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotlint",
+	Doc:  "flags heap allocations inside functions marked //ce:hot",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		idx := directive.NewIndex(pass.Fset, f, directive.AllocOK)
+		for _, d := range idx.Malformed() {
+			pass.Report(analysis.Diagnostic{
+				Pos:      d.Pos,
+				Category: "bad-hatch",
+				Message:  "//ce:alloc-ok requires a reason: //ce:alloc-ok <why this allocation is acceptable>",
+			})
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !directive.FuncMarked(fd, directive.Hot) {
+				continue
+			}
+			c := &checker{
+				pass:    pass,
+				idx:     idx,
+				fn:      fd,
+				parents: parentMap(fd.Body),
+			}
+			c.check()
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	idx     *directive.Index
+	fn      *ast.FuncDecl
+	parents map[ast.Node]ast.Node
+}
+
+// parentMap records the parent of every node under root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	m := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			m[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return m
+}
+
+func (c *checker) report(pos token.Pos, category, format string, args ...any) {
+	if _, ok := c.idx.Covering(pos); ok {
+		return
+	}
+	c.pass.Report(analysis.Diagnostic{
+		Pos:      pos,
+		Category: category,
+		Message:  fmt.Sprintf(format, args...) + " in //ce:hot function " + c.fn.Name.Name,
+	})
+}
+
+// check walks the function body flagging allocation sites.
+func (c *checker) check() {
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.CompositeLit:
+			if c.compositeEscapes(n) {
+				c.report(n.Pos(), "hot-composite", "escaping composite literal allocates")
+			}
+		case *ast.FuncLit:
+			if c.funcLitEscapes(n) {
+				c.report(n.Pos(), "hot-closure", "escaping func literal allocates its closure")
+			}
+			return true // still scan the body: nested allocations count
+		case *ast.GoStmt:
+			c.report(n.Pos(), "hot-go", "go statement allocates a goroutine stack")
+		case *ast.DeferStmt:
+			c.report(n.Pos(), "hot-defer", "defer allocates a deferred frame")
+		}
+		return true
+	})
+}
+
+// call flags make/new, fmt calls, and fresh-slice appends.
+func (c *checker) call(call *ast.CallExpr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch c.builtinName(fun) {
+		case "make":
+			c.report(call.Pos(), "hot-make", "make allocates")
+		case "new":
+			c.report(call.Pos(), "hot-new", "new allocates")
+		case "append":
+			c.appendCall(call)
+		}
+	case *ast.SelectorExpr:
+		if pkg := pkgNameOf(c.pass.TypesInfo, fun.X); pkg != nil && pkg.Imported().Path() == "fmt" {
+			c.report(call.Pos(), "hot-fmt", "fmt."+fun.Sel.Name+" boxes its arguments")
+		}
+	}
+}
+
+// builtinName returns the name of the builtin the identifier denotes, or
+// "" when it is shadowed or not a builtin.
+func (c *checker) builtinName(id *ast.Ident) string {
+	if obj, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+		return obj.Name()
+	}
+	return ""
+}
+
+// pkgNameOf resolves an expression to the package it names, if any.
+func pkgNameOf(info *types.Info, e ast.Expr) *types.PkgName {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, _ := info.Uses[id].(*types.PkgName)
+	return pn
+}
+
+// appendCall flags x = append(y, ...) when x and y are different
+// expressions: the result lands in a fresh slice that append must
+// allocate. Self-append (x = append(x, ...)) amortizes against capacity
+// reserved by a non-hot setup path and is the idiom the PR 3 loop uses.
+func (c *checker) appendCall(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	as, ok := c.parents[call].(*ast.AssignStmt)
+	if !ok {
+		// append whose result is not stored back: passed to a call,
+		// returned, discarded — always a fresh allocation on growth.
+		c.report(call.Pos(), "hot-append", "append into a fresh slice allocates")
+		return
+	}
+	// Find which RHS position this call occupies to pair it with its LHS.
+	lhsIdx := 0
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, r := range as.Rhs {
+			if ast.Unparen(r) == ast.Expr(call) {
+				lhsIdx = i
+				break
+			}
+		}
+	}
+	if lhsIdx >= len(as.Lhs) {
+		return
+	}
+	lhs := types.ExprString(ast.Unparen(as.Lhs[lhsIdx]))
+	arg := types.ExprString(ast.Unparen(call.Args[0]))
+	if lhs != arg {
+		c.report(call.Pos(), "hot-append", "append into a fresh slice allocates")
+	}
+}
+
+// compositeEscapes reports whether a composite literal is heap
+// allocated: its address is taken, or its immediate use converts it to
+// an interface type (boxing). Plain value uses are copies.
+func (c *checker) compositeEscapes(lit *ast.CompositeLit) bool {
+	var child ast.Node = lit
+	for {
+		parent := c.parents[child]
+		switch p := parent.(type) {
+		case *ast.ParenExpr:
+			child = p
+		case *ast.UnaryExpr:
+			// &T{...}: the pointer can outlive the frame; the PR 3 fast
+			// path has no legitimate &T{}, so flag conservatively.
+			return p.Op == token.AND
+		case *ast.CallExpr:
+			return c.boxedByCall(p, child)
+		case *ast.AssignStmt:
+			return c.boxedByAssign(p, child)
+		case *ast.ReturnStmt:
+			return c.boxedByReturn(p, child)
+		default:
+			// Nested literals, value specs, indexes, sends, ranges: the
+			// value is copied (or the outermost literal decides).
+			return false
+		}
+	}
+}
+
+// boxedByCall reports whether the argument lands in an interface-typed
+// parameter.
+func (c *checker) boxedByCall(call *ast.CallExpr, arg ast.Node) bool {
+	sig, ok := c.pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return false // conversion or builtin
+	}
+	idx := -1
+	for i, a := range call.Args {
+		if ast.Node(a) == arg {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	params := sig.Params()
+	var pt types.Type
+	switch {
+	case sig.Variadic() && idx >= params.Len()-1 && !call.Ellipsis.IsValid():
+		if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+			pt = sl.Elem()
+		}
+	case idx < params.Len():
+		pt = params.At(idx).Type()
+	}
+	return pt != nil && types.IsInterface(pt)
+}
+
+// boxedByAssign reports whether the assignment's destination for this
+// RHS is interface-typed.
+func (c *checker) boxedByAssign(as *ast.AssignStmt, rhs ast.Node) bool {
+	if len(as.Lhs) != len(as.Rhs) {
+		return false
+	}
+	for i, r := range as.Rhs {
+		if ast.Node(r) != rhs {
+			continue
+		}
+		if t := c.pass.TypesInfo.TypeOf(as.Lhs[i]); t != nil && types.IsInterface(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// boxedByReturn reports whether the returned composite lands in an
+// interface-typed result of the enclosing function (literal or declared).
+func (c *checker) boxedByReturn(ret *ast.ReturnStmt, res ast.Node) bool {
+	idx := -1
+	for i, r := range ret.Results {
+		if ast.Node(r) == res {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	ftype := c.fn.Type
+	for n := c.parents[ast.Node(ret)]; n != nil; n = c.parents[n] {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			ftype = fl.Type
+			break
+		}
+	}
+	if ftype.Results == nil {
+		return false
+	}
+	i := 0
+	for _, f := range ftype.Results.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for k := 0; k < n; k++ {
+			if i == idx {
+				t := c.pass.TypesInfo.TypeOf(f.Type)
+				return t != nil && types.IsInterface(t)
+			}
+			i++
+		}
+	}
+	return false
+}
+
+// funcLitEscapes decides whether a func literal's closure is heap
+// allocated. Allowed: called directly (func(){...}()), or bound via :=
+// to a local variable whose every use is a direct call.
+func (c *checker) funcLitEscapes(fl *ast.FuncLit) bool {
+	parent := c.parents[ast.Node(fl)]
+	if p, ok := parent.(*ast.ParenExpr); ok {
+		parent = c.parents[ast.Node(p)]
+	}
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		// Direct invocation keeps the frame on the stack; as an argument
+		// it escapes into the callee.
+		return ast.Unparen(p.Fun) != ast.Expr(fl)
+	case *ast.AssignStmt:
+		if p.Tok != token.DEFINE || len(p.Lhs) != len(p.Rhs) {
+			return true
+		}
+		for i, r := range p.Rhs {
+			if ast.Unparen(r) != ast.Expr(fl) {
+				continue
+			}
+			id, ok := ast.Unparen(p.Lhs[i]).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return true
+			}
+			obj := c.pass.TypesInfo.Defs[id]
+			if obj == nil {
+				return true
+			}
+			return !c.onlyCalled(obj)
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// onlyCalled reports whether every use of obj in the function body is as
+// the function operand of a direct call.
+func (c *checker) onlyCalled(obj types.Object) bool {
+	ok := true
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || c.pass.TypesInfo.Uses[id] != obj {
+			return true
+		}
+		call, isCall := c.parents[ast.Node(id)].(*ast.CallExpr)
+		if !isCall || ast.Unparen(call.Fun) != ast.Expr(id) {
+			ok = false
+		}
+		return true
+	})
+	return ok
+}

@@ -1,0 +1,12 @@
+package hotlint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/hotlint"
+)
+
+func TestHotlint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), hotlint.Analyzer, "hot")
+}

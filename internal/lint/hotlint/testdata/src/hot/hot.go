@@ -1,0 +1,144 @@
+// Package hot exercises every hotlint rule.
+package hot
+
+import "fmt"
+
+type entry struct{ a, b int }
+
+//ce:hot
+func badMake() {
+	s := make([]entry, 4) // want "make allocates"
+	_ = s
+}
+
+//ce:hot
+func badNew() *entry {
+	return new(entry) // want "new allocates"
+}
+
+//ce:hot
+func badPtrLit() *entry {
+	return &entry{a: 1} // want "escaping composite literal allocates"
+}
+
+// okLocal: a plain local composite is stack allocatable.
+//
+//ce:hot
+func okLocal() int {
+	v := entry{a: 1}
+	return v.a
+}
+
+//ce:hot
+func badArgLit(sink func(any)) {
+	sink(entry{a: 1}) // want "escaping composite literal allocates"
+}
+
+// okArgByValue: a concrete-typed parameter receives a copy, not a box.
+//
+//ce:hot
+func okArgByValue(sink func(entry)) {
+	sink(entry{a: 1})
+}
+
+//ce:hot
+func badIfaceAssign() {
+	var i any
+	i = entry{a: 1} // want "escaping composite literal allocates"
+	_ = i
+}
+
+//ce:hot
+func badIfaceReturn() any {
+	return entry{a: 1} // want "escaping composite literal allocates"
+}
+
+// okValueReturn: returning a struct by value copies it into the caller's
+// frame.
+//
+//ce:hot
+func okValueReturn() entry {
+	return entry{a: 1}
+}
+
+// okDerefStore: writing a composite through a pointer overwrites in
+// place (the uop pool reset idiom).
+//
+//ce:hot
+func okDerefStore(p *entry) {
+	*p = entry{a: 1}
+}
+
+//ce:hot
+func badFreshAppend(dst, src []entry) []entry {
+	dst = append(src, src[0]) // want "append into a fresh slice allocates"
+	return dst
+}
+
+// okSelfAppend amortizes against capacity reserved by setup code.
+//
+//ce:hot
+func okSelfAppend(dst []entry, e entry) []entry {
+	dst = append(dst, e)
+	return dst
+}
+
+//ce:hot
+func badLooseAppend(src []entry, sink func([]entry)) {
+	sink(append(src, src[0])) // want "append into a fresh slice allocates"
+}
+
+//ce:hot
+func badFmt(e entry) string {
+	return fmt.Sprintf("%d", e.a) // want "boxes its arguments"
+}
+
+// okClosure: a local closure that is only ever called directly stays on
+// the stack (the skipAhead `consider` pattern).
+//
+//ce:hot
+func okClosure(xs []entry) int {
+	total := 0
+	consider := func(e entry) {
+		total += e.a
+	}
+	for _, e := range xs {
+		consider(e)
+	}
+	return total
+}
+
+//ce:hot
+func badClosure(register func(func())) {
+	register(func() {}) // want "escaping func literal allocates its closure"
+}
+
+//ce:hot
+func badGo(f func()) {
+	go f() // want "go statement allocates a goroutine stack"
+}
+
+//ce:hot
+func badDefer(f func()) {
+	defer f() // want "defer allocates a deferred frame"
+}
+
+// okHatched: an annotated allocation with a reason passes.
+//
+//ce:hot
+func okHatched() *entry {
+	return &entry{} //ce:alloc-ok pool-miss path, amortized across the run
+}
+
+// badHatch: a reason-less hatch is flagged and suppresses nothing.
+//
+//ce:hot
+func badHatch() *entry {
+	/* want "requires a reason" */ //ce:alloc-ok
+	return &entry{} // want "escaping composite literal allocates"
+}
+
+// cold is unmarked: allocations are fine outside //ce:hot.
+func cold() []entry {
+	return make([]entry, 4)
+}

@@ -1,0 +1,352 @@
+// Package keylint statically enforces the memo-key contract: every
+// exported field of a struct marked //ce:keyed must either be referenced
+// inside the struct's Key() method (transitively through other methods of
+// the same type) or carry a //ce:timing-neutral annotation. A Config
+// field that is neither would silently let two behaviorally different
+// machines share a fingerprint, and the run cache would then serve the
+// wrong Stats — the exact failure mode pipeline.Config.Key's hand-written
+// mutation tests can only spot-check.
+//
+// Coverage is per-path: referencing c.DCache covers the whole DCache
+// struct, while referencing only s.FIFO.Depth covers FIFO.Depth and
+// leaves the sibling fields of FIFO to be individually referenced or
+// annotated (so a label field buried one level down, like
+// FIFOBankConfig.Name, still needs an explicit exemption).
+package keylint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+// Analyzer is the keylint pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "keylint",
+	Doc:  "verifies Key() of //ce:keyed structs covers every exported field",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	k := &checker{pass: pass, fieldDocs: make(map[types.Object]*ast.Field)}
+	k.indexFields()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if directive.InGroup(ts.Doc, directive.Keyed) ||
+					(len(gd.Specs) == 1 && directive.InGroup(gd.Doc, directive.Keyed)) {
+					k.checkKeyed(ts)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// fieldDocs maps a field object to its declaration, so annotations on
+	// fields of any struct in this package can be found.
+	fieldDocs map[types.Object]*ast.Field
+}
+
+// indexFields records every struct field declaration in the package.
+func (k *checker) indexFields() {
+	for _, f := range k.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if obj := k.pass.TypesInfo.Defs[name]; obj != nil {
+						k.fieldDocs[obj] = field
+					}
+				}
+				if len(field.Names) == 0 {
+					// Embedded field: key by the type's object if resolvable.
+					if id := embeddedIdent(field.Type); id != nil {
+						if obj := k.pass.TypesInfo.Defs[id]; obj != nil {
+							k.fieldDocs[obj] = field
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func embeddedIdent(e ast.Expr) *ast.Ident {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e
+	case *ast.StarExpr:
+		return embeddedIdent(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}
+
+// neutral reports whether the field declaration carries
+// //ce:timing-neutral (doc comment or trailing line comment).
+func (k *checker) neutral(field *ast.Field) bool {
+	return field != nil &&
+		(directive.InGroup(field.Doc, directive.TimingNeutral) ||
+			directive.InGroup(field.Comment, directive.TimingNeutral))
+}
+
+// checkKeyed verifies one //ce:keyed struct.
+func (k *checker) checkKeyed(ts *ast.TypeSpec) {
+	obj := k.pass.TypesInfo.Defs[ts.Name]
+	if obj == nil {
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		k.pass.Reportf(ts.Pos(), "//ce:keyed on non-named type %s", ts.Name.Name)
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		k.pass.Reportf(ts.Pos(), "//ce:keyed type %s is not a struct", ts.Name.Name)
+		return
+	}
+	keyFn := k.methodDecl(named, "Key")
+	if keyFn == nil {
+		k.pass.Report(analysis.Diagnostic{
+			Pos:      ts.Pos(),
+			Category: "no-key",
+			Message:  fmt.Sprintf("//ce:keyed type %s has no Key() method in this package", ts.Name.Name),
+		})
+		return
+	}
+	cov := newCoverage()
+	k.collect(named, keyFn, nil, cov, make(map[*ast.FuncDecl]bool))
+	k.checkStruct(ts.Name.Name, named, st, nil, cov, nil)
+}
+
+// coverage is the set of receiver-rooted selector paths referenced inside
+// Key (and the same-type methods it calls). A path is joined with '.'.
+// whole marks paths referenced in full (the entire value observed).
+type coverage struct {
+	whole map[string]bool // "DCache" — whole value referenced
+	paths map[string]bool // every recorded path, including prefixes
+}
+
+func newCoverage() *coverage {
+	return &coverage{whole: make(map[string]bool), paths: make(map[string]bool)}
+}
+
+func (c *coverage) add(path []string, whole bool) {
+	joined := strings.Join(path, ".")
+	c.paths[joined] = true
+	if whole {
+		c.whole[joined] = true
+	}
+	for i := 1; i < len(path); i++ {
+		c.paths[strings.Join(path[:i], ".")] = true
+	}
+}
+
+// hasPrefix reports whether any recorded path extends the given prefix.
+func (c *coverage) hasPrefix(path []string) bool {
+	return c.paths[strings.Join(path, ".")]
+}
+
+// methodDecl finds the FuncDecl of the named method on the given type in
+// this package (value or pointer receiver).
+func (k *checker) methodDecl(named *types.Named, name string) *ast.FuncDecl {
+	for _, f := range k.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != name || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			if k.recvNamed(fd) == named.Obj() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// recvNamed resolves a method declaration's receiver to its type object.
+func (k *checker) recvNamed(fd *ast.FuncDecl) types.Object {
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.ParenExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			obj := k.pass.TypesInfo.Uses[tt]
+			return obj
+		default:
+			return nil
+		}
+	}
+}
+
+// collect walks one method body recording receiver-rooted field paths.
+// It recurses into calls of other methods of the same type.
+func (k *checker) collect(named *types.Named, fd *ast.FuncDecl, _ []string, cov *coverage, visited map[*ast.FuncDecl]bool) {
+	if visited[fd] {
+		return
+	}
+	visited[fd] = true
+	if len(fd.Recv.List[0].Names) == 0 {
+		return // receiver unnamed: body cannot reference fields
+	}
+	recvObj := k.pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+	if recvObj == nil {
+		return
+	}
+	info := k.pass.TypesInfo
+
+	// pathOf resolves an expression to a receiver-rooted field path.
+	var pathOf func(e ast.Expr) ([]string, bool)
+	pathOf = func(e ast.Expr) ([]string, bool) {
+		switch e := e.(type) {
+		case *ast.Ident:
+			if info.Uses[e] == recvObj {
+				return []string{}, true
+			}
+		case *ast.SelectorExpr:
+			if base, ok := pathOf(e.X); ok {
+				// Field or method selection on the receiver chain.
+				return append(base, e.Sel.Name), true
+			}
+		case *ast.ParenExpr:
+			return pathOf(e.X)
+		case *ast.StarExpr:
+			return pathOf(e.X)
+		}
+		return nil, false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// c.helper() — recurse into same-type methods; their bodies
+			// contribute coverage too (predictorKey reads c.Predictor).
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if base, ok := pathOf(sel.X); ok && len(base) == 0 {
+					if callee := k.methodDecl(named, sel.Sel.Name); callee != nil {
+						k.collect(named, callee, nil, cov, visited)
+						return true // arguments still scanned below via children
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if path, ok := pathOf(n); ok && len(path) > 0 {
+				// Selection could be a method value (c.Key in tests) — only
+				// record field selections.
+				if sel, isField := info.Selections[n]; !isField || sel.Kind() == types.FieldVal {
+					cov.add(path, true)
+				}
+				return false // the inner chain is already recorded
+			}
+		case *ast.Ident:
+			if info.Uses[n] == recvObj {
+				// Bare receiver use (passed whole somewhere): everything is
+				// observable.
+				cov.add([]string{}, true)
+				cov.whole[""] = true
+			}
+		}
+		return true
+	})
+}
+
+// checkStruct verifies each exported field at path prefix is covered.
+// anchor is the nearest enclosing field declaration in the analyzed
+// package, used to position findings about foreign-package subfields
+// (the fix — referencing or restructuring — belongs at that field).
+func (k *checker) checkStruct(typeName string, named *types.Named, st *types.Struct, prefix []string, cov *coverage, anchor *ast.Field) {
+	if cov.whole[""] {
+		return // receiver escaped whole; every field observable
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		path := append(append([]string{}, prefix...), f.Name())
+		joined := strings.Join(path, ".")
+		field := k.fieldDocs[f]
+		switch {
+		case cov.whole[joined]:
+			// Referenced in full.
+		case k.neutral(field):
+			// Annotated //ce:timing-neutral.
+		case cov.hasPrefix(path):
+			// Partially referenced: recurse into struct fields so
+			// unreferenced siblings are still caught.
+			if sub, ok := structUnder(f.Type()); ok {
+				next := anchor
+				if field != nil {
+					next = field
+				}
+				k.checkStruct(typeName, named, sub, path, cov, next)
+			}
+		default:
+			k.reportField(typeName, f, field, anchor, joined)
+		}
+	}
+}
+
+// structUnder unwraps pointers and names to a struct type.
+func structUnder(t types.Type) (*types.Struct, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+func (k *checker) reportField(typeName string, f *types.Var, field, anchor *ast.Field, path string) {
+	pos := f.Pos()
+	if field == nil && anchor != nil {
+		// Foreign-package subfield: anchor the finding at the in-package
+		// field that carries the foreign type.
+		pos = anchor.Pos()
+	}
+	d := analysis.Diagnostic{
+		Pos:      pos,
+		Category: "unkeyed-field",
+		Message: fmt.Sprintf(
+			"%s.%s is exported but neither referenced in %s.Key() nor marked //ce:timing-neutral — a run-cache key collision waiting to happen",
+			typeName, path, typeName),
+	}
+	// Cheap suggested fix: annotate the field (the alternative — wiring it
+	// into Key — needs a human to decide the encoding).
+	if field != nil && f.Pkg() == k.pass.Pkg {
+		d.SuggestedFixes = []analysis.SuggestedFix{{
+			Message: "mark the field timing-neutral",
+			TextEdits: []analysis.TextEdit{{
+				Pos:     field.End(),
+				End:     field.End(),
+				NewText: []byte(" //ce:timing-neutral"),
+			}},
+		}}
+	}
+	k.pass.Report(d)
+}

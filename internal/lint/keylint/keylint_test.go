@@ -1,0 +1,34 @@
+package keylint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/keylint"
+)
+
+func TestKeylint(t *testing.T) {
+	diags := analysistest.Run(t, analysistest.TestData(t), keylint.Analyzer, "keyed")
+	// The unkeyed-field findings must carry the annotate-the-field
+	// suggested fix when the field is declared in the analyzed package.
+	var withFix, withoutFix int
+	for _, d := range diags["keyed"] {
+		if d.Category != "unkeyed-field" {
+			continue
+		}
+		if len(d.SuggestedFixes) > 0 {
+			fix := d.SuggestedFixes[0]
+			if len(fix.TextEdits) != 1 || !strings.Contains(string(fix.TextEdits[0].NewText), "//ce:timing-neutral") {
+				t.Errorf("unexpected suggested fix for %s: %+v", d.Message, fix)
+			}
+			withFix++
+		} else {
+			withoutFix++
+		}
+	}
+	// Trace and FIFO.Label are in-package (fixable); Ext.B is foreign.
+	if withFix != 2 || withoutFix != 1 {
+		t.Errorf("suggested-fix split = %d fixable / %d not, want 2 / 1", withFix, withoutFix)
+	}
+}

@@ -1,0 +1,53 @@
+// Package keyed exercises keylint: coverage through helper methods,
+// nested same-package structs, cross-package field types, annotations,
+// and the missing-Key case.
+package keyed
+
+import (
+	"fmt"
+
+	"keyedext"
+)
+
+// Config covers the happy and sad paths.
+//
+//ce:keyed
+type Config struct {
+	Width  int
+	Name   string //ce:timing-neutral
+	Trace  bool   // want "Config.Trace is exported but neither referenced"
+	Mem    MemCfg
+	FIFO   FIFOCfg
+	Ext    keyedext.Ext // want "Config.Ext.B is exported but neither referenced"
+	Whole  keyedext.Ext2
+	hidden int
+}
+
+// MemCfg is wholly covered by the c.Mem reference in Key.
+type MemCfg struct {
+	Lines int
+	Ways  int
+}
+
+// FIFOCfg is only partially referenced (Depth, via the fifoKey helper):
+// the sibling Label must be annotated or referenced, and is neither.
+type FIFOCfg struct {
+	Depth int
+	Label string // want "Config.FIFO.Label is exported but neither referenced"
+}
+
+// Key fingerprints the timing-relevant fields.
+func (c *Config) Key() string {
+	return fmt.Sprint(c.Width, c.Mem, c.fifoKey(), c.Ext.A, c.Whole)
+}
+
+func (c *Config) fifoKey() string {
+	return fmt.Sprint(c.FIFO.Depth)
+}
+
+// Orphan has the marker but no Key method.
+//
+//ce:keyed
+type Orphan struct { // want "Orphan has no Key"
+	X int
+}

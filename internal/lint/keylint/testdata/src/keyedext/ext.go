@@ -1,0 +1,17 @@
+// Package keyedext provides cross-package field types for keylint's
+// multi-package resolution test. Findings about these fields are
+// reported at the referencing field in the keyed package, since the fix
+// belongs there.
+package keyedext
+
+// Ext is partially referenced from keyed.Config.Key (only A).
+type Ext struct {
+	A int
+	B int
+}
+
+// Ext2 is referenced whole.
+type Ext2 struct {
+	A int
+	B int
+}

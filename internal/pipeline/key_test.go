@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/bpred"
@@ -41,6 +42,12 @@ func TestKeyIgnoresLabels(t *testing.T) {
 	}
 }
 
+// TestKeySeparatesBehavior spot-checks that representative behavioral
+// mutations each change the fingerprint. The table is illustrative, not
+// exhaustive — the authoritative coverage check is keylint (cmd/celint),
+// which statically verifies every exported Config field is referenced in
+// Key() or explicitly marked //ce:timing-neutral, so a new field cannot
+// silently alias two different machines in the run cache.
 func TestKeySeparatesBehavior(t *testing.T) {
 	base := specCfg("base", core.WindowSpec(64))
 	baseKey, _ := base.Key()
@@ -63,9 +70,14 @@ func TestKeySeparatesBehavior(t *testing.T) {
 		"icache":         func(c *Config) { c.ICache = &cache.Config{SizeBytes: 16 << 10, Ways: 2, LineBytes: 32, HitCycles: 1, MissCycles: 6} },
 		"frontend depth": func(c *Config) { c.FrontEndDepth = 4 },
 	}
-	for name, mutate := range mutations {
+	names := make([]string, 0, len(mutations))
+	for name := range mutations {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		c := specCfg("mut", core.WindowSpec(64))
-		mutate(&c)
+		mutations[name](&c)
 		k, ok := c.Key()
 		if !ok {
 			t.Errorf("%s: mutated config not fingerprintable", name)

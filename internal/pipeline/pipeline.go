@@ -10,6 +10,12 @@
 // the functional emulator supplies resolved dynamic instructions, branch
 // predictions are checked against actual outcomes, and a misprediction
 // stalls fetch until the branch executes (no wrong-path execution).
+//
+// The package is bit-deterministic: identical configurations produce
+// identical Stats on every run, which the run cache and the differential
+// fuzzing harness both rely on. Enforced by detlint (cmd/celint).
+//
+//ce:deterministic
 package pipeline
 
 import (
@@ -29,9 +35,15 @@ import (
 )
 
 // Config describes one machine organization.
+//
+// Every exported field must either feed Key() or carry a
+// //ce:timing-neutral annotation, so the run cache can never serve stats
+// from a behaviorally different machine. Enforced by keylint.
+//
+//ce:keyed
 type Config struct {
 	// Name labels the configuration in reports.
-	Name string
+	Name string //ce:timing-neutral
 	// FetchWidth is instructions fetched per cycle ("any 8 instructions"
 	// in Table 3 — fetch may span taken branches).
 	FetchWidth int
@@ -90,13 +102,16 @@ type Config struct {
 	// across taken branches; this models a conventional fetch unit).
 	FetchBreakOnTaken bool
 	// RecordTimeline captures a per-instruction pipeline timeline
-	// (retrievable via Timeline) — intended for small programs.
-	RecordTimeline bool
+	// (retrievable via Timeline) — intended for small programs. Pure
+	// observation: cycle-for-cycle timing is unchanged, so it is excluded
+	// from Key (cached Stats stay valid either way).
+	RecordTimeline bool //ce:timing-neutral
 	// CheckInvariants arms the cycle-level invariant checker (see
 	// invariants.go): Run fails on the first violated pipeline invariant.
 	// A verification instrument for tests and the differential harness —
 	// it adds per-cycle ROB scans, so it stays off outside of them.
-	CheckInvariants bool
+	// Observational only, like RecordTimeline: excluded from Key.
+	CheckInvariants bool //ce:timing-neutral
 	// NoCycleSkip disables idle-cycle skipping (the event-driven fast
 	// path that jumps over cycles on which commit, issue, dispatch and
 	// fetch are all provably blocked). Skipping is timing-neutral — the
@@ -391,9 +406,9 @@ func (s *Simulator) Run(maxCycles int64) (Stats, error) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	startAllocs := ms.Mallocs
-	startWall := time.Now()
+	startWall := time.Now() //ce:nondet-ok host-performance telemetry (HostWallSeconds), not simulated time
 	err := s.run(maxCycles)
-	s.stats.HostWallSeconds = time.Since(startWall).Seconds()
+	s.stats.HostWallSeconds = time.Since(startWall).Seconds() //ce:nondet-ok host-performance telemetry, not simulated time
 	runtime.ReadMemStats(&ms)
 	s.stats.HostAllocs = ms.Mallocs - startAllocs
 	if err != nil {
@@ -437,6 +452,8 @@ func (s *Simulator) done() bool {
 // step advances one clock cycle. Stage order within the cycle — commit,
 // issue, dispatch, fetch — gives dispatch→issue and fetch→dispatch the
 // one-cycle latencies of the Figure 1 pipeline.
+//
+//ce:hot
 func (s *Simulator) step() error {
 	if s.fast {
 		s.skipAhead()
@@ -471,6 +488,8 @@ func (s *Simulator) step() error {
 // decoded, fetch is stalled — so jumping over them is timing-neutral; the
 // differential harness asserts cycle counts are identical with skipping
 // on and off. Conservatism is always safe: when in doubt, don't skip.
+//
+//ce:hot
 func (s *Simulator) skipAhead() {
 	next := int64(math.MaxInt64)
 	consider := func(c int64) {
@@ -555,6 +574,8 @@ func (s *Simulator) skipAhead() {
 }
 
 // commit retires completed instructions in program order.
+//
+//ce:hot
 func (s *Simulator) commit() {
 	n := 0
 	for n < s.cfg.RetireWidth && s.rob.Len() > 0 {
@@ -584,7 +605,7 @@ func (s *Simulator) commit() {
 			s.stats.InterClusterUops++
 		}
 		if s.cfg.RecordTimeline {
-			s.timeline = append(s.timeline, TimelineEntry{
+			s.timeline = append(s.timeline, TimelineEntry{ //ce:alloc-ok timeline recording is off on measured runs
 				Seq:      u.Seq,
 				PC:       u.Rec.PC,
 				Inst:     u.Rec.Inst,
@@ -698,6 +719,8 @@ func (s *Simulator) bypassExtra(from, to int) int64 {
 // issue performs wakeup+select: the scheduler offers candidates in
 // priority order and the pipeline issues those whose operands and
 // resources are available.
+//
+//ce:hot
 func (s *Simulator) issue() {
 	// Memory disambiguation horizon: a load may issue only if every older
 	// store has issued (its address is then known).
@@ -723,6 +746,8 @@ func (s *Simulator) issue() {
 // (width, ports, store horizon, functional units, operand readiness) and
 // performs the issue when they pass. Rejection has no side effects, so
 // the scheduler may offer any superset of the issuable candidates.
+//
+//ce:hot
 func (s *Simulator) tryIssue(u *core.Uop) bool {
 	if s.issuedCount >= s.cfg.IssueWidth {
 		return false
@@ -795,6 +820,8 @@ func (s *Simulator) tryIssue(u *core.Uop) bool {
 
 // operandsReady reports whether every source of u is consumable in
 // cluster c this cycle.
+//
+//ce:hot
 func (s *Simulator) operandsReady(u *core.Uop, c int) bool {
 	for _, p := range u.PhysSrcs {
 		if p >= 0 && s.regReady[c][p] > s.cycle {
@@ -806,6 +833,8 @@ func (s *Simulator) operandsReady(u *core.Uop, c int) bool {
 
 // pickCluster implements execution-driven steering (Section 5.6.1):
 // clusters are tried in static order, so ties go to cluster 0.
+//
+//ce:hot
 func (s *Simulator) pickCluster(u *core.Uop, fuUsed []int) int {
 	for c := 0; c < s.cfg.Clusters; c++ {
 		if fuUsed[c] < s.cfg.FUsPerCluster && s.operandsReady(u, c) {
@@ -818,6 +847,8 @@ func (s *Simulator) pickCluster(u *core.Uop, fuUsed []int) int {
 // noteBypasses records whether u consumed any operand over an
 // inter-cluster bypass path: the producer ran in another cluster and the
 // value had not yet been written into this cluster's register file.
+//
+//ce:hot
 func (s *Simulator) noteBypasses(u *core.Uop, c int) {
 	for _, p := range u.PhysSrcs {
 		if p < 0 {
@@ -838,6 +869,8 @@ func (s *Simulator) noteBypasses(u *core.Uop, c int) {
 // forwardingStore reports whether an older in-flight store writes the
 // load's word. The load's issue is already gated on all older store
 // addresses being known, so the in-order ROB scan is sound.
+//
+//ce:hot
 func (s *Simulator) forwardingStore(load *core.Uop) bool {
 	word := load.Rec.Addr >> 2
 	for i := s.rob.Len() - 1; i >= 0; i-- {
@@ -853,6 +886,8 @@ func (s *Simulator) forwardingStore(load *core.Uop) bool {
 }
 
 // dispatch renames and inserts fetched instructions into the scheduler.
+//
+//ce:hot
 func (s *Simulator) dispatch() error {
 	for n := 0; n < s.cfg.DecodeWidth && s.fetchQ.Len() > 0; n++ {
 		u := s.fetchQ.Front()
@@ -916,6 +951,8 @@ func (s *Simulator) dispatch() error {
 }
 
 // minRegReady returns the earliest cycle any cluster can consume p.
+//
+//ce:hot
 func (s *Simulator) minRegReady(p int16) int64 {
 	m := s.regReady[0][p]
 	for k := 1; k < len(s.regReady); k++ {
@@ -930,6 +967,8 @@ func (s *Simulator) minRegReady(p int16) int64 {
 // mispredicted conditional branch until the branch executes (trace-driven
 // misprediction model: the wrong path is not executed, its fetch slots are
 // simply lost).
+//
+//ce:hot
 func (s *Simulator) fetch() error {
 	if s.redirect != nil {
 		if !s.redirect.Issued || s.cycle < s.redirect.CompleteCycle {
@@ -971,7 +1010,7 @@ func (s *Simulator) fetch() error {
 				s.wrongPathDone = true
 				return nil
 			}
-			return fmt.Errorf("pipeline: %s/%s: functional emulation: %w", s.cfg.Name, s.stats.Workload, err)
+			return fmt.Errorf("pipeline: %s/%s: functional emulation: %w", s.cfg.Name, s.stats.Workload, err) //ce:alloc-ok fatal path, run is over
 		}
 		u := s.pool.Get()
 		u.Seq = s.seq

@@ -3,6 +3,8 @@
 // reorder buffer, unissued-store queue) in ring buffers so that head pops
 // are O(1) and — unlike reslicing a Go slice — do not leave dead elements
 // reachable through the backing array.
+//
+//ce:deterministic
 package ring
 
 // Buffer is a growable ring buffer. The zero value is an empty buffer
@@ -16,9 +18,14 @@ type Buffer[T any] struct {
 }
 
 // Len reports the number of buffered elements.
+//
+//ce:hot
 func (b *Buffer[T]) Len() int { return b.n }
 
-// PushBack appends v at the tail.
+// PushBack appends v at the tail. Steady-state pushes reuse capacity;
+// growth is a doubling event amortized to zero.
+//
+//ce:hot
 func (b *Buffer[T]) PushBack(v T) {
 	if b.n == len(b.buf) {
 		b.grow()
@@ -29,6 +36,8 @@ func (b *Buffer[T]) PushBack(v T) {
 
 // PopFront removes and returns the head element; it panics on an empty
 // buffer.
+//
+//ce:hot
 func (b *Buffer[T]) PopFront() T {
 	if b.n == 0 {
 		panic("ring: PopFront on empty buffer")
@@ -43,6 +52,8 @@ func (b *Buffer[T]) PopFront() T {
 
 // PopBack removes and returns the tail element; it panics on an empty
 // buffer.
+//
+//ce:hot
 func (b *Buffer[T]) PopBack() T {
 	if b.n == 0 {
 		panic("ring: PopBack on empty buffer")
@@ -57,6 +68,8 @@ func (b *Buffer[T]) PopBack() T {
 
 // Front returns the head element without removing it; it panics on an
 // empty buffer.
+//
+//ce:hot
 func (b *Buffer[T]) Front() T {
 	if b.n == 0 {
 		panic("ring: Front on empty buffer")
@@ -66,6 +79,8 @@ func (b *Buffer[T]) Front() T {
 
 // Back returns the tail element without removing it; it panics on an
 // empty buffer.
+//
+//ce:hot
 func (b *Buffer[T]) Back() T {
 	if b.n == 0 {
 		panic("ring: Back on empty buffer")
@@ -75,6 +90,8 @@ func (b *Buffer[T]) Back() T {
 
 // At returns the element i positions from the head (At(0) == Front()); it
 // panics when i is out of range.
+//
+//ce:hot
 func (b *Buffer[T]) At(i int) T {
 	if i < 0 || i >= b.n {
 		panic("ring: At index out of range")

@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"repro/internal/canonjson"
 	"repro/internal/pipeline"
 )
 
@@ -189,7 +190,9 @@ func (c *Cache) loadDisk(dir, key string) (pipeline.Stats, bool) {
 }
 
 func (c *Cache) saveDisk(dir, key string, st pipeline.Stats) {
-	data, err := json.MarshalIndent(diskEntry{Key: key, Stats: st}, "", "\t")
+	// Canonical bytes: two processes caching the same result write
+	// byte-identical files, so racing renames are harmless.
+	data, err := canonjson.Marshal(diskEntry{Key: key, Stats: st})
 	if err != nil {
 		return
 	}

@@ -10,7 +10,10 @@
 // every program both ways, and reports the first divergence. Every
 // panel run also has the cycle-level invariant checker armed
 // (pipeline.Config.CheckInvariants), so a run that commits the right
-// results the wrong way still fails.
+// results the wrong way still fails. Panel selection is seeded, so the
+// whole cross-check is reproducible run to run.
+//
+//ce:deterministic
 package verify
 
 import (
