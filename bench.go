@@ -24,6 +24,56 @@ type PipelineBenchResult struct {
 	AllocsPerCycle float64 `json:"allocs_per_cycle"`
 }
 
+// SweepBenchResult is the whole-sweep simulator-performance record
+// written to BENCH_sweep.json by `cesweep -bench-json` when a sweep ran
+// in the same invocation: how long regenerating the results took, how
+// many fresh simulations that was, and how much functional execution the
+// engine's trace pool replaced with replay.
+type SweepBenchResult struct {
+	// WallSeconds is the host time from the first sweep selection to the
+	// last, and Sims the number of fresh simulations performed in it
+	// (cache hits and coalesced duplicates excluded).
+	WallSeconds float64 `json:"wall_seconds"`
+	Sims        int     `json:"sims"`
+	SimsPerSec  float64 `json:"sims_per_sec"`
+	// Replay reports whether trace replay was enabled for the sweep.
+	Replay bool `json:"replay"`
+	// Trace is the trace pool's activity: workloads captured versus
+	// loaded from disk, runs by drive mode, one-time capture cost, and
+	// dynamic instructions functionally executed versus replayed.
+	Trace TraceStats `json:"trace"`
+}
+
+// SweepBench summarizes a finished sweep on eng, timed by the caller.
+func SweepBench(eng *Engine, wallSeconds float64) SweepBenchResult {
+	sims := 0
+	for _, m := range eng.Metrics() {
+		if !m.Cached {
+			sims++
+		}
+	}
+	r := SweepBenchResult{
+		WallSeconds: wallSeconds,
+		Sims:        sims,
+		Replay:      eng.TraceReplay(),
+		Trace:       eng.TraceStats(),
+	}
+	if wallSeconds > 0 {
+		r.SimsPerSec = float64(sims) / wallSeconds
+	}
+	return r
+}
+
+// WriteSweepBenchJSON writes res to path as canonical indented JSON (the
+// BENCH_sweep.json emitter behind `cesweep -bench-json`).
+func WriteSweepBenchJSON(path string, res SweepBenchResult) error {
+	data, err := canonjson.Marshal(res)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
 // PipelineBenchConfigs returns the differential-verification panel with
 // its instruments (invariant checker, timeline recording) stripped, so
 // the production fast path — event-driven wakeup plus idle-cycle

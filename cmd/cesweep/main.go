@@ -16,14 +16,27 @@
 // pair revisited by several figures is simulated once per process.
 // Observability flags:
 //
-//	-v                  per-run progress and cache statistics on stderr
+//	-v                  per-run progress, cache and trace-pool statistics
+//	                    on stderr
 //	-metrics-json FILE  dump per-run metrics and cache counters as JSON
+//	-metrics-det FILE   dump only the deterministic metrics (stable order,
+//	                    host timings scrubbed) — byte-identical across
+//	                    runs, machines and drive modes
 //	-cache-dir DIR      persist run results on disk across invocations
+//
+// Each workload is executed once per process and every simulation is
+// driven from the shared captured trace (replay); results are identical
+// to lockstep execution, which remains available:
+//
+//	-trace-dir DIR      persist captured traces on disk across invocations
+//	-no-trace-replay    drive every simulation by lockstep execution
 //
 // Host-performance flags for working on the simulator itself:
 //
 //	-bench-json FILE    benchmark the simulator on every verification-panel
-//	                    configuration and write BENCH_pipeline.json
+//	                    configuration and write BENCH_pipeline.json; if a
+//	                    sweep ran too, write its wall time, sims/sec and
+//	                    executed-versus-replayed balance to BENCH_sweep.json
 //	-cpuprofile FILE    write a CPU profile of the sweep
 //	-memprofile FILE    write a heap profile taken after the sweep
 package main
@@ -32,8 +45,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"time"
 
 	"repro"
 	"repro/internal/canonjson"
@@ -41,22 +57,25 @@ import (
 )
 
 var (
-	figure    = flag.Int("fig", 0, "figure to regenerate: 13, 15 or 17")
-	speedup   = flag.Bool("speedup", false, "print the Section 5.5 speedup estimate")
-	tradeoff  = flag.Bool("tradeoff", false, "print the window-size trade-off (extension)")
-	ablations = flag.Bool("ablations", false, "run the steering/geometry/latency/predictor/atomicity ablations (extensions)")
-	micro     = flag.Bool("micro", false, "run the microbenchmark characterization (extension)")
-	frontier  = flag.Bool("frontier", false, "rank design points by IPC x estimated clock (extension)")
-	profiles  = flag.Bool("profiles", false, "print dynamic workload profiles (extension)")
-	all       = flag.Bool("all", false, "regenerate every simulation result")
-	csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	verbose   = flag.Bool("v", false, "print per-run progress and cache statistics to stderr")
-	metrics   = flag.String("metrics-json", "", "write per-run metrics and cache statistics to this file as JSON")
-	cacheDir  = flag.String("cache-dir", "", "persist simulation results as JSON under this directory")
-	benchJSON = flag.String("bench-json", "", "benchmark the simulator per panel config and write results to this file")
-	benchWork = flag.String("bench-workload", "compress", "workload for -bench-json")
-	cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
-	memprof   = flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
+	figure     = flag.Int("fig", 0, "figure to regenerate: 13, 15 or 17")
+	speedup    = flag.Bool("speedup", false, "print the Section 5.5 speedup estimate")
+	tradeoff   = flag.Bool("tradeoff", false, "print the window-size trade-off (extension)")
+	ablations  = flag.Bool("ablations", false, "run the steering/geometry/latency/predictor/atomicity ablations (extensions)")
+	micro      = flag.Bool("micro", false, "run the microbenchmark characterization (extension)")
+	frontier   = flag.Bool("frontier", false, "rank design points by IPC x estimated clock (extension)")
+	profiles   = flag.Bool("profiles", false, "print dynamic workload profiles (extension)")
+	all        = flag.Bool("all", false, "regenerate every simulation result")
+	csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	verbose    = flag.Bool("v", false, "print per-run progress and cache statistics to stderr")
+	metrics    = flag.String("metrics-json", "", "write per-run metrics and cache statistics to this file as JSON")
+	metricsDet = flag.String("metrics-det", "", "write deterministic per-run metrics (stable order, host timings scrubbed) to this file as JSON")
+	cacheDir   = flag.String("cache-dir", "", "persist simulation results as JSON under this directory")
+	traceDir   = flag.String("trace-dir", "", "persist captured execution traces under this directory")
+	noReplay   = flag.Bool("no-trace-replay", false, "drive every simulation by lockstep execution instead of shared trace replay")
+	benchJSON  = flag.String("bench-json", "", "benchmark the simulator per panel config and write results to this file")
+	benchWork  = flag.String("bench-workload", "compress", "workload for -bench-json")
+	cpuprof    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprof    = flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 )
 
 func main() {
@@ -121,9 +140,18 @@ func setupObservability() (func() error, error) {
 			return nil, err
 		}
 	}
-	if *metrics != "" {
+	if *traceDir != "" {
+		if err := eng.SetTraceDir(*traceDir); err != nil {
+			return nil, err
+		}
+	}
+	eng.SetTraceReplay(!*noReplay)
+	for _, path := range []string{*metrics, *metricsDet} {
+		if path == "" {
+			continue
+		}
 		// Fail on an unwritable path now, not after minutes of simulation.
-		f, err := os.OpenFile(*metrics, os.O_WRONLY|os.O_CREATE, 0o644)
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
 		if err != nil {
 			return nil, err
 		}
@@ -146,21 +174,91 @@ func setupObservability() (func() error, error) {
 			fmt.Fprintf(os.Stderr,
 				"cesweep: cache: %d lookups — %d hits, %d coalesced, %d disk hits, %d misses (%d uncacheable); %d simulator runs saved\n",
 				cs.Lookups(), cs.Hits, cs.Coalesced, cs.DiskHits, cs.Misses, cs.Uncacheable, cs.Saved())
+			ts := eng.TraceStats()
+			fmt.Fprintf(os.Stderr,
+				"cesweep: traces: %d captured, %d loaded from disk; %d replay runs, %d lockstep runs; %d steps executed, %d replayed\n",
+				ts.Captures, ts.DiskHits, ts.ReplayRuns, ts.LockstepRuns, ts.StepsExecuted, ts.StepsReplayed)
 		}
-		if *metrics == "" {
-			return nil
+		if *metrics != "" {
+			dump := struct {
+				Runs  []ce.RunMetrics `json:"runs"`
+				Cache ce.CacheStats   `json:"cache"`
+			}{Runs: eng.Metrics(), Cache: cs}
+			data, err := canonjson.Marshal(dump)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*metrics, data, 0o644); err != nil {
+				return err
+			}
 		}
-		dump := struct {
-			Runs  []ce.RunMetrics `json:"runs"`
-			Cache ce.CacheStats   `json:"cache"`
-		}{Runs: eng.Metrics(), Cache: cs}
-		data, err := canonjson.Marshal(dump)
-		if err != nil {
-			return err
+		if *metricsDet != "" {
+			if err := writeDetMetrics(*metricsDet, eng); err != nil {
+				return err
+			}
 		}
-		return os.WriteFile(*metrics, data, 0o644)
+		return nil
 	}
 	return finish, nil
+}
+
+// writeDetMetrics dumps only the deterministic slice of the run metrics:
+// simulated results in a stable order, with host timings, allocation
+// counts and drive-mode fields scrubbed, and the racy memory-hit versus
+// coalesced split merged. Two invocations over the same selections —
+// different machines, different parallelism, lockstep or replay drive —
+// produce byte-identical files, which is what CI diffs to pin that
+// replay changes how fast results are computed, never the results.
+func writeDetMetrics(path string, eng *ce.Engine) error {
+	type detRun struct {
+		Config    string  `json:"config"`
+		Workload  string  `json:"workload"`
+		Cycles    int64   `json:"cycles"`
+		Committed uint64  `json:"committed"`
+		EmuSteps  uint64  `json:"emu_steps"`
+		IPC       float64 `json:"ipc"`
+	}
+	runs := eng.Metrics()
+	det := make([]detRun, len(runs))
+	for i, m := range runs {
+		det[i] = detRun{
+			Config:    m.Config,
+			Workload:  m.Workload,
+			Cycles:    m.Cycles,
+			Committed: m.Committed,
+			EmuSteps:  m.EmuSteps,
+			IPC:       m.IPC,
+		}
+	}
+	sort.Slice(det, func(i, j int) bool {
+		if det[i].Config != det[j].Config {
+			return det[i].Config < det[j].Config
+		}
+		return det[i].Workload < det[j].Workload
+	})
+	cs := eng.CacheStats()
+	dump := struct {
+		Runs  []detRun `json:"runs"`
+		Cache struct {
+			Lookups     uint64 `json:"lookups"`
+			Hits        uint64 `json:"hits"`
+			DiskHits    uint64 `json:"disk_hits"`
+			Misses      uint64 `json:"misses"`
+			Uncacheable uint64 `json:"uncacheable"`
+		} `json:"cache"`
+	}{Runs: det}
+	dump.Cache.Lookups = cs.Lookups()
+	// Whether a duplicate pair found its twin finished (hit) or still in
+	// flight (coalesced) depends on goroutine scheduling; the sum does not.
+	dump.Cache.Hits = cs.Hits + cs.Coalesced
+	dump.Cache.DiskHits = cs.DiskHits
+	dump.Cache.Misses = cs.Misses
+	dump.Cache.Uncacheable = cs.Uncacheable
+	data, err := canonjson.Marshal(dump)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func emit(t *report.Table) {
@@ -185,6 +283,7 @@ func run() (err error) {
 		}
 	}()
 	ran := false
+	sweepStart := time.Now()
 	if *figure == 13 || *all {
 		ran = true
 		cmp, err := ce.Figure13()
@@ -264,6 +363,7 @@ func run() (err error) {
 		}
 		emit(tbl)
 	}
+	sweepRan, sweepWall := ran, time.Since(sweepStart).Seconds()
 	if *benchJSON != "" {
 		ran = true
 		res, err := ce.WriteBenchJSON(*benchJSON, *benchWork)
@@ -274,6 +374,18 @@ func run() (err error) {
 		for _, r := range res {
 			fmt.Printf("  %-28s %9d cycles  %6.0f ms  %6.2f Mcycles/s  %.3f allocs/cycle\n",
 				r.Config, r.Cycles, r.WallSeconds*1000, r.MCyclesPerSec, r.AllocsPerCycle)
+		}
+		if sweepRan {
+			// A sweep ran in this invocation: record its whole-sweep
+			// performance next to the per-configuration benchmark.
+			sb := ce.SweepBench(ce.DefaultEngine, sweepWall)
+			path := filepath.Join(filepath.Dir(*benchJSON), "BENCH_sweep.json")
+			if err := ce.WriteSweepBenchJSON(path, sb); err != nil {
+				return err
+			}
+			fmt.Printf("Sweep performance (written to %s): %d sims in %.1f s (%.1f sims/s); %d steps executed, %d replayed\n",
+				path, sb.Sims, sb.WallSeconds, sb.SimsPerSec,
+				sb.Trace.StepsExecuted, sb.Trace.StepsReplayed)
 		}
 	}
 	// An unrecognized figure number used to fall through to the

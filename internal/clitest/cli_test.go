@@ -7,6 +7,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -274,5 +275,63 @@ func TestCesweepObservability(t *testing.T) {
 	out = mustRun(t, "cesweep", "-fig", "15", "-v", "-cache-dir", cacheDir)
 	if !strings.Contains(out, "14 disk hits, 0 misses") {
 		t.Errorf("disk cache not used on rerun:\n%s", out)
+	}
+}
+
+// TestCesweepTraceDir exercises the trace pool's disk spillover end to
+// end: a cold run captures and persists one trace per workload, a warm
+// run reuses every file without re-executing, and corrupt or truncated
+// files are dropped and recaptured rather than trusted or fatal.
+func TestCesweepTraceDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	traces := filepath.Join(t.TempDir(), "traces")
+	// Cold: Figure 13 runs seven workloads; each is captured once.
+	out := mustRun(t, "cesweep", "-fig", "13", "-v", "-trace-dir", traces)
+	if !strings.Contains(out, "7 captured, 0 loaded from disk") {
+		t.Errorf("cold run did not capture every workload:\n%s", out)
+	}
+	files, err := filepath.Glob(filepath.Join(traces, "*.cetrace"))
+	if err != nil || len(files) != 7 {
+		t.Fatalf("cold run left %d trace files (err %v), want 7", len(files), err)
+	}
+
+	// Warm: every trace is loaded, nothing is re-executed.
+	out = mustRun(t, "cesweep", "-fig", "13", "-v", "-trace-dir", traces)
+	if !strings.Contains(out, "0 captured, 7 loaded from disk") {
+		t.Errorf("warm run did not reuse the traces:\n%s", out)
+	}
+	if !strings.Contains(out, "0 steps executed") {
+		t.Errorf("warm run still executed instructions:\n%s", out)
+	}
+
+	// Damage two files: truncate one, flip a bit in another. Both must be
+	// detected, dropped and recaptured; the rest still load.
+	sort.Strings(files)
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(files[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(files[1], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = mustRun(t, "cesweep", "-fig", "13", "-v", "-trace-dir", traces)
+	if !strings.Contains(out, "2 captured, 5 loaded from disk") {
+		t.Errorf("damaged traces not dropped and recaptured:\n%s", out)
+	}
+
+	// The recaptured files are whole again.
+	out = mustRun(t, "cesweep", "-fig", "13", "-v", "-trace-dir", traces)
+	if !strings.Contains(out, "0 captured, 7 loaded from disk") {
+		t.Errorf("recaptured traces not reusable:\n%s", out)
 	}
 }

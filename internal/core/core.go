@@ -336,8 +336,11 @@ type FIFOBank struct {
 	// producer maps a physical register to the uop that writes it while
 	// that uop still occupies a FIFO (the SRC_FIFO table of Section 5,
 	// kept in terms of physical registers since steering runs after
-	// rename).
-	producer map[int16]*Uop
+	// rename). Indexed directly by register number and grown on demand,
+	// like wakeBoard.waiters: steering consults it for every source of
+	// every dispatched instruction, so it must be a plain load, not a map
+	// probe.
+	producer []*Uop
 
 	occupancy int
 	rng       int32
@@ -377,7 +380,6 @@ func NewFIFOBank(cfg FIFOBankConfig) *FIFOBank {
 		clusters: cfg.Clusters,
 		anySlot:  cfg.AnySlot,
 		policy:   cfg.Policy,
-		producer: make(map[int16]*Uop),
 		rng:      10007,
 	}
 	b.freeFIFOs = make([][]int, cfg.Clusters)
@@ -423,6 +425,9 @@ func (b *FIFOBank) Dispatch(u *Uop) bool {
 	f.q = append(f.q, u)
 	b.occupancy++
 	if u.PhysDest >= 0 {
+		for int(u.PhysDest) >= len(b.producer) {
+			b.producer = append(b.producer, nil)
+		}
 		b.producer[u.PhysDest] = u
 	}
 	b.board.add(u)
@@ -437,11 +442,11 @@ func (b *FIFOBank) steerDependence(u *Uop) int {
 	// Try each outstanding source operand in order: if its producer is
 	// the tail of its FIFO and the FIFO has room, follow it.
 	for _, ps := range u.PhysSrcs {
-		if ps < 0 {
+		if ps < 0 || int(ps) >= len(b.producer) {
 			continue
 		}
-		p, outstanding := b.producer[ps]
-		if !outstanding {
+		p := b.producer[ps]
+		if p == nil {
 			continue // operand already computed or producer issued
 		}
 		f := &b.fifos[p.FIFO]
@@ -505,11 +510,15 @@ func (b *FIFOBank) Select(now int64, tryIssue func(u *Uop) bool) {
 		for len(b.headSnap) < len(b.fifos) {
 			b.headSnap = append(b.headSnap, nil)
 		}
-		for i := range b.fifos {
-			if q := b.fifos[i].q; len(q) > 0 {
-				b.headSnap[i] = q[0]
+		// Snapshot heads before any candidate issues, but only for the
+		// FIFOs that actually hold a ready candidate — the gate below never
+		// consults any other entry, and ready is usually much smaller than
+		// the bank. Duplicate refreshes are harmless (all pre-issue).
+		for _, u := range b.board.ready {
+			if q := b.fifos[u.FIFO].q; len(q) > 0 {
+				b.headSnap[u.FIFO] = q[0]
 			} else {
-				b.headSnap[i] = nil
+				b.headSnap[u.FIFO] = nil
 			}
 		}
 	}
@@ -565,7 +574,7 @@ func (b *FIFOBank) remove(u *Uop) {
 	}
 	b.occupancy--
 	if u.PhysDest >= 0 && b.producer[u.PhysDest] == u {
-		delete(b.producer, u.PhysDest)
+		b.producer[u.PhysDest] = nil
 	}
 	if len(f.q) == 0 && b.policy != SteerRandom {
 		b.freeFIFOs[f.cluster] = append(b.freeFIFOs[f.cluster], u.FIFO)
@@ -588,7 +597,7 @@ func (b *FIFOBank) Squash(afterSeq uint64) {
 			f.q = f.q[:len(f.q)-1]
 			b.occupancy--
 			if tail.PhysDest >= 0 && b.producer[tail.PhysDest] == tail {
-				delete(b.producer, tail.PhysDest)
+				b.producer[tail.PhysDest] = nil
 			}
 			tail.FIFO = -1
 		}

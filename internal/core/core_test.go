@@ -205,8 +205,14 @@ func TestProducerTableClearedOnIssue(t *testing.T) {
 	if u1.FIFO == -1 {
 		t.Fatal("dispatch failed")
 	}
-	if len(b.producer) != 1 { // only u1's own dest
-		t.Errorf("producer table has %d entries, want 1", len(b.producer))
+	live := 0
+	for _, p := range b.producer {
+		if p != nil {
+			live++
+		}
+	}
+	if live != 1 || b.producer[41] != u1 { // only u1's own dest
+		t.Errorf("producer table has %d live entries, want only u1's dest", live)
 	}
 }
 

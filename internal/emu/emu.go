@@ -85,6 +85,9 @@ func (m *Machine) SetReg(r isa.Reg, v int32) {
 // PC returns the current instruction index.
 func (m *Machine) PC() uint32 { return m.pc }
 
+// Program returns the loaded program.
+func (m *Machine) Program() *isa.Program { return m.prog }
+
 // Halted reports whether the program has executed Halt.
 func (m *Machine) Halted() bool { return m.halted }
 

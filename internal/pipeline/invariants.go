@@ -96,9 +96,9 @@ func (k *checker) onIssue(u *core.Uop, cluster int, isMem bool) {
 		k.failf("uop %d issued in its dispatch cycle %d", u.Seq, u.DispatchCycle)
 	}
 	for _, p := range u.PhysSrcs {
-		if p >= 0 && k.s.regReady[cluster][p] > k.s.cycle {
+		if p >= 0 && k.s.regReady[cluster*k.s.nPhys+int(p)] > k.s.cycle {
 			k.failf("uop %d issued in cluster %d before operand p%d is ready (at %d)",
-				u.Seq, cluster, p, k.s.regReady[cluster][p])
+				u.Seq, cluster, p, k.s.regReady[cluster*k.s.nPhys+int(p)])
 		}
 	}
 	if u.Class == isa.ClassLoad {
@@ -181,10 +181,10 @@ func (k *checker) onDone() {
 	if got := s.rt.InFlight(); got != 0 {
 		k.failf("run finished with %d physical registers leaked", got)
 	}
-	if s.machine.Speculating() {
+	if s.machine != nil && s.machine.Speculating() {
 		k.failf("run finished with a live emulator checkpoint")
 	}
-	if !s.machine.Halted() {
-		k.failf("run finished with the emulator not halted")
+	if !s.src.Halted() {
+		k.failf("run finished with the execution source not exhausted")
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"repro/internal/rename"
 	"repro/internal/ring"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Config describes one machine organization.
@@ -178,6 +179,12 @@ type Stats struct {
 	Cycles    int64
 	Committed uint64
 
+	// EmuSteps counts dynamic instructions drawn from the execution
+	// source: functional-emulator steps in lockstep mode (including any
+	// wrong-path steps), trace records in replay mode. Identical between
+	// the two modes for the same configuration.
+	EmuSteps uint64
+
 	CondBranches uint64
 	Mispredicts  uint64
 
@@ -248,8 +255,17 @@ const regWriteDelay = 2
 
 // Simulator times one program on one configuration.
 type Simulator struct {
-	cfg     Config
+	cfg Config
+	// src streams the dynamic instructions fetch consumes; machine is the
+	// concrete emulator behind it in lockstep mode (nil under replay; see
+	// ExecSource), reader the concrete trace cursor in replay mode. The
+	// hot fetch loop calls whichever concrete source is set — hundreds of
+	// millions of per-instruction calls make interface dispatch measurable
+	// — and falls back to the interface for custom sources. Wrong-path
+	// execution requires machine.
+	src     ExecSource
 	machine *emu.Machine
+	reader  *trace.Reader
 	sched   core.Scheduler
 	pred    bpred.Predictor
 	dcache  *cache.Cache
@@ -265,9 +281,16 @@ type Simulator struct {
 	// allocates nothing per fetched instruction.
 	pool core.UopPool
 
-	// regReady[c][p]: first cycle at which an instruction issuing in
-	// cluster c may consume physical register p.
-	regReady [][]int64
+	// regReady[c*nPhys+p]: first cycle at which an instruction issuing in
+	// cluster c may consume physical register p (flattened to one
+	// allocation: operandsReady probes it per source per candidate per
+	// cycle, the hottest loads in the simulator).
+	regReady []int64
+	nPhys    int
+	nClus    int
+	// bypassTab[from*nClus+to] precomputes bypassExtra for every cluster
+	// pair; the geometry is fixed at construction.
+	bypassTab []int64
 	// prodCluster/prodComplete: who produced p and when (for the
 	// inter-cluster bypass statistic); -1 cluster = initial value.
 	prodCluster  []int8
@@ -339,11 +362,53 @@ type TimelineEntry struct {
 	Commit   int64
 }
 
-// New builds a simulator for the given machine and program.
+// sourcePC dispatches the icache probe's PC query to the concrete
+// execution source. Fetch touches the source once per dynamic
+// instruction — hundreds of millions of times in a sweep — so the two
+// concrete sources are dispatched directly (here and inline in fetch for
+// Step, whose Record return is too large to route through an extra call
+// frame); the interface is the fallback for custom sources.
+//
+//ce:hot
+func (s *Simulator) sourcePC() uint32 {
+	if s.machine != nil {
+		return s.machine.PC()
+	}
+	if s.reader != nil {
+		return s.reader.PC()
+	}
+	return s.src.PC()
+}
+
+// sourceHalted mirrors sourcePC for the end-of-stream check.
+//
+//ce:hot
+func (s *Simulator) sourceHalted() bool {
+	if s.machine != nil {
+		return s.machine.Halted()
+	}
+	if s.reader != nil {
+		return s.reader.Halted()
+	}
+	return s.src.Halted()
+}
+
+// New builds a simulator driven by lockstep functional execution of prog.
 func New(cfg Config, prog *isa.Program) (*Simulator, error) {
+	m := emu.New(prog)
+	return newSimulator(cfg, machineSource{m}, m)
+}
+
+// newSimulator is the shared constructor behind New and NewReplay;
+// machine is nil when src is not backed by a live emulator.
+func newSimulator(cfg Config, src ExecSource, machine *emu.Machine) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.WrongPathExecution && machine == nil {
+		return nil, fmt.Errorf("pipeline: %s: wrong-path execution requires a lockstep machine", cfg.Name)
+	}
+	prog := src.Program()
 	if cfg.DCache == (cache.Config{}) {
 		cfg.DCache = cache.Baseline()
 	}
@@ -365,7 +430,8 @@ func New(cfg Config, prog *isa.Program) (*Simulator, error) {
 	}
 	s := &Simulator{
 		cfg:          cfg,
-		machine:      emu.New(prog),
+		src:          src,
+		machine:      machine,
 		sched:        sched,
 		pred:         pred,
 		dcache:       dc,
@@ -380,9 +446,17 @@ func New(cfg Config, prog *isa.Program) (*Simulator, error) {
 		}
 		s.icache = ic
 	}
-	s.regReady = make([][]int64, cfg.Clusters)
-	for c := range s.regReady {
-		s.regReady[c] = make([]int64, cfg.PhysRegs)
+	if r, ok := src.(*trace.Reader); ok {
+		s.reader = r
+	}
+	s.nPhys = cfg.PhysRegs
+	s.nClus = cfg.Clusters
+	s.regReady = make([]int64, cfg.Clusters*cfg.PhysRegs)
+	s.bypassTab = make([]int64, cfg.Clusters*cfg.Clusters)
+	for from := 0; from < cfg.Clusters; from++ {
+		for to := 0; to < cfg.Clusters; to++ {
+			s.bypassTab[from*cfg.Clusters+to] = s.bypassExtraSlow(from, to)
+		}
 	}
 	for p := range s.prodCluster {
 		s.prodCluster[p] = -1
@@ -699,8 +773,15 @@ func (s *Simulator) squash() error {
 
 // bypassExtra returns the additional cycles before a value produced in
 // cluster `from` is consumable in cluster `to`, beyond the producer's
-// completion.
+// completion (precomputed per cluster pair at construction).
+//
+//ce:hot
 func (s *Simulator) bypassExtra(from, to int) int64 {
+	return s.bypassTab[from*s.nClus+to]
+}
+
+// bypassExtraSlow derives one bypassTab entry from the configuration.
+func (s *Simulator) bypassExtraSlow(from, to int) int64 {
 	extra := int64(0)
 	if from == to {
 		extra = int64(s.cfg.LocalBypassExtra)
@@ -790,18 +871,25 @@ func (s *Simulator) tryIssue(u *core.Uop) bool {
 	u.Issued = true
 	u.IssueCycle = s.cycle
 	u.CompleteCycle = s.cycle + int64(latency)
-	s.noteBypasses(u, c)
+	if s.nClus > 1 {
+		// A single cluster has no inter-cluster bypass paths to note, and
+		// its producer bookkeeping would never be read.
+		s.noteBypasses(u, c)
+	}
 	if u.PhysDest >= 0 {
+		d := int(u.PhysDest)
 		minReady := int64(math.MaxInt64)
-		for k := range s.regReady {
-			rc := u.CompleteCycle + s.bypassExtra(c, k)
-			s.regReady[k][u.PhysDest] = rc
+		for k := 0; k < s.nClus; k++ {
+			rc := u.CompleteCycle + s.bypassTab[c*s.nClus+k]
+			s.regReady[k*s.nPhys+d] = rc
 			if rc < minReady {
 				minReady = rc
 			}
 		}
-		s.prodCluster[u.PhysDest] = int8(c)
-		s.prodComplete[u.PhysDest] = u.CompleteCycle
+		if s.nClus > 1 {
+			s.prodCluster[u.PhysDest] = int8(c)
+			s.prodComplete[u.PhysDest] = u.CompleteCycle
+		}
 		// Wake consumers waiting on this result; the bound is the
 		// nearest-cluster readiness (tryIssue still checks the issuing
 		// cluster's own readiness).
@@ -823,8 +911,9 @@ func (s *Simulator) tryIssue(u *core.Uop) bool {
 //
 //ce:hot
 func (s *Simulator) operandsReady(u *core.Uop, c int) bool {
+	base := c * s.nPhys
 	for _, p := range u.PhysSrcs {
-		if p >= 0 && s.regReady[c][p] > s.cycle {
+		if p >= 0 && s.regReady[base+int(p)] > s.cycle {
 			return false
 		}
 	}
@@ -917,7 +1006,7 @@ func (s *Simulator) dispatch() error {
 			if p < 0 {
 				continue
 			}
-			if s.regReady[0][p] == neverReady {
+			if s.regReady[p] == neverReady {
 				u.WakePending++
 				u.WakeMask |= 1 << uint(i)
 			} else if m := s.minRegReady(p); m > u.WakeCycle {
@@ -926,14 +1015,14 @@ func (s *Simulator) dispatch() error {
 		}
 		if physDest >= 0 {
 			// The destination is not ready anywhere until it executes.
-			for k := range s.regReady {
-				s.regReady[k][physDest] = neverReady
+			for k := 0; k < s.nClus; k++ {
+				s.regReady[k*s.nPhys+int(physDest)] = neverReady
 			}
 		}
 		if !s.sched.Dispatch(u) {
 			if physDest >= 0 {
-				for k := range s.regReady {
-					s.regReady[k][physDest] = 0
+				for k := 0; k < s.nClus; k++ {
+					s.regReady[k*s.nPhys+int(physDest)] = 0
 				}
 			}
 			s.rt.Undo(dest, physDest, oldDest)
@@ -954,10 +1043,10 @@ func (s *Simulator) dispatch() error {
 //
 //ce:hot
 func (s *Simulator) minRegReady(p int16) int64 {
-	m := s.regReady[0][p]
-	for k := 1; k < len(s.regReady); k++ {
-		if s.regReady[k][p] < m {
-			m = s.regReady[k][p]
+	m := s.regReady[p]
+	for k := 1; k < s.nClus; k++ {
+		if v := s.regReady[k*s.nPhys+int(p)]; v < m {
+			m = v
 		}
 	}
 	return m
@@ -991,9 +1080,10 @@ func (s *Simulator) fetch() error {
 		if s.icache != nil {
 			// Probe the next instruction's line before consuming it, so a
 			// miss stalls fetch without losing the instruction.
-			line := s.machine.PC() * 4 / uint32(s.cfg.ICache.LineBytes)
+			pc := s.sourcePC()
+			line := pc * 4 / uint32(s.cfg.ICache.LineBytes)
 			if !s.icacheHasLine || line != s.icacheLastLine {
-				lat, hit := s.icache.Access(s.machine.PC()*4, false)
+				lat, hit := s.icache.Access(pc*4, false)
 				s.icacheLastLine = line
 				s.icacheHasLine = true
 				if !hit {
@@ -1002,7 +1092,17 @@ func (s *Simulator) fetch() error {
 				}
 			}
 		}
-		rec, err := s.machine.Step()
+		// See sourcePC: monomorphic source dispatch, inlined so the Record
+		// is written once into rec rather than copied through a helper.
+		var rec emu.Record
+		var err error
+		if s.machine != nil {
+			rec, err = s.machine.Step()
+		} else if s.reader != nil {
+			rec, err = s.reader.Step()
+		} else {
+			rec, err = s.src.Step()
+		}
 		if err != nil {
 			if s.resolving != nil {
 				// The wrong path ran off the rails (out-of-range PC);
@@ -1012,6 +1112,7 @@ func (s *Simulator) fetch() error {
 			}
 			return fmt.Errorf("pipeline: %s/%s: functional emulation: %w", s.cfg.Name, s.stats.Workload, err) //ce:alloc-ok fatal path, run is over
 		}
+		s.stats.EmuSteps++
 		u := s.pool.Get()
 		u.Seq = s.seq
 		u.Rec = rec
@@ -1022,7 +1123,7 @@ func (s *Simulator) fetch() error {
 		u.Speculative = s.resolving != nil
 		s.seq++
 		s.fetchQ.PushBack(u)
-		if s.machine.Halted() {
+		if s.sourceHalted() {
 			if s.resolving != nil {
 				s.wrongPathDone = true
 			} else {
@@ -1071,8 +1172,17 @@ func (s *Simulator) fetch() error {
 }
 
 // Machine exposes the underlying functional machine (for output checks in
-// tests and examples).
+// tests and examples). Nil for replay-driven simulators; Output and
+// StateHash work in both modes.
 func (s *Simulator) Machine() *emu.Machine { return s.machine }
+
+// Output returns the program output produced by the execution source
+// (complete once the run has finished).
+func (s *Simulator) Output() []int32 { return s.src.Output() }
+
+// StateHash returns the final architectural digest of the executed (or
+// replayed) program.
+func (s *Simulator) StateHash() [32]byte { return s.src.StateHash() }
 
 // Scheduler exposes the scheduler (for diagnostics).
 func (s *Simulator) Scheduler() core.Scheduler { return s.sched }

@@ -120,9 +120,13 @@ func TestPropertyAllConfigsCompleteAndAgree(t *testing.T) {
 	}
 }
 
-// TestPropertyFIFONeverBeatsWindowBadly: the heads-only FIFO machine can
-// trail the flexible window but must stay within a bounded factor on
-// straight-line code (it cannot deadlock or starve).
+// TestPropertyFIFOWithinFactorOfWindow: the heads-only FIFO machine must
+// stay within a bounded factor of the flexible window on arbitrary
+// programs (it cannot deadlock or starve). It may occasionally *win*:
+// both machines schedule greedily, and greedy selection is not optimal —
+// restricting the window's choices can issue a mispredicted branch
+// sooner and recover fetch earlier — so only the upper bound is a
+// property.
 func TestPropertyFIFOWithinFactorOfWindow(t *testing.T) {
 	f := func(seed []byte) bool {
 		if len(seed) < 16 {
@@ -146,12 +150,6 @@ func TestPropertyFIFOWithinFactorOfWindow(t *testing.T) {
 		}
 		fs, err := fifo.Run(1_000_000)
 		if err != nil {
-			return false
-		}
-		if fs.Cycles < ws.Cycles {
-			// The FIFO bank restricts the window's choices; it can tie
-			// but never win.
-			t.Logf("FIFO bank (%d cycles) beat window (%d)", fs.Cycles, ws.Cycles)
 			return false
 		}
 		return fs.Cycles <= ws.Cycles*3+50

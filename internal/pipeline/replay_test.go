@@ -1,0 +1,128 @@
+package pipeline
+
+// Tests for the replay execution source: a simulator driven by a
+// pre-captured trace must be statistically indistinguishable from one
+// driving the functional emulator in lockstep, and the replay path must
+// preserve the steady-state zero-allocation guarantee.
+
+import (
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+// replayConfigs covers both scheduler families plus the fetch features
+// that interact with the source: icache probing (source PC) and
+// fetch-break-on-taken.
+func replayConfigs() []Config {
+	window := cfg("window", 1, 0, window64)
+	window.PerfectBPred = false
+	fifos := cfg("fifos", 1, 0, fifos8x8)
+	fifos.PerfectBPred = false
+	fifos.FetchBreakOnTaken = true
+	fifos.StoreForwarding = true
+	return []Config{window, fifos}
+}
+
+func TestReplayMatchesLockstep(t *testing.T) {
+	for _, name := range []string{"compress", "micro.branchy"} {
+		w, err := prog.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := w.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := trace.Capture(p, 50_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range replayConfigs() {
+			exec := runProgram(t, c, p)
+			sim, err := NewReplay(c, trace.NewReader(tr))
+			if err != nil {
+				t.Fatal(err)
+			}
+			replay, err := sim.Run(0)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", c.Name, name, err)
+			}
+			exec.HostAllocs, replay.HostAllocs = 0, 0
+			exec.HostWallSeconds, replay.HostWallSeconds = 0, 0
+			if replay.Cycles != exec.Cycles || replay.Committed != exec.Committed ||
+				replay.EmuSteps != exec.EmuSteps || replay.Mispredicts != exec.Mispredicts ||
+				replay.Cache != exec.Cache || replay.ICache != exec.ICache ||
+				replay.ForwardedLoads != exec.ForwardedLoads {
+				t.Errorf("%s/%s: replay %+v != lockstep %+v", c.Name, name, replay, exec)
+			}
+			if sim.StateHash() != tr.StateHash() {
+				t.Errorf("%s/%s: replay simulator state hash diverges", c.Name, name)
+			}
+			if sim.Machine() != nil {
+				t.Errorf("%s/%s: replay simulator exposes a machine", c.Name, name)
+			}
+		}
+	}
+}
+
+// TestNewReplayRejectsWrongPath pins the refusal: wrong-path execution
+// needs a concrete machine to run down mispredicted paths.
+func TestNewReplayRejectsWrongPath(t *testing.T) {
+	w, err := prog.ByName("micro.chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Capture(p, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg("wrong-path", 1, 0, window64)
+	c.WrongPathExecution = true
+	if _, err := NewReplay(c, trace.NewReader(tr)); err == nil {
+		t.Fatal("NewReplay accepted a wrong-path configuration")
+	}
+}
+
+// TestReplayRunAllocationFree extends the steady-state allocation guard
+// to the replay path: a full replay-driven simulation must stay within
+// the same construction-bounded allocation budget as lockstep.
+func TestReplayRunAllocationFree(t *testing.T) {
+	w, err := prog.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Capture(p, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg("replay-alloc-guard", 1, 0, window64)
+	c.PerfectBPred = false
+	var cycles int64
+	run := func() {
+		sim, err := NewReplay(c, trace.NewReader(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.Run(10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles = st.Cycles
+	}
+	const maxPerRun = 2000
+	allocs := testing.AllocsPerRun(5, run)
+	if allocs > maxPerRun {
+		t.Errorf("replay run allocates %.0f objects (limit %d): %.3f allocs/cycle over %d cycles",
+			allocs, maxPerRun, allocs/float64(cycles), cycles)
+	}
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/isa"
+)
+
+// On-disk layout (all integers little-endian):
+//
+//	magic     "CETRACE\x01"           8 bytes
+//	progHash  ProgHash(prog)         32 bytes
+//	entryPC   uint32                  4 bytes
+//	steps     uint64                  8 bytes
+//	nOutput   uint32                  4 bytes
+//	output    nOutput × int32         4·nOutput bytes
+//	stateHash final StateHash        32 bytes
+//	packedLen uint64                  8 bytes
+//	packed    the dynamic stream     packedLen bytes
+//	checksum  sha256 of all above    32 bytes
+//
+// The progHash pins the trace to one exact program image; the trailing
+// checksum detects truncation and bit rot. Readers treat any mismatch as
+// "no trace": the caller deletes the file and recaptures, mirroring
+// runcache.loadDisk's corrupt-entry hardening.
+
+var diskMagic = [8]byte{'C', 'E', 'T', 'R', 'A', 'C', 'E', 1}
+
+const diskOverhead = 8 + 32 + 4 + 8 + 4 + 32 + 8 + 32
+
+// DiskPath returns the canonical file name for a program's trace under
+// dir: content-addressed by program hash, so a recompiled program gets a
+// fresh slot instead of a mismatch error.
+func DiskPath(dir string, p *isa.Program) string { return diskPath(dir, ProgHash(p)) }
+
+func diskPath(dir string, ph [32]byte) string {
+	return filepath.Join(dir, hex.EncodeToString(ph[:])[:32]+".cetrace")
+}
+
+// Marshal serializes the trace into its canonical byte form.
+func (t *Trace) Marshal() []byte {
+	buf := make([]byte, 0, diskOverhead+4*len(t.output)+len(t.packed))
+	buf = append(buf, diskMagic[:]...)
+	ph := ProgHash(t.prog)
+	buf = append(buf, ph[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, t.entryPC)
+	buf = binary.LittleEndian.AppendUint64(buf, t.n)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.output)))
+	for _, v := range t.output {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	buf = append(buf, t.stateHash[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(t.packed)))
+	buf = append(buf, t.packed...)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...)
+}
+
+// Unmarshal parses a serialized trace and binds it to p, rejecting
+// corrupt bytes and traces of any other program image.
+func Unmarshal(data []byte, p *isa.Program) (*Trace, error) {
+	if len(data) < diskOverhead {
+		return nil, fmt.Errorf("trace: file too short (%d bytes)", len(data))
+	}
+	body, sum := data[:len(data)-32], data[len(data)-32:]
+	if sha256.Sum256(body) != [32]byte(sum) {
+		return nil, fmt.Errorf("trace: checksum mismatch (truncated or corrupt file)")
+	}
+	if [8]byte(body[:8]) != diskMagic {
+		return nil, fmt.Errorf("trace: bad magic (not a trace file, or an incompatible format version)")
+	}
+	body = body[8:]
+	ph := [32]byte(body[:32])
+	if ph != ProgHash(p) {
+		return nil, fmt.Errorf("trace: trace was captured from a different build of %s", p.Name)
+	}
+	body = body[32:]
+	t := &Trace{prog: p}
+	t.entryPC = binary.LittleEndian.Uint32(body)
+	t.n = binary.LittleEndian.Uint64(body[4:])
+	nOut := binary.LittleEndian.Uint32(body[12:])
+	body = body[16:]
+	if uint64(len(body)) < uint64(nOut)*4+32+8 {
+		return nil, fmt.Errorf("trace: output section overruns the file")
+	}
+	t.output = make([]int32, nOut)
+	for i := range t.output {
+		t.output[i] = int32(binary.LittleEndian.Uint32(body[4*i:]))
+	}
+	body = body[4*nOut:]
+	t.stateHash = [32]byte(body[:32])
+	packedLen := binary.LittleEndian.Uint64(body[32:40])
+	body = body[40:]
+	if uint64(len(body)) != packedLen {
+		return nil, fmt.Errorf("trace: packed stream is %d bytes, header says %d", len(body), packedLen)
+	}
+	t.packed = body
+	if t.entryPC != entryPC(p) {
+		return nil, fmt.Errorf("trace: entry pc %d does not match the program's %d", t.entryPC, entryPC(p))
+	}
+	return t, nil
+}
+
+// EnsureDir creates dir (and any parents) for trace storage.
+func EnsureDir(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// WriteFile persists the trace under dir at its canonical path, via a
+// uniquely named temp file and rename so concurrent writers of the same
+// (byte-identical) trace cannot tear each other's files.
+func (t *Trace) WriteFile(dir string) error {
+	data := t.Marshal()
+	tmp, err := os.CreateTemp(dir, "trace-*.tmp")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	path := diskPath(dir, ProgHash(t.prog))
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// ReadFile loads p's trace from dir. A missing file returns os.ErrNotExist
+// (wrapped); a corrupt, truncated or mismatched file is deleted so the
+// slot can be recaptured, and reported as an error.
+func ReadFile(dir string, p *isa.Program) (*Trace, error) {
+	path := diskPath(dir, ProgHash(p))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := Unmarshal(data, p)
+	if err != nil {
+		_ = os.Remove(path)
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"errors"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// errCorrupt is preallocated so the hot Step path never constructs an
+// error value. A corrupt trace is a programming or storage fault, not a
+// per-record condition, so one shared sentinel is enough.
+var errCorrupt = errors.New("trace: packed stream truncated (trace does not match its step count)")
+
+// Reader replays a captured trace as a stream of emu.Records, mirroring
+// exactly what emu.Machine.Step would have returned for the same
+// program. It performs no architectural work — no register file, no
+// memory image — which is the entire point: the timing simulator only
+// consumes the Record stream, so replay provides it at a fraction of the
+// cost of re-execution.
+//
+// A Reader is a cheap cursor over the shared immutable Trace; create one
+// per simulation and share the Trace across any number of goroutines.
+type Reader struct {
+	t      *Trace
+	text   []isa.Inst
+	packed []byte
+	pos    int
+	pc     uint32
+	step   uint64
+	halted bool
+}
+
+// NewReader returns a fresh cursor positioned at the start of t.
+func NewReader(t *Trace) *Reader {
+	return &Reader{t: t, text: t.prog.Text, packed: t.packed, pc: t.entryPC}
+}
+
+// Program returns the traced program.
+func (r *Reader) Program() *isa.Program { return r.t.Program() }
+
+// PC returns the index of the next instruction to replay.
+func (r *Reader) PC() uint32 { return r.pc }
+
+// Halted reports whether the trace has been fully replayed.
+func (r *Reader) Halted() bool { return r.halted }
+
+// Output returns the Out values of the captured execution. Unlike
+// emu.Machine's incrementally grown Output, the full slice is available
+// immediately; consumers read it only after the simulated program
+// retires its Halt, at which point the two views coincide.
+func (r *Reader) Output() []int32 { return r.t.Output() }
+
+// StateHash returns the final architectural digest of the captured
+// execution (valid at any time; meaningful once replay has halted).
+func (r *Reader) StateHash() [32]byte { return r.t.StateHash() }
+
+// Step reconstructs the next dynamic record. The per-class decoding must
+// mirror Recorder.append, and the Record fields must match what
+// emu.Machine.Step produces for the same instruction — both are pinned
+// by differential tests. Returns emu.ErrHalted after the final record,
+// exactly like the machine it stands in for.
+//
+//ce:hot
+func (r *Reader) Step() (emu.Record, error) {
+	if r.halted {
+		return emu.Record{}, emu.ErrHalted
+	}
+	if r.step >= r.t.n || r.pc >= uint32(len(r.text)) {
+		// A sealed trace ends in Halt, so running out of records (or
+		// walking outside the text) means the stream is corrupt.
+		return emu.Record{}, errCorrupt
+	}
+	in := r.text[r.pc]
+	rec := emu.Record{PC: r.pc, Inst: in, NextPC: r.pc + 1}
+	switch isa.ClassOf(in.Op) {
+	case isa.ClassLoad, isa.ClassStore:
+		if r.pos+4 > len(r.packed) {
+			return emu.Record{}, errCorrupt
+		}
+		p := r.packed[r.pos:]
+		rec.Addr = uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
+		r.pos += 4
+	case isa.ClassBranch:
+		if r.pos >= len(r.packed) {
+			return emu.Record{}, errCorrupt
+		}
+		if r.packed[r.pos] != 0 {
+			rec.Taken = true
+			rec.NextPC = uint32(in.Imm)
+		}
+		r.pos++
+	case isa.ClassJump:
+		rec.Taken = true
+		if in.Op == isa.Jr || in.Op == isa.Jalr {
+			if r.pos+4 > len(r.packed) {
+				return emu.Record{}, errCorrupt
+			}
+			p := r.packed[r.pos:]
+			rec.NextPC = uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
+			r.pos += 4
+		} else {
+			rec.NextPC = uint32(in.Imm)
+		}
+	case isa.ClassSystem:
+		if in.Op == isa.Halt {
+			rec.NextPC = r.pc
+			r.halted = true
+		}
+	}
+	r.pc = rec.NextPC
+	r.step++
+	return rec, nil
+}

@@ -1,0 +1,226 @@
+// Package trace captures the dynamic execution of a program once and
+// replays it arbitrarily many times. The functional emulator's Record
+// stream — resolved branch outcomes, jump targets and memory addresses —
+// is a pure function of (program, input); only *timing* differs between
+// machine configurations. A sweep that times one workload on dozens of
+// configurations therefore only needs to execute it once: capture the
+// stream into a packed trace, then drive every timing simulation from a
+// zero-allocation sequential Reader instead of lockstep emulation.
+//
+// The encoding exploits that almost everything in a Record is static.
+// The instruction is the program text at the PC; the PC chain is implied
+// by the previous record's NextPC; conditional-branch and direct-jump
+// targets are immediates. Per dynamic instruction the trace stores only
+// what the emulator actually resolved at run time:
+//
+//	conditional branch      1 byte  (taken flag)
+//	indirect jump (jr/jalr) 4 bytes (target)
+//	load/store              4 bytes (effective address)
+//	everything else         0 bytes
+//
+// which averages about one byte per instruction on the paper's
+// workloads. A trace is tied to its program by a content hash over the
+// text and data segments, so a stale trace can never replay against a
+// recompiled program.
+//
+//ce:deterministic
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// Trace is one captured execution: the packed dynamic stream plus the
+// final architectural results needed to verify a replayed run without
+// re-executing (output values and state digest).
+type Trace struct {
+	prog    *isa.Program
+	entryPC uint32
+	packed  []byte
+	n       uint64 // dynamic records in packed
+
+	output    []int32
+	stateHash [32]byte
+}
+
+// Program returns the program this trace was captured from.
+func (t *Trace) Program() *isa.Program { return t.prog }
+
+// Steps returns the number of dynamic instructions in the trace.
+func (t *Trace) Steps() uint64 { return t.n }
+
+// PackedBytes returns the size of the packed stream in bytes
+// (observability: bytes per instruction is the format's figure of merit).
+func (t *Trace) PackedBytes() int { return len(t.packed) }
+
+// Output returns the Out values emitted by the captured execution.
+func (t *Trace) Output() []int32 { return t.output }
+
+// StateHash returns the final architectural state digest of the captured
+// execution (emu.Machine.StateHash at halt).
+func (t *Trace) StateHash() [32]byte { return t.stateHash }
+
+// ProgHash digests the parts of a program that determine its execution:
+// name, text segment and initial data image. A trace records this hash
+// and refuses to attach to a program with a different one.
+func ProgHash(p *isa.Program) [32]byte {
+	h := sha256.New()
+	var w [8]byte
+	binary.LittleEndian.PutUint32(w[:4], uint32(len(p.Name)))
+	h.Write(w[:4])
+	h.Write([]byte(p.Name))
+	binary.LittleEndian.PutUint32(w[:4], uint32(len(p.Text)))
+	h.Write(w[:4])
+	for _, in := range p.Text {
+		w[0] = byte(in.Op)
+		w[1] = byte(in.Rd)
+		w[2] = byte(in.Rs)
+		w[3] = byte(in.Rt)
+		binary.LittleEndian.PutUint32(w[4:8], uint32(in.Imm))
+		h.Write(w[:8])
+	}
+	binary.LittleEndian.PutUint32(w[:4], uint32(len(p.Data)))
+	h.Write(w[:4])
+	h.Write(p.Data)
+	return [32]byte(h.Sum(nil))
+}
+
+// entryPC mirrors emu.New: execution starts at "main" if present, else 0.
+func entryPC(p *isa.Program) uint32 {
+	if start, ok := p.Symbols["main"]; ok {
+		return start
+	}
+	return 0
+}
+
+// Recorder incrementally captures the execution of a machine it does not
+// own. It refuses — loudly, not by silent corruption — to record while
+// the machine is speculating (a live emu.Checkpoint means subsequent
+// steps may be rolled back, which would leave rolled-back records in the
+// trace), and refuses permanently if the machine was stepped or restored
+// behind its back (the recorded stream no longer matches the machine).
+// Capture may resume after a checkpoint is restored or committed back to
+// the exact instruction count the recorder last saw.
+type Recorder struct {
+	m      *emu.Machine
+	prog   *isa.Program
+	packed []byte
+	n      uint64
+	expect uint64 // machine.Executed after the last recorded step
+	nextPC uint32
+	err    error
+}
+
+// ErrSpeculating is returned by Recorder.Step while the machine has a
+// live checkpoint: speculative execution must not enter the trace.
+var ErrSpeculating = errors.New("trace: cannot capture while the machine is speculating (live checkpoint)")
+
+// NewRecorder starts capturing m, which must be freshly created from p
+// (nothing executed yet) and not speculating.
+func NewRecorder(m *emu.Machine, p *isa.Program) (*Recorder, error) {
+	if m.Executed != 0 {
+		return nil, fmt.Errorf("trace: machine has already executed %d instructions; capture must start fresh", m.Executed)
+	}
+	if m.Speculating() {
+		return nil, ErrSpeculating
+	}
+	return &Recorder{m: m, prog: p, nextPC: entryPC(p)}, nil
+}
+
+// Step executes one instruction on the underlying machine and appends it
+// to the trace. See the Recorder type comment for the refusal contract.
+func (r *Recorder) Step() (emu.Record, error) {
+	if r.err != nil {
+		return emu.Record{}, r.err
+	}
+	if r.m.Speculating() {
+		return emu.Record{}, ErrSpeculating
+	}
+	if r.m.Executed != r.expect {
+		r.err = fmt.Errorf("trace: machine executed %d instructions but the recorder captured %d; the machine was stepped or rolled back outside the recorder", r.m.Executed, r.expect)
+		return emu.Record{}, r.err
+	}
+	rec, err := r.m.Step()
+	if err != nil {
+		if !errors.Is(err, emu.ErrHalted) {
+			r.err = err
+		}
+		return rec, err
+	}
+	if rec.PC != r.nextPC {
+		r.err = fmt.Errorf("trace: non-sequential record: executed pc %d, expected %d", rec.PC, r.nextPC)
+		return rec, r.err
+	}
+	r.append(rec)
+	r.expect = r.m.Executed
+	r.nextPC = rec.NextPC
+	return rec, nil
+}
+
+// append packs one record. The per-class layout here must mirror
+// Reader.Step exactly; the differential tests in this package and in
+// internal/verify pin the round trip against the emulator.
+func (r *Recorder) append(rec emu.Record) {
+	switch isa.ClassOf(rec.Inst.Op) {
+	case isa.ClassLoad, isa.ClassStore:
+		r.packed = binary.LittleEndian.AppendUint32(r.packed, rec.Addr)
+	case isa.ClassBranch:
+		var b byte
+		if rec.Taken {
+			b = 1
+		}
+		r.packed = append(r.packed, b)
+	case isa.ClassJump:
+		if rec.Inst.Op == isa.Jr || rec.Inst.Op == isa.Jalr {
+			r.packed = binary.LittleEndian.AppendUint32(r.packed, rec.NextPC)
+		}
+	}
+	r.n++
+}
+
+// Finish seals the capture into an immutable Trace. The machine must
+// have halted: a partial trace would replay as a program that ends
+// mid-flight, which no consumer wants.
+func (r *Recorder) Finish() (*Trace, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	if !r.m.Halted() {
+		return nil, fmt.Errorf("trace: capture finished before the program halted (%d instructions executed)", r.m.Executed)
+	}
+	out := make([]int32, len(r.m.Output))
+	copy(out, r.m.Output)
+	return &Trace{
+		prog:      r.prog,
+		entryPC:   entryPC(r.prog),
+		packed:    r.packed,
+		n:         r.n,
+		output:    out,
+		stateHash: r.m.StateHash(),
+	}, nil
+}
+
+// Capture executes p to completion on a fresh machine and returns its
+// trace. maxInsts is a runaway guard (0 means no limit).
+func Capture(p *isa.Program, maxInsts uint64) (*Trace, error) {
+	m := emu.New(p)
+	r, err := NewRecorder(m, p)
+	if err != nil {
+		return nil, err
+	}
+	for !m.Halted() {
+		if maxInsts > 0 && m.Executed >= maxInsts {
+			return nil, fmt.Errorf("trace: %s exceeded %d instructions during capture", p.Name, maxInsts)
+		}
+		if _, err := r.Step(); err != nil {
+			return nil, fmt.Errorf("trace: capturing %s: %w", p.Name, err)
+		}
+	}
+	return r.Finish()
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/pipeline"
 	"repro/internal/prog"
+	"repro/internal/trace"
 )
 
 // maxCycles bounds one panel simulation; generated programs retire a few
@@ -126,15 +127,19 @@ func Check(p *isa.Program, cfgs []pipeline.Config) error {
 	if err != nil {
 		return err
 	}
+	tr, err := trace.Capture(p, maxInsts)
+	if err != nil {
+		return fmt.Errorf("verify: %s: %w", p.Name, err)
+	}
 	for i := range cfgs {
-		if err := checkOne(p, cfgs[i], ref); err != nil {
+		if err := checkOne(p, cfgs[i], ref, tr); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func checkOne(p *isa.Program, cfg pipeline.Config, ref *reference) error {
+func checkOne(p *isa.Program, cfg pipeline.Config, ref *reference, tr *trace.Trace) error {
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("verify: %s on %s: %s", p.Name, cfg.Name, fmt.Sprintf(format, args...))
 	}
@@ -149,16 +154,16 @@ func checkOne(p *isa.Program, cfg pipeline.Config, ref *reference) error {
 	if st.Committed != ref.n {
 		return fail("committed %d instructions, reference executed %d", st.Committed, ref.n)
 	}
-	m := sim.Machine()
-	if len(m.Output) != len(ref.output) {
-		return fail("output %v, reference %v", m.Output, ref.output)
+	out := sim.Output()
+	if len(out) != len(ref.output) {
+		return fail("output %v, reference %v", out, ref.output)
 	}
 	for i, v := range ref.output {
-		if m.Output[i] != v {
-			return fail("output[%d] = %d, reference %d", i, m.Output[i], v)
+		if out[i] != v {
+			return fail("output[%d] = %d, reference %d", i, out[i], v)
 		}
 	}
-	if m.StateHash() != ref.hash {
+	if sim.StateHash() != ref.hash {
 		return fail("final architectural state diverges from reference (registers or memory)")
 	}
 	tl := sim.Timeline()
@@ -173,7 +178,7 @@ func checkOne(p *isa.Program, cfg pipeline.Config, ref *reference) error {
 			return fail("committed[%d] has seq %d", i, e.Seq)
 		}
 	}
-	return checkFastPath(p, cfg, st, ref)
+	return checkFastPath(p, cfg, st, ref, tr)
 }
 
 // checkFastPath reruns the program with the verification instruments
@@ -182,7 +187,7 @@ func checkOne(p *isa.Program, cfg pipeline.Config, ref *reference) error {
 // and asserts the timing, not just the architecture, is identical to the
 // instrumented run. This is the guarantee that lets the fast path exist:
 // skipping and event wakeup can never change a cycle count.
-func checkFastPath(p *isa.Program, cfg pipeline.Config, inst pipeline.Stats, ref *reference) error {
+func checkFastPath(p *isa.Program, cfg pipeline.Config, inst pipeline.Stats, ref *reference, tr *trace.Trace) error {
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("verify: %s on %s (fast path): %s", p.Name, cfg.Name, fmt.Sprintf(format, args...))
 	}
@@ -229,8 +234,82 @@ func checkFastPath(p *isa.Program, cfg pipeline.Config, inst pipeline.Stats, ref
 	if got, want := st.IssuedPerCycle.Mean(), inst.IssuedPerCycle.Mean(); got != want {
 		return fail("issue histogram mean %v, instrumented run %v", got, want)
 	}
-	if sim.Machine().StateHash() != ref.hash {
+	if sim.StateHash() != ref.hash {
 		return fail("final architectural state diverges")
+	}
+	return checkReplay(p, bare, st, ref, tr)
+}
+
+// checkReplay reruns the bare configuration driven by trace replay
+// instead of lockstep execution and asserts *every* statistic — cycle
+// count, per-category counters, cache stats, issue histogram — is
+// identical, plus the final architectural results. This is the guarantee
+// that lets the sweep engine substitute replay for execution: the two
+// source modes are indistinguishable to the timing model. Wrong-path
+// configurations instead assert the refusal is loud (replay has only the
+// architectural path to offer).
+func checkReplay(p *isa.Program, bare pipeline.Config, exec pipeline.Stats, ref *reference, tr *trace.Trace) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("verify: %s on %s (replay): %s", p.Name, bare.Name, fmt.Sprintf(format, args...))
+	}
+	if bare.WrongPathExecution {
+		if _, err := pipeline.NewReplay(bare, trace.NewReader(tr)); err == nil {
+			return fail("NewReplay accepted a wrong-path configuration")
+		}
+		return nil
+	}
+	sim, err := pipeline.NewReplay(bare, trace.NewReader(tr))
+	if err != nil {
+		return fail("%v", err)
+	}
+	st, err := sim.Run(maxCycles)
+	if err != nil {
+		return fail("%v", err)
+	}
+	// Host-performance telemetry legitimately differs between runs; all
+	// simulated metrics must not.
+	st.HostAllocs, st.HostWallSeconds = exec.HostAllocs, exec.HostWallSeconds
+	if st.Cycles != exec.Cycles || st.Committed != exec.Committed || st.EmuSteps != exec.EmuSteps {
+		return fail("cycles/committed/steps %d/%d/%d, execution-driven %d/%d/%d",
+			st.Cycles, st.Committed, st.EmuSteps, exec.Cycles, exec.Committed, exec.EmuSteps)
+	}
+	if st.Mispredicts != exec.Mispredicts || st.CondBranches != exec.CondBranches {
+		return fail("branches %d/%d mispredicted, execution-driven %d/%d",
+			st.Mispredicts, st.CondBranches, exec.Mispredicts, exec.CondBranches)
+	}
+	if st.SquashedUops != exec.SquashedUops || st.ForwardedLoads != exec.ForwardedLoads ||
+		st.InterClusterUops != exec.InterClusterUops {
+		return fail("squashed/forwarded/intercluster %d/%d/%d, execution-driven %d/%d/%d",
+			st.SquashedUops, st.ForwardedLoads, st.InterClusterUops,
+			exec.SquashedUops, exec.ForwardedLoads, exec.InterClusterUops)
+	}
+	if st.SchedulerStalls != exec.SchedulerStalls || st.PhysRegStalls != exec.PhysRegStalls ||
+		st.ROBStalls != exec.ROBStalls {
+		return fail("stalls sched/physreg/rob %d/%d/%d, execution-driven %d/%d/%d",
+			st.SchedulerStalls, st.PhysRegStalls, st.ROBStalls,
+			exec.SchedulerStalls, exec.PhysRegStalls, exec.ROBStalls)
+	}
+	if st.Cache != exec.Cache || st.ICache != exec.ICache {
+		return fail("cache stats %+v/%+v, execution-driven %+v/%+v",
+			st.Cache, st.ICache, exec.Cache, exec.ICache)
+	}
+	if got, want := st.IssuedPerCycle.Total(), exec.IssuedPerCycle.Total(); got != want {
+		return fail("issue histogram records %d cycles, execution-driven %d", got, want)
+	}
+	if got, want := st.IssuedPerCycle.Mean(), exec.IssuedPerCycle.Mean(); got != want {
+		return fail("issue histogram mean %v, execution-driven %v", got, want)
+	}
+	if sim.StateHash() != ref.hash {
+		return fail("final architectural state diverges")
+	}
+	out := sim.Output()
+	if len(out) != len(ref.output) {
+		return fail("output %v, reference %v", out, ref.output)
+	}
+	for i, v := range ref.output {
+		if out[i] != v {
+			return fail("output[%d] = %d, reference %d", i, out[i], v)
+		}
 	}
 	return nil
 }

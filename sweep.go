@@ -22,6 +22,9 @@ type RunMetrics struct {
 	Cycles    int64   `json:"cycles"`
 	Committed uint64  `json:"committed"`
 	IPC       float64 `json:"ipc"`
+	// EmuSteps mirrors Stats.EmuSteps: dynamic instructions the execution
+	// source produced — identical between lockstep and replay drive.
+	EmuSteps uint64 `json:"emu_steps"`
 	// WallSeconds is the host time this run took; for cached results it
 	// is the (negligible) lookup time.
 	WallSeconds float64 `json:"wall_seconds"`
@@ -35,6 +38,15 @@ type RunMetrics struct {
 	// computation, not this recall.
 	HostAllocs      uint64  `json:"host_allocs"`
 	HostWallSeconds float64 `json:"host_wall_seconds"`
+	// Replayed reports whether the simulation was driven by a shared
+	// pre-captured trace from the engine's trace pool instead of lockstep
+	// functional execution (false for cached results).
+	Replayed bool `json:"replayed,omitempty"`
+	// CaptureSeconds is the time this run spent blocked on its workload's
+	// one-time trace capture. WallSeconds excludes it: capture is a
+	// shared, per-workload cost (reported in TraceStats), not part of any
+	// one configuration's simulation cost.
+	CaptureSeconds float64 `json:"capture_seconds,omitempty"`
 }
 
 // CacheStats re-exports the run cache counters.
@@ -52,6 +64,14 @@ type Engine struct {
 	mu       sync.Mutex
 	observer func(RunMetrics)
 	runs     []RunMetrics
+
+	// Trace pool (tracepool.go): one shared execution trace per workload,
+	// captured single-flight, driving replay-capable simulations.
+	traceMu  sync.Mutex
+	traces   map[string]*traceEntry
+	traceDir string
+	noReplay bool
+	tstats   TraceStats
 }
 
 // NewEngine returns an Engine with an empty in-memory run cache.
@@ -102,14 +122,15 @@ func (e *Engine) runOne(cfg Config, workload string) (Stats, error) {
 		st     Stats
 		err    error
 		cached bool
+		attr   simAttribution
 	)
 	if key, ok := cfg.Key(); ok {
 		st, cached, err = e.cache.Do(key+"\x00"+workload, func() (Stats, error) {
-			return Run(cfg, workload)
+			return e.runSim(cfg, workload, &attr)
 		})
 	} else {
 		e.cache.RecordUncacheable()
-		st, err = Run(cfg, workload)
+		st, err = e.runSim(cfg, workload, &attr)
 	}
 	if err != nil {
 		return Stats{}, err
@@ -117,7 +138,10 @@ func (e *Engine) runOne(cfg Config, workload string) (Stats, error) {
 	// A cached result may have been computed under a renamed twin of this
 	// configuration; relabel the copy we hand back.
 	st.Config = cfg.Name
-	wall := time.Since(start).Seconds()
+	wall := time.Since(start).Seconds() - attr.captureSeconds
+	if wall < 0 {
+		wall = 0
+	}
 	m := RunMetrics{
 		Config:      cfg.Name,
 		Workload:    workload,
@@ -125,10 +149,14 @@ func (e *Engine) runOne(cfg Config, workload string) (Stats, error) {
 		Cycles:      st.Cycles,
 		Committed:   st.Committed,
 		IPC:         st.IPC(),
+		EmuSteps:    st.EmuSteps,
 		WallSeconds: wall,
 
 		HostAllocs:      st.HostAllocs,
 		HostWallSeconds: st.HostWallSeconds,
+
+		Replayed:       attr.replayed,
+		CaptureSeconds: attr.captureSeconds,
 	}
 	if !cached && wall > 0 {
 		m.MCyclesPerSec = float64(st.Cycles) / wall / 1e6

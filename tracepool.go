@@ -1,0 +1,209 @@
+package ce
+
+// The engine's trace pool: execute each workload once, time it under
+// every configuration. The functional behaviour of a workload is
+// configuration-independent, so the Engine captures one execution trace
+// per workload (single-flight, like the run cache) and drives every
+// replay-capable simulation from a shared read-only trace.Reader instead
+// of a private lockstep emulator. Wrong-path configurations, which must
+// execute down mispredicted paths, keep the lockstep machine; the
+// differential harness in internal/verify pins that both paths produce
+// identical statistics.
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+// TraceStats counts the engine's trace-pool activity. It separates the
+// one-time capture cost (CaptureSeconds, CaptureAllocs, one functional
+// execution per workload) from the per-simulation replay cost that
+// Stats.HostWallSeconds/HostAllocs report, and exposes the
+// executed-versus-replayed instruction balance a sweep achieves.
+type TraceStats struct {
+	// Captures is the number of workloads functionally executed to build
+	// a trace this process; DiskHits counts traces loaded from the trace
+	// directory instead.
+	Captures int `json:"captures"`
+	DiskHits int `json:"disk_hits"`
+	// ReplayRuns and LockstepRuns split fresh simulations by drive mode.
+	ReplayRuns   int `json:"replay_runs"`
+	LockstepRuns int `json:"lockstep_runs"`
+	// CaptureSeconds and CaptureAllocs are the wall time and heap
+	// allocations spent capturing traces — the one-time cost excluded
+	// from every run's WallSeconds and Stats.HostAllocs.
+	CaptureSeconds float64 `json:"capture_seconds"`
+	CaptureAllocs  uint64  `json:"capture_allocs"`
+	// StepsExecuted counts dynamic instructions resolved by functional
+	// execution (captures plus lockstep simulations); StepsReplayed
+	// counts those streamed from pre-captured traces.
+	StepsExecuted uint64 `json:"steps_executed"`
+	StepsReplayed uint64 `json:"steps_replayed"`
+}
+
+// traceEntry is one workload's slot in the pool: the first goroutine to
+// need the trace captures it while later ones wait on done (the same
+// single-flight shape as internal/runcache).
+type traceEntry struct {
+	done chan struct{}
+	tr   *trace.Trace
+	err  error
+}
+
+// SetTraceDir persists captured traces under dir (created if absent) in
+// the canonical on-disk format, so later processes reload them instead
+// of re-executing workloads. Corrupt or truncated files are dropped and
+// recaptured.
+func (e *Engine) SetTraceDir(dir string) error {
+	if err := trace.EnsureDir(dir); err != nil {
+		return err
+	}
+	e.traceMu.Lock()
+	e.traceDir = dir
+	e.traceMu.Unlock()
+	return nil
+}
+
+// SetTraceReplay toggles trace-replay drive for this engine's
+// simulations (default on). With replay off every simulation executes
+// its workload in lockstep, as pipeline.New does; the results are
+// identical either way.
+func (e *Engine) SetTraceReplay(on bool) {
+	e.traceMu.Lock()
+	e.noReplay = !on
+	e.traceMu.Unlock()
+}
+
+// TraceReplay reports whether trace-replay drive is enabled.
+func (e *Engine) TraceReplay() bool {
+	e.traceMu.Lock()
+	defer e.traceMu.Unlock()
+	return !e.noReplay
+}
+
+// TraceStats returns a snapshot of the engine's trace-pool counters.
+func (e *Engine) TraceStats() TraceStats {
+	e.traceMu.Lock()
+	defer e.traceMu.Unlock()
+	return e.tstats
+}
+
+// traceFor returns workload's shared trace, capturing it exactly once
+// per process however many configurations and goroutines ask.
+func (e *Engine) traceFor(workload string) (*trace.Trace, error) {
+	e.traceMu.Lock()
+	if ent, ok := e.traces[workload]; ok {
+		e.traceMu.Unlock()
+		<-ent.done
+		return ent.tr, ent.err
+	}
+	ent := &traceEntry{done: make(chan struct{})}
+	if e.traces == nil {
+		e.traces = make(map[string]*traceEntry)
+	}
+	e.traces[workload] = ent
+	dir := e.traceDir
+	e.traceMu.Unlock()
+	ent.tr, ent.err = e.captureTrace(workload, dir)
+	close(ent.done)
+	return ent.tr, ent.err
+}
+
+// captureTrace loads workload's trace from the trace directory or
+// captures it by functional execution, charging the cost to the pool's
+// counters rather than to whichever simulation happened to arrive first.
+func (e *Engine) captureTrace(workload, dir string) (*trace.Trace, error) {
+	w, err := prog.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	p, err := w.Program()
+	if err != nil {
+		return nil, err
+	}
+	if dir != "" {
+		if tr, err := trace.ReadFile(dir, p); err == nil {
+			e.traceMu.Lock()
+			e.tstats.DiskHits++
+			e.traceMu.Unlock()
+			return tr, nil
+		}
+		// Missing, or corrupt — ReadFile already removed a corrupt file,
+		// so the recapture below rewrites the slot.
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	startAllocs := ms.Mallocs
+	start := time.Now()
+	tr, err := trace.Capture(p, maxCycles)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&ms)
+	e.traceMu.Lock()
+	e.tstats.Captures++
+	e.tstats.CaptureSeconds += wall
+	e.tstats.CaptureAllocs += ms.Mallocs - startAllocs
+	e.tstats.StepsExecuted += tr.Steps()
+	e.traceMu.Unlock()
+	if dir != "" {
+		if err := tr.WriteFile(dir); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}
+
+// simAttribution carries cost attribution out of the run cache's compute
+// closure: how much of the observed wall time was the workload's
+// one-time trace capture (shared, reported separately) rather than this
+// simulation's own cost, and which drive mode ran.
+type simAttribution struct {
+	captureSeconds float64
+	replayed       bool
+}
+
+// runSim performs one fresh simulation for the engine, replay-driven
+// when possible. Configurations that cannot replay (wrong-path
+// execution) and capture failures fall back to lockstep execution;
+// either way the statistics are identical, only the host cost differs.
+func (e *Engine) runSim(cfg Config, workload string, attr *simAttribution) (Stats, error) {
+	e.traceMu.Lock()
+	replay := !e.noReplay && !cfg.WrongPathExecution
+	e.traceMu.Unlock()
+	if replay {
+		waitStart := time.Now()
+		tr, err := e.traceFor(workload)
+		attr.captureSeconds = time.Since(waitStart).Seconds()
+		if err == nil {
+			if sim, err := pipeline.NewReplay(cfg, trace.NewReader(tr)); err == nil {
+				st, err := sim.Run(maxCycles)
+				if err != nil {
+					return st, err
+				}
+				attr.replayed = true
+				e.traceMu.Lock()
+				e.tstats.ReplayRuns++
+				e.tstats.StepsReplayed += st.EmuSteps
+				e.traceMu.Unlock()
+				return st, nil
+			}
+		}
+		// Capture failed: fall through to lockstep, which reproduces (and
+		// properly attributes) whatever went wrong with the workload.
+	}
+	st, err := Run(cfg, workload)
+	if err != nil {
+		return st, err
+	}
+	e.traceMu.Lock()
+	e.tstats.LockstepRuns++
+	e.tstats.StepsExecuted += st.EmuSteps
+	e.traceMu.Unlock()
+	return st, nil
+}

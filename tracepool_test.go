@@ -1,0 +1,83 @@
+package ce
+
+import "testing"
+
+// TestEngineTracePoolEquivalence pins the engine-level replay contract:
+// a matrix run with the trace pool (default) and one with lockstep
+// drive produce identical simulation results, each workload is captured
+// exactly once however many configurations consume it, wrong-path
+// configurations fall back to lockstep, and the capture cost is
+// attributed to the pool rather than to any run.
+func TestEngineTracePoolEquivalence(t *testing.T) {
+	wp := BaselineConfig()
+	wp.WrongPathExecution = true
+	wp.Name += "+wrong-path"
+	cfgs := []Config{BaselineConfig(), DependenceConfig(), wp}
+	workloads := []string{"compress", "micro.branchy"}
+
+	replayEng := NewEngine()
+	lockEng := NewEngine()
+	lockEng.SetTraceReplay(false)
+
+	got, err := replayEng.RunMatrix(cfgs, workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lockEng.RunMatrix(cfgs, workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		for j := range workloads {
+			a, b := got[i][j], want[i][j]
+			if a.IssuedPerCycle.Total() != b.IssuedPerCycle.Total() ||
+				a.IssuedPerCycle.Mean() != b.IssuedPerCycle.Mean() {
+				t.Errorf("%s/%s: issue histograms diverge", cfgs[i].Name, workloads[j])
+			}
+			a.HostAllocs, b.HostAllocs = 0, 0
+			a.HostWallSeconds, b.HostWallSeconds = 0, 0
+			a.IssuedPerCycle, b.IssuedPerCycle = nil, nil
+			if a != b {
+				t.Errorf("%s/%s: replay-driven stats diverge from lockstep:\n  %+v\n  %+v",
+					cfgs[i].Name, workloads[j], a, b)
+			}
+		}
+	}
+
+	ts := replayEng.TraceStats()
+	if ts.Captures != len(workloads) || ts.DiskHits != 0 {
+		t.Errorf("replay engine captured %d workloads (%d disk hits), want %d captures",
+			ts.Captures, ts.DiskHits, len(workloads))
+	}
+	if ts.ReplayRuns != 4 || ts.LockstepRuns != 2 {
+		t.Errorf("replay engine ran %d replay / %d lockstep sims, want 4 / 2 (wrong-path falls back)",
+			ts.ReplayRuns, ts.LockstepRuns)
+	}
+	if ts.StepsReplayed == 0 || ts.StepsExecuted == 0 {
+		t.Errorf("degenerate step balance: %+v", ts)
+	}
+	if ls := lockEng.TraceStats(); ls.Captures != 0 || ls.ReplayRuns != 0 || ls.LockstepRuns != 6 {
+		t.Errorf("lockstep engine touched the trace pool: %+v", ls)
+	}
+
+	// Per-run metrics: fresh runs are marked by drive mode, and capture
+	// time is reported separately from (not inside) the run's wall time.
+	for _, m := range replayEng.Metrics() {
+		if m.Cached {
+			continue
+		}
+		wantReplay := m.Config != wp.Name
+		if m.Replayed != wantReplay {
+			t.Errorf("%s/%s: Replayed = %v, want %v", m.Config, m.Workload, m.Replayed, wantReplay)
+		}
+		if m.WallSeconds < 0 || m.CaptureSeconds < 0 {
+			t.Errorf("%s/%s: negative attribution: wall %g capture %g",
+				m.Config, m.Workload, m.WallSeconds, m.CaptureSeconds)
+		}
+	}
+	for _, m := range lockEng.Metrics() {
+		if !m.Cached && (m.Replayed || m.CaptureSeconds != 0) {
+			t.Errorf("%s/%s: lockstep run carries replay attribution: %+v", m.Config, m.Workload, m)
+		}
+	}
+}
