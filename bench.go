@@ -42,6 +42,9 @@ type SweepBenchResult struct {
 	// loaded from disk, runs by drive mode, one-time capture cost, and
 	// dynamic instructions functionally executed versus replayed.
 	Trace TraceStats `json:"trace"`
+	// Segment, when present, benchmarks segment-parallel sampled
+	// simulation against the monolithic baseline on a long workload.
+	Segment *SegmentBenchResult `json:"segment,omitempty"`
 }
 
 // SweepBench summarizes a finished sweep on eng, timed by the caller.

@@ -31,6 +31,16 @@
 //	-trace-dir DIR      persist captured traces on disk across invocations
 //	-no-trace-replay    drive every simulation by lockstep execution
 //
+// Segment-parallel simulation shards each trace into K segments timed
+// independently across CPUs and stitches the results:
+//
+//	-segments K         cut each trace into K segments (0 = monolithic)
+//	-warmup N           per-segment warmup prefix in instructions;
+//	                    -1 (default) replays the full prefix, making the
+//	                    stitched result bit-identical to the monolithic run
+//	-sample N           simulate every Nth segment and extrapolate the
+//	                    rest (approximate, reported with error bars)
+//
 // Host-performance flags for working on the simulator itself:
 //
 //	-bench-json FILE    benchmark the simulator on every verification-panel
@@ -72,6 +82,9 @@ var (
 	cacheDir   = flag.String("cache-dir", "", "persist simulation results as JSON under this directory")
 	traceDir   = flag.String("trace-dir", "", "persist captured execution traces under this directory")
 	noReplay   = flag.Bool("no-trace-replay", false, "drive every simulation by lockstep execution instead of shared trace replay")
+	segments   = flag.Int("segments", 0, "cut each trace into this many segments timed in parallel (0 = monolithic)")
+	segWarmup  = flag.Int64("warmup", -1, "per-segment warmup prefix in instructions (-1 = full prefix, exact stitching)")
+	segSample  = flag.Int("sample", 1, "simulate every Nth segment and extrapolate the rest (approximate)")
 	benchJSON  = flag.String("bench-json", "", "benchmark the simulator per panel config and write results to this file")
 	benchWork  = flag.String("bench-workload", "compress", "workload for -bench-json")
 	cpuprof    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -146,6 +159,9 @@ func setupObservability() (func() error, error) {
 		}
 	}
 	eng.SetTraceReplay(!*noReplay)
+	eng.SetSegments(*segments)
+	eng.SetSegmentWarmup(*segWarmup)
+	eng.SetSegmentSample(*segSample)
 	for _, path := range []string{*metrics, *metricsDet} {
 		if path == "" {
 			continue
@@ -377,8 +393,15 @@ func run() (err error) {
 		}
 		if sweepRan {
 			// A sweep ran in this invocation: record its whole-sweep
-			// performance next to the per-configuration benchmark.
+			// performance next to the per-configuration benchmark, plus
+			// the segment-parallel sampled benchmark on a workload long
+			// enough (millions of instructions) for segmentation to pay.
 			sb := ce.SweepBench(ce.DefaultEngine, sweepWall)
+			seg, err := ce.SegmentBench("compress.big", 16, 4, 1<<15)
+			if err != nil {
+				return err
+			}
+			sb.Segment = seg
 			path := filepath.Join(filepath.Dir(*benchJSON), "BENCH_sweep.json")
 			if err := ce.WriteSweepBenchJSON(path, sb); err != nil {
 				return err
@@ -386,6 +409,10 @@ func run() (err error) {
 			fmt.Printf("Sweep performance (written to %s): %d sims in %.1f s (%.1f sims/s); %d steps executed, %d replayed\n",
 				path, sb.Sims, sb.WallSeconds, sb.SimsPerSec,
 				sb.Trace.StepsExecuted, sb.Trace.StepsReplayed)
+			simulated := (seg.Segments + seg.Sample - 1) / seg.Sample
+			fmt.Printf("Segment benchmark on %s (%d steps): monolithic %.2f s, sampled %d/%d segments %.2f s — %.1fx; IPC %.3f vs %.3f (%+.1f%%)\n",
+				seg.Workload, seg.Steps, seg.MonoWallSeconds, simulated, seg.Segments,
+				seg.SampledWallSeconds, seg.Speedup, seg.SampledIPC, seg.MonoIPC, seg.IPCErrorPct)
 		}
 	}
 	// An unrecognized figure number used to fall through to the

@@ -1,19 +1,23 @@
 package prog
 
+import "fmt"
+
 // compress mirrors SPEC95 129.compress: an LZW-style compressor. The kernel
 // hashes (prefix, symbol) pairs into an open-addressed dictionary, emitting
 // a code whenever the pair is new. It produces the long serial dependence
 // chains through the hash table that made compress a low-ILP benchmark.
 
 const (
-	compressN       = 8000        // input bytes
+	compressN       = 8000        // input bytes (the paper-scale workload)
+	compressBigN    = 60_000      // input bytes for compress.big (~3.8M dynamic insts)
 	compressTabBits = 12          // 4096-entry dictionary
 	compressMaxCode = 3500        // stop growing the dictionary here
 	compressHashMul = -1640531527 // 2654435761 as int32 (Knuth multiplicative hash)
 )
 
-func compressRef() []int32 {
-	input := make([]byte, compressN)
+// compressRefN is the reference implementation for an n-symbol input.
+func compressRefN(n int) []int32 {
+	input := make([]byte, n)
 	s := int32(12345)
 	for i := range input {
 		s = lcg(s)
@@ -33,7 +37,7 @@ func compressRef() []int32 {
 		codes++
 		csum = csum*31 + w
 	}
-	for i := 1; i < compressN; i++ {
+	for i := 1; i < n; i++ {
 		c := int32(input[i])
 		key := w<<8 | c
 		idx := int32(uint32(key*compressHashMul)>>20) & mask
@@ -60,19 +64,19 @@ func compressRef() []int32 {
 	return []int32{codes, next, csum}
 }
 
-const compressSrc = `
+const compressSrcFmt = `
 # compress: LZW-style dictionary compressor (mirrors SPEC95 129.compress).
 		.data
-input:	.space 8000
+input:	.space %[1]d
 hkey:	.space 16384          # 4096 dictionary keys
 hval:	.space 16384          # 4096 dictionary codes
 		.text
 main:
-		# Generate the input: 8000 symbols in 0..7 from the shared LCG.
+		# Generate the input: N symbols in 0..7 from the shared LCG.
 		la   $s0, input
 		li   $t0, 12345        # seed
 		li   $t1, 0            # i
-		li   $s2, 8000         # N
+		li   $s2, %[1]d        # N
 		li   $t5, 1103515245
 gen:	mul  $t0, $t0, $t5
 		addi $t0, $t0, 12345
@@ -149,7 +153,17 @@ func init() {
 	register(&Workload{
 		Name:        "compress",
 		Description: "LZW-style dictionary compression over an 8000-symbol stream (mirrors SPEC95 129.compress)",
-		Source:      compressSrc,
-		Reference:   compressRef,
+		Source:      fmt.Sprintf(compressSrcFmt, compressN),
+		Reference:   func() []int32 { return compressRefN(compressN) },
+	})
+	// compress.big is the same kernel over a 60k-symbol stream (~3.8M
+	// dynamic instructions): long enough for segment-parallel simulation
+	// to pay off. Extension keeps it out of the default sweep matrix.
+	register(&Workload{
+		Name:        "compress.big",
+		Description: "LZW-style dictionary compression over a 60000-symbol stream (segment-parallel benchmark scale)",
+		Source:      fmt.Sprintf(compressSrcFmt, compressBigN),
+		Reference:   func() []int32 { return compressRefN(compressBigN) },
+		Extension:   true,
 	})
 }

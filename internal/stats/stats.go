@@ -54,7 +54,9 @@ func MinMax(xs []float64) (lo, hi float64) {
 }
 
 // Histogram is a fixed-bucket counter for small integer samples (e.g.
-// instructions issued per cycle).
+// instructions issued per cycle). Counts saturate at math.MaxUint64
+// instead of wrapping: merging many large per-segment histograms (the
+// time-parallel stitching path) must never silently overflow a total.
 type Histogram struct {
 	buckets []uint64
 	total   uint64
@@ -66,20 +68,21 @@ func NewHistogram(max int) *Histogram {
 	return &Histogram{buckets: make([]uint64, max+1)}
 }
 
+// satAdd returns a+b, clamped to math.MaxUint64 on overflow.
+func satAdd(a, b uint64) uint64 {
+	if s := a + b; s >= a {
+		return s
+	}
+	return math.MaxUint64
+}
+
 // Add records a sample.
 func (h *Histogram) Add(v int) {
-	if v < 0 {
-		v = 0
-	}
-	if v >= len(h.buckets) {
-		v = len(h.buckets) - 1
-	}
-	h.buckets[v]++
-	h.total++
+	h.AddN(v, 1)
 }
 
 // AddN records n identical samples (e.g. a run of idle cycles skipped in
-// one step).
+// one step). Counts saturate rather than wrap.
 func (h *Histogram) AddN(v int, n uint64) {
 	if v < 0 {
 		v = 0
@@ -87,8 +90,57 @@ func (h *Histogram) AddN(v int, n uint64) {
 	if v >= len(h.buckets) {
 		v = len(h.buckets) - 1
 	}
-	h.buckets[v] += n
-	h.total += n
+	h.buckets[v] = satAdd(h.buckets[v], n)
+	h.total = satAdd(h.total, n)
+}
+
+// Clone returns an independent deep copy of the histogram.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{buckets: make([]uint64, len(h.buckets)), total: h.total}
+	copy(c.buckets, h.buckets)
+	return c
+}
+
+// Merge adds every count of o into h (saturating). The receiver grows to
+// cover o's buckets if o is wider; o's clamping bucket then keeps its
+// identity rather than re-clamping into h's last bucket.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	if len(o.buckets) > len(h.buckets) {
+		grown := make([]uint64, len(o.buckets))
+		copy(grown, h.buckets)
+		h.buckets = grown
+	}
+	for v, n := range o.buckets {
+		h.buckets[v] = satAdd(h.buckets[v], n)
+	}
+	h.total = satAdd(h.total, o.total)
+}
+
+// SubCounts removes o's counts from h (h must be a later snapshot of the
+// same accumulation: every bucket of h must hold at least o's count).
+// This is how a measurement window's histogram is cut out of a run that
+// includes a discarded warmup prefix.
+func (h *Histogram) SubCounts(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if len(o.buckets) != len(h.buckets) {
+		return fmt.Errorf("stats: subtracting a %d-bucket histogram from a %d-bucket one", len(o.buckets), len(h.buckets))
+	}
+	for v, n := range o.buckets {
+		if h.buckets[v] < n {
+			return fmt.Errorf("stats: bucket %d underflow (%d - %d)", v, h.buckets[v], n)
+		}
+		h.buckets[v] -= n
+	}
+	if h.total < o.total {
+		return fmt.Errorf("stats: total underflow (%d - %d)", h.total, o.total)
+	}
+	h.total -= o.total
+	return nil
 }
 
 // Count returns the samples recorded in bucket v.
@@ -114,12 +166,22 @@ func (h *Histogram) Mean() float64 {
 	return float64(s) / float64(h.total)
 }
 
-// Percentile returns the p-th percentile bucket (0 ≤ p ≤ 100). p=0 is
-// defined as the minimum occupied bucket (and p=100 the maximum), so the
-// result is always a bucket that actually holds samples.
+// Percentile returns the p-th percentile bucket. p is clamped into
+// [0, 100]: p=0 is defined as the minimum occupied bucket (and p=100,
+// like any p above 100, the maximum), so the result is always a bucket
+// that actually holds samples.
 func (h *Histogram) Percentile(p float64) int {
 	if h.total == 0 {
 		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		// Without the clamp, target overshoots the sample count and the
+		// scan falls off the end, returning the last bucket even when it
+		// is empty.
+		p = 100
 	}
 	target := uint64(math.Ceil(p / 100 * float64(h.total)))
 	if target < 1 {
@@ -155,6 +217,27 @@ func (h *Histogram) UnmarshalJSON(data []byte) error {
 		h.total += n
 	}
 	return nil
+}
+
+// MeanCI95 returns the sample mean and the half-width of its 95%
+// confidence interval (normal approximation, 1.96·s/√n with the unbiased
+// sample standard deviation). The half-width is 0 for fewer than two
+// samples — with one observation no spread is estimable, and the caller
+// should treat the interval as unknown rather than tight. Used by the
+// sampled (SMARTS-style) simulation mode to put error bars on IPC
+// estimated from a subset of trace segments.
+func MeanCI95(xs []float64) (mean, half float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(len(xs)-1))
+	return mean, 1.96 * sd / math.Sqrt(float64(len(xs)))
 }
 
 // Median of a float slice (0 for empty).

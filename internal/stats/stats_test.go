@@ -163,6 +163,145 @@ func TestPercentileBounds(t *testing.T) {
 	}
 }
 
+// TestPercentileClamp is the regression test for out-of-range p: p>100
+// used to overshoot the sample count, walk off the occupied buckets and
+// return len(buckets)-1 even when that bucket was empty — violating the
+// documented "always an occupied bucket" contract. p is now clamped into
+// [0, 100].
+func TestPercentileClamp(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []int{2, 3, 3} {
+		h.Add(v)
+	}
+	// Bucket 10 is empty; every p above 100 must report the maximum
+	// occupied bucket, exactly like p=100.
+	for _, p := range []float64{100.0001, 150, 1e9, math.Inf(1)} {
+		if got := h.Percentile(p); got != 3 {
+			t.Errorf("Percentile(%g) = %d, want 3 (maximum occupied bucket)", p, got)
+		}
+	}
+	// Negative p clamps to the p=0 definition: the minimum occupied bucket.
+	for _, p := range []float64{-0.0001, -50, math.Inf(-1)} {
+		if got := h.Percentile(p); got != 2 {
+			t.Errorf("Percentile(%g) = %d, want 2 (minimum occupied bucket)", p, got)
+		}
+	}
+}
+
+// TestHistogramMerge covers the segment-stitching path: per-segment
+// histograms merged into one must agree with a single accumulation.
+func TestHistogramMerge(t *testing.T) {
+	whole := NewHistogram(8)
+	a, b := NewHistogram(8), NewHistogram(8)
+	for i, v := range []int{0, 1, 1, 3, 5, 8, 8, 2} {
+		whole.Add(v)
+		if i < 4 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	m := NewHistogram(8)
+	m.Merge(a)
+	m.Merge(b)
+	if m.Total() != whole.Total() || m.Mean() != whole.Mean() {
+		t.Errorf("merged total/mean %d/%g, want %d/%g", m.Total(), m.Mean(), whole.Total(), whole.Mean())
+	}
+	for v := 0; v <= 8; v++ {
+		if m.Count(v) != whole.Count(v) {
+			t.Errorf("merged count(%d) = %d, want %d", v, m.Count(v), whole.Count(v))
+		}
+	}
+	// Merging a wider histogram grows the receiver instead of re-clamping
+	// the wide one's buckets.
+	narrow, wide := NewHistogram(2), NewHistogram(6)
+	wide.Add(5)
+	narrow.Merge(wide)
+	if narrow.Count(5) != 1 || narrow.Count(2) != 0 {
+		t.Errorf("wide merge re-clamped: count(5)=%d count(2)=%d", narrow.Count(5), narrow.Count(2))
+	}
+	// Merging nil is a no-op.
+	narrow.Merge(nil)
+	if narrow.Total() != 1 {
+		t.Errorf("nil merge changed total to %d", narrow.Total())
+	}
+}
+
+// TestHistogramSaturation pins that AddN and Merge clamp at MaxUint64
+// instead of wrapping: stitching many large per-segment counts must
+// never silently overflow a total.
+func TestHistogramSaturation(t *testing.T) {
+	h := NewHistogram(4)
+	h.AddN(1, math.MaxUint64-5)
+	h.AddN(1, 100) // would wrap
+	if h.Total() != math.MaxUint64 || h.Count(1) != math.MaxUint64 {
+		t.Errorf("AddN wrapped: total %d, count %d", h.Total(), h.Count(1))
+	}
+	a, b := NewHistogram(4), NewHistogram(4)
+	a.AddN(2, math.MaxUint64-1)
+	b.AddN(2, math.MaxUint64-1)
+	a.Merge(b)
+	if a.Total() != math.MaxUint64 || a.Count(2) != math.MaxUint64 {
+		t.Errorf("Merge wrapped: total %d, count %d", a.Total(), a.Count(2))
+	}
+	// A saturated total still yields a sane (if approximate) mean.
+	if m := a.Mean(); math.IsNaN(m) || m < 0 {
+		t.Errorf("saturated mean = %g", m)
+	}
+}
+
+// TestHistogramCloneSub covers the warmup-discard path: a later snapshot
+// minus an earlier one leaves exactly the in-window counts, and Clone is
+// a deep copy.
+func TestHistogramCloneSub(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(1)
+	h.Add(2)
+	warm := h.Clone()
+	h.Add(2)
+	h.Add(4)
+	if warm.Count(2) != 1 {
+		t.Error("Clone is not a deep copy")
+	}
+	if err := h.SubCounts(warm); err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 2 || h.Count(2) != 1 || h.Count(4) != 1 || h.Count(1) != 0 {
+		t.Errorf("after SubCounts: total %d, counts %d/%d/%d", h.Total(), h.Count(1), h.Count(2), h.Count(4))
+	}
+	// Underflow (subtracting a later snapshot from an earlier one) is an
+	// error, not a wrap.
+	early, late := NewHistogram(2), NewHistogram(2)
+	late.Add(1)
+	if err := early.SubCounts(late); err == nil {
+		t.Error("SubCounts underflow not detected")
+	}
+	mismatched := NewHistogram(9)
+	if err := late.SubCounts(mismatched); err == nil {
+		t.Error("SubCounts width mismatch not detected")
+	}
+	if err := late.SubCounts(nil); err != nil {
+		t.Errorf("SubCounts(nil): %v", err)
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	mean, half := MeanCI95([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 {
+		t.Errorf("mean = %g, want 5", mean)
+	}
+	// Sample sd of this classic set is ≈2.138; 1.96·sd/√8 ≈ 1.4815.
+	if math.Abs(half-1.4815) > 0.01 {
+		t.Errorf("half-width = %g, want ≈1.4815", half)
+	}
+	if _, h := MeanCI95([]float64{3}); h != 0 {
+		t.Errorf("single-sample half-width = %g, want 0", h)
+	}
+	if m, h := MeanCI95(nil); m != 0 || h != 0 {
+		t.Errorf("empty MeanCI95 = %g ± %g", m, h)
+	}
+}
+
 // TestHistogramJSONRoundTrip guards the encoding used by the on-disk
 // run cache.
 func TestHistogramJSONRoundTrip(t *testing.T) {

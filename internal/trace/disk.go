@@ -13,7 +13,7 @@ import (
 
 // On-disk layout (all integers little-endian):
 //
-//	magic     "CETRACE\x01"           8 bytes
+//	magic     "CETRACE\x02"           8 bytes
 //	progHash  ProgHash(prog)         32 bytes
 //	entryPC   uint32                  4 bytes
 //	steps     uint64                  8 bytes
@@ -22,16 +22,26 @@ import (
 //	stateHash final StateHash        32 bytes
 //	packedLen uint64                  8 bytes
 //	packed    the dynamic stream     packedLen bytes
+//	nBounds   uint32                  4 bytes
+//	bounds    nBounds × {step uint64, pos uint64, pc uint32}
 //	checksum  sha256 of all above    32 bytes
+//
+// Version 2 appends the warm-start boundary table (see segment.go) after
+// the packed stream. Version-1 files fail the magic check and are
+// deleted and recaptured like any other stale trace — the table is a
+// property of the capture, so it cannot be synthesized from a v1 file
+// without replaying it anyway.
 //
 // The progHash pins the trace to one exact program image; the trailing
 // checksum detects truncation and bit rot. Readers treat any mismatch as
 // "no trace": the caller deletes the file and recaptures, mirroring
 // runcache.loadDisk's corrupt-entry hardening.
 
-var diskMagic = [8]byte{'C', 'E', 'T', 'R', 'A', 'C', 'E', 1}
+var diskMagic = [8]byte{'C', 'E', 'T', 'R', 'A', 'C', 'E', 2}
 
-const diskOverhead = 8 + 32 + 4 + 8 + 4 + 32 + 8 + 32
+const boundaryBytes = 8 + 8 + 4
+
+const diskOverhead = 8 + 32 + 4 + 8 + 4 + 32 + 8 + 4 + 32
 
 // DiskPath returns the canonical file name for a program's trace under
 // dir: content-addressed by program hash, so a recompiled program gets a
@@ -44,7 +54,7 @@ func diskPath(dir string, ph [32]byte) string {
 
 // Marshal serializes the trace into its canonical byte form.
 func (t *Trace) Marshal() []byte {
-	buf := make([]byte, 0, diskOverhead+4*len(t.output)+len(t.packed))
+	buf := make([]byte, 0, diskOverhead+4*len(t.output)+len(t.packed)+boundaryBytes*len(t.bounds))
 	buf = append(buf, diskMagic[:]...)
 	ph := ProgHash(t.prog)
 	buf = append(buf, ph[:]...)
@@ -57,6 +67,12 @@ func (t *Trace) Marshal() []byte {
 	buf = append(buf, t.stateHash[:]...)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(t.packed)))
 	buf = append(buf, t.packed...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.bounds)))
+	for _, b := range t.bounds {
+		buf = binary.LittleEndian.AppendUint64(buf, b.Step)
+		buf = binary.LittleEndian.AppendUint64(buf, b.Pos)
+		buf = binary.LittleEndian.AppendUint32(buf, b.PC)
+	}
 	sum := sha256.Sum256(buf)
 	return append(buf, sum[:]...)
 }
@@ -96,10 +112,25 @@ func Unmarshal(data []byte, p *isa.Program) (*Trace, error) {
 	t.stateHash = [32]byte(body[:32])
 	packedLen := binary.LittleEndian.Uint64(body[32:40])
 	body = body[40:]
-	if uint64(len(body)) != packedLen {
+	if uint64(len(body)) < packedLen+4 {
 		return nil, fmt.Errorf("trace: packed stream is %d bytes, header says %d", len(body), packedLen)
 	}
-	t.packed = body
+	t.packed = body[:packedLen]
+	body = body[packedLen:]
+	nBounds := binary.LittleEndian.Uint32(body)
+	body = body[4:]
+	if uint64(len(body)) != uint64(nBounds)*boundaryBytes {
+		return nil, fmt.Errorf("trace: boundary table is %d bytes, header says %d entries", len(body), nBounds)
+	}
+	t.bounds = make([]Boundary, nBounds)
+	for i := range t.bounds {
+		t.bounds[i] = Boundary{
+			Step: binary.LittleEndian.Uint64(body),
+			Pos:  binary.LittleEndian.Uint64(body[8:]),
+			PC:   binary.LittleEndian.Uint32(body[16:]),
+		}
+		body = body[boundaryBytes:]
+	}
 	if t.entryPC != entryPC(p) {
 		return nil, fmt.Errorf("trace: entry pc %d does not match the program's %d", t.entryPC, entryPC(p))
 	}

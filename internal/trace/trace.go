@@ -45,6 +45,11 @@ type Trace struct {
 	packed  []byte
 	n       uint64 // dynamic records in packed
 
+	// bounds are periodic warm-start points (every boundaryInterval
+	// records) captured during the one functional execution; see
+	// segment.go.
+	bounds []Boundary
+
 	output    []int32
 	stateHash [32]byte
 }
@@ -112,6 +117,7 @@ type Recorder struct {
 	prog   *isa.Program
 	packed []byte
 	n      uint64
+	bounds []Boundary
 	expect uint64 // machine.Executed after the last recorded step
 	nextPC uint32
 	err    error
@@ -182,6 +188,11 @@ func (r *Recorder) append(rec emu.Record) {
 		}
 	}
 	r.n++
+	if r.n%boundaryInterval == 0 {
+		// A boundary is the replay cursor after r.n records: rec.NextPC is
+		// the next instruction a Reader positioned here would decode.
+		r.bounds = append(r.bounds, Boundary{Step: r.n, Pos: uint64(len(r.packed)), PC: rec.NextPC})
+	}
 }
 
 // Finish seals the capture into an immutable Trace. The machine must
@@ -201,6 +212,7 @@ func (r *Recorder) Finish() (*Trace, error) {
 		entryPC:   entryPC(r.prog),
 		packed:    r.packed,
 		n:         r.n,
+		bounds:    r.bounds,
 		output:    out,
 		stateHash: r.m.StateHash(),
 	}, nil

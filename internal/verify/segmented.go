@@ -1,0 +1,156 @@
+package verify
+
+// Differential verification of the segment-parallel seam
+// (internal/pipeline's segment.go, orchestrated by the root package):
+// stitched full-warmup segment runs must equal the monolithic replay
+// run on every deterministic statistic, and sampled finite-warmup
+// stitching must land inside its stated error bars. Generated panel
+// programs are too short to cross a boundary, so this check runs on
+// named workloads long enough to segment.
+
+import (
+	"fmt"
+
+	"repro/internal/pipeline"
+	"repro/internal/prog"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// sampledTolerance is the error bar CheckSegmented holds sampled
+// stitching to: the monolithic IPC must lie within the per-segment 95%
+// confidence interval widened by this relative slack (finite warmup
+// biases every segment the same way, which a CI over segments cannot
+// see).
+const sampledTolerance = 0.10
+
+// CheckSegmented differentially verifies segment-parallel simulation of
+// one named workload against every replay-capable panel configuration,
+// cutting the trace into (up to) k segments. Wrong-path configurations
+// are skipped: they cannot replay, so the engine never segments them.
+func CheckSegmented(workload string, k int) error {
+	w, err := prog.ByName(workload)
+	if err != nil {
+		return err
+	}
+	p, err := w.Program()
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Capture(p, maxInsts)
+	if err != nil {
+		return fmt.Errorf("verify: %s: %w", workload, err)
+	}
+	if tr.Boundaries() == 0 {
+		return fmt.Errorf("verify: %s (%d steps) has no segment boundaries; pick a longer workload", workload, tr.Steps())
+	}
+	for _, cfg := range Panel() {
+		if cfg.WrongPathExecution {
+			continue
+		}
+		bare := cfg
+		bare.CheckInvariants = false
+		bare.RecordTimeline = false
+		if err := checkSegmentedOne(bare, tr, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkSegmentedOne(cfg pipeline.Config, tr *trace.Trace, k int) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("verify: %s on %s (segmented): %s", tr.Program().Name, cfg.Name, fmt.Sprintf(format, args...))
+	}
+	sim, err := pipeline.NewReplay(cfg, trace.NewReader(tr))
+	if err != nil {
+		return fail("%v", err)
+	}
+	mono, err := sim.Run(maxCycles)
+	if err != nil {
+		return fail("%v", err)
+	}
+	segs := tr.Segments(k)
+	if len(segs) < 2 {
+		return fail("Segments(%d) produced %d segments from %d boundaries", k, len(segs), tr.Boundaries())
+	}
+
+	// Exact regime: full warmup, every segment. The stitched statistics
+	// must equal the monolithic run's on every deterministic field.
+	parts := make([]pipeline.Stats, len(segs))
+	for i, seg := range segs {
+		parts[i], err = pipeline.RunSegment(cfg, tr, seg, -1, maxCycles)
+		if err != nil {
+			return fail("segment %d: %v", i, err)
+		}
+	}
+	stitched, err := pipeline.StitchStats(parts)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if err := diffStats(stitched, mono); err != nil {
+		return fail("full-warmup stitch: %v", err)
+	}
+
+	// Sampled regime: finite warmup, every second segment. The estimate
+	// must stay inside its stated error bars against the monolithic IPC.
+	var ipcs []float64
+	for i := 0; i < len(segs); i += 2 {
+		st, err := pipeline.RunSegment(cfg, tr, segs[i], 1<<14, maxCycles)
+		if err != nil {
+			return fail("sampled segment %d: %v", i, err)
+		}
+		ipcs = append(ipcs, st.IPC())
+	}
+	mean, half := stats.MeanCI95(ipcs)
+	slack := half + sampledTolerance*mean
+	if d := mean - mono.IPC(); d > slack || d < -slack {
+		return fail("sampled IPC %.4f ± %.4f misses monolithic %.4f (tolerance %.4f)",
+			mean, half, mono.IPC(), slack)
+	}
+	return nil
+}
+
+// diffStats reports the first deterministic statistic on which got
+// diverges from want (host telemetry is exempt — it measures the runs
+// themselves, which legitimately differ).
+func diffStats(got, want pipeline.Stats) error {
+	cmp := func(g, w uint64, what string) error {
+		if g != w {
+			return fmt.Errorf("%s = %d, monolithic %d", what, g, w)
+		}
+		return nil
+	}
+	if got.Cycles != want.Cycles {
+		return fmt.Errorf("cycles = %d, monolithic %d", got.Cycles, want.Cycles)
+	}
+	checks := []error{
+		cmp(got.Committed, want.Committed, "committed"),
+		cmp(got.EmuSteps, want.EmuSteps, "emu steps"),
+		cmp(got.CondBranches, want.CondBranches, "cond branches"),
+		cmp(got.Mispredicts, want.Mispredicts, "mispredicts"),
+		cmp(got.InterClusterUops, want.InterClusterUops, "inter-cluster uops"),
+		cmp(got.ForwardedLoads, want.ForwardedLoads, "forwarded loads"),
+		cmp(got.SquashedUops, want.SquashedUops, "squashed uops"),
+		cmp(got.SchedulerStalls, want.SchedulerStalls, "scheduler stalls"),
+		cmp(got.PhysRegStalls, want.PhysRegStalls, "physreg stalls"),
+		cmp(got.ROBStalls, want.ROBStalls, "rob stalls"),
+	}
+	for _, err := range checks {
+		if err != nil {
+			return err
+		}
+	}
+	if got.Cache != want.Cache || got.ICache != want.ICache {
+		return fmt.Errorf("cache stats %+v/%+v, monolithic %+v/%+v", got.Cache, got.ICache, want.Cache, want.ICache)
+	}
+	if g, w := got.IssuedPerCycle.Total(), want.IssuedPerCycle.Total(); g != w {
+		return fmt.Errorf("issue histogram records %d cycles, monolithic %d", g, w)
+	}
+	for v := 0; v <= 16; v++ {
+		if g, w := got.IssuedPerCycle.Count(v), want.IssuedPerCycle.Count(v); g != w {
+			return fmt.Errorf("issue histogram bucket %d = %d, monolithic %d", v, g, w)
+		}
+	}
+	return nil
+}

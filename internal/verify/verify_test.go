@@ -65,3 +65,13 @@ func TestDifferentialSeededCorpus(t *testing.T) {
 		t.Errorf("corpus took %v, budget 60s", d)
 	}
 }
+
+// TestCheckSegmented pins the segment-parallel seam on a workload long
+// enough to cross warm-start boundaries: exact stitching equals the
+// monolithic run on every replay-capable panel configuration, and
+// sampled stitching stays inside its error bars.
+func TestCheckSegmented(t *testing.T) {
+	if err := CheckSegmented("micro.branchy", 4); err != nil {
+		t.Error(err)
+	}
+}

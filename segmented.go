@@ -1,0 +1,306 @@
+package ce
+
+// Segment-parallel simulation: shard one workload's trace into K
+// segments at the boundaries captured during its single functional
+// execution, time each segment independently (fanning out across CPUs),
+// and stitch the per-segment Stats back into one whole-run result.
+//
+// Two regimes, chosen by the engine's segment plan:
+//
+//   - Exact (warmup < 0, sample 1): each segment replays its full
+//     prefix as warmup, so the stitched result is bit-identical to the
+//     monolithic run (the telescoping argument in internal/pipeline's
+//     segment.go) and shares the monolithic run-cache key. Total work
+//     is O(K·N), so this mode trades CPU for latency: wall clock drops
+//     only when idle cores absorb the redundant prefixes.
+//
+//   - Sampled (finite warmup and/or sample > 1): each measured segment
+//     warms caches and predictors over a bounded prefix, and only every
+//     sample-th segment is simulated. Total work drops to roughly
+//     (warmup + N/K) · K/sample records, which is where the real
+//     speedup lives; the result is an estimate and carries a
+//     per-segment-IPC confidence interval. Approximate results are
+//     cached under a key suffixed with the plan so they can never
+//     shadow (or be shadowed by) an exact run.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// SegmentMetrics describes how a segmented run was conducted and, for
+// sampled runs, how tight the estimate is.
+type SegmentMetrics struct {
+	// Segments is how many segments the trace was cut into; Simulated is
+	// how many were actually timed (== Segments unless sampling).
+	Segments  int `json:"segments"`
+	Simulated int `json:"simulated"`
+	// Warmup is the per-segment warmup prefix in committed instructions
+	// (-1 = full prefix, the exact mode).
+	Warmup int64 `json:"warmup"`
+	// Sample is the sampling stride: every Sample-th segment is timed.
+	Sample int `json:"sample"`
+	// Exact reports whether the stitched result is bit-identical to the
+	// monolithic run (full warmup, no sampling).
+	Exact bool `json:"exact"`
+	// IPCMean and IPCHalfCI95 summarize the per-segment IPC population:
+	// the mean and the half-width of its 95% confidence interval.
+	IPCMean     float64 `json:"ipc_mean"`
+	IPCHalfCI95 float64 `json:"ipc_half_ci95"`
+	// EstimatedCycles extrapolates the whole-run cycle count from the
+	// sampled segments (equals the stitched cycles when Sample is 1).
+	EstimatedCycles int64 `json:"estimated_cycles"`
+}
+
+// SetSegments selects segment-parallel simulation for this engine's
+// replay-driven runs: each workload's trace is cut into (up to) k
+// segments timed independently. k <= 1 restores monolithic simulation.
+func (e *Engine) SetSegments(k int) {
+	e.traceMu.Lock()
+	e.segments = k
+	e.traceMu.Unlock()
+}
+
+// SetSegmentWarmup sets the per-segment warmup prefix, in committed
+// instructions, whose cycles are discarded before a segment's
+// measurement window opens. Negative means the full prefix (exact
+// stitching, the default); 0 means cold-start at the boundary.
+func (e *Engine) SetSegmentWarmup(warmup int64) {
+	e.traceMu.Lock()
+	e.segWarmup = warmup
+	e.traceMu.Unlock()
+}
+
+// SetSegmentSample sets the sampling stride: every sample-th segment is
+// simulated and the rest extrapolated. sample <= 1 simulates every
+// segment.
+func (e *Engine) SetSegmentSample(sample int) {
+	e.traceMu.Lock()
+	e.segSample = sample
+	e.traceMu.Unlock()
+}
+
+// segmentPlan snapshots the engine's segment configuration.
+func (e *Engine) segmentPlan() (k int, warmup int64, sample int) {
+	e.traceMu.Lock()
+	defer e.traceMu.Unlock()
+	k, warmup, sample = e.segments, e.segWarmup, e.segSample
+	if sample < 1 {
+		sample = 1
+	}
+	return k, warmup, sample
+}
+
+// segKeySuffix returns the run-cache key suffix for the engine's
+// current segment plan under cfg. Exact segmentation ("" as well as no
+// segmentation at all) shares the monolithic key — the results are
+// bit-identical, so a cache hit either way is correct. Approximate
+// plans get a distinct suffix so an estimate can never masquerade as an
+// exact result. Wrong-path configurations cannot replay and therefore
+// always run monolithic, whatever the plan says.
+func (e *Engine) segKeySuffix(cfg Config) string {
+	e.traceMu.Lock()
+	k, warmup, sample, noReplay := e.segments, e.segWarmup, e.segSample, e.noReplay
+	e.traceMu.Unlock()
+	if sample < 1 {
+		sample = 1
+	}
+	if k <= 1 || noReplay || cfg.WrongPathExecution {
+		return ""
+	}
+	if warmup < 0 && sample == 1 {
+		return "" // exact: same bits as the monolithic run
+	}
+	return fmt.Sprintf("\x00segments=%d warmup=%d sample=%d", k, warmup, sample)
+}
+
+// runSegments fans the given segment indices out across CPUs, running
+// pipeline.RunSegment for each, and returns the per-segment Stats in
+// index order. The fan-out lives here — not in internal/pipeline, which
+// is //ce:deterministic and goroutine-free — so each worker runs a
+// fully independent Simulator over the shared read-only trace.
+func runSegments(cfg Config, tr *trace.Trace, segs []trace.Segment, pick []int, warmup int64) ([]Stats, error) {
+	parts := make([]Stats, len(pick))
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		firstIdx int
+	)
+	idx := make(chan int)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pick) {
+		workers = len(pick)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				st, err := pipeline.RunSegment(cfg, tr, segs[pick[i]], warmup, maxCycles)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil || i < firstIdx {
+						firstErr, firstIdx = err, i
+					}
+					errMu.Unlock()
+					continue
+				}
+				parts[i] = st
+			}
+		}()
+	}
+	for i := range pick {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return parts, nil
+}
+
+// runSegmented performs one segment-parallel simulation of (cfg, tr)
+// under the given plan and returns the stitched Stats plus the segment
+// metrics recorded into the run's attribution.
+func (e *Engine) runSegmented(cfg Config, tr *trace.Trace, k int, warmup int64, sample int, attr *simAttribution) (Stats, error) {
+	segs := tr.Segments(k)
+	pick := make([]int, 0, (len(segs)+sample-1)/sample)
+	for i := 0; i < len(segs); i += sample {
+		pick = append(pick, i)
+	}
+	parts, err := runSegments(cfg, tr, segs, pick, warmup)
+	if err != nil {
+		return Stats{}, err
+	}
+	st, err := pipeline.StitchStats(parts)
+	if err != nil {
+		return Stats{}, err
+	}
+	ipcs := make([]float64, len(parts))
+	for i, p := range parts {
+		ipcs[i] = p.IPC()
+	}
+	mean, half := stats.MeanCI95(ipcs)
+	exact := warmup < 0 && sample == 1
+	sm := &SegmentMetrics{
+		Segments:        len(segs),
+		Simulated:       len(parts),
+		Warmup:          warmup,
+		Sample:          sample,
+		Exact:           exact,
+		IPCMean:         mean,
+		IPCHalfCI95:     half,
+		EstimatedCycles: st.Cycles,
+	}
+	if sample > 1 && mean > 0 {
+		// Extrapolate: the whole trace at the sampled segments' mean IPC.
+		sm.EstimatedCycles = int64(float64(tr.Steps()) / mean)
+	}
+	attr.segments = sm
+	e.traceMu.Lock()
+	e.tstats.ReplayRuns++
+	e.tstats.SegmentRuns++
+	e.tstats.SegmentsSimulated += len(parts)
+	e.tstats.StepsReplayed += st.EmuSteps
+	e.traceMu.Unlock()
+	return st, nil
+}
+
+// SegmentBenchResult quantifies what segment-parallel simulation buys
+// on one (config, workload) pair: the monolithic baseline against the
+// sampled segmented run, with the estimate's error and the wall-clock
+// speedup.
+type SegmentBenchResult struct {
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+	Segments int    `json:"segments"`
+	Sample   int    `json:"sample"`
+	Warmup   int64  `json:"warmup"`
+	Steps    uint64 `json:"steps"`
+
+	MonoWallSeconds float64 `json:"mono_wall_seconds"`
+	MonoCycles      int64   `json:"mono_cycles"`
+	MonoIPC         float64 `json:"mono_ipc"`
+
+	SampledWallSeconds float64 `json:"sampled_wall_seconds"`
+	SampledIPC         float64 `json:"sampled_ipc"`
+	IPCHalfCI95        float64 `json:"ipc_half_ci95"`
+	// IPCErrorPct is the sampled IPC's signed error against the
+	// monolithic truth, in percent.
+	IPCErrorPct float64 `json:"ipc_error_pct"`
+	// Speedup is MonoWallSeconds / SampledWallSeconds.
+	Speedup float64 `json:"speedup"`
+}
+
+// SegmentBench measures segment-parallel sampled simulation against the
+// monolithic baseline on one workload under the baseline configuration.
+// The trace is captured (or loaded) up front so neither side is charged
+// for it.
+func SegmentBench(workload string, segments, sample int, warmup int64) (*SegmentBenchResult, error) {
+	eng := NewEngine()
+	tr, err := eng.traceFor(workload)
+	if err != nil {
+		return nil, err
+	}
+	cfg := BaselineConfig()
+
+	start := time.Now()
+	sim, err := pipeline.NewReplay(cfg, trace.NewReader(tr))
+	if err != nil {
+		return nil, err
+	}
+	mono, err := sim.Run(maxCycles)
+	if err != nil {
+		return nil, err
+	}
+	monoWall := time.Since(start).Seconds()
+
+	segs := tr.Segments(segments)
+	pick := make([]int, 0, len(segs))
+	for i := 0; i < len(segs); i += max(sample, 1) {
+		pick = append(pick, i)
+	}
+	start = time.Now()
+	parts, err := runSegments(cfg, tr, segs, pick, warmup)
+	if err != nil {
+		return nil, err
+	}
+	sampledWall := time.Since(start).Seconds()
+	ipcs := make([]float64, len(parts))
+	for i, p := range parts {
+		ipcs[i] = p.IPC()
+	}
+	mean, half := stats.MeanCI95(ipcs)
+
+	res := &SegmentBenchResult{
+		Workload: workload,
+		Config:   cfg.Name,
+		Segments: len(segs),
+		Sample:   sample,
+		Warmup:   warmup,
+		Steps:    tr.Steps(),
+
+		MonoWallSeconds: monoWall,
+		MonoCycles:      mono.Cycles,
+		MonoIPC:         mono.IPC(),
+
+		SampledWallSeconds: sampledWall,
+		SampledIPC:         mean,
+		IPCHalfCI95:        half,
+	}
+	if res.MonoIPC > 0 {
+		res.IPCErrorPct = (mean - res.MonoIPC) / res.MonoIPC * 100
+	}
+	if sampledWall > 0 {
+		res.Speedup = monoWall / sampledWall
+	}
+	return res, nil
+}

@@ -1,0 +1,172 @@
+package ce
+
+import (
+	"testing"
+)
+
+// eqStats compares the deterministic Stats fields (host telemetry
+// legitimately differs between a monolithic run and a segmented one).
+func eqStats(t *testing.T, label string, got, want Stats) {
+	t.Helper()
+	g, w := got, want
+	g.HostAllocs, w.HostAllocs = 0, 0
+	g.HostWallSeconds, w.HostWallSeconds = 0, 0
+	gh, wh := g.IssuedPerCycle, w.IssuedPerCycle
+	g.IssuedPerCycle, w.IssuedPerCycle = nil, nil
+	if g != w {
+		t.Errorf("%s: stats diverge:\n  got  %+v\n  want %+v", label, g, w)
+	}
+	if gh.Total() != wh.Total() {
+		t.Errorf("%s: issue histogram records %d cycles, want %d", label, gh.Total(), wh.Total())
+	}
+	for v := 0; v <= 8; v++ {
+		if gh.Count(v) != wh.Count(v) {
+			t.Errorf("%s: issue histogram bucket %d = %d, want %d", label, v, gh.Count(v), wh.Count(v))
+		}
+	}
+}
+
+// TestEngineSegmentedExactMatchesMonolithic is the engine-level
+// exactness differential: a matrix run under full-warmup segmentation
+// must reproduce the monolithic engine's results bit for bit, and its
+// runs must carry Exact segment metrics.
+func TestEngineSegmentedExactMatchesMonolithic(t *testing.T) {
+	cfgs := []Config{BaselineConfig(), DependenceConfig()}
+	ws := []string{"micro.branchy"}
+
+	mono := NewEngine()
+	want, err := mono.RunMatrix(cfgs, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := NewEngine()
+	seg.SetSegments(4)
+	got, err := seg.RunMatrix(cfgs, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range cfgs {
+		eqStats(t, cfgs[ci].Name, got[ci][0], want[ci][0])
+	}
+	ts := seg.TraceStats()
+	if ts.SegmentRuns != len(cfgs) {
+		t.Errorf("segment runs = %d, want %d", ts.SegmentRuns, len(cfgs))
+	}
+	if ts.SegmentsSimulated < 2*len(cfgs) {
+		t.Errorf("segments simulated = %d, want ≥ %d", ts.SegmentsSimulated, 2*len(cfgs))
+	}
+	for _, m := range seg.Metrics() {
+		if m.Segments == nil {
+			t.Fatalf("run %s/%s carries no segment metrics", m.Config, m.Workload)
+		}
+		if !m.Segments.Exact {
+			t.Errorf("full-warmup run %s/%s not marked exact", m.Config, m.Workload)
+		}
+		if m.Segments.Simulated != m.Segments.Segments {
+			t.Errorf("unsampled run simulated %d of %d segments", m.Segments.Simulated, m.Segments.Segments)
+		}
+		if !m.Replayed {
+			t.Errorf("segmented run %s/%s not marked replayed", m.Config, m.Workload)
+		}
+	}
+}
+
+// TestEngineSegmentedSharesExactCacheKey pins the cache-key policy:
+// exact segmentation shares the monolithic key (the bits are
+// identical), while approximate plans are keyed separately in both
+// directions.
+func TestEngineSegmentedSharesExactCacheKey(t *testing.T) {
+	eng := NewEngine()
+	w := []string{"micro.branchy"}
+	if _, err := eng.RunMatrix([]Config{BaselineConfig()}, w); err != nil {
+		t.Fatal(err)
+	}
+	if cs := eng.CacheStats(); cs.Misses != 1 {
+		t.Fatalf("monolithic run: %+v", cs)
+	}
+	// Exact segmentation: same result, so the cache may (must) serve it.
+	eng.SetSegments(4)
+	if _, err := eng.RunMatrix([]Config{BaselineConfig()}, w); err != nil {
+		t.Fatal(err)
+	}
+	if cs := eng.CacheStats(); cs.Misses != 1 || cs.Saved() != 1 {
+		t.Errorf("exact segmented run did not share the monolithic key: %+v", cs)
+	}
+	// Finite warmup is an estimate: it must not be served the exact
+	// result, nor poison it for the monolithic run that follows.
+	eng.SetSegmentWarmup(1 << 14)
+	if _, err := eng.RunMatrix([]Config{BaselineConfig()}, w); err != nil {
+		t.Fatal(err)
+	}
+	if cs := eng.CacheStats(); cs.Misses != 2 {
+		t.Errorf("approximate plan shared the exact key: %+v", cs)
+	}
+	eng.SetSegments(0)
+	if _, err := eng.RunMatrix([]Config{BaselineConfig()}, w); err != nil {
+		t.Fatal(err)
+	}
+	if cs := eng.CacheStats(); cs.Misses != 2 || cs.Saved() != 2 {
+		t.Errorf("monolithic rerun after approximate plan: %+v", cs)
+	}
+}
+
+// TestEngineSampledSegments exercises the sampling stride: every
+// second segment is simulated, the metrics say so, and the IPC estimate
+// lands near the monolithic truth.
+func TestEngineSampledSegments(t *testing.T) {
+	mono := NewEngine()
+	want, err := mono.RunMatrix([]Config{BaselineConfig()}, []string{"micro.branchy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine()
+	eng.SetSegments(4)
+	eng.SetSegmentWarmup(1 << 14)
+	eng.SetSegmentSample(2)
+	if _, err := eng.RunMatrix([]Config{BaselineConfig()}, []string{"micro.branchy"}); err != nil {
+		t.Fatal(err)
+	}
+	ms := eng.Metrics()
+	if len(ms) != 1 || ms[0].Segments == nil {
+		t.Fatalf("expected one run with segment metrics, got %+v", ms)
+	}
+	sm := ms[0].Segments
+	if sm.Exact {
+		t.Error("sampled run marked exact")
+	}
+	if sm.Simulated >= sm.Segments {
+		t.Errorf("sampling simulated %d of %d segments", sm.Simulated, sm.Segments)
+	}
+	if sm.IPCMean <= 0 {
+		t.Errorf("sampled IPC mean %v", sm.IPCMean)
+	}
+	trueIPC := want[0][0].IPC()
+	if sm.IPCMean < trueIPC*0.8 || sm.IPCMean > trueIPC*1.2 {
+		t.Errorf("sampled IPC %.3f not within 20%% of monolithic %.3f", sm.IPCMean, trueIPC)
+	}
+	if sm.EstimatedCycles <= 0 {
+		t.Errorf("estimated cycles %d", sm.EstimatedCycles)
+	}
+}
+
+// TestSegmentBench smoke-tests the benchmark harness on a small
+// workload: both sides run, the speedup is computed, and the estimate
+// is self-consistent.
+func TestSegmentBench(t *testing.T) {
+	res, err := SegmentBench("micro.branchy", 4, 2, 1<<13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MonoCycles <= 0 || res.MonoIPC <= 0 {
+		t.Fatalf("monolithic side empty: %+v", res)
+	}
+	if res.SampledIPC <= 0 || res.Speedup <= 0 {
+		t.Fatalf("sampled side empty: %+v", res)
+	}
+	if res.Segments < 2 || res.Sample != 2 {
+		t.Errorf("plan not honoured: %+v", res)
+	}
+	if res.IPCErrorPct < -50 || res.IPCErrorPct > 50 {
+		t.Errorf("sampled IPC off by %.1f%%", res.IPCErrorPct)
+	}
+}

@@ -47,6 +47,9 @@ type RunMetrics struct {
 	// shared, per-workload cost (reported in TraceStats), not part of any
 	// one configuration's simulation cost.
 	CaptureSeconds float64 `json:"capture_seconds,omitempty"`
+	// Segments describes the segment-parallel plan this run used, when
+	// one was active (nil for monolithic and cached results).
+	Segments *SegmentMetrics `json:"segments,omitempty"`
 }
 
 // CacheStats re-exports the run cache counters.
@@ -72,11 +75,20 @@ type Engine struct {
 	traceDir string
 	noReplay bool
 	tstats   TraceStats
+
+	// Segment plan (segmented.go): shard replay-driven runs into
+	// segments timed in parallel. Guarded by traceMu with the rest of
+	// the replay configuration.
+	segments  int
+	segWarmup int64
+	segSample int
 }
 
 // NewEngine returns an Engine with an empty in-memory run cache.
+// Segment warmup defaults to the full prefix (-1): if segmentation is
+// enabled without choosing a warmup, stitching stays exact.
 func NewEngine() *Engine {
-	return &Engine{cache: runcache.New()}
+	return &Engine{cache: runcache.New(), segWarmup: -1}
 }
 
 // DefaultEngine is the process-wide engine behind the package-level
@@ -125,6 +137,9 @@ func (e *Engine) runOne(cfg Config, workload string) (Stats, error) {
 		attr   simAttribution
 	)
 	if key, ok := cfg.Key(); ok {
+		// Approximate segment plans suffix the key so an estimate can
+		// never be recalled as (or instead of) an exact result.
+		key += e.segKeySuffix(cfg)
 		st, cached, err = e.cache.Do(key+"\x00"+workload, func() (Stats, error) {
 			return e.runSim(cfg, workload, &attr)
 		})
@@ -157,6 +172,7 @@ func (e *Engine) runOne(cfg Config, workload string) (Stats, error) {
 
 		Replayed:       attr.replayed,
 		CaptureSeconds: attr.captureSeconds,
+		Segments:       attr.segments,
 	}
 	if !cached && wall > 0 {
 		m.MCyclesPerSec = float64(st.Cycles) / wall / 1e6

@@ -43,6 +43,10 @@ type TraceStats struct {
 	// counts those streamed from pre-captured traces.
 	StepsExecuted uint64 `json:"steps_executed"`
 	StepsReplayed uint64 `json:"steps_replayed"`
+	// SegmentRuns counts replay runs conducted segment-parallel
+	// (segmented.go); SegmentsSimulated totals the segments they timed.
+	SegmentRuns       int `json:"segment_runs,omitempty"`
+	SegmentsSimulated int `json:"segments_simulated,omitempty"`
 }
 
 // traceEntry is one workload's slot in the pool: the first goroutine to
@@ -58,13 +62,46 @@ type traceEntry struct {
 // the canonical on-disk format, so later processes reload them instead
 // of re-executing workloads. Corrupt or truncated files are dropped and
 // recaptured.
+//
+// Calling SetTraceDir after traces are already pooled used to leave the
+// earlier captures in-memory only — never written anywhere — while the
+// pool kept serving them, so the directory silently missed exactly the
+// workloads that had run first. On a directory change the pool is now
+// reconciled: completed captures are flushed to the new directory, and
+// failed or still-in-flight slots are dropped so their next consumer
+// retries against the new directory.
 func (e *Engine) SetTraceDir(dir string) error {
 	if err := trace.EnsureDir(dir); err != nil {
 		return err
 	}
 	e.traceMu.Lock()
+	if dir == e.traceDir {
+		e.traceMu.Unlock()
+		return nil
+	}
 	e.traceDir = dir
+	var flush []*trace.Trace
+	for w, ent := range e.traces {
+		select {
+		case <-ent.done:
+			if ent.err != nil || ent.tr == nil {
+				delete(e.traces, w)
+				continue
+			}
+			flush = append(flush, ent.tr)
+		default:
+			// In-flight capture racing the dir change: its waiters keep the
+			// entry pointer they already hold, but the pool forgets it so
+			// later callers capture (and persist) under the new directory.
+			delete(e.traces, w)
+		}
+	}
 	e.traceMu.Unlock()
+	for _, tr := range flush {
+		if err := tr.WriteFile(dir); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -166,6 +203,8 @@ func (e *Engine) captureTrace(workload, dir string) (*trace.Trace, error) {
 type simAttribution struct {
 	captureSeconds float64
 	replayed       bool
+	// segments is non-nil when the run was conducted segment-parallel.
+	segments *SegmentMetrics
 }
 
 // runSim performs one fresh simulation for the engine, replay-driven
@@ -181,6 +220,17 @@ func (e *Engine) runSim(cfg Config, workload string, attr *simAttribution) (Stat
 		tr, err := e.traceFor(workload)
 		attr.captureSeconds = time.Since(waitStart).Seconds()
 		if err == nil {
+			if k, warmup, sample := e.segmentPlan(); k > 1 {
+				// Segment-parallel drive. Errors surface rather than fall
+				// back: a failing segment run means a real defect (the seam
+				// is differentially verified), not a workload property.
+				st, err := e.runSegmented(cfg, tr, k, warmup, sample, attr)
+				if err != nil {
+					return st, err
+				}
+				attr.replayed = true
+				return st, nil
+			}
 			if sim, err := pipeline.NewReplay(cfg, trace.NewReader(tr)); err == nil {
 				st, err := sim.Run(maxCycles)
 				if err != nil {

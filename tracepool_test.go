@@ -1,6 +1,11 @@
 package ce
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
 
 // TestEngineTracePoolEquivalence pins the engine-level replay contract:
 // a matrix run with the trace pool (default) and one with lockstep
@@ -79,5 +84,62 @@ func TestEngineTracePoolEquivalence(t *testing.T) {
 		if !m.Cached && (m.Replayed || m.CaptureSeconds != 0) {
 			t.Errorf("%s/%s: lockstep run carries replay attribution: %+v", m.Config, m.Workload, m)
 		}
+	}
+}
+
+// TestSetTraceDirFlushesPool is the regression test for SetTraceDir
+// called after traces are already pooled: the earlier captures used to
+// stay in-memory only (never persisted anywhere), so the directory
+// silently missed exactly the workloads that ran first. A directory
+// change now flushes every completed capture to the new directory.
+func TestSetTraceDirFlushesPool(t *testing.T) {
+	eng := NewEngine()
+	if _, err := eng.RunMatrix([]Config{BaselineConfig()}, []string{"micro.branchy"}); err != nil {
+		t.Fatal(err)
+	}
+	if ts := eng.TraceStats(); ts.Captures != 1 {
+		t.Fatalf("expected 1 pooled capture, got %+v", ts)
+	}
+
+	dir := t.TempDir()
+	if err := eng.SetTraceDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pooled trace must now exist on disk under the new directory.
+	w, err := prog.ByName("micro.branchy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.ReadFile(dir, p); err != nil {
+		t.Fatalf("pooled trace was not flushed to the new dir: %v", err)
+	}
+
+	// A fresh engine pointed at the same directory loads the flushed
+	// trace instead of re-executing the workload.
+	eng2 := NewEngine()
+	if err := eng2.SetTraceDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.RunMatrix([]Config{BaselineConfig()}, []string{"micro.branchy"}); err != nil {
+		t.Fatal(err)
+	}
+	if ts := eng2.TraceStats(); ts.DiskHits != 1 || ts.Captures != 0 {
+		t.Errorf("fresh engine did not load the flushed trace: %+v", ts)
+	}
+
+	// Setting the same directory again is a no-op (no error, pool kept).
+	if err := eng.SetTraceDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunMatrix([]Config{DependenceConfig()}, []string{"micro.branchy"}); err != nil {
+		t.Fatal(err)
+	}
+	if ts := eng.TraceStats(); ts.Captures != 1 {
+		t.Errorf("pool was dropped on a no-op dir change: %+v", ts)
 	}
 }
