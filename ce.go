@@ -125,6 +125,28 @@ func FourWayConfig() Config {
 	return c
 }
 
+// CustomConfig mounts an arbitrary scheduler spec on the shared Table 3
+// 8-way machine: single-cycle uniform bypass when clusters == 1, one
+// extra inter-cluster bypass cycle otherwise (the paper's Section 5.4
+// assumption). The functional units split evenly across clusters, so
+// clusters must divide the issue width of 8. This is the entry point
+// cesweepd's POST /run uses for requests that describe a scheduler
+// instead of naming a stock configuration.
+func CustomConfig(name string, clusters int, sched core.SchedulerSpec) (Config, error) {
+	if clusters < 1 || 8%clusters != 0 {
+		return Config{}, fmt.Errorf("ce: %d clusters cannot split 8 functional units evenly (want 1, 2, 4 or 8)", clusters)
+	}
+	interDelay := 0
+	if clusters > 1 {
+		interDelay = 1
+	}
+	return table3(name, clusters, interDelay, sched), nil
+}
+
+// SchedulerSpec re-exports the serializable scheduler description
+// consumed by CustomConfig.
+type SchedulerSpec = core.SchedulerSpec
+
 // WithPredictor returns a copy of cfg using the named branch predictor
 // (ablation support). The predictor is recorded as a serializable name,
 // not a factory closure, so the result keeps its run-cache eligibility.

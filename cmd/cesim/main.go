@@ -19,20 +19,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"sort"
 
 	"repro"
 )
-
-var configs = map[string]func() ce.Config{
-	"baseline":         ce.BaselineConfig,
-	"dependence":       ce.DependenceConfig,
-	"clustered":        ce.ClusteredDependenceConfig,
-	"windows-dispatch": ce.WindowsDispatchConfig,
-	"exec-steer":       ce.ExecSteeredConfig,
-	"random-steer":     ce.RandomSteerConfig,
-	"4way":             ce.FourWayConfig,
-}
 
 var (
 	configName = flag.String("config", "baseline", "machine configuration")
@@ -98,14 +87,10 @@ func startProfiling(cpu, mem string) (stop func() error, err error) {
 
 func run() error {
 	if *list {
-		var names []string
-		for n := range configs {
-			names = append(names, n)
-		}
-		sort.Strings(names)
 		fmt.Println("configurations:")
-		for _, n := range names {
-			fmt.Printf("  %-18s %s\n", n, configs[n]().Name)
+		for _, n := range ce.ConfigNames() {
+			cfg, _ := ce.NamedConfig(n)
+			fmt.Printf("  %-18s %s\n", n, cfg.Name)
 		}
 		fmt.Println("workloads:")
 		for _, w := range ce.Workloads() {
@@ -117,11 +102,10 @@ func run() error {
 		}
 		return nil
 	}
-	mk, ok := configs[*configName]
+	cfg, ok := ce.NamedConfig(*configName)
 	if !ok {
 		return fmt.Errorf("unknown config %q (try -list)", *configName)
 	}
-	cfg := mk()
 	if *predictor != "" {
 		var err error
 		cfg, err = ce.WithPredictor(cfg, *predictor)

@@ -11,6 +11,7 @@
 //	cesweep -tradeoff      # window-size trade-off (extension)
 //	cesweep -all           # everything
 //	cesweep -all -csv      # CSV output
+//	cesweep -fig 13 -json  # canonical JSON (byte-identical to cesweepd)
 //
 // Sweeps share one content-addressed run cache, so a (config, workload)
 // pair revisited by several figures is simulated once per process.
@@ -76,6 +77,7 @@ var (
 	profiles   = flag.Bool("profiles", false, "print dynamic workload profiles (extension)")
 	all        = flag.Bool("all", false, "regenerate every simulation result")
 	csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut    = flag.Bool("json", false, "emit figures and the frontier as canonical JSON (the cesweepd wire format)")
 	verbose    = flag.Bool("v", false, "print per-run progress and cache statistics to stderr")
 	metrics    = flag.String("metrics-json", "", "write per-run metrics and cache statistics to this file as JSON")
 	metricsDet = flag.String("metrics-det", "", "write deterministic per-run metrics (stable order, host timings scrubbed) to this file as JSON")
@@ -300,30 +302,59 @@ func run() (err error) {
 	}()
 	ran := false
 	sweepStart := time.Now()
-	if *figure == 13 || *all {
-		ran = true
-		cmp, err := ce.Figure13()
+	// -json emits the canonical wire dump cesweepd serves for the same
+	// selection, sharing ce.FigureJSON/ce.FrontierJSON with the daemon so
+	// the two outputs are byte-identical (CI compares them).
+	emitFigureJSON := func(n int) error {
+		data, err := ce.FigureJSON(n)
 		if err != nil {
 			return err
 		}
-		emit(cmp.IPCTable("Figure 13: IPC of the dependence-based microarchitecture"))
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if *figure == 13 || *all {
+		ran = true
+		if *jsonOut {
+			if err := emitFigureJSON(13); err != nil {
+				return err
+			}
+		} else {
+			cmp, err := ce.Figure13()
+			if err != nil {
+				return err
+			}
+			emit(cmp.IPCTable("Figure 13: IPC of the dependence-based microarchitecture"))
+		}
 	}
 	if *figure == 15 || *all {
 		ran = true
-		cmp, err := ce.Figure15()
-		if err != nil {
-			return err
+		if *jsonOut {
+			if err := emitFigureJSON(15); err != nil {
+				return err
+			}
+		} else {
+			cmp, err := ce.Figure15()
+			if err != nil {
+				return err
+			}
+			emit(cmp.IPCTable("Figure 15: IPC of the clustered dependence-based microarchitecture"))
 		}
-		emit(cmp.IPCTable("Figure 15: IPC of the clustered dependence-based microarchitecture"))
 	}
 	if *figure == 17 || *all {
 		ran = true
-		cmp, err := ce.Figure17()
-		if err != nil {
-			return err
+		if *jsonOut {
+			if err := emitFigureJSON(17); err != nil {
+				return err
+			}
+		} else {
+			cmp, err := ce.Figure17()
+			if err != nil {
+				return err
+			}
+			emit(cmp.IPCTable("Figure 17 (top): IPC of clustered microarchitectures"))
+			emit(cmp.BypassTable("Figure 17 (bottom): inter-cluster bypass frequency"))
 		}
-		emit(cmp.IPCTable("Figure 17 (top): IPC of clustered microarchitectures"))
-		emit(cmp.BypassTable("Figure 17 (bottom): inter-cluster bypass frequency"))
 	}
 	if *speedup || *all {
 		ran = true
@@ -357,11 +388,21 @@ func run() (err error) {
 	}
 	if *frontier || *all {
 		ran = true
-		pts, err := ce.Frontier()
-		if err != nil {
-			return err
+		if *jsonOut {
+			data, err := ce.FrontierJSON()
+			if err != nil {
+				return err
+			}
+			if _, err := os.Stdout.Write(data); err != nil {
+				return err
+			}
+		} else {
+			pts, err := ce.Frontier()
+			if err != nil {
+				return err
+			}
+			emit(ce.FrontierTable(pts))
 		}
-		emit(ce.FrontierTable(pts))
 	}
 	if *profiles || *all {
 		ran = true

@@ -1,0 +1,36 @@
+package ce
+
+import "sort"
+
+// namedConfigs is the registry of stock machine configurations by short
+// name, shared by cesim's -config flag and cesweepd's POST /run API.
+var namedConfigs = map[string]func() Config{
+	"baseline":         BaselineConfig,
+	"dependence":       DependenceConfig,
+	"clustered":        ClusteredDependenceConfig,
+	"windows-dispatch": WindowsDispatchConfig,
+	"exec-steer":       ExecSteeredConfig,
+	"random-steer":     RandomSteerConfig,
+	"4way":             FourWayConfig,
+}
+
+// NamedConfig returns the stock configuration registered under the given
+// short name ("baseline", "dependence", "clustered", "windows-dispatch",
+// "exec-steer", "random-steer", "4way").
+func NamedConfig(name string) (Config, bool) {
+	mk, ok := namedConfigs[name]
+	if !ok {
+		return Config{}, false
+	}
+	return mk(), true
+}
+
+// ConfigNames returns the registered short names in sorted order.
+func ConfigNames() []string {
+	names := make([]string, 0, len(namedConfigs))
+	for n := range namedConfigs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

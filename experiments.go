@@ -9,7 +9,6 @@ import (
 	"repro/internal/vlsi"
 )
 
-
 // IPCComparison holds one simulated figure: IPC per workload for a set of
 // machine organizations, in configuration order.
 type IPCComparison struct {
@@ -66,8 +65,12 @@ func (c *IPCComparison) Degradation(ci int) []float64 {
 }
 
 func runComparison(cfgs []Config) (*IPCComparison, error) {
+	return DefaultEngine.runComparison(cfgs)
+}
+
+func (e *Engine) runComparison(cfgs []Config) (*IPCComparison, error) {
 	ws := Workloads()
-	res, err := RunMatrix(cfgs, ws)
+	res, err := e.RunMatrix(cfgs, ws)
 	if err != nil {
 		return nil, err
 	}
@@ -76,15 +79,21 @@ func runComparison(cfgs []Config) (*IPCComparison, error) {
 
 // Figure13 regenerates Figure 13: IPC of the baseline window machine
 // versus the (unclustered) dependence-based machine.
-func Figure13() (*IPCComparison, error) {
-	return runComparison([]Config{BaselineConfig(), DependenceConfig()})
+func Figure13() (*IPCComparison, error) { return DefaultEngine.Figure13() }
+
+// Figure13 regenerates Figure 13 through this engine's cache and store.
+func (e *Engine) Figure13() (*IPCComparison, error) {
+	return e.runComparison([]Config{BaselineConfig(), DependenceConfig()})
 }
 
 // Figure15 regenerates Figure 15: IPC of the baseline window machine
 // versus the 2×4-way clustered dependence-based machine (2-cycle
 // inter-cluster bypass).
-func Figure15() (*IPCComparison, error) {
-	return runComparison([]Config{BaselineConfig(), ClusteredDependenceConfig()})
+func Figure15() (*IPCComparison, error) { return DefaultEngine.Figure15() }
+
+// Figure15 regenerates Figure 15 through this engine's cache and store.
+func (e *Engine) Figure15() (*IPCComparison, error) {
+	return e.runComparison([]Config{BaselineConfig(), ClusteredDependenceConfig()})
 }
 
 // Figure17 regenerates Figure 17: the clustered design space — ideal
@@ -92,10 +101,13 @@ func Figure15() (*IPCComparison, error) {
 // windows with dispatch steering, central window with execution-driven
 // steering, and clustered windows with random steering. The same runs
 // provide both the IPC panel and the inter-cluster bypass panel.
-func Figure17() (*IPCComparison, error) {
+func Figure17() (*IPCComparison, error) { return DefaultEngine.Figure17() }
+
+// Figure17 regenerates Figure 17 through this engine's cache and store.
+func (e *Engine) Figure17() (*IPCComparison, error) {
 	ideal := BaselineConfig()
 	ideal.Name = "1cluster-1window"
-	return runComparison([]Config{
+	return e.runComparison([]Config{
 		ideal,
 		ClusteredDependenceConfig(),
 		WindowsDispatchConfig(),

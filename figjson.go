@@ -1,0 +1,107 @@
+package ce
+
+import (
+	"fmt"
+
+	"repro/internal/canonjson"
+)
+
+// The canonical JSON renderings of the simulated figures and the
+// frontier. These are the deterministic dumps served by cesweepd's
+// GET /figure/{N} and GET /frontier endpoints and emitted by
+// cesweep -json; both go through the same encoder over the same
+// deterministic simulation results, so a daemon response and a CLI dump
+// of the same selection are byte-identical — which is what CI compares.
+
+// figureDump is the canonical JSON form of one simulated figure.
+// Matrices are indexed [config][workload].
+type figureDump struct {
+	Figure    int         `json:"figure"`
+	Workloads []string    `json:"workloads"`
+	Configs   []string    `json:"configs"`
+	IPC       [][]float64 `json:"ipc"`
+	// BypassPct is the inter-cluster bypass frequency in percent
+	// (Figure 17 bottom panel only).
+	BypassPct [][]float64 `json:"bypass_pct,omitempty"`
+}
+
+// FigureJSON runs (or recalls) figure n's matrix through DefaultEngine
+// and returns its canonical JSON rendering. Valid figures are 13, 15
+// and 17.
+func FigureJSON(n int) ([]byte, error) { return DefaultEngine.FigureJSON(n) }
+
+// FigureJSON renders figure n through this engine's cache and store.
+func (e *Engine) FigureJSON(n int) ([]byte, error) {
+	var (
+		cmp *IPCComparison
+		err error
+	)
+	switch n {
+	case 13:
+		cmp, err = e.Figure13()
+	case 15:
+		cmp, err = e.Figure15()
+	case 17:
+		cmp, err = e.Figure17()
+	default:
+		return nil, fmt.Errorf("ce: unknown figure %d (want 13, 15 or 17)", n)
+	}
+	if err != nil {
+		return nil, err
+	}
+	dump := figureDump{Figure: n, Workloads: cmp.Workloads}
+	for ci, cfg := range cmp.Configs {
+		dump.Configs = append(dump.Configs, cfg.Name)
+		ipcRow := make([]float64, len(cmp.Workloads))
+		for wi := range cmp.Workloads {
+			ipcRow[wi] = cmp.Results[ci][wi].IPC()
+		}
+		dump.IPC = append(dump.IPC, ipcRow)
+	}
+	if n == 17 {
+		for ci := range cmp.Configs {
+			row := make([]float64, len(cmp.Workloads))
+			for wi := range cmp.Workloads {
+				row[wi] = cmp.Results[ci][wi].InterClusterFrequency() * 100
+			}
+			dump.BypassPct = append(dump.BypassPct, row)
+		}
+	}
+	return canonjson.Marshal(dump)
+}
+
+// frontierDump is the canonical JSON form of the frontier ranking.
+type frontierDump struct {
+	Points []frontierPointDump `json:"points"`
+}
+
+type frontierPointDump struct {
+	Rank         int     `json:"rank"`
+	Organization string  `json:"organization"`
+	MeanIPC      float64 `json:"mean_ipc"`
+	ClockPs      float64 `json:"clock_ps"`
+	BIPS         float64 `json:"bips"`
+}
+
+// FrontierJSON evaluates the complexity-effectiveness frontier through
+// DefaultEngine and returns its canonical JSON rendering, best first.
+func FrontierJSON() ([]byte, error) { return DefaultEngine.FrontierJSON() }
+
+// FrontierJSON renders the frontier through this engine's cache and store.
+func (e *Engine) FrontierJSON() ([]byte, error) {
+	pts, err := e.Frontier()
+	if err != nil {
+		return nil, err
+	}
+	var dump frontierDump
+	for i, p := range pts {
+		dump.Points = append(dump.Points, frontierPointDump{
+			Rank:         i + 1,
+			Organization: p.Name,
+			MeanIPC:      p.MeanIPC,
+			ClockPs:      p.ClockPs,
+			BIPS:         p.BIPS,
+		})
+	}
+	return canonjson.Marshal(dump)
+}

@@ -32,7 +32,10 @@ type FrontierPoint struct {
 // IPC × estimated clock (0.18 µm). The paper's thesis appears directly in
 // the ranking: wide window machines lose their IPC advantage to their
 // clock, and the clustered dependence-based machine tops the list.
-func Frontier() ([]FrontierPoint, error) {
+func Frontier() ([]FrontierPoint, error) { return DefaultEngine.Frontier() }
+
+// Frontier evaluates the frontier through this engine's cache and store.
+func (e *Engine) Frontier() ([]FrontierPoint, error) {
 	tech := vlsi.Tech018
 	type cand struct {
 		cfg     Config
@@ -118,7 +121,7 @@ func Frontier() ([]FrontierPoint, error) {
 	for i := range cands {
 		cfgs[i] = cands[i].cfg
 	}
-	res, err := RunMatrix(cfgs, ws)
+	res, err := e.RunMatrix(cfgs, ws)
 	if err != nil {
 		return nil, err
 	}

@@ -21,7 +21,7 @@ func TestMain(m *testing.M) {
 	}
 	defer os.RemoveAll(dir)
 	binDir = dir
-	for _, tool := range []string{"cedelay", "cesim", "cesweep", "ceasm"} {
+	for _, tool := range []string{"cedelay", "cesim", "cesweep", "cesweepd", "ceasm"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "repro/cmd/"+tool)
 		cmd.Dir = repoRoot()
 		if out, err := cmd.CombinedOutput(); err != nil {

@@ -1,0 +1,104 @@
+// Package lease provides a cross-process mutual-exclusion protocol over
+// a shared directory, built from nothing but lock files. It is what lets
+// N cesweepd daemons (or concurrent cesweep invocations) share one
+// -cache-dir/-trace-dir store and deduplicate work instead of
+// duplicating it: before computing an expensive artifact, a process
+// tries to acquire the artifact's lease; losers poll for the artifact to
+// appear on disk while the winner computes it.
+//
+// The protocol must survive crashed holders — a daemon killed mid-
+// simulation cannot be allowed to brick a key for every other process —
+// so leases go stale: a holder refreshes its lock file's mtime while it
+// works, and any process finding a lock whose mtime is older than the
+// TTL breaks it and takes over. Lock files are created with
+// O_CREATE|O_EXCL, which is atomic on the local filesystems the store
+// targets, and carry the holder's PID and start time for debuggability.
+package lease
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// DefaultTTL is the staleness horizon: a lock untouched for this long is
+// considered abandoned by a crashed holder and may be broken. Holders
+// refresh well inside it (every TTL/4), so only a process that stopped
+// refreshing — crashed, SIGKILLed, or wedged — ever loses its lease.
+const DefaultTTL = 30 * time.Second
+
+// Lease is a held lock. Release it exactly once.
+type Lease struct {
+	path string
+	stop chan struct{}
+	done chan struct{}
+}
+
+// TryAcquire attempts to take the lock file at path (conventionally the
+// guarded artifact's path plus a ".lock" suffix). It returns (lease,
+// true) on success. On failure — some other live process holds the lock
+// — it returns (nil, false) without blocking. A lock whose mtime is
+// older than ttl is treated as abandoned: it is removed and acquisition
+// is retried once. ttl <= 0 uses DefaultTTL.
+func TryAcquire(path string, ttl time.Duration) (*Lease, bool) {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "pid %d acquired %s\n", os.Getpid(), time.Now().UTC().Format(time.RFC3339))
+			f.Close()
+			l := &Lease{path: path, stop: make(chan struct{}), done: make(chan struct{})}
+			go l.refresh(ttl / 4)
+			return l, true
+		}
+		if !os.IsExist(err) {
+			// The directory is unwritable or gone; the caller degrades to
+			// computing without a lease (it may duplicate work, never lose it).
+			return nil, false
+		}
+		info, serr := os.Stat(path)
+		if serr != nil {
+			// The holder released between our open and stat; retry the open.
+			continue
+		}
+		if time.Since(info.ModTime()) < ttl {
+			return nil, false
+		}
+		// Stale: the holder stopped refreshing. Break the lock and retry.
+		// Two processes may race to remove the same stale lock; both
+		// removes succeed (or one sees ENOENT) and the O_EXCL create on the
+		// next iteration elects a single new holder.
+		_ = os.Remove(path)
+	}
+	return nil, false
+}
+
+// refresh keeps the lock visibly alive by bumping its mtime until
+// Release. A refresh failure is deliberately ignored: if the file was
+// broken by another process (clock skew, an aggressive TTL), the worst
+// case is duplicated computation, which the store's canonical-bytes
+// atomic-rename writes make harmless.
+func (l *Lease) refresh(every time.Duration) {
+	defer close(l.done)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			now := time.Now()
+			_ = os.Chtimes(l.path, now, now)
+		}
+	}
+}
+
+// Release removes the lock file and stops the refresher. It is safe to
+// call on a lease whose file was already broken by a peer.
+func (l *Lease) Release() {
+	close(l.stop)
+	<-l.done
+	_ = os.Remove(l.path)
+}

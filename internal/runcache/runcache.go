@@ -7,19 +7,28 @@
 // The cache is concurrency-safe and single-flight: when two goroutines
 // request the same key, one computes and the other waits for (and
 // shares) the result. With a directory configured, results also persist
-// as JSON, so repeated sweep invocations skip simulation entirely.
+// as JSON, so repeated sweep invocations skip simulation entirely. The
+// in-memory tier can be bounded (SetLimit) into a warm LRU over the disk
+// tier, and SetShared extends single-flight across processes sharing one
+// directory via a lock-file lease protocol (internal/lease), which is
+// what lets N cesweepd daemons on one store deduplicate work.
 package runcache
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+	"syscall"
+	"time"
 
 	"repro/internal/canonjson"
+	"repro/internal/lease"
 	"repro/internal/pipeline"
 )
 
@@ -32,13 +41,22 @@ type Stats struct {
 	// Coalesced are lookups that joined an in-flight computation of the
 	// same key (single-flight duplicates).
 	Coalesced uint64 `json:"coalesced"`
-	// DiskHits are lookups served from the persistence directory.
+	// DiskHits are lookups served from the persistence directory
+	// (including results another process computed under a lease while we
+	// waited; see LeaseWaits).
 	DiskHits uint64 `json:"disk_hits"`
 	// Misses are lookups that ran the simulator.
 	Misses uint64 `json:"misses"`
 	// Uncacheable are runs bypassing the cache because their
 	// configuration has no fingerprint (opaque factory closures).
 	Uncacheable uint64 `json:"uncacheable"`
+	// LeaseWaits are lookups that found another process holding the
+	// key's lease and obtained the result by waiting for it to appear on
+	// disk — cross-process coalescing. Each is also counted in DiskHits.
+	LeaseWaits uint64 `json:"lease_waits,omitempty"`
+	// Evictions are completed entries dropped from the bounded in-memory
+	// tier; with a directory configured they remain recallable from disk.
+	Evictions uint64 `json:"evictions,omitempty"`
 }
 
 // Lookups returns the total number of cache consultations.
@@ -52,26 +70,53 @@ func (s Stats) Saved() uint64 {
 }
 
 type entry struct {
+	key  string
 	done chan struct{}
 	st   pipeline.Stats
 	err  error
+	// elem is the entry's node in the warm-LRU list while the entry is
+	// completed and resident; nil otherwise. Guarded by Cache.mu.
+	elem *list.Element
 }
 
 // Cache is a content-addressed memo of simulation results.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*entry
-	dir     string
-	stats   Stats
+	// lru orders completed resident entries, most recently used first.
+	// In-flight entries are not listed (they cannot be evicted).
+	lru   *list.List
+	limit int
+	dir   string
+	// shared enables the cross-process lease protocol on the directory.
+	shared    bool
+	leaseTTL  time.Duration
+	leasePoll time.Duration
+	stats     Stats
 }
 
 // New returns an empty in-memory cache.
 func New() *Cache {
-	return &Cache{entries: make(map[string]*entry)}
+	return &Cache{
+		entries:   make(map[string]*entry),
+		lru:       list.New(),
+		leaseTTL:  lease.DefaultTTL,
+		leasePoll: 20 * time.Millisecond,
+	}
 }
 
 // SetDir enables on-disk persistence under dir (created if missing).
 // An empty dir disables persistence.
+//
+// Results memoized before SetDir are not lost to the disk tier: every
+// completed successful entry is backfilled to the new directory, the
+// same reconciliation the engine's trace pool performs on SetTraceDir.
+// (Before this, a daemon that warmed its cache and then gained a store
+// would serve those results from memory forever while the directory —
+// and every other process sharing it — silently missed them.)
+// In-flight computations race the change: they persist to the directory
+// they started under, and the pool forgets them so their next consumer
+// recomputes — and persists — under the new directory.
 func (c *Cache) SetDir(dir string) error {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -79,22 +124,162 @@ func (c *Cache) SetDir(dir string) error {
 		}
 	}
 	c.mu.Lock()
+	if dir == c.dir {
+		c.mu.Unlock()
+		return nil
+	}
 	c.dir = dir
+	var flush []*entry
+	for k, e := range c.entries {
+		select {
+		case <-e.done:
+			if e.err != nil {
+				continue
+			}
+			flush = append(flush, e)
+		default:
+			c.forgetLocked(k, e)
+		}
+	}
 	c.mu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	for _, e := range flush {
+		c.saveDisk(dir, e.key, e.st)
+	}
 	return nil
 }
 
+// SetShared toggles the cross-process lease protocol (default off).
+// With sharing on and a directory configured, a miss acquires the key's
+// lock-file lease before simulating; processes that lose the race wait
+// for the winner's result to appear on disk instead of duplicating the
+// simulation. Crashed holders are recovered by staleness takeover
+// (lease.DefaultTTL).
+func (c *Cache) SetShared(on bool) {
+	c.mu.Lock()
+	c.shared = on
+	c.mu.Unlock()
+}
+
+// SetLimit bounds the in-memory tier to at most n completed entries,
+// evicting least-recently-used entries beyond it (n <= 0 means
+// unbounded, the default). With a directory configured the memory tier
+// becomes a warm LRU over disk: evicted results reload as DiskHits.
+func (c *Cache) SetLimit(n int) {
+	c.mu.Lock()
+	c.limit = n
+	c.evictLocked()
+	c.mu.Unlock()
+}
+
+// forgetLocked removes e from the map (and LRU, if resident) if it is
+// still the entry registered for key.
+func (c *Cache) forgetLocked(key string, e *entry) {
+	if cur, ok := c.entries[key]; ok && cur == e {
+		delete(c.entries, key)
+		if e.elem != nil {
+			c.lru.Remove(e.elem)
+			e.elem = nil
+		}
+	}
+}
+
+// evictLocked enforces the LRU bound.
+func (c *Cache) evictLocked() {
+	if c.limit <= 0 {
+		return
+	}
+	for c.lru.Len() > c.limit {
+		back := c.lru.Back()
+		e := back.Value.(*entry)
+		c.lru.Remove(back)
+		e.elem = nil
+		delete(c.entries, e.key)
+		c.stats.Evictions++
+	}
+}
+
+// complete publishes e's result to its waiters and makes it resident in
+// the warm tier (unless a SetDir reconciliation already forgot it).
+func (c *Cache) complete(e *entry, st pipeline.Stats, err error) {
+	e.st, e.err = st, err
+	close(e.done)
+	c.mu.Lock()
+	if cur, ok := c.entries[e.key]; ok && cur == e {
+		e.elem = c.lru.PushFront(e)
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+}
+
+// abandon publishes err to e's waiters and removes the entry so a later
+// lookup retries the computation — the path for transient failures and
+// panics, which must not be memoized forever.
+func (c *Cache) abandon(e *entry, err error) {
+	e.err = err
+	close(e.done)
+	c.mu.Lock()
+	c.forgetLocked(e.key, e)
+	c.mu.Unlock()
+}
+
+// ErrTransient marks an error as environmental rather than
+// deterministic; see Transient and IsTransient.
+var ErrTransient = errors.New("transient failure")
+
+// Transient wraps err so IsTransient reports true: the caller is
+// asserting the failure came from the environment (I/O, resources), not
+// from the deterministic computation itself.
+func Transient(err error) error {
+	return fmt.Errorf("%w: %w", ErrTransient, err)
+}
+
+// IsTransient reports whether err describes an environmental failure —
+// one a retry may not reproduce — rather than a deterministic property
+// of the computation. Operating-system errors (a full disk during trace
+// capture, a vanished directory, EMFILE) are transient; everything else
+// — simulator validation errors, runaway-guard trips — is deterministic:
+// the same inputs will fail the same way every time, so memoizing the
+// error is both safe and desirable.
+func IsTransient(err error) bool {
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	var (
+		pathErr *os.PathError
+		linkErr *os.LinkError
+		sysErr  *os.SyscallError
+		errno   syscall.Errno
+	)
+	return errors.As(err, &pathErr) || errors.As(err, &linkErr) ||
+		errors.As(err, &sysErr) || errors.As(err, &errno)
+}
+
 // Do returns the memoized result for key, computing it at most once per
-// process. hit reports whether the result was served without invoking
-// compute (including joining another goroutine's in-flight computation).
-// Errors are memoized too: a deterministic simulator fails the same way
-// every time, and callers must see the failure rather than a zero Stats.
+// process — and, with SetShared, at most once across every process
+// sharing the directory. hit reports whether the result was served
+// without invoking compute (including joining another goroutine's or
+// process's in-flight computation).
+//
+// Deterministic errors are memoized: a deterministic simulator fails the
+// same way every time, and callers must see the failure rather than a
+// zero Stats. Transient errors (IsTransient) are delivered to the
+// current waiters but not memoized, so a later lookup retries — in a
+// long-lived daemon a momentary ENOSPC must not brick a key until
+// restart. If compute panics, the panic propagates to its caller after
+// the entry is abandoned with an error, so coalesced waiters unblock
+// (with that error) instead of deadlocking forever.
 func (c *Cache) Do(key string, compute func() (pipeline.Stats, error)) (st pipeline.Stats, hit bool, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		select {
 		case <-e.done:
 			c.stats.Hits++
+			if e.elem != nil {
+				c.lru.MoveToFront(e.elem)
+			}
 		default:
 			c.stats.Coalesced++
 		}
@@ -102,9 +287,9 @@ func (c *Cache) Do(key string, compute func() (pipeline.Stats, error)) (st pipel
 		<-e.done
 		return e.st, true, e.err
 	}
-	e := &entry{done: make(chan struct{})}
+	e := &entry{key: key, done: make(chan struct{})}
 	c.entries[key] = e
-	dir := c.dir
+	dir, shared := c.dir, c.shared
 	c.mu.Unlock()
 
 	if dir != "" {
@@ -112,22 +297,88 @@ func (c *Cache) Do(key string, compute func() (pipeline.Stats, error)) (st pipel
 			c.mu.Lock()
 			c.stats.DiskHits++
 			c.mu.Unlock()
-			e.st = st
-			close(e.done)
+			c.complete(e, st, nil)
 			return st, true, nil
+		}
+		if shared {
+			held, st, ok, waited := c.acquireOrAwait(dir, key)
+			if ok {
+				c.mu.Lock()
+				c.stats.DiskHits++
+				if waited {
+					c.stats.LeaseWaits++
+				}
+				c.mu.Unlock()
+				c.complete(e, st, nil)
+				return st, true, nil
+			}
+			if held != nil {
+				defer held.Release()
+			}
 		}
 	}
 	c.mu.Lock()
 	c.stats.Misses++
 	c.mu.Unlock()
-	e.st, e.err = compute()
-	close(e.done)
-	if e.err == nil && dir != "" {
-		// Persistence is best-effort: a read-only directory degrades to
-		// in-memory memoization rather than failing the sweep.
-		c.saveDisk(dir, key, e.st)
+	panicked := true
+	defer func() {
+		if panicked {
+			// compute is unwinding. Record the failure and unblock every
+			// coalesced waiter before the panic continues to the caller;
+			// the entry is dropped so the key stays retryable.
+			c.abandon(e, fmt.Errorf("runcache: compute for key %.64q panicked", key))
+		}
+	}()
+	st, err = compute()
+	panicked = false
+	if err != nil && IsTransient(err) {
+		c.abandon(e, err)
+		return pipeline.Stats{}, false, err
 	}
-	return e.st, false, e.err
+	if err == nil && dir != "" {
+		// Persistence is best-effort: a read-only directory degrades to
+		// in-memory memoization rather than failing the sweep. The write
+		// lands before the lease (if any) is released, so a waiting
+		// process's next poll finds it.
+		c.saveDisk(dir, key, st)
+	}
+	c.complete(e, st, err)
+	return st, false, err
+}
+
+// acquireOrAwait is the cross-process arm of Do. It either acquires the
+// key's lease (returning held != nil, ok == false: the caller computes)
+// or waits out another process's computation and returns its result from
+// disk (ok == true). If the directory cannot host lock files at all it
+// returns (nil, _, false, _): the caller computes leaseless, trading
+// possible duplicated work for availability.
+func (c *Cache) acquireOrAwait(dir, key string) (held *lease.Lease, st pipeline.Stats, ok, waited bool) {
+	c.mu.Lock()
+	ttl, poll := c.leaseTTL, c.leasePoll
+	c.mu.Unlock()
+	lockPath := diskPath(dir, key) + ".lock"
+	for {
+		if l, acquired := lease.TryAcquire(lockPath, ttl); acquired {
+			// The previous holder may have finished between our last disk
+			// probe and this acquisition; re-check before simulating.
+			if st, found := c.loadDisk(dir, key); found {
+				l.Release()
+				return nil, st, true, waited
+			}
+			return l, pipeline.Stats{}, false, waited
+		}
+		if _, err := os.Stat(lockPath); err != nil {
+			// Acquisition failed yet no lock exists: the directory is
+			// unwritable (read-only store, permission change). Degrade to
+			// computing without cross-process exclusion.
+			return nil, pipeline.Stats{}, false, waited
+		}
+		waited = true
+		time.Sleep(poll)
+		if st, found := c.loadDisk(dir, key); found {
+			return nil, st, true, waited
+		}
+	}
 }
 
 // RecordUncacheable notes one run that bypassed the cache.
@@ -156,6 +407,7 @@ func (c *Cache) Len() int {
 func (c *Cache) Reset() {
 	c.mu.Lock()
 	c.entries = make(map[string]*entry)
+	c.lru = list.New()
 	c.stats = Stats{}
 	c.mu.Unlock()
 }

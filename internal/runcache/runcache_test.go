@@ -3,11 +3,15 @@ package runcache
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"testing"
+	"time"
 
 	"repro/internal/pipeline"
 	"repro/internal/stats"
@@ -237,6 +241,329 @@ func TestDiskDropsUnusableFiles(t *testing.T) {
 				t.Errorf("rewritten entry unusable: key=%q err=%v", de.Key, err)
 			}
 		})
+	}
+}
+
+// TestDoPanicUnblocksWaiters is the regression for the daemon-fatal
+// deadlock: a panicking compute never closed e.done, so the key was
+// permanently poisoned — every coalesced waiter hung forever and every
+// later lookup joined them. The panic must still propagate to compute's
+// caller, waiters must receive an error, and the key must stay usable.
+func TestDoPanicUnblocksWaiters(t *testing.T) {
+	c := New()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	panicker := make(chan any, 1)
+	go func() {
+		defer func() { panicker <- recover() }()
+		c.Do("k", func() (pipeline.Stats, error) {
+			close(entered)
+			<-release
+			panic("simulator bug")
+		})
+	}()
+	<-entered
+	// A second goroutine coalesces onto the in-flight computation.
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do("k", func() (pipeline.Stats, error) {
+			t.Error("waiter's compute invoked for an in-flight key")
+			return pipeline.Stats{}, nil
+		})
+		waiterErr <- err
+	}()
+	// Let the waiter coalesce before unleashing the panic.
+	for {
+		if cs := c.Stats(); cs.Coalesced == 1 {
+			break
+		}
+	}
+	close(release)
+	if r := <-panicker; r == nil || r.(string) != "simulator bug" {
+		t.Fatalf("panic did not propagate to compute's caller: %v", r)
+	}
+	err := <-waiterErr
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("coalesced waiter got err=%v, want a panic-reporting error", err)
+	}
+	// The key is not poisoned: a later lookup recomputes successfully.
+	st, hit, err := c.Do("k", func() (pipeline.Stats, error) { return fakeStats(5), nil })
+	if err != nil || hit || st.Cycles != 5 {
+		t.Fatalf("lookup after panic: st=%+v hit=%v err=%v", st, hit, err)
+	}
+}
+
+// TestDoTransientErrorsRetry: a transient (environmental) failure is
+// delivered but not memoized, so the key recovers on retry — in a
+// long-lived server a momentary ENOSPC must not brick a key until
+// restart. Deterministic errors stay memoized (TestDoMemoizesErrors).
+func TestDoTransientErrorsRetry(t *testing.T) {
+	for name, transientErr := range map[string]error{
+		"marked":        Transient(errors.New("store unavailable")),
+		"os.PathError":  &os.PathError{Op: "write", Path: "trace", Err: syscall.ENOSPC},
+		"syscall.Errno": fmt.Errorf("capture: %w", syscall.EMFILE),
+	} {
+		t.Run(name, func(t *testing.T) {
+			c := New()
+			var calls int32
+			fail := true
+			compute := func() (pipeline.Stats, error) {
+				atomic.AddInt32(&calls, 1)
+				if fail {
+					return pipeline.Stats{}, transientErr
+				}
+				return fakeStats(11), nil
+			}
+			if _, _, err := c.Do("k", compute); !errors.Is(err, transientErr) && err == nil {
+				t.Fatalf("first Do err = %v", err)
+			}
+			if c.Len() != 0 {
+				t.Fatalf("transient failure left %d memoized entries", c.Len())
+			}
+			fail = false
+			st, hit, err := c.Do("k", compute)
+			if err != nil || hit || st.Cycles != 11 {
+				t.Fatalf("retry after transient failure: st=%+v hit=%v err=%v", st, hit, err)
+			}
+			if calls != 2 {
+				t.Errorf("compute ran %d times, want 2 (fail, retry)", calls)
+			}
+		})
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{errors.New("scheduler spec invalid"), false},
+		{fmt.Errorf("wrapped: %w", errors.New("run exceeded cycle bound")), false},
+		{Transient(errors.New("flaky")), true},
+		{&os.PathError{Op: "open", Path: "x", Err: syscall.ENOENT}, true},
+		{fmt.Errorf("save: %w", syscall.ENOSPC), true},
+		{os.NewSyscallError("mmap", syscall.ENOMEM), true},
+		{nil, false},
+	} {
+		if got := IsTransient(tc.err); got != tc.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestSetDirBackfill mirrors the trace pool's SetTraceDir flush test:
+// results memoized before the directory was configured must reach the
+// disk tier when it is, not linger in-memory only until the process
+// dies.
+func TestSetDirBackfill(t *testing.T) {
+	c := New()
+	want := fakeStats(77)
+	if _, _, err := c.Do("early", func() (pipeline.Stats, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("deterministic failure")
+	if _, _, err := c.Do("bad", func() (pipeline.Stats, error) { return pipeline.Stats{}, boom }); !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// The successful pre-SetDir result is now on disk: a fresh cache over
+	// the same directory serves it without computing.
+	c2 := New()
+	if err := c2.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	st, hit, err := c2.Do("early", func() (pipeline.Stats, error) {
+		t.Fatal("compute called despite backfilled entry")
+		return pipeline.Stats{}, nil
+	})
+	if err != nil || !hit || st.Cycles != want.Cycles {
+		t.Fatalf("backfilled entry not served: st=%+v hit=%v err=%v", st, hit, err)
+	}
+	// Error entries are not persisted (errors never are); the key simply
+	// recomputes in the new process.
+	var computed bool
+	if _, hit, _ := c2.Do("bad", func() (pipeline.Stats, error) {
+		computed = true
+		return fakeStats(1), nil
+	}); hit || !computed {
+		t.Errorf("error entry leaked to disk: hit=%v computed=%v", hit, computed)
+	}
+}
+
+// TestLimitLRUOverDisk: with a bound, the memory tier holds the most
+// recently used results and older ones fall back to the disk tier.
+func TestLimitLRUOverDisk(t *testing.T) {
+	c := New()
+	if err := c.SetDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	c.SetLimit(2)
+	mk := func(n int64) func() (pipeline.Stats, error) {
+		return func() (pipeline.Stats, error) { return fakeStats(n), nil }
+	}
+	c.Do("a", mk(1))
+	c.Do("b", mk(2))
+	c.Do("a", mk(1)) // touch a: b is now least recently used
+	c.Do("c", mk(3)) // evicts b
+	if n := c.Len(); n != 2 {
+		t.Fatalf("resident entries = %d, want 2", n)
+	}
+	st, hit, err := c.Do("b", mk(0))
+	if err != nil || !hit || st.Cycles != 2 {
+		t.Fatalf("evicted entry not recalled from disk: st=%+v hit=%v err=%v", st, hit, err)
+	}
+	cs := c.Stats()
+	if cs.Evictions < 1 || cs.DiskHits != 1 || cs.Misses != 3 {
+		t.Errorf("stats = %+v, want >=1 eviction, 1 disk hit, 3 misses", cs)
+	}
+	// "a" stayed warm the whole time.
+	if st, hit, _ := c.Do("a", mk(0)); !hit || st.Cycles != 1 {
+		t.Errorf("warm entry lost: st=%+v hit=%v", st, hit)
+	}
+}
+
+// TestLimitWithoutDirRecomputes: bounding memory without a disk tier
+// turns eviction into recomputation — still correct, just slower.
+func TestLimitWithoutDirRecomputes(t *testing.T) {
+	c := New()
+	c.SetLimit(1)
+	var calls int32
+	compute := func() (pipeline.Stats, error) {
+		atomic.AddInt32(&calls, 1)
+		return fakeStats(4), nil
+	}
+	c.Do("a", compute)
+	c.Do("b", compute) // evicts a
+	st, hit, err := c.Do("a", compute)
+	if err != nil || hit || st.Cycles != 4 {
+		t.Fatalf("recompute after eviction: st=%+v hit=%v err=%v", st, hit, err)
+	}
+	if calls != 3 {
+		t.Errorf("compute ran %d times, want 3", calls)
+	}
+}
+
+// TestSharedLeaseDedup is the cross-process single-flight contract,
+// exercised by two Cache instances over one directory (the in-process
+// stand-in for two daemons on one store): while one computes a key under
+// its lease, the other waits for the result file instead of simulating.
+func TestSharedLeaseDedup(t *testing.T) {
+	dir := t.TempDir()
+	a, b := New(), New()
+	for _, c := range [...]*Cache{a, b} {
+		if err := c.SetDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		c.SetShared(true)
+	}
+	var calls int32
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := a.Do("k", func() (pipeline.Stats, error) {
+			atomic.AddInt32(&calls, 1)
+			close(entered)
+			<-release
+			return fakeStats(21), nil
+		})
+		done <- err
+	}()
+	<-entered
+	// Give b a couple of poll intervals against the held lease, then let
+	// a finish.
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		close(release)
+	}()
+	st, hit, err := b.Do("k", func() (pipeline.Stats, error) {
+		atomic.AddInt32(&calls, 1)
+		return fakeStats(99), nil
+	})
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err != nil || !hit || st.Cycles != 21 {
+		t.Fatalf("waiter result: st=%+v hit=%v err=%v", st, hit, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times across two shared caches, want 1", calls)
+	}
+	cs := b.Stats()
+	if cs.DiskHits != 1 || cs.LeaseWaits != 1 || cs.Misses != 0 {
+		t.Errorf("waiter stats = %+v, want 1 disk hit, 1 lease wait, 0 misses", cs)
+	}
+	// No lock files survive.
+	locks, _ := filepath.Glob(filepath.Join(dir, "*.lock"))
+	if len(locks) != 0 {
+		t.Errorf("stale lock files left: %v", locks)
+	}
+}
+
+// TestSharedStaleLockRecovery: a lock file abandoned by a crashed
+// process (old mtime, no holder refreshing it) must be broken and taken
+// over, not waited on forever.
+func TestSharedStaleLockRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c := New()
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	c.SetShared(true)
+	lock := diskPath(dir, "k") + ".lock"
+	if err := os.WriteFile(lock, []byte("pid 0 crashed\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(lock, old, old); err != nil {
+		t.Fatal(err)
+	}
+	st, hit, err := c.Do("k", func() (pipeline.Stats, error) { return fakeStats(8), nil })
+	if err != nil || hit || st.Cycles != 8 {
+		t.Fatalf("takeover Do: st=%+v hit=%v err=%v", st, hit, err)
+	}
+	if _, err := os.Stat(lock); !os.IsNotExist(err) {
+		t.Errorf("lock not cleaned up after takeover: %v", err)
+	}
+}
+
+// TestSharedTransientFailureHandsOff: when the lease holder fails
+// transiently (no result file is ever written), a waiting process must
+// eventually acquire the lease itself and compute, not hang.
+func TestSharedTransientFailureHandsOff(t *testing.T) {
+	dir := t.TempDir()
+	a, b := New(), New()
+	for _, c := range [...]*Cache{a, b} {
+		if err := c.SetDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		c.SetShared(true)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := a.Do("k", func() (pipeline.Stats, error) {
+			close(entered)
+			<-release
+			return pipeline.Stats{}, Transient(errors.New("disk full"))
+		})
+		done <- err
+	}()
+	<-entered
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		close(release)
+	}()
+	st, hit, err := b.Do("k", func() (pipeline.Stats, error) { return fakeStats(13), nil })
+	if werr := <-done; !errors.Is(werr, ErrTransient) {
+		t.Fatalf("holder err = %v, want transient", werr)
+	}
+	if err != nil || hit || st.Cycles != 13 {
+		t.Fatalf("waiter after holder's transient failure: st=%+v hit=%v err=%v", st, hit, err)
 	}
 }
 

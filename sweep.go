@@ -74,7 +74,10 @@ type Engine struct {
 	traces   map[string]*traceEntry
 	traceDir string
 	noReplay bool
-	tstats   TraceStats
+	// traceShared enables the cross-process capture lease on traceDir
+	// (SetSharedStore).
+	traceShared bool
+	tstats      TraceStats
 
 	// Segment plan (segmented.go): shard replay-driven runs into
 	// segments timed in parallel. Guarded by traceMu with the rest of
@@ -105,7 +108,30 @@ func (e *Engine) SetObserver(fn func(RunMetrics)) {
 }
 
 // SetCacheDir enables on-disk persistence of run results under dir.
+// Results memoized before the call are backfilled to the new directory
+// (see runcache.Cache.SetDir).
 func (e *Engine) SetCacheDir(dir string) error { return e.cache.SetDir(dir) }
+
+// SetCacheLimit bounds the in-memory run-result tier to at most n
+// completed entries, managed LRU (n <= 0 means unbounded, the default).
+// With a cache directory configured, memory becomes a warm tier over
+// disk: evicted results reload as disk hits. A long-lived daemon sets
+// this so its resident set stays bounded however many design points it
+// has served.
+func (e *Engine) SetCacheLimit(n int) { e.cache.SetLimit(n) }
+
+// SetSharedStore toggles the cross-process lease protocol on the
+// engine's cache and trace directories (default off). With sharing on,
+// N processes over one store elect a single computer per missing result
+// or trace via lock-file leases (internal/lease) and the rest wait for
+// the winner's file — cross-process single-flight, with staleness
+// takeover if a holder crashes.
+func (e *Engine) SetSharedStore(on bool) {
+	e.cache.SetShared(on)
+	e.traceMu.Lock()
+	e.traceShared = on
+	e.traceMu.Unlock()
+}
 
 // CacheStats returns a snapshot of the engine's run-cache counters.
 func (e *Engine) CacheStats() CacheStats { return e.cache.Stats() }
@@ -127,8 +153,15 @@ func (e *Engine) ResetMetrics() {
 	e.mu.Unlock()
 }
 
+// RunOne simulates (or recalls) a single (config, workload) pair through
+// the engine's cache and returns its stats alongside the recorded run
+// metrics — the single-request entry point cesweepd's POST /run uses.
+func (e *Engine) RunOne(cfg Config, workload string) (Stats, RunMetrics, error) {
+	return e.runOne(cfg, workload)
+}
+
 // runOne simulates (or recalls) a single pair and records its metrics.
-func (e *Engine) runOne(cfg Config, workload string) (Stats, error) {
+func (e *Engine) runOne(cfg Config, workload string) (Stats, RunMetrics, error) {
 	start := time.Now()
 	var (
 		st     Stats
@@ -148,7 +181,7 @@ func (e *Engine) runOne(cfg Config, workload string) (Stats, error) {
 		st, err = e.runSim(cfg, workload, &attr)
 	}
 	if err != nil {
-		return Stats{}, err
+		return Stats{}, RunMetrics{}, err
 	}
 	// A cached result may have been computed under a renamed twin of this
 	// configuration; relabel the copy we hand back.
@@ -184,7 +217,7 @@ func (e *Engine) runOne(cfg Config, workload string) (Stats, error) {
 	if obs != nil {
 		obs(m)
 	}
-	return st, nil
+	return st, m, nil
 }
 
 // RunMatrix runs every (config, workload) pair through the engine's run
@@ -226,7 +259,7 @@ func (e *Engine) RunMatrix(cfgs []Config, workloads []string) ([][]Stats, error)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				st, err := e.runOne(cfgs[j.ci], workloads[j.wi])
+				st, _, err := e.runOne(cfgs[j.ci], workloads[j.wi])
 				if err != nil {
 					record(j.ci*len(workloads)+j.wi, err)
 					continue
