@@ -45,6 +45,11 @@ type SweepBenchResult struct {
 	// Segment, when present, benchmarks segment-parallel sampled
 	// simulation against the monolithic baseline on a long workload.
 	Segment *SegmentBenchResult `json:"segment,omitempty"`
+	// Stream, when present, benchmarks streamed capture and sampled
+	// simulation of a huge workload (cesweep -stream-bench): wall time,
+	// peak RSS and IPC error per sampling mode against the
+	// streamed-exact truth.
+	Stream *StreamBenchResult `json:"stream,omitempty"`
 }
 
 // SweepBench summarizes a finished sweep on eng, timed by the caller.

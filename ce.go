@@ -171,6 +171,11 @@ func Workloads() []string { return prog.Names() }
 // the paper's set (currently ijpeg).
 func WorkloadsExtended() []string { return prog.ExtendedNames() }
 
+// WorkloadsHuge returns the benchmark-scale workloads (hundreds of
+// millions of instructions; excluded from every sweep matrix and from
+// WorkloadsExtended, reachable only by name).
+func WorkloadsHuge() []string { return prog.HugeNames() }
+
 // WorkloadDescription returns the one-line description of a workload.
 func WorkloadDescription(name string) (string, error) {
 	w, err := prog.ByName(name)

@@ -38,9 +38,14 @@
 //	-segments K         cut each trace into K segments (0 = monolithic)
 //	-warmup N           per-segment warmup prefix in instructions;
 //	                    -1 (default) replays the full prefix, making the
-//	                    stitched result bit-identical to the monolithic run
+//	                    stitched result bit-identical to the monolithic
+//	                    run; 'adaptive' starts each segment cold and
+//	                    discards its leading windows until IPC converges
 //	-sample N           simulate every Nth segment and extrapolate the
-//	                    rest (approximate, reported with error bars)
+//	                    rest (approximate, reported with error bars);
+//	                    'phase' clusters segments by their basic-block
+//	                    vectors and times one representative per cluster
+//	-phases K           maximum behavior clusters for -sample=phase
 //
 // Host-performance flags for working on the simulator itself:
 //
@@ -48,6 +53,14 @@
 //	                    configuration and write BENCH_pipeline.json; if a
 //	                    sweep ran too, write its wall time, sims/sec and
 //	                    executed-versus-replayed balance to BENCH_sweep.json
+//	-stream-bench W     benchmark streamed capture + sampled simulation on
+//	                    huge workload W (e.g. compress.huge): capture the
+//	                    trace straight to -trace-dir, time it exactly once
+//	                    monolithically, then estimate with fixed, adaptive
+//	                    and phase sampling at an equal segment budget;
+//	                    wall time, peak RSS and IPC error per mode go to
+//	                    BENCH_sweep.json
+//	-stream-segments K  segment count for -stream-bench (default 64)
 //	-cpuprofile FILE    write a CPU profile of the sweep
 //	-memprofile FILE    write a heap profile taken after the sweep
 package main
@@ -60,6 +73,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro"
@@ -85,10 +99,13 @@ var (
 	traceDir   = flag.String("trace-dir", "", "persist captured execution traces under this directory")
 	noReplay   = flag.Bool("no-trace-replay", false, "drive every simulation by lockstep execution instead of shared trace replay")
 	segments   = flag.Int("segments", 0, "cut each trace into this many segments timed in parallel (0 = monolithic)")
-	segWarmup  = flag.Int64("warmup", -1, "per-segment warmup prefix in instructions (-1 = full prefix, exact stitching)")
-	segSample  = flag.Int("sample", 1, "simulate every Nth segment and extrapolate the rest (approximate)")
+	segWarmup  = flag.String("warmup", "-1", "per-segment warmup: instruction count (-1 = full prefix, exact stitching) or 'adaptive' (per-segment IPC-convergence detection)")
+	segSample  = flag.String("sample", "1", "segment sampling: simulate every Nth segment and extrapolate (N), or 'phase' (time one representative per behavior cluster, weighted by cluster mass)")
+	segPhases  = flag.Int("phases", 8, "maximum behavior clusters for -sample=phase")
 	benchJSON  = flag.String("bench-json", "", "benchmark the simulator per panel config and write results to this file")
 	benchWork  = flag.String("bench-workload", "compress", "workload for -bench-json")
+	streamWork = flag.String("stream-bench", "", "benchmark streamed capture + sampled simulation on this (huge) workload and record it in BENCH_sweep.json")
+	streamSegs = flag.Int("stream-segments", 64, "segment count for -stream-bench (sampled modes simulate at most -phases of them)")
 	cpuprof    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprof    = flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 )
@@ -162,8 +179,24 @@ func setupObservability() (func() error, error) {
 	}
 	eng.SetTraceReplay(!*noReplay)
 	eng.SetSegments(*segments)
-	eng.SetSegmentWarmup(*segWarmup)
-	eng.SetSegmentSample(*segSample)
+	if *segWarmup == "adaptive" {
+		eng.SetSegmentAdaptive(true)
+	} else {
+		w, err := strconv.ParseInt(*segWarmup, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-warmup: %q is neither an instruction count nor 'adaptive'", *segWarmup)
+		}
+		eng.SetSegmentWarmup(w)
+	}
+	if *segSample == "phase" {
+		eng.SetSegmentPhases(*segPhases)
+	} else {
+		n, err := strconv.Atoi(*segSample)
+		if err != nil {
+			return nil, fmt.Errorf("-sample: %q is neither a stride nor 'phase'", *segSample)
+		}
+		eng.SetSegmentSample(n)
+	}
 	for _, path := range []string{*metrics, *metricsDet} {
 		if path == "" {
 			continue
@@ -196,12 +229,16 @@ func setupObservability() (func() error, error) {
 			fmt.Fprintf(os.Stderr,
 				"cesweep: traces: %d captured, %d loaded from disk; %d replay runs, %d lockstep runs; %d steps executed, %d replayed\n",
 				ts.Captures, ts.DiskHits, ts.ReplayRuns, ts.LockstepRuns, ts.StepsExecuted, ts.StepsReplayed)
+			fmt.Fprintf(os.Stderr,
+				"cesweep: trace bytes: %d on disk, %d resident; %d capture failures, %d corrupt traces dropped\n",
+				ts.TraceDiskBytes, ts.TraceResidentBytes, ts.CaptureFailures, ts.CorruptDropped)
 		}
 		if *metrics != "" {
 			dump := struct {
 				Runs  []ce.RunMetrics `json:"runs"`
 				Cache ce.CacheStats   `json:"cache"`
-			}{Runs: eng.Metrics(), Cache: cs}
+				Trace ce.TraceStats   `json:"trace"`
+			}{Runs: eng.Metrics(), Cache: cs, Trace: eng.TraceStats()}
 			data, err := canonjson.Marshal(dump)
 			if err != nil {
 				return err
@@ -432,28 +469,59 @@ func run() (err error) {
 			fmt.Printf("  %-28s %9d cycles  %6.0f ms  %6.2f Mcycles/s  %.3f allocs/cycle\n",
 				r.Config, r.Cycles, r.WallSeconds*1000, r.MCyclesPerSec, r.AllocsPerCycle)
 		}
+	}
+	if (sweepRan && *benchJSON != "") || *streamWork != "" {
+		// Record whole-sweep performance next to the per-configuration
+		// benchmark: the sweep's own throughput (when one ran), the
+		// segment-parallel sampled benchmark on a workload long enough
+		// (millions of instructions) for segmentation to pay, and the
+		// streaming benchmark on a huge workload when requested.
+		ran = true
+		sb := ce.SweepBench(ce.DefaultEngine, sweepWall)
 		if sweepRan {
-			// A sweep ran in this invocation: record its whole-sweep
-			// performance next to the per-configuration benchmark, plus
-			// the segment-parallel sampled benchmark on a workload long
-			// enough (millions of instructions) for segmentation to pay.
-			sb := ce.SweepBench(ce.DefaultEngine, sweepWall)
 			seg, err := ce.SegmentBench("compress.big", 16, 4, 1<<15)
 			if err != nil {
 				return err
 			}
 			sb.Segment = seg
-			path := filepath.Join(filepath.Dir(*benchJSON), "BENCH_sweep.json")
-			if err := ce.WriteSweepBenchJSON(path, sb); err != nil {
+		}
+		if *streamWork != "" {
+			st, err := ce.StreamBench(*streamWork, *traceDir, *streamSegs, *segPhases)
+			if err != nil {
 				return err
 			}
+			sb.Stream = st
+		}
+		dir := "."
+		if *benchJSON != "" {
+			dir = filepath.Dir(*benchJSON)
+		}
+		path := filepath.Join(dir, "BENCH_sweep.json")
+		if err := ce.WriteSweepBenchJSON(path, sb); err != nil {
+			return err
+		}
+		if sweepRan {
 			fmt.Printf("Sweep performance (written to %s): %d sims in %.1f s (%.1f sims/s); %d steps executed, %d replayed\n",
 				path, sb.Sims, sb.WallSeconds, sb.SimsPerSec,
 				sb.Trace.StepsExecuted, sb.Trace.StepsReplayed)
+		}
+		if seg := sb.Segment; seg != nil {
 			simulated := (seg.Segments + seg.Sample - 1) / seg.Sample
 			fmt.Printf("Segment benchmark on %s (%d steps): monolithic %.2f s, sampled %d/%d segments %.2f s — %.1fx; IPC %.3f vs %.3f (%+.1f%%)\n",
 				seg.Workload, seg.Steps, seg.MonoWallSeconds, simulated, seg.Segments,
 				seg.SampledWallSeconds, seg.Speedup, seg.SampledIPC, seg.MonoIPC, seg.IPCErrorPct)
+		}
+		if st := sb.Stream; st != nil {
+			fmt.Printf("Stream benchmark on %s (written to %s): %d steps, %.1f MB trace on disk (%.1f MB resident), capture %.1f s (peak RSS %.0f MB)\n",
+				st.Workload, path, st.Steps, float64(st.TraceDiskBytes)/1e6, float64(st.TraceResidentBytes)/1e6,
+				st.CaptureSeconds, float64(st.CapturePeakRSS)/1e6)
+			fmt.Printf("  %-9s %10s %9s %9s %9s %9s\n", "mode", "insts", "wall s", "rss MB", "ipc", "err %")
+			fmt.Printf("  %-9s %10d %9.1f %9.0f %9.3f %9s\n",
+				"exact", st.Steps, st.ExactWallSeconds, float64(st.ExactPeakRSS)/1e6, st.ExactIPC, "—")
+			for _, m := range st.Modes {
+				fmt.Printf("  %-9s %10d %9.1f %9.0f %9.3f %+8.2f%%\n",
+					m.Mode, m.SimulatedSteps, m.WallSeconds, float64(m.PeakRSSBytes)/1e6, m.IPC, m.IPCErrorPct)
+			}
 		}
 	}
 	// An unrecognized figure number used to fall through to the
@@ -467,7 +535,7 @@ func run() (err error) {
 	}
 	if !ran {
 		flag.Usage()
-		return fmt.Errorf("nothing selected: pass -fig N, -speedup, -tradeoff, -ablations, -micro, -bench-json or -all")
+		return fmt.Errorf("nothing selected: pass -fig N, -speedup, -tradeoff, -ablations, -micro, -bench-json, -stream-bench or -all")
 	}
 	return nil
 }

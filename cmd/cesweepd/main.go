@@ -35,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -49,6 +50,10 @@ var (
 	traceDir        = flag.String("trace-dir", "", "persist execution traces under this directory (shared across daemons)")
 	cacheMax        = flag.Int("cache-max", 4096, "max run results held in memory, LRU over the disk tier (0 = unbounded)")
 	noReplay        = flag.Bool("no-trace-replay", false, "drive every simulation by lockstep execution instead of trace replay")
+	segments        = flag.Int("segments", 0, "cut each trace into this many segments timed in parallel (0 = monolithic)")
+	segWarmup       = flag.String("warmup", "-1", "per-segment warmup: instruction count (-1 = full prefix, exact stitching) or 'adaptive'")
+	segSample       = flag.String("sample", "1", "segment sampling: every Nth segment (N) or 'phase' (one representative per behavior cluster)")
+	segPhases       = flag.Int("phases", 8, "maximum behavior clusters for -sample=phase")
 	shutdownTimeout = flag.Duration("shutdown-timeout", 2*time.Minute, "max time to drain in-flight requests on SIGINT/SIGTERM")
 	quiet           = flag.Bool("quiet", false, "suppress per-request log lines")
 )
@@ -81,6 +86,25 @@ func run() error {
 	}
 	eng.SetCacheLimit(*cacheMax)
 	eng.SetTraceReplay(!*noReplay)
+	eng.SetSegments(*segments)
+	if *segWarmup == "adaptive" {
+		eng.SetSegmentAdaptive(true)
+	} else {
+		w, err := strconv.ParseInt(*segWarmup, 10, 64)
+		if err != nil {
+			return fmt.Errorf("-warmup: %q is neither an instruction count nor 'adaptive'", *segWarmup)
+		}
+		eng.SetSegmentWarmup(w)
+	}
+	if *segSample == "phase" {
+		eng.SetSegmentPhases(*segPhases)
+	} else {
+		n, err := strconv.Atoi(*segSample)
+		if err != nil {
+			return fmt.Errorf("-sample: %q is neither a stride nor 'phase'", *segSample)
+		}
+		eng.SetSegmentSample(n)
+	}
 
 	var opts server.Options
 	if !*quiet {

@@ -10,6 +10,9 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/trace"
 )
 
 var binDir string
@@ -324,14 +327,116 @@ func TestCesweepTraceDir(t *testing.T) {
 	if err := os.WriteFile(files[1], data, 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// The truncated file fails at open and is recaptured up front. The
+	// flipped file opens fine — chunk checksums verify lazily, so the
+	// damage only surfaces mid-replay — and is then dropped and
+	// recaptured transparently: 2 captures, but 6 loads (the flipped
+	// file counted as a load before it was caught).
 	out = mustRun(t, "cesweep", "-fig", "13", "-v", "-trace-dir", traces)
-	if !strings.Contains(out, "2 captured, 5 loaded from disk") {
+	if !strings.Contains(out, "2 captured, 6 loaded from disk") {
 		t.Errorf("damaged traces not dropped and recaptured:\n%s", out)
+	}
+	if !strings.Contains(out, "1 corrupt traces dropped") {
+		t.Errorf("mid-replay corruption not counted:\n%s", out)
 	}
 
 	// The recaptured files are whole again.
 	out = mustRun(t, "cesweep", "-fig", "13", "-v", "-trace-dir", traces)
 	if !strings.Contains(out, "0 captured, 7 loaded from disk") {
 		t.Errorf("recaptured traces not reusable:\n%s", out)
+	}
+}
+
+// TestCesweepStaleTraceFormat: a hand-written v2 trace file at the
+// canonical path must be rejected with an explicit format message and
+// recaptured in the current format, not trusted and not fatal.
+func TestCesweepStaleTraceFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	traces := filepath.Join(t.TempDir(), "traces")
+	if err := os.MkdirAll(traces, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	w, err := prog.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A structurally recognizable v2 file: old magic, right program
+	// hash, padded past the minimum file size so the version check (not
+	// the length check) is what rejects it.
+	hash := trace.ProgHash(p)
+	hdr := append([]byte("CETRACE\x02"), hash[:]...)
+	hdr = append(hdr, make([]byte, 40)...)
+	if err := os.WriteFile(trace.DiskPath(traces, p), hdr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := mustRun(t, "cesweep", "-fig", "13", "-v", "-trace-dir", traces)
+	if !strings.Contains(out, "format v2 < v3; recapturing") {
+		t.Errorf("stale v2 trace not called out:\n%s", out)
+	}
+	if !strings.Contains(out, "7 captured, 0 loaded from disk") {
+		t.Errorf("stale trace not recaptured:\n%s", out)
+	}
+	// The recapture left a current-format file behind.
+	out = mustRun(t, "cesweep", "-fig", "13", "-v", "-trace-dir", traces)
+	if !strings.Contains(out, "0 captured, 7 loaded from disk") {
+		t.Errorf("recaptured trace not reusable:\n%s", out)
+	}
+	if strings.Contains(out, "recapturing") {
+		t.Errorf("recaptured trace still reported stale:\n%s", out)
+	}
+}
+
+// TestCesweepSegmentedCorruptChunk: with segment-parallel replay, a
+// chunk corrupted mid-trace must be detected by a checksum at read
+// time, dropped and recaptured — and the deterministic metrics of the
+// damaged-then-recaptured run must be byte-identical to the clean
+// run's, proving no segment worker ever consumed torn data.
+func TestCesweepSegmentedCorruptChunk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	dir := t.TempDir()
+	traces := filepath.Join(dir, "traces")
+	clean := filepath.Join(dir, "clean.json")
+	damaged := filepath.Join(dir, "damaged.json")
+	mustRun(t, "cesweep", "-fig", "13", "-segments", "8", "-trace-dir", traces, "-metrics-det", clean)
+
+	files, err := filepath.Glob(filepath.Join(traces, "*.cetrace"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no trace files captured (err %v)", err)
+	}
+	sort.Strings(files)
+	// Flip a byte inside the first chunk's packed records (the file
+	// header is 40 bytes), invalidating its checksum but nothing else.
+	f, err := os.OpenFile(files[0], os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, 40+64); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out := mustRun(t, "cesweep", "-fig", "13", "-segments", "8", "-v", "-trace-dir", traces, "-metrics-det", damaged)
+	if !strings.Contains(out, "1 corrupt traces dropped") {
+		t.Errorf("corrupt chunk not counted:\n%s", out)
+	}
+	a, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(damaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("deterministic metrics diverge after mid-trace corruption:\n%s\nvs\n%s", a, b)
 	}
 }

@@ -38,6 +38,13 @@ type Workload struct {
 	// they are excluded from Names()/All() (the paper's figure set) but
 	// returned by ExtendedNames()/AllExtended().
 	Extension bool
+	// Huge marks benchmark-scale workloads (hundreds of millions of
+	// dynamic instructions) that exist to exercise streaming capture and
+	// sampled simulation. They are excluded from ExtendedNames()/
+	// AllExtended() too — running one in the unit-test differentials
+	// would dominate the suite — and reachable only by name (ByName,
+	// HugeNames).
+	Huge bool
 
 	once sync.Once
 	prog *isa.Program
@@ -77,11 +84,26 @@ func Names() []string {
 	return names
 }
 
-// ExtendedNames returns every registered workload, including extensions.
+// ExtendedNames returns every registered workload, including extensions
+// (but not benchmark-scale Huge workloads; see HugeNames).
 func ExtendedNames() []string {
 	names := make([]string, 0, len(registry))
-	for n := range registry {
-		names = append(names, n)
+	for n, w := range registry {
+		if !w.Huge {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HugeNames returns the benchmark-scale workloads, ordered by name.
+func HugeNames() []string {
+	var names []string
+	for n, w := range registry {
+		if w.Huge {
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	return names

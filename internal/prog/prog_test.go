@@ -1,8 +1,11 @@
 package prog
 
 import (
+	"fmt"
+	"os"
 	"testing"
 
+	"repro/internal/asm"
 	"repro/internal/emu"
 )
 
@@ -71,6 +74,79 @@ func TestWorkloadDynamicLengths(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestCompressHugeScaled differentials the compress.huge kernel against
+// its Go reference at a reduced symbol count. compress.huge itself is
+// Huge (~10^8 instructions) and never runs in the unit suite, so this
+// scaled instance — long enough to cross at least one regime boundary
+// (block lengths top out at 191071 symbols) — is what validates the
+// assembly against the reference.
+func TestCompressHugeScaled(t *testing.T) {
+	const n = 200_000
+	p, err := asm.Assemble("compress.huge.s", fmt.Sprintf(compressHugeSrc, n))
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := emu.New(p)
+	for !m.Halted() {
+		if m.Executed >= maxInsts {
+			t.Fatalf("exceeded %d instructions", int64(maxInsts))
+		}
+		if _, err := m.Step(); err != nil {
+			t.Fatalf("step (after %d insts): %v", m.Executed, err)
+		}
+	}
+	want := compressHugeRefN(n)
+	if len(m.Output) != len(want) {
+		t.Fatalf("output %v, want %v", m.Output, want)
+	}
+	for i := range want {
+		if m.Output[i] != want[i] {
+			t.Errorf("output[%d] = %d, want %d (full: %v vs %v)", i, m.Output[i], want[i], m.Output, want)
+		}
+	}
+	t.Logf("compress.huge/%d: %d dynamic instructions, output %v", n, m.Executed, m.Output)
+}
+
+// TestCompressHugeFull runs the real compress.huge workload end to end
+// and checks both the reference match and the target dynamic length
+// (>=100M so streaming matters, <200M so capture budgets hold). It
+// takes minutes of emulation, so it only runs when CE_HUGE_TEST=1.
+func TestCompressHugeFull(t *testing.T) {
+	if os.Getenv("CE_HUGE_TEST") != "1" {
+		t.Skip("set CE_HUGE_TEST=1 to run the ~10^8-instruction differential")
+	}
+	w, err := ByName("compress.huge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(p)
+	for !m.Halted() {
+		if m.Executed >= 200_000_000 {
+			t.Fatalf("exceeded 200M instructions")
+		}
+		if _, err := m.Step(); err != nil {
+			t.Fatalf("step (after %d insts): %v", m.Executed, err)
+		}
+	}
+	want := w.Reference()
+	if len(m.Output) != len(want) {
+		t.Fatalf("output %v, want %v", m.Output, want)
+	}
+	for i := range want {
+		if m.Output[i] != want[i] {
+			t.Errorf("output[%d] = %d, want %d", i, m.Output[i], want[i])
+		}
+	}
+	if m.Executed < 100_000_000 {
+		t.Errorf("only %d dynamic instructions; want >=100M for streaming scale", m.Executed)
+	}
+	t.Logf("compress.huge: %d dynamic instructions, output %v", m.Executed, m.Output)
 }
 
 func TestRegistry(t *testing.T) {

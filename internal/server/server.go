@@ -70,6 +70,11 @@ func New(eng *ce.Engine, opts Options) *Server {
 	for _, w := range ce.WorkloadsExtended() {
 		s.workloads[w] = true
 	}
+	// Huge workloads never enter a sweep matrix, but a single /run on
+	// one is exactly what phase-sampled segmented simulation is for.
+	for _, w := range ce.WorkloadsHuge() {
+		s.workloads[w] = true
+	}
 	return s
 }
 

@@ -1,0 +1,146 @@
+package trace
+
+// Chunked storage: the packed stream is cut into fixed-record-count
+// chunks, each independently checksummed, so a trace can live on disk
+// and be consumed one chunk at a time. A segment worker holds exactly
+// one chunk buffer however long the trace is — the whole stream never
+// needs to be resident. Chunks are sealed in capture order, which makes
+// the writer a pure append device (see Recorder) and the on-disk layout
+// streamable: header, chunk bytes, footer.
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// chunkRecords is the number of dynamic records per chunk. It must be a
+// multiple of boundaryInterval so every warm-start boundary falls on a
+// known offset inside a known chunk. 2^18 records ≈ 256 KiB at the
+// format's ~1 byte/record density (1 MiB worst case), small enough that
+// K segment workers hold O(K) chunk buffers, large enough that refills
+// are rare (one per quarter-million replayed instructions).
+const chunkRecords = 1 << 18
+
+// maxChunkBytes bounds a chunk's packed size: no record packs more than
+// 4 bytes.
+const maxChunkBytes = 4 * chunkRecords
+
+// chunkMeta locates and authenticates one chunk. Chunk i covers records
+// [i·chunkRecords, (i+1)·chunkRecords) ∩ [0, Steps()).
+type chunkMeta struct {
+	startPos  uint64 // byte offset of the chunk in the packed stream
+	packedLen uint32
+	sum       [32]byte // sha256 of the chunk's packed bytes
+}
+
+// ErrCorruptChunk marks a chunk whose bytes fail their checksum at read
+// time (bit rot or a torn write). The engine treats it as "this trace is
+// gone": drop, delete, recapture — a segment worker must never decode a
+// torn chunk.
+var ErrCorruptChunk = errors.New("trace: chunk checksum mismatch (corrupt or torn trace file)")
+
+// chunkStore supplies chunk bytes on demand. Implementations are safe
+// for concurrent load calls: segment workers stream different chunks of
+// one shared trace.
+type chunkStore interface {
+	// load returns chunk i's packed bytes. dst, when non-nil, is a
+	// caller-owned buffer (cap ≥ packedLen) the store may decode into;
+	// memory-backed stores ignore it and return an interior slice.
+	load(i int, m chunkMeta, dst []byte) ([]byte, error)
+	// footprint reports the store's disk and resident byte counts.
+	footprint() (disk, resident int64)
+	close() error
+}
+
+// memStore keeps every chunk in memory — the store behind small
+// in-memory captures and Unmarshal. Checksums were verified when the
+// bytes entered the process, and in-process memory does not rot.
+type memStore struct {
+	chunks [][]byte
+}
+
+func (s *memStore) load(i int, m chunkMeta, dst []byte) ([]byte, error) {
+	if i < 0 || i >= len(s.chunks) {
+		return nil, errCorrupt
+	}
+	return s.chunks[i], nil
+}
+
+func (s *memStore) footprint() (int64, int64) {
+	var n int64
+	for _, c := range s.chunks {
+		n += int64(len(c))
+	}
+	return 0, n
+}
+
+func (s *memStore) close() error { return nil }
+
+// fileStore reads chunks from an open trace file via ReadAt (safe for
+// concurrent readers; no shared cursor) and verifies each chunk's
+// checksum on every load — disk bytes, unlike process memory, can rot
+// or be torn, and a reader must fail loudly before decoding them.
+type fileStore struct {
+	f    *os.File
+	path string // for error messages; may outlive renames
+	size int64  // total file size (footprint)
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// fileHeaderLen is the fixed prefix before chunk data: magic + progHash.
+const fileHeaderLen = 8 + 32
+
+func (s *fileStore) load(i int, m chunkMeta, dst []byte) ([]byte, error) {
+	if uint64(len(dst)) < uint64(m.packedLen) {
+		// Callers size dst from the trace's own chunk table; a short
+		// buffer means the table and this call disagree.
+		return nil, errCorrupt
+	}
+	dst = dst[:m.packedLen]
+	if _, err := s.f.ReadAt(dst, fileHeaderLen+int64(m.startPos)); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("trace: %s: chunk %d truncated: %w", s.path, i, ErrCorruptChunk)
+		}
+		return nil, fmt.Errorf("trace: %s: reading chunk %d: %w", s.path, i, err)
+	}
+	if sha256.Sum256(dst) != m.sum {
+		return nil, fmt.Errorf("trace: %s: chunk %d: %w", s.path, i, ErrCorruptChunk)
+	}
+	return dst, nil
+}
+
+func (s *fileStore) footprint() (int64, int64) { return s.size, 0 }
+
+func (s *fileStore) close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.f.Close() })
+	return s.closeErr
+}
+
+// chunkBufPool recycles reader chunk buffers across segment runs, so a
+// sweep's K parallel workers settle on K buffers total instead of
+// allocating one per (config, segment) pair.
+var chunkBufPool sync.Pool
+
+// grabChunkBuf returns a buffer with capacity ≥ n.
+func grabChunkBuf(n int) *[]byte {
+	if v := chunkBufPool.Get(); v != nil {
+		b := v.(*[]byte)
+		if cap(*b) >= n {
+			return b
+		}
+	}
+	b := make([]byte, n)
+	return &b
+}
+
+func releaseChunkBuf(b *[]byte) {
+	if b != nil {
+		chunkBufPool.Put(b)
+	}
+}

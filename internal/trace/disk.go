@@ -1,47 +1,78 @@
 package trace
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"repro/internal/isa"
 )
 
-// On-disk layout (all integers little-endian):
+// On-disk layout, version 3 (all integers little-endian):
 //
-//	magic     "CETRACE\x02"           8 bytes
+//	magic     "CETRACE\x03"           8 bytes
 //	progHash  ProgHash(prog)         32 bytes
-//	entryPC   uint32                  4 bytes
-//	steps     uint64                  8 bytes
-//	nOutput   uint32                  4 bytes
-//	output    nOutput × int32         4·nOutput bytes
-//	stateHash final StateHash        32 bytes
-//	packedLen uint64                  8 bytes
-//	packed    the dynamic stream     packedLen bytes
-//	nBounds   uint32                  4 bytes
+//	chunks    the packed stream, chunk after chunk (no framing)
+//	footer    see below
+//	footerLen uint64                  8 bytes
+//	footerSum sha256 of the footer   32 bytes
+//
+// footer:
+//
+//	entryPC   uint32
+//	steps     uint64
+//	chunkRecs uint64                  records per full chunk
+//	nChunks   uint32
+//	chunks    nChunks × {packedLen uint32, sum [32]byte}
+//	nBounds   uint32
 //	bounds    nBounds × {step uint64, pos uint64, pc uint32}
-//	checksum  sha256 of all above    32 bytes
+//	bbvDim    uint32
+//	bbvIval   uint64
+//	nBBV      uint32                  total uint32 counts (intervals × dim)
+//	bbv       nBBV × uint32
+//	nOutput   uint32
+//	output    nOutput × int32
+//	stateHash [32]byte
 //
-// Version 2 appends the warm-start boundary table (see segment.go) after
-// the packed stream. Version-1 files fail the magic check and are
-// deleted and recaptured like any other stale trace — the table is a
-// property of the capture, so it cannot be synthesized from a v1 file
-// without replaying it anyway.
+// The layout is append-only in capture order — header, then chunk bytes
+// as they seal, then everything known only at halt — so a capture
+// streams straight to disk with O(chunk) memory. Each chunk carries its
+// own checksum, verified when the chunk is *loaded*, so a reader can
+// consume a multi-gigabyte trace one chunk at a time without a
+// whole-file pass; the footer carries its own trailing checksum,
+// verified at open, covering all metadata. Truncation is caught
+// structurally: header + chunk bytes + footer + trailer must tile the
+// file exactly.
 //
-// The progHash pins the trace to one exact program image; the trailing
-// checksum detects truncation and bit rot. Readers treat any mismatch as
-// "no trace": the caller deletes the file and recaptures, mirroring
-// runcache.loadDisk's corrupt-entry hardening.
+// Version 2 stored the packed stream as one unchunked blob with a
+// whole-file checksum and no basic-block vectors; version 1 lacked the
+// boundary table. Both old magics are recognized and rejected with
+// ErrStaleFormat — the chunk table and BBV profile are properties of
+// the capture, so an old file cannot be upgraded without re-executing
+// the workload anyway. The caller deletes the file and recaptures.
+//
+// The progHash pins the trace to one exact program image. Readers treat
+// any mismatch as "no trace": the caller deletes the file and
+// recaptures, mirroring runcache.loadDisk's corrupt-entry hardening.
 
-var diskMagic = [8]byte{'C', 'E', 'T', 'R', 'A', 'C', 'E', 2}
+var diskMagic = [8]byte{'C', 'E', 'T', 'R', 'A', 'C', 'E', 3}
+
+// ErrStaleFormat marks a structurally recognizable trace file of an
+// older format version, which must be deleted and recaptured.
+var ErrStaleFormat = errors.New("trace: stale trace format")
 
 const boundaryBytes = 8 + 8 + 4
 
-const diskOverhead = 8 + 32 + 4 + 8 + 4 + 32 + 8 + 4 + 32
+const chunkMetaBytes = 4 + 32
+
+// trailerLen is the fixed suffix: footerLen + footerSum.
+const trailerLen = 8 + 32
 
 // DiskPath returns the canonical file name for a program's trace under
 // dir: content-addressed by program hash, so a recompiled program gets a
@@ -52,88 +83,249 @@ func diskPath(dir string, ph [32]byte) string {
 	return filepath.Join(dir, hex.EncodeToString(ph[:])[:32]+".cetrace")
 }
 
-// Marshal serializes the trace into its canonical byte form.
-func (t *Trace) Marshal() []byte {
-	buf := make([]byte, 0, diskOverhead+4*len(t.output)+len(t.packed)+boundaryBytes*len(t.bounds))
-	buf = append(buf, diskMagic[:]...)
-	ph := ProgHash(t.prog)
-	buf = append(buf, ph[:]...)
+// appendFooter serializes the trace's metadata footer.
+func appendFooter(buf []byte, t *Trace) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, t.entryPC)
 	buf = binary.LittleEndian.AppendUint64(buf, t.n)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.output)))
-	for _, v := range t.output {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	buf = binary.LittleEndian.AppendUint64(buf, t.chunkRecs)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.chunks)))
+	for _, c := range t.chunks {
+		buf = binary.LittleEndian.AppendUint32(buf, c.packedLen)
+		buf = append(buf, c.sum[:]...)
 	}
-	buf = append(buf, t.stateHash[:]...)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(t.packed)))
-	buf = append(buf, t.packed...)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.bounds)))
 	for _, b := range t.bounds {
 		buf = binary.LittleEndian.AppendUint64(buf, b.Step)
 		buf = binary.LittleEndian.AppendUint64(buf, b.Pos)
 		buf = binary.LittleEndian.AppendUint32(buf, b.PC)
 	}
-	sum := sha256.Sum256(buf)
-	return append(buf, sum[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.bbv.Dim))
+	buf = binary.LittleEndian.AppendUint64(buf, t.bbv.Interval)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.bbv.Counts)))
+	for _, c := range t.bbv.Counts {
+		buf = binary.LittleEndian.AppendUint32(buf, c)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.output)))
+	for _, v := range t.output {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	buf = append(buf, t.stateHash[:]...)
+	return buf
 }
 
-// Unmarshal parses a serialized trace and binds it to p, rejecting
-// corrupt bytes and traces of any other program image.
-func Unmarshal(data []byte, p *isa.Program) (*Trace, error) {
-	if len(data) < diskOverhead {
-		return nil, fmt.Errorf("trace: file too short (%d bytes)", len(data))
+// cursor is a bounds-checked little-endian reader over the footer.
+type cursor struct {
+	b   []byte
+	bad bool
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.bad || len(c.b) < n {
+		c.bad = true
+		return nil
 	}
-	body, sum := data[:len(data)-32], data[len(data)-32:]
-	if sha256.Sum256(body) != [32]byte(sum) {
-		return nil, fmt.Errorf("trace: checksum mismatch (truncated or corrupt file)")
+	out := c.b[:n]
+	c.b = c.b[n:]
+	return out
+}
+
+func (c *cursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
 	}
-	if [8]byte(body[:8]) != diskMagic {
-		return nil, fmt.Errorf("trace: bad magic (not a trace file, or an incompatible format version)")
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (c *cursor) u64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
 	}
-	body = body[8:]
-	ph := [32]byte(body[:32])
-	if ph != ProgHash(p) {
-		return nil, fmt.Errorf("trace: trace was captured from a different build of %s", p.Name)
-	}
-	body = body[32:]
+	return binary.LittleEndian.Uint64(b)
+}
+
+// parseFooter rebuilds a trace's metadata (everything but the chunk
+// store) from a verified footer, cross-checking the structural
+// invariants the chunked reader depends on.
+func parseFooter(footer []byte, p *isa.Program) (*Trace, error) {
+	c := &cursor{b: footer}
 	t := &Trace{prog: p}
-	t.entryPC = binary.LittleEndian.Uint32(body)
-	t.n = binary.LittleEndian.Uint64(body[4:])
-	nOut := binary.LittleEndian.Uint32(body[12:])
-	body = body[16:]
-	if uint64(len(body)) < uint64(nOut)*4+32+8 {
-		return nil, fmt.Errorf("trace: output section overruns the file")
+	t.entryPC = c.u32()
+	t.n = c.u64()
+	t.chunkRecs = c.u64()
+	nChunks := c.u32()
+	corrupt := func(what string) (*Trace, error) {
+		return nil, fmt.Errorf("trace: footer: %s", what)
 	}
-	t.output = make([]int32, nOut)
-	for i := range t.output {
-		t.output[i] = int32(binary.LittleEndian.Uint32(body[4*i:]))
+	if c.bad {
+		return corrupt("truncated")
 	}
-	body = body[4*nOut:]
-	t.stateHash = [32]byte(body[:32])
-	packedLen := binary.LittleEndian.Uint64(body[32:40])
-	body = body[40:]
-	if uint64(len(body)) < packedLen+4 {
-		return nil, fmt.Errorf("trace: packed stream is %d bytes, header says %d", len(body), packedLen)
+	if t.chunkRecs == 0 || t.chunkRecs%boundaryInterval != 0 {
+		return corrupt("invalid chunk record count")
 	}
-	t.packed = body[:packedLen]
-	body = body[packedLen:]
-	nBounds := binary.LittleEndian.Uint32(body)
-	body = body[4:]
-	if uint64(len(body)) != uint64(nBounds)*boundaryBytes {
-		return nil, fmt.Errorf("trace: boundary table is %d bytes, header says %d entries", len(body), nBounds)
+	if want := (t.n + t.chunkRecs - 1) / t.chunkRecs; uint64(nChunks) != want {
+		return corrupt("chunk count does not match step count")
+	}
+	if uint64(len(c.b)) < uint64(nChunks)*chunkMetaBytes {
+		return corrupt("chunk table overruns the footer")
+	}
+	t.chunks = make([]chunkMeta, nChunks)
+	for i := range t.chunks {
+		t.chunks[i].startPos = t.packedLen
+		t.chunks[i].packedLen = c.u32()
+		copy(t.chunks[i].sum[:], c.take(32))
+		t.packedLen += uint64(t.chunks[i].packedLen)
+		if int(t.chunks[i].packedLen) > t.maxChunk {
+			t.maxChunk = int(t.chunks[i].packedLen)
+		}
+	}
+	nBounds := c.u32()
+	if c.bad || uint64(len(c.b)) < uint64(nBounds)*boundaryBytes {
+		return corrupt("boundary table overruns the footer")
 	}
 	t.bounds = make([]Boundary, nBounds)
 	for i := range t.bounds {
-		t.bounds[i] = Boundary{
-			Step: binary.LittleEndian.Uint64(body),
-			Pos:  binary.LittleEndian.Uint64(body[8:]),
-			PC:   binary.LittleEndian.Uint32(body[16:]),
+		t.bounds[i] = Boundary{Step: c.u64(), Pos: c.u64(), PC: c.u32()}
+		if t.bounds[i].Step > t.n || t.bounds[i].Pos > t.packedLen {
+			return corrupt("boundary outside the trace")
 		}
-		body = body[boundaryBytes:]
+	}
+	t.bbv.Dim = int(c.u32())
+	t.bbv.Interval = c.u64()
+	nBBV := c.u32()
+	if c.bad || uint64(len(c.b)) < uint64(nBBV)*4 {
+		return corrupt("bbv table overruns the footer")
+	}
+	if t.bbv.Dim < 0 || (t.bbv.Dim > 0 && (t.bbv.Interval == 0 || int(nBBV)%t.bbv.Dim != 0)) {
+		return corrupt("bbv table is not a whole number of vectors")
+	}
+	t.bbv.Counts = make([]uint32, nBBV)
+	for i := range t.bbv.Counts {
+		t.bbv.Counts[i] = c.u32()
+	}
+	nOut := c.u32()
+	if c.bad || uint64(len(c.b)) < uint64(nOut)*4 {
+		return corrupt("output section overruns the footer")
+	}
+	t.output = make([]int32, nOut)
+	for i := range t.output {
+		t.output[i] = int32(c.u32())
+	}
+	copy(t.stateHash[:], c.take(32))
+	if c.bad {
+		return corrupt("truncated")
+	}
+	if len(c.b) != 0 {
+		return corrupt("trailing bytes")
 	}
 	if t.entryPC != entryPC(p) {
 		return nil, fmt.Errorf("trace: entry pc %d does not match the program's %d", t.entryPC, entryPC(p))
 	}
+	return t, nil
+}
+
+// checkMagic validates the 8-byte magic, distinguishing stale format
+// versions (recognizable, recapture needed) from garbage.
+func checkMagic(magic []byte) error {
+	if [8]byte(magic) == diskMagic {
+		return nil
+	}
+	if bytes.Equal(magic[:7], diskMagic[:7]) && magic[7] < diskMagic[7] {
+		return fmt.Errorf("%w: format v%d < v3; recapturing", ErrStaleFormat, magic[7])
+	}
+	return fmt.Errorf("trace: bad magic (not a trace file, or an incompatible format version)")
+}
+
+// writeTo streams the trace's canonical serialized form: header, every
+// chunk in order, footer, trailer. Chunks are loaded (and, for
+// file-backed traces, re-verified) one at a time, so serializing never
+// materializes the whole stream.
+func (t *Trace) writeTo(w io.Writer) error {
+	if _, err := w.Write(diskMagic[:]); err != nil {
+		return err
+	}
+	ph := ProgHash(t.prog)
+	if _, err := w.Write(ph[:]); err != nil {
+		return err
+	}
+	var scratch []byte
+	if t.maxChunk > 0 {
+		scratch = make([]byte, t.maxChunk)
+	}
+	for i, m := range t.chunks {
+		data, err := t.store.load(i, m, scratch)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+	}
+	footer := appendFooter(nil, t)
+	if _, err := w.Write(footer); err != nil {
+		return err
+	}
+	var trailer [trailerLen]byte
+	binary.LittleEndian.PutUint64(trailer[:8], uint64(len(footer)))
+	sum := sha256.Sum256(footer)
+	copy(trailer[8:], sum[:])
+	_, err := w.Write(trailer[:])
+	return err
+}
+
+// Marshal serializes the trace into its canonical byte form.
+func (t *Trace) Marshal() []byte {
+	var buf bytes.Buffer
+	buf.Grow(fileHeaderLen + int(t.packedLen) + trailerLen + 64 + chunkMetaBytes*len(t.chunks) + boundaryBytes*len(t.bounds) + 4*(len(t.bbv.Counts)+len(t.output)))
+	if err := t.writeTo(&buf); err != nil {
+		// Serializing an in-memory trace cannot fail; a file-backed trace
+		// with rotten chunks has no canonical bytes to return.
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// Unmarshal parses a serialized trace and binds it to p, rejecting
+// corrupt bytes and traces of any other program image. All chunk
+// checksums are verified eagerly — the bytes are already resident, so
+// there is no streaming win to defer them for.
+func Unmarshal(data []byte, p *isa.Program) (*Trace, error) {
+	if len(data) < fileHeaderLen+trailerLen {
+		return nil, fmt.Errorf("trace: file too short (%d bytes)", len(data))
+	}
+	if err := checkMagic(data[:8]); err != nil {
+		return nil, err
+	}
+	if [32]byte(data[8:40]) != ProgHash(p) {
+		return nil, fmt.Errorf("trace: trace was captured from a different build of %s", p.Name)
+	}
+	trailer := data[len(data)-trailerLen:]
+	footerLen := binary.LittleEndian.Uint64(trailer[:8])
+	if footerLen > uint64(len(data)-fileHeaderLen-trailerLen) {
+		return nil, fmt.Errorf("trace: footer overruns the file")
+	}
+	footer := data[uint64(len(data))-trailerLen-footerLen : len(data)-trailerLen]
+	if sha256.Sum256(footer) != [32]byte(trailer[8:]) {
+		return nil, fmt.Errorf("trace: footer checksum mismatch (truncated or corrupt file)")
+	}
+	t, err := parseFooter(footer, p)
+	if err != nil {
+		return nil, err
+	}
+	chunkData := data[fileHeaderLen : uint64(len(data))-trailerLen-footerLen]
+	if uint64(len(chunkData)) != t.packedLen {
+		return nil, fmt.Errorf("trace: packed stream is %d bytes, footer says %d", len(chunkData), t.packedLen)
+	}
+	ms := &memStore{chunks: make([][]byte, len(t.chunks))}
+	for i, m := range t.chunks {
+		c := chunkData[m.startPos : m.startPos+uint64(m.packedLen)]
+		if sha256.Sum256(c) != m.sum {
+			return nil, fmt.Errorf("trace: chunk %d: %w", i, ErrCorruptChunk)
+		}
+		ms.chunks[i] = c
+	}
+	t.store = ms
 	return t, nil
 }
 
@@ -142,14 +334,14 @@ func EnsureDir(dir string) error { return os.MkdirAll(dir, 0o755) }
 
 // WriteFile persists the trace under dir at its canonical path, via a
 // uniquely named temp file and rename so concurrent writers of the same
-// (byte-identical) trace cannot tear each other's files.
+// (byte-identical) trace cannot tear each other's files. Chunks stream
+// through one scratch buffer; the whole trace is never materialized.
 func (t *Trace) WriteFile(dir string) error {
-	data := t.Marshal()
 	tmp, err := os.CreateTemp(dir, "trace-*.tmp")
 	if err != nil {
 		return err
 	}
-	_, werr := tmp.Write(data)
+	werr := t.writeTo(tmp)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		_ = os.Remove(tmp.Name())
@@ -166,19 +358,73 @@ func (t *Trace) WriteFile(dir string) error {
 	return nil
 }
 
-// ReadFile loads p's trace from dir. A missing file returns os.ErrNotExist
-// (wrapped); a corrupt, truncated or mismatched file is deleted so the
-// slot can be recaptured, and reported as an error.
+// ReadFile opens p's trace from dir without reading the packed stream:
+// only the header and footer are loaded and verified, and the returned
+// trace streams chunks from the (kept-open) file on demand, each
+// verified against its checksum as it loads. A missing file returns
+// os.ErrNotExist (wrapped); a corrupt, truncated, stale-format or
+// mismatched file is deleted so the slot can be recaptured, and
+// reported as an error (errors.Is(err, ErrStaleFormat) distinguishes
+// old-version files).
 func ReadFile(dir string, p *isa.Program) (*Trace, error) {
 	path := diskPath(dir, ProgHash(p))
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	t, err := Unmarshal(data, p)
+	t, err := readFrom(f, path, p)
 	if err != nil {
+		_ = f.Close()
 		_ = os.Remove(path)
 		return nil, err
 	}
+	return t, nil
+}
+
+// readFrom validates and indexes an open trace file, returning a
+// file-backed trace that owns f.
+func readFrom(f *os.File, path string, p *isa.Program) (*Trace, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size < fileHeaderLen+trailerLen {
+		return nil, fmt.Errorf("trace: %s: file too short (%d bytes)", path, size)
+	}
+	var header [fileHeaderLen]byte
+	if _, err := f.ReadAt(header[:], 0); err != nil {
+		return nil, err
+	}
+	if err := checkMagic(header[:8]); err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	if [32]byte(header[8:]) != ProgHash(p) {
+		return nil, fmt.Errorf("trace: %s: trace was captured from a different build of %s", path, p.Name)
+	}
+	var trailer [trailerLen]byte
+	if _, err := f.ReadAt(trailer[:], size-trailerLen); err != nil {
+		return nil, err
+	}
+	footerLen := binary.LittleEndian.Uint64(trailer[:8])
+	if footerLen > uint64(size-fileHeaderLen-trailerLen) {
+		return nil, fmt.Errorf("trace: %s: footer overruns the file", path)
+	}
+	footer := make([]byte, footerLen)
+	if _, err := f.ReadAt(footer, size-trailerLen-int64(footerLen)); err != nil {
+		return nil, err
+	}
+	if sha256.Sum256(footer) != [32]byte(trailer[8:]) {
+		return nil, fmt.Errorf("trace: %s: footer checksum mismatch (truncated or corrupt file)", path)
+	}
+	t, err := parseFooter(footer, p)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if got := uint64(size) - fileHeaderLen - trailerLen - footerLen; got != t.packedLen {
+		return nil, fmt.Errorf("trace: %s: packed stream is %d bytes, footer says %d", path, got, t.packedLen)
+	}
+	t.store = &fileStore{f: f, path: path, size: size}
+	t.path = path
 	return t, nil
 }

@@ -12,6 +12,10 @@ import (
 // per-record condition, so one shared sentinel is enough.
 var errCorrupt = errors.New("trace: packed stream truncated (trace does not match its step count)")
 
+// errReleased guards use-after-release: a Reader whose chunk buffer was
+// returned to the pool must not decode from it again.
+var errReleased = errors.New("trace: reader used after Release")
+
 // Reader replays a captured trace as a stream of emu.Records, mirroring
 // exactly what emu.Machine.Step would have returned for the same
 // program. It performs no architectural work — no register file, no
@@ -21,19 +25,37 @@ var errCorrupt = errors.New("trace: packed stream truncated (trace does not matc
 //
 // A Reader is a cheap cursor over the shared immutable Trace; create one
 // per simulation and share the Trace across any number of goroutines.
+// The reader holds exactly one chunk at a time: for file-backed traces
+// that is one pooled buffer per reader (refilled from disk as the
+// cursor crosses chunk ends), so K parallel segment workers keep O(K)
+// chunks resident however large the trace is. Call Release when done
+// with a reader that may not have replayed to its trace's end, so its
+// buffer returns to the pool (a reader that halts releases itself).
 type Reader struct {
-	t      *Trace
-	text   []isa.Inst
-	packed []byte
-	pos    int
+	t     *Trace
+	text  []isa.Inst
+	chunk []byte // current chunk's packed bytes
+	pos   int    // cursor within chunk
+	ci    int    // current chunk index
+	limit uint64 // step at which the current chunk's records end
+
 	pc     uint32
 	step   uint64
 	halted bool
+	err    error
+
+	buf *[]byte // pooled backing for file-backed loads (nil otherwise)
 }
 
 // NewReader returns a fresh cursor positioned at the start of t.
 func NewReader(t *Trace) *Reader {
-	return &Reader{t: t, text: t.prog.Text, packed: t.packed, pc: t.entryPC}
+	r, err := NewReaderAt(t, t.startBoundary())
+	if err != nil {
+		// The start boundary is always valid; only a chunk-load failure
+		// (corrupt file) can land here. Surface it on the first Step.
+		r = &Reader{t: t, text: t.prog.Text, pc: t.entryPC, err: err}
+	}
+	return r
 }
 
 // Program returns the traced program.
@@ -55,6 +77,78 @@ func (r *Reader) Output() []int32 { return r.t.Output() }
 // execution (valid at any time; meaningful once replay has halted).
 func (r *Reader) StateHash() [32]byte { return r.t.StateHash() }
 
+// Release returns the reader's chunk buffer to the pool. It is safe to
+// call at any time, including on memory-backed readers (no-op) and more
+// than once; after Release the reader refuses further Steps unless it
+// had already halted.
+func (r *Reader) Release() {
+	if r.buf != nil {
+		releaseChunkBuf(r.buf)
+		r.buf = nil
+		r.chunk = nil
+		if r.err == nil && !r.halted {
+			r.err = errReleased
+		}
+	}
+}
+
+// load positions the reader inside chunk ci at global stream offset
+// globalPos, fetching the chunk's bytes through the trace's store.
+func (r *Reader) load(ci int, globalPos uint64) error {
+	t := r.t
+	m := t.chunks[ci]
+	if globalPos < m.startPos || globalPos-m.startPos > uint64(m.packedLen) {
+		return errCorrupt
+	}
+	var dst []byte
+	if _, fileBacked := t.store.(*fileStore); fileBacked {
+		if r.buf == nil {
+			r.buf = grabChunkBuf(t.maxChunk)
+		}
+		dst = (*r.buf)[:cap(*r.buf)]
+	}
+	data, err := t.store.load(ci, m, dst)
+	if err != nil {
+		return err
+	}
+	r.chunk = data
+	r.pos = int(globalPos - m.startPos)
+	r.ci = ci
+	r.limit = uint64(ci+1) * t.chunkRecs
+	if r.limit > t.n {
+		r.limit = t.n
+	}
+	return nil
+}
+
+// advance moves to the next chunk when the cursor crosses the current
+// chunk's last record. Kept out of the //ce:hot Step body; it performs
+// no allocation in steady state (the pooled buffer is reused), which
+// TestReaderStepAllocFree pins across a chunk crossing.
+func (r *Reader) advance() error {
+	ci := r.ci + 1
+	if ci >= len(r.t.chunks) {
+		r.err = errCorrupt
+		return errCorrupt
+	}
+	if err := r.load(ci, r.t.chunks[ci].startPos); err != nil {
+		r.err = err
+		return err
+	}
+	return nil
+}
+
+// finishHalt marks the trace fully replayed and retires the reader's
+// pooled buffer — after the halt record nothing will be decoded again.
+func (r *Reader) finishHalt() {
+	r.halted = true
+	if r.buf != nil {
+		releaseChunkBuf(r.buf)
+		r.buf = nil
+		r.chunk = nil
+	}
+}
+
 // Step reconstructs the next dynamic record. The per-class decoding must
 // mirror Recorder.append, and the Record fields must match what
 // emu.Machine.Step produces for the same instruction — both are pinned
@@ -66,26 +160,34 @@ func (r *Reader) Step() (emu.Record, error) {
 	if r.halted {
 		return emu.Record{}, emu.ErrHalted
 	}
+	if r.err != nil {
+		return emu.Record{}, r.err
+	}
 	if r.step >= r.t.n || r.pc >= uint32(len(r.text)) {
 		// A sealed trace ends in Halt, so running out of records (or
 		// walking outside the text) means the stream is corrupt.
 		return emu.Record{}, errCorrupt
 	}
+	if r.step == r.limit {
+		if err := r.advance(); err != nil {
+			return emu.Record{}, err
+		}
+	}
 	in := r.text[r.pc]
 	rec := emu.Record{PC: r.pc, Inst: in, NextPC: r.pc + 1}
 	switch isa.ClassOf(in.Op) {
 	case isa.ClassLoad, isa.ClassStore:
-		if r.pos+4 > len(r.packed) {
+		if r.pos+4 > len(r.chunk) {
 			return emu.Record{}, errCorrupt
 		}
-		p := r.packed[r.pos:]
+		p := r.chunk[r.pos:]
 		rec.Addr = uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
 		r.pos += 4
 	case isa.ClassBranch:
-		if r.pos >= len(r.packed) {
+		if r.pos >= len(r.chunk) {
 			return emu.Record{}, errCorrupt
 		}
-		if r.packed[r.pos] != 0 {
+		if r.chunk[r.pos] != 0 {
 			rec.Taken = true
 			rec.NextPC = uint32(in.Imm)
 		}
@@ -93,10 +195,10 @@ func (r *Reader) Step() (emu.Record, error) {
 	case isa.ClassJump:
 		rec.Taken = true
 		if in.Op == isa.Jr || in.Op == isa.Jalr {
-			if r.pos+4 > len(r.packed) {
+			if r.pos+4 > len(r.chunk) {
 				return emu.Record{}, errCorrupt
 			}
-			p := r.packed[r.pos:]
+			p := r.chunk[r.pos:]
 			rec.NextPC = uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
 			r.pos += 4
 		} else {
@@ -105,7 +207,7 @@ func (r *Reader) Step() (emu.Record, error) {
 	case isa.ClassSystem:
 		if in.Op == isa.Halt {
 			rec.NextPC = r.pc
-			r.halted = true
+			r.finishHalt()
 		}
 	}
 	r.pc = rec.NextPC

@@ -53,7 +53,7 @@ func (t *Trace) startBoundary() Boundary { return Boundary{PC: t.entryPC} }
 // endBoundary marks the end of the trace. Its PC is not a replay point
 // (the trace ends in Halt); only Step and Pos are meaningful.
 func (t *Trace) endBoundary() Boundary {
-	return Boundary{Step: t.n, Pos: uint64(len(t.packed))}
+	return Boundary{Step: t.n, Pos: t.packedLen}
 }
 
 // Boundaries returns the number of stored warm-start boundaries.
@@ -123,22 +123,37 @@ func (t *Trace) WarmStart(seg Segment, warmup int64) Boundary {
 
 // NewReaderAt returns a cursor positioned at boundary b, exactly as if
 // a fresh Reader had replayed b.Step records. b must be a boundary of
-// this trace (its start, or one returned by WarmStart / Segments).
+// this trace (its start, or one returned by WarmStart / Segments). Only
+// the chunk containing b is loaded; later chunks stream in as the
+// cursor crosses into them.
 func NewReaderAt(t *Trace, b Boundary) (*Reader, error) {
-	if b.Step > t.n || b.Pos > uint64(len(t.packed)) {
+	if b.Step > t.n || b.Pos > t.packedLen {
 		return nil, fmt.Errorf("trace: boundary step %d / pos %d outside the trace (%d steps, %d bytes)",
-			b.Step, b.Pos, t.n, len(t.packed))
+			b.Step, b.Pos, t.n, t.packedLen)
 	}
 	if b.Step < t.n && b.PC >= uint32(len(t.prog.Text)) {
 		return nil, fmt.Errorf("trace: boundary pc %d outside the text segment (%d instructions)", b.PC, len(t.prog.Text))
 	}
-	return &Reader{
+	r := &Reader{
 		t:      t,
 		text:   t.prog.Text,
-		packed: t.packed,
-		pos:    int(b.Pos),
 		pc:     b.PC,
 		step:   b.Step,
 		halted: b.Step == t.n,
-	}, nil
+	}
+	if r.halted {
+		return r, nil
+	}
+	ci := 0
+	if t.chunkRecs > 0 {
+		ci = int(b.Step / t.chunkRecs)
+	}
+	if ci >= len(t.chunks) {
+		return nil, fmt.Errorf("trace: boundary step %d has no chunk (%d chunks of %d records)", b.Step, len(t.chunks), t.chunkRecs)
+	}
+	if err := r.load(ci, b.Pos); err != nil {
+		r.Release()
+		return nil, err
+	}
+	return r, nil
 }

@@ -22,7 +22,7 @@ func TestBoundariesCaptured(t *testing.T) {
 		if b.Step != uint64(i+1)*boundaryInterval {
 			t.Fatalf("boundary %d at step %d, want %d", i, b.Step, uint64(i+1)*boundaryInterval)
 		}
-		if b.Pos <= prev.Pos || b.Pos > uint64(len(tr.packed)) {
+		if b.Pos <= prev.Pos || b.Pos > tr.packedLen {
 			t.Fatalf("boundary %d pos %d not increasing within the stream (prev %d)", i, b.Pos, prev.Pos)
 		}
 		if b.PC >= uint32(len(p.Text)) {

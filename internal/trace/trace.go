@@ -23,6 +23,13 @@
 // text and data segments, so a stale trace can never replay against a
 // recompiled program.
 //
+// The packed stream is chunked (chunk.go): capture seals and checksums
+// one chunk at a time, streaming sealed chunks straight to disk when a
+// trace directory is configured (CaptureToDir) or when an in-memory
+// capture outgrows its window (memSpillBytes), so peak capture memory
+// is O(chunk), not O(trace). Readers load one chunk at a time for the
+// same bound on the replay side.
+//
 //ce:deterministic
 package trace
 
@@ -31,27 +38,47 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"os"
 
 	"repro/internal/emu"
 	"repro/internal/isa"
 )
 
-// Trace is one captured execution: the packed dynamic stream plus the
-// final architectural results needed to verify a replayed run without
-// re-executing (output values and state digest).
+// memSpillBytes is the bounded window an in-memory capture may hold
+// before it spills sealed chunks to an anonymous temp file. It is a
+// variable so tests can force the spill path on small workloads.
+var memSpillBytes int64 = 64 << 20
+
+// Trace is one captured execution: the chunked packed dynamic stream
+// plus the final architectural results needed to verify a replayed run
+// without re-executing (output values and state digest).
 type Trace struct {
 	prog    *isa.Program
 	entryPC uint32
-	packed  []byte
-	n       uint64 // dynamic records in packed
+	n       uint64 // dynamic records in the packed stream
+
+	packedLen uint64 // total packed bytes across chunks
+	chunkRecs uint64 // records per full chunk (chunkRecords at capture)
+	chunks    []chunkMeta
+	maxChunk  int // largest chunk's packed size (reader buffer bound)
+	store     chunkStore
 
 	// bounds are periodic warm-start points (every boundaryInterval
 	// records) captured during the one functional execution; see
 	// segment.go.
 	bounds []Boundary
 
+	// bbv holds the per-interval basic-block vectors collected during
+	// capture; see bbv.go.
+	bbv BBV
+
 	output    []int32
 	stateHash [32]byte
+
+	// path is the canonical on-disk location for file-backed traces
+	// persisted under a trace directory ("" for in-memory and anonymous
+	// spill-backed traces).
+	path string
 }
 
 // Program returns the program this trace was captured from.
@@ -62,7 +89,37 @@ func (t *Trace) Steps() uint64 { return t.n }
 
 // PackedBytes returns the size of the packed stream in bytes
 // (observability: bytes per instruction is the format's figure of merit).
-func (t *Trace) PackedBytes() int { return len(t.packed) }
+func (t *Trace) PackedBytes() int { return int(t.packedLen) }
+
+// Chunks returns the number of chunks the packed stream is cut into.
+func (t *Trace) Chunks() int { return len(t.chunks) }
+
+// Footprint reports where the trace's bytes live: on disk (file-backed
+// traces; readers stream one chunk at a time) versus resident in this
+// process's memory.
+func (t *Trace) Footprint() (disk, resident int64) { return t.store.footprint() }
+
+// Path returns the trace's canonical on-disk path, or "" for traces not
+// persisted under a trace directory.
+func (t *Trace) Path() string { return t.path }
+
+// Close releases the trace's backing store (the open file handle of a
+// file-backed trace). Readers must not be used after Close.
+func (t *Trace) Close() error { return t.store.close() }
+
+// Invalidate closes the trace and removes its canonical file, if any —
+// the engine's response to a chunk failing its checksum at replay time:
+// the file can no longer be trusted, so the slot is cleared for
+// recapture.
+func (t *Trace) Invalidate() error {
+	cerr := t.Close()
+	if t.path != "" {
+		if err := os.Remove(t.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	return cerr
+}
 
 // Output returns the Out values emitted by the captured execution.
 func (t *Trace) Output() []int32 { return t.output }
@@ -112,12 +169,36 @@ func entryPC(p *isa.Program) uint32 {
 // behind its back (the recorded stream no longer matches the machine).
 // Capture may resume after a checkpoint is restored or committed back to
 // the exact instruction count the recorder last saw.
+//
+// Packed bytes accumulate in one chunk buffer; every chunkRecords
+// records the chunk is sealed (checksummed) and either retained (memory
+// mode) or appended to the spill file (streaming mode), so the
+// recorder's working set is one chunk regardless of trace length.
 type Recorder struct {
-	m      *emu.Machine
-	prog   *isa.Program
-	packed []byte
+	m    *emu.Machine
+	prog *isa.Program
+
+	chunk       []byte // current (unsealed) chunk's packed bytes
+	chunkStart  uint64 // records sealed into previous chunks
+	sealedBytes uint64 // packed bytes sealed into previous chunks
+	chunks      []chunkMeta
+
+	// Memory mode: sealed chunks retained until Finish (or until the
+	// window overflows and startSpill converts to streaming mode).
+	mem      [][]byte
+	memBytes int64
+
+	// Streaming mode: sealed chunks appended to spill; spillDest is the
+	// canonical path the finished file is renamed to ("" = anonymous
+	// temp backing, already unlinked).
+	spill     *os.File
+	spillName string // current file name ("" once anonymous/unlinked)
+	spillDest string
+
 	n      uint64
 	bounds []Boundary
+	bbv    bbvBuilder
+
 	expect uint64 // machine.Executed after the last recorded step
 	nextPC uint32
 	err    error
@@ -137,6 +218,72 @@ func NewRecorder(m *emu.Machine, p *isa.Program) (*Recorder, error) {
 		return nil, ErrSpeculating
 	}
 	return &Recorder{m: m, prog: p, nextPC: entryPC(p)}, nil
+}
+
+// SpillTo switches the recorder to streaming mode before any chunk is
+// sealed: sealed chunks append to a temp file in dir, and Finish renames
+// it to the trace's canonical path. Capture memory stays O(chunk)
+// however long the execution runs.
+func (r *Recorder) SpillTo(dir string) error {
+	if r.spill != nil {
+		return fmt.Errorf("trace: recorder is already spilling to %s", r.spillName)
+	}
+	if err := r.startSpill(dir); err != nil {
+		return err
+	}
+	r.spillDest = DiskPath(dir, r.prog)
+	return nil
+}
+
+// startSpill opens the spill file (in dir, or anonymous when dir is "")
+// writes the stream header, flushes any already-sealed memory chunks,
+// and converts the recorder to streaming mode.
+func (r *Recorder) startSpill(dir string) error {
+	pattern := "trace-*.tmp"
+	if dir == "" {
+		pattern = "cetrace-spill-*.tmp"
+	}
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return err
+	}
+	r.spill = f
+	r.spillName = f.Name()
+	if dir == "" {
+		// Anonymous window spill: unlink immediately so the backing file
+		// cannot outlive the process, whatever happens later.
+		_ = os.Remove(r.spillName)
+		r.spillName = ""
+	}
+	ph := ProgHash(r.prog)
+	if _, err := f.Write(diskMagic[:]); err != nil {
+		return r.spillFail(err)
+	}
+	if _, err := f.Write(ph[:]); err != nil {
+		return r.spillFail(err)
+	}
+	for _, c := range r.mem {
+		if _, err := f.Write(c); err != nil {
+			return r.spillFail(err)
+		}
+	}
+	r.mem, r.memBytes = nil, 0
+	return nil
+}
+
+// spillFail abandons the spill file and poisons the recorder.
+func (r *Recorder) spillFail(err error) error {
+	if r.spill != nil {
+		_ = r.spill.Close()
+		if r.spillName != "" {
+			_ = os.Remove(r.spillName)
+		}
+		r.spill = nil
+	}
+	if r.err == nil {
+		r.err = err
+	}
+	return err
 }
 
 // Step executes one instruction on the underlying machine and appends it
@@ -173,25 +320,60 @@ func (r *Recorder) Step() (emu.Record, error) {
 // Reader.Step exactly; the differential tests in this package and in
 // internal/verify pin the round trip against the emulator.
 func (r *Recorder) append(rec emu.Record) {
+	r.bbv.note(rec)
 	switch isa.ClassOf(rec.Inst.Op) {
 	case isa.ClassLoad, isa.ClassStore:
-		r.packed = binary.LittleEndian.AppendUint32(r.packed, rec.Addr)
+		r.chunk = binary.LittleEndian.AppendUint32(r.chunk, rec.Addr)
 	case isa.ClassBranch:
 		var b byte
 		if rec.Taken {
 			b = 1
 		}
-		r.packed = append(r.packed, b)
+		r.chunk = append(r.chunk, b)
 	case isa.ClassJump:
 		if rec.Inst.Op == isa.Jr || rec.Inst.Op == isa.Jalr {
-			r.packed = binary.LittleEndian.AppendUint32(r.packed, rec.NextPC)
+			r.chunk = binary.LittleEndian.AppendUint32(r.chunk, rec.NextPC)
 		}
 	}
 	r.n++
 	if r.n%boundaryInterval == 0 {
 		// A boundary is the replay cursor after r.n records: rec.NextPC is
 		// the next instruction a Reader positioned here would decode.
-		r.bounds = append(r.bounds, Boundary{Step: r.n, Pos: uint64(len(r.packed)), PC: rec.NextPC})
+		r.bounds = append(r.bounds, Boundary{Step: r.n, Pos: r.sealedBytes + uint64(len(r.chunk)), PC: rec.NextPC})
+		r.bbv.seal()
+	}
+	if r.n-r.chunkStart == chunkRecords {
+		r.sealChunk()
+	}
+}
+
+// sealChunk checksums the current chunk and moves it out of the working
+// set: retained in memory mode (spilling once the window overflows),
+// appended to the spill file in streaming mode.
+func (r *Recorder) sealChunk() {
+	m := chunkMeta{
+		startPos:  r.sealedBytes,
+		packedLen: uint32(len(r.chunk)),
+		sum:       sha256.Sum256(r.chunk),
+	}
+	r.chunks = append(r.chunks, m)
+	r.sealedBytes += uint64(len(r.chunk))
+	r.chunkStart = r.n
+	if r.spill != nil {
+		if _, err := r.spill.Write(r.chunk); err != nil {
+			_ = r.spillFail(err)
+			return
+		}
+		r.chunk = r.chunk[:0]
+		return
+	}
+	r.mem = append(r.mem, r.chunk)
+	r.memBytes += int64(len(r.chunk))
+	r.chunk = nil
+	if r.memBytes > memSpillBytes {
+		if err := r.startSpill(""); err != nil {
+			r.err = err
+		}
 	}
 }
 
@@ -200,37 +382,123 @@ func (r *Recorder) append(rec emu.Record) {
 // mid-flight, which no consumer wants.
 func (r *Recorder) Finish() (*Trace, error) {
 	if r.err != nil {
+		_ = r.spillFail(r.err)
 		return nil, r.err
 	}
 	if !r.m.Halted() {
-		return nil, fmt.Errorf("trace: capture finished before the program halted (%d instructions executed)", r.m.Executed)
+		err := fmt.Errorf("trace: capture finished before the program halted (%d instructions executed)", r.m.Executed)
+		_ = r.spillFail(err)
+		return nil, err
+	}
+	if r.n > r.chunkStart {
+		r.sealChunk()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.n%boundaryInterval != 0 {
+		r.bbv.seal()
 	}
 	out := make([]int32, len(r.m.Output))
 	copy(out, r.m.Output)
-	return &Trace{
+	t := &Trace{
 		prog:      r.prog,
 		entryPC:   entryPC(r.prog),
-		packed:    r.packed,
 		n:         r.n,
+		packedLen: r.sealedBytes,
+		chunkRecs: chunkRecords,
+		chunks:    r.chunks,
 		bounds:    r.bounds,
+		bbv:       r.bbv.finish(),
 		output:    out,
 		stateHash: r.m.StateHash(),
-	}, nil
+	}
+	for _, c := range t.chunks {
+		if int(c.packedLen) > t.maxChunk {
+			t.maxChunk = int(c.packedLen)
+		}
+	}
+	if r.spill == nil {
+		t.store = &memStore{chunks: r.mem}
+		return t, nil
+	}
+	return r.finishSpill(t)
+}
+
+// finishSpill completes the on-disk form — footer and trailer after the
+// chunk data — renames the file to its canonical path when one was
+// requested, and hands the still-open handle to the trace's store.
+func (r *Recorder) finishSpill(t *Trace) (*Trace, error) {
+	footer := appendFooter(nil, t)
+	if _, err := r.spill.Write(footer); err != nil {
+		return nil, r.spillFail(err)
+	}
+	var trailer [40]byte
+	binary.LittleEndian.PutUint64(trailer[:8], uint64(len(footer)))
+	sum := sha256.Sum256(footer)
+	copy(trailer[8:], sum[:])
+	if _, err := r.spill.Write(trailer[:]); err != nil {
+		return nil, r.spillFail(err)
+	}
+	path := r.spillName
+	if r.spillDest != "" {
+		if err := os.Rename(r.spillName, r.spillDest); err != nil {
+			return nil, r.spillFail(err)
+		}
+		path = r.spillDest
+		t.path = path
+	}
+	size := int64(fileHeaderLen) + int64(t.packedLen) + int64(len(footer)) + int64(len(trailer))
+	t.store = &fileStore{f: r.spill, path: spillDisplayPath(path, r.prog), size: size}
+	return t, nil
+}
+
+// spillDisplayPath names an anonymous spill for error messages.
+func spillDisplayPath(path string, p *isa.Program) string {
+	if path != "" {
+		return path
+	}
+	return "(spill:" + p.Name + ")"
 }
 
 // Capture executes p to completion on a fresh machine and returns its
-// trace. maxInsts is a runaway guard (0 means no limit).
+// trace. maxInsts is a runaway guard (0 means no limit). The trace is
+// memory-backed while it fits the spill window (memSpillBytes) and
+// silently converts to an anonymous temp file beyond it, so capture
+// memory stays bounded on workloads of any length.
 func Capture(p *isa.Program, maxInsts uint64) (*Trace, error) {
+	return capture(p, maxInsts, nil)
+}
+
+// CaptureToDir executes p to completion, streaming the packed stream
+// directly into dir: sealed chunks append to a temp file that Finish
+// renames to the canonical DiskPath, and the returned trace reads its
+// chunks back from that file. Peak capture memory is O(chunk), and the
+// trace is already persisted — no separate WriteFile pass over the
+// whole stream.
+func CaptureToDir(p *isa.Program, maxInsts uint64, dir string) (*Trace, error) {
+	return capture(p, maxInsts, func(r *Recorder) error { return r.SpillTo(dir) })
+}
+
+func capture(p *isa.Program, maxInsts uint64, setup func(*Recorder) error) (*Trace, error) {
 	m := emu.New(p)
 	r, err := NewRecorder(m, p)
 	if err != nil {
 		return nil, err
 	}
+	if setup != nil {
+		if err := setup(r); err != nil {
+			return nil, fmt.Errorf("trace: capturing %s: %w", p.Name, err)
+		}
+	}
 	for !m.Halted() {
 		if maxInsts > 0 && m.Executed >= maxInsts {
-			return nil, fmt.Errorf("trace: %s exceeded %d instructions during capture", p.Name, maxInsts)
+			err := fmt.Errorf("trace: %s exceeded %d instructions during capture", p.Name, maxInsts)
+			_ = r.spillFail(err)
+			return nil, err
 		}
 		if _, err := r.Step(); err != nil {
+			_ = r.spillFail(err)
 			return nil, fmt.Errorf("trace: capturing %s: %w", p.Name, err)
 		}
 	}

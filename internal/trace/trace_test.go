@@ -118,12 +118,22 @@ func mustProgram(t *testing.T, name string) *isa.Program {
 // TestReaderStepAllocFree guards the replay hot path: steady-state Step
 // must not allocate.
 func TestReaderStepAllocFree(t *testing.T) {
-	p := mustProgram(t, "compress")
+	p := mustProgram(t, "compress.big")
 	tr, err := Capture(p, maxInsts)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if tr.Chunks() < 2 {
+		t.Fatalf("compress.big packs into %d chunk(s); the alloc guard must cross a chunk boundary", tr.Chunks())
+	}
+	// Position the cursor so the measured window crosses a chunk
+	// boundary: the refill path must be allocation-free too.
 	r := NewReader(tr)
+	for r.step < chunkRecords-50_000 {
+		if _, err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
 	allocs := testing.AllocsPerRun(100_000, func() {
 		if _, err := r.Step(); err != nil {
 			t.Fatal(err)
@@ -132,6 +142,37 @@ func TestReaderStepAllocFree(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("Reader.Step allocates %.1f times per call, want 0", allocs)
 	}
+}
+
+// TestFileReaderStepAllocFree repeats the hot-path guard for file-backed
+// traces: chunk refills from disk (ReadAt + checksum verify into the
+// pooled buffer) must not allocate either.
+func TestFileReaderStepAllocFree(t *testing.T) {
+	p := mustProgram(t, "compress.big")
+	dir := t.TempDir()
+	tr, err := CaptureToDir(p, maxInsts, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if tr.Chunks() < 2 {
+		t.Fatalf("compress.big packs into %d chunk(s); the alloc guard must cross a chunk boundary", tr.Chunks())
+	}
+	r := NewReader(tr)
+	for r.step < chunkRecords-50_000 {
+		if _, err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100_000, func() {
+		if _, err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("file-backed Reader.Step allocates %.1f times per call, want 0", allocs)
+	}
+	r.Release()
 }
 
 // TestRecorderRefusesSpeculation pins the checkpoint-interaction choice
@@ -306,17 +347,54 @@ func TestDiskRoundTrip(t *testing.T) {
 		t.Fatal("truncated trace file was not removed")
 	}
 
-	// Bit rot inside the payload: checksum fails, file is deleted.
+	// Bit rot inside the footer: the open-time checksum fails, file is
+	// deleted.
 	bad := append([]byte(nil), a...)
-	bad[len(bad)/2] ^= 0x40
+	bad[len(bad)-trailerLen-5] ^= 0x40
 	if err := os.WriteFile(path, bad, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := ReadFile(dir, p); err == nil {
-		t.Fatal("ReadFile accepted a corrupt trace")
+		t.Fatal("ReadFile accepted a trace with a corrupt footer")
 	}
 	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
 		t.Fatal("corrupt trace file was not removed")
+	}
+
+	// Bit rot inside the chunk data: open succeeds (the stream is not
+	// re-read), but the poisoned chunk fails its checksum at load time —
+	// a reader can never decode torn bytes.
+	bad = append([]byte(nil), a...)
+	bad[fileHeaderLen+tr.PackedBytes()/2] ^= 0x40
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rotten, err := ReadFile(dir, p)
+	if err != nil {
+		t.Fatalf("ReadFile rejected a trace whose footer is intact: %v", err)
+	}
+	sawCorrupt := false
+	rd = NewReader(rotten)
+	for {
+		if _, err := rd.Step(); err != nil {
+			if errors.Is(err, emu.ErrHalted) {
+				break
+			}
+			if !errors.Is(err, ErrCorruptChunk) {
+				t.Fatalf("rotten chunk surfaced as %v, want ErrCorruptChunk", err)
+			}
+			sawCorrupt = true
+			break
+		}
+	}
+	if !sawCorrupt {
+		t.Fatal("reader replayed a trace with a rotten chunk to completion")
+	}
+	if err := rotten.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("Invalidate did not remove the rotten trace file")
 	}
 
 	// A different program's trace in this program's slot: rejected.
@@ -354,7 +432,21 @@ func TestReaderCorruptStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	trunc := &Trace{prog: tr.prog, entryPC: tr.entryPC, packed: tr.packed[:len(tr.packed)/2], n: tr.n}
+	// Truncate the final chunk's bytes while keeping the step count: the
+	// reader must run out of packed bytes before it runs out of records.
+	last := tr.chunks[len(tr.chunks)-1]
+	cut := uint64(last.packedLen) / 2
+	chunks := append([]chunkMeta(nil), tr.chunks...)
+	chunks[len(chunks)-1].packedLen = uint32(cut)
+	store := tr.store.(*memStore)
+	mem := append([][]byte(nil), store.chunks...)
+	mem[len(mem)-1] = mem[len(mem)-1][:cut]
+	trunc := &Trace{
+		prog: tr.prog, entryPC: tr.entryPC, n: tr.n,
+		packedLen: tr.packedLen - uint64(last.packedLen) + cut,
+		chunkRecs: tr.chunkRecs, chunks: chunks,
+		store: &memStore{chunks: mem},
+	}
 	r := NewReader(trunc)
 	for {
 		if _, err := r.Step(); err != nil {

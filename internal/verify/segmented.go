@@ -58,6 +58,70 @@ func CheckSegmented(workload string, k int) error {
 	return nil
 }
 
+// CheckSegmentedStreamed is CheckSegmented through the disk-backed
+// path: the workload is captured twice, once in memory and once
+// streamed into dir, and the two traces must agree on every execution
+// property; then every replay-capable panel configuration must produce
+// identical monolithic statistics from both traces (the streamed
+// reader is byte-equivalent to the in-memory one), and the segmented
+// seam is re-verified over the streamed trace, whose segment workers
+// seek and stream their chunks from the file.
+func CheckSegmentedStreamed(workload string, k int, dir string) error {
+	w, err := prog.ByName(workload)
+	if err != nil {
+		return err
+	}
+	p, err := w.Program()
+	if err != nil {
+		return err
+	}
+	mem, err := trace.Capture(p, maxInsts)
+	if err != nil {
+		return fmt.Errorf("verify: %s: %w", workload, err)
+	}
+	disk, err := trace.CaptureToDir(p, maxInsts, dir)
+	if err != nil {
+		return fmt.Errorf("verify: %s (streamed): %w", workload, err)
+	}
+	if mem.Steps() != disk.Steps() {
+		return fmt.Errorf("verify: %s: streamed capture took %d steps, in-memory %d", workload, disk.Steps(), mem.Steps())
+	}
+	if mem.StateHash() != disk.StateHash() {
+		return fmt.Errorf("verify: %s: streamed capture's final state diverges from the in-memory capture's", workload)
+	}
+	for _, cfg := range Panel() {
+		if cfg.WrongPathExecution {
+			continue
+		}
+		bare := cfg
+		bare.CheckInvariants = false
+		bare.RecordTimeline = false
+		fromMem, err := replayMono(bare, mem)
+		if err != nil {
+			return fmt.Errorf("verify: %s on %s: %w", workload, bare.Name, err)
+		}
+		fromDisk, err := replayMono(bare, disk)
+		if err != nil {
+			return fmt.Errorf("verify: %s on %s (streamed): %w", workload, bare.Name, err)
+		}
+		if err := diffStats(fromDisk, fromMem); err != nil {
+			return fmt.Errorf("verify: %s on %s: streamed reader diverges from in-memory: %w", workload, bare.Name, err)
+		}
+		if err := checkSegmentedOne(bare, disk, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func replayMono(cfg pipeline.Config, tr *trace.Trace) (pipeline.Stats, error) {
+	sim, err := pipeline.NewReplay(cfg, trace.NewReader(tr))
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	return sim.Run(maxCycles)
+}
+
 func checkSegmentedOne(cfg pipeline.Config, tr *trace.Trace, k int) error {
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("verify: %s on %s (segmented): %s", tr.Program().Name, cfg.Name, fmt.Sprintf(format, args...))

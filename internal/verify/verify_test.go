@@ -75,3 +75,13 @@ func TestCheckSegmented(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCheckSegmentedStreamed re-proves the segmented seam through the
+// disk-backed trace path: streamed capture ≡ in-memory capture,
+// streamed monolithic replay ≡ in-memory replay per configuration, and
+// exact stitching over chunk-streaming segment readers ≡ both.
+func TestCheckSegmentedStreamed(t *testing.T) {
+	if err := CheckSegmentedStreamed("micro.branchy", 4, t.TempDir()); err != nil {
+		t.Error(err)
+	}
+}

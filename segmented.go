@@ -42,19 +42,35 @@ type SegmentMetrics struct {
 	Segments  int `json:"segments"`
 	Simulated int `json:"simulated"`
 	// Warmup is the per-segment warmup prefix in committed instructions
-	// (-1 = full prefix, the exact mode).
+	// (-1 = full prefix, the exact mode; 0 under adaptive warmup, which
+	// replays no prefix at all).
 	Warmup int64 `json:"warmup"`
 	// Sample is the sampling stride: every Sample-th segment is timed.
 	Sample int `json:"sample"`
+	// Mode names how the timed segments were chosen: "exact" (all, full
+	// warmup), "stride" (every Sample-th), or "phase" (one representative
+	// per behavior cluster, weighted by cluster mass).
+	Mode string `json:"mode"`
+	// Phases is the number of behavior clusters found (phase mode only).
+	Phases int `json:"phases,omitempty"`
 	// Exact reports whether the stitched result is bit-identical to the
 	// monolithic run (full warmup, no sampling).
 	Exact bool `json:"exact"`
-	// IPCMean and IPCHalfCI95 summarize the per-segment IPC population:
-	// the mean and the half-width of its 95% confidence interval.
+	// AdaptiveWarmup reports whether per-segment IPC-convergence warmup
+	// replaced the fixed prefix; WarmupMeanSteps is then the mean
+	// instructions each timed segment actually discarded, and
+	// WarmupConverged counts segments whose windowed IPC settled before
+	// the cap.
+	AdaptiveWarmup  bool    `json:"adaptive_warmup,omitempty"`
+	WarmupMeanSteps float64 `json:"warmup_mean_steps,omitempty"`
+	WarmupConverged int     `json:"warmup_converged,omitempty"`
+	// IPCMean and IPCHalfCI95 summarize the timed segments' IPC
+	// population: the (phase-weighted, in phase mode) mean and the
+	// half-width of its 95% confidence interval.
 	IPCMean     float64 `json:"ipc_mean"`
 	IPCHalfCI95 float64 `json:"ipc_half_ci95"`
 	// EstimatedCycles extrapolates the whole-run cycle count from the
-	// sampled segments (equals the stitched cycles when Sample is 1).
+	// timed segments (equals the stitched cycles when every segment ran).
 	EstimatedCycles int64 `json:"estimated_cycles"`
 }
 
@@ -86,15 +102,58 @@ func (e *Engine) SetSegmentSample(sample int) {
 	e.traceMu.Unlock()
 }
 
+// SetSegmentAdaptive replaces the fixed per-segment warmup prefix with
+// IPC-convergence detection: each timed segment starts cold at its
+// boundary and discards its own leading sub-windows until the windowed
+// IPC settles (see pipeline.SegmentOpts). The result is approximate,
+// like any finite warmup.
+func (e *Engine) SetSegmentAdaptive(on bool) {
+	e.traceMu.Lock()
+	e.segAdaptive = on
+	e.traceMu.Unlock()
+}
+
+// SetSegmentPhases selects phase-clustered sampling: the trace's
+// segments are clustered into at most k phases by their basic-block
+// vectors, one representative per phase is timed, and the results are
+// stitched with cluster weights. k <= 0 disables (stride sampling
+// applies). Traces without a BBV profile fall back to stride sampling.
+func (e *Engine) SetSegmentPhases(k int) {
+	e.traceMu.Lock()
+	e.segPhases = k
+	e.traceMu.Unlock()
+}
+
+// segPlan is a snapshot of the engine's segment configuration.
+type segPlan struct {
+	k        int   // segments to cut (<=1: monolithic)
+	warmup   int64 // fixed warmup prefix (-1: full, exact)
+	sample   int   // stride sampling (>=1)
+	adaptive bool  // IPC-convergence warmup instead of the fixed prefix
+	phases   int   // phase-clustered sampling (>0: at most this many phases)
+}
+
+// exact reports whether the plan stitches bit-identical to the
+// monolithic run: full warmup, every segment timed.
+func (p segPlan) exact() bool {
+	return p.warmup < 0 && !p.adaptive && p.sample == 1 && p.phases <= 0
+}
+
 // segmentPlan snapshots the engine's segment configuration.
-func (e *Engine) segmentPlan() (k int, warmup int64, sample int) {
+func (e *Engine) segmentPlan() segPlan {
 	e.traceMu.Lock()
 	defer e.traceMu.Unlock()
-	k, warmup, sample = e.segments, e.segWarmup, e.segSample
-	if sample < 1 {
-		sample = 1
+	p := segPlan{
+		k:        e.segments,
+		warmup:   e.segWarmup,
+		sample:   e.segSample,
+		adaptive: e.segAdaptive,
+		phases:   e.segPhases,
 	}
-	return k, warmup, sample
+	if p.sample < 1 {
+		p.sample = 1
+	}
+	return p
 }
 
 // segKeySuffix returns the run-cache key suffix for the engine's
@@ -105,28 +164,31 @@ func (e *Engine) segmentPlan() (k int, warmup int64, sample int) {
 // exact result. Wrong-path configurations cannot replay and therefore
 // always run monolithic, whatever the plan says.
 func (e *Engine) segKeySuffix(cfg Config) string {
+	p := e.segmentPlan()
 	e.traceMu.Lock()
-	k, warmup, sample, noReplay := e.segments, e.segWarmup, e.segSample, e.noReplay
+	noReplay := e.noReplay
 	e.traceMu.Unlock()
-	if sample < 1 {
-		sample = 1
-	}
-	if k <= 1 || noReplay || cfg.WrongPathExecution {
+	if p.k <= 1 || noReplay || cfg.WrongPathExecution {
 		return ""
 	}
-	if warmup < 0 && sample == 1 {
+	if p.exact() {
 		return "" // exact: same bits as the monolithic run
 	}
-	return fmt.Sprintf("\x00segments=%d warmup=%d sample=%d", k, warmup, sample)
+	return fmt.Sprintf("\x00segments=%d warmup=%d sample=%d adaptive=%t phases=%d",
+		p.k, p.warmup, p.sample, p.adaptive, p.phases)
 }
 
 // runSegments fans the given segment indices out across CPUs, running
-// pipeline.RunSegment for each, and returns the per-segment Stats in
-// index order. The fan-out lives here — not in internal/pipeline, which
-// is //ce:deterministic and goroutine-free — so each worker runs a
-// fully independent Simulator over the shared read-only trace.
-func runSegments(cfg Config, tr *trace.Trace, segs []trace.Segment, pick []int, warmup int64) ([]Stats, error) {
+// pipeline.RunSegmentOpts for each, and returns the per-segment Stats
+// and warmup reports in index order. The fan-out lives here — not in
+// internal/pipeline, which is //ce:deterministic and goroutine-free —
+// so each worker runs a fully independent Simulator over the shared
+// read-only trace, holding one chunk buffer each for disk-backed
+// traces (K workers keep O(K) chunks resident, whatever the trace
+// size).
+func runSegments(cfg Config, tr *trace.Trace, segs []trace.Segment, pick []int, opts pipeline.SegmentOpts) ([]Stats, []pipeline.SegmentReport, error) {
 	parts := make([]Stats, len(pick))
+	reports := make([]pipeline.SegmentReport, len(pick))
 	var (
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
@@ -143,7 +205,7 @@ func runSegments(cfg Config, tr *trace.Trace, segs []trace.Segment, pick []int, 
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				st, err := pipeline.RunSegment(cfg, tr, segs[pick[i]], warmup, maxCycles)
+				st, rep, err := pipeline.RunSegmentOpts(cfg, tr, segs[pick[i]], opts, maxCycles)
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil || i < firstIdx {
@@ -153,6 +215,7 @@ func runSegments(cfg Config, tr *trace.Trace, segs []trace.Segment, pick []int, 
 					continue
 				}
 				parts[i] = st
+				reports[i] = rep
 			}
 		}()
 	}
@@ -162,21 +225,51 @@ func runSegments(cfg Config, tr *trace.Trace, segs []trace.Segment, pick []int, 
 	close(idx)
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, nil, firstErr
 	}
-	return parts, nil
+	return parts, reports, nil
 }
 
 // runSegmented performs one segment-parallel simulation of (cfg, tr)
 // under the given plan and returns the stitched Stats plus the segment
 // metrics recorded into the run's attribution.
-func (e *Engine) runSegmented(cfg Config, tr *trace.Trace, k int, warmup int64, sample int, attr *simAttribution) (Stats, error) {
-	segs := tr.Segments(k)
-	pick := make([]int, 0, (len(segs)+sample-1)/sample)
-	for i := 0; i < len(segs); i += sample {
-		pick = append(pick, i)
+//
+// Phase mode times one representative segment per behavior cluster and
+// weights it by the cluster's share of the execution, so the IPC mean
+// is cluster-weighted (stats.WeightedMeanCI95) and the cycle estimate
+// sums each phase's instructions at its representative's IPC. Stride
+// mode times every sample-th segment and treats them as an unweighted
+// IPC population.
+func (e *Engine) runSegmented(cfg Config, tr *trace.Trace, plan segPlan, attr *simAttribution) (Stats, error) {
+	segs := tr.Segments(plan.k)
+	mode := "stride"
+	if plan.exact() {
+		mode = "exact"
 	}
-	parts, err := runSegments(cfg, tr, segs, pick, warmup)
+	var (
+		pick    []int
+		weights []float64 // phase mode: pick[i]'s share of the execution
+	)
+	if plan.phases > 0 {
+		if phases := tr.SegmentPhases(segs, plan.phases); phases != nil {
+			mode = "phase"
+			pick = make([]int, len(phases))
+			weights = make([]float64, len(phases))
+			for i, ph := range phases {
+				pick[i] = ph.Rep
+				weights[i] = ph.Weight
+			}
+		}
+		// No BBV profile (pre-v3 trace still resident): stride sampling.
+	}
+	if pick == nil {
+		pick = make([]int, 0, (len(segs)+plan.sample-1)/plan.sample)
+		for i := 0; i < len(segs); i += plan.sample {
+			pick = append(pick, i)
+		}
+	}
+	opts := pipeline.SegmentOpts{Warmup: plan.warmup, Adaptive: plan.adaptive}
+	parts, reports, err := runSegments(cfg, tr, segs, pick, opts)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -188,21 +281,55 @@ func (e *Engine) runSegmented(cfg Config, tr *trace.Trace, k int, warmup int64, 
 	for i, p := range parts {
 		ipcs[i] = p.IPC()
 	}
-	mean, half := stats.MeanCI95(ipcs)
-	exact := warmup < 0 && sample == 1
+	var mean, half float64
+	if mode == "phase" {
+		mean, half = stats.WeightedMeanCI95(ipcs, weights)
+	} else {
+		mean, half = stats.MeanCI95(ipcs)
+	}
+	warmup := plan.warmup
+	if plan.adaptive {
+		warmup = 0
+	}
 	sm := &SegmentMetrics{
 		Segments:        len(segs),
 		Simulated:       len(parts),
 		Warmup:          warmup,
-		Sample:          sample,
-		Exact:           exact,
+		Sample:          plan.sample,
+		Mode:            mode,
+		Exact:           plan.exact(),
+		AdaptiveWarmup:  plan.adaptive,
 		IPCMean:         mean,
 		IPCHalfCI95:     half,
 		EstimatedCycles: st.Cycles,
 	}
-	if sample > 1 && mean > 0 {
+	if mode == "phase" {
+		sm.Phases = len(pick)
+		// Each phase's instructions retire at its representative's IPC.
+		var cyc float64
+		for i, w := range weights {
+			if ipcs[i] > 0 {
+				cyc += w * float64(tr.Steps()) / ipcs[i]
+			}
+		}
+		if cyc > 0 {
+			sm.EstimatedCycles = int64(cyc)
+		}
+	} else if plan.sample > 1 && mean > 0 {
 		// Extrapolate: the whole trace at the sampled segments' mean IPC.
 		sm.EstimatedCycles = int64(float64(tr.Steps()) / mean)
+	}
+	if plan.adaptive {
+		var steps uint64
+		for _, r := range reports {
+			steps += r.WarmupSteps
+			if r.Converged {
+				sm.WarmupConverged++
+			}
+		}
+		if len(reports) > 0 {
+			sm.WarmupMeanSteps = float64(steps) / float64(len(reports))
+		}
 	}
 	attr.segments = sm
 	e.traceMu.Lock()
@@ -269,7 +396,7 @@ func SegmentBench(workload string, segments, sample int, warmup int64) (*Segment
 		pick = append(pick, i)
 	}
 	start = time.Now()
-	parts, err := runSegments(cfg, tr, segs, pick, warmup)
+	parts, _, err := runSegments(cfg, tr, segs, pick, pipeline.SegmentOpts{Warmup: warmup})
 	if err != nil {
 		return nil, err
 	}

@@ -149,6 +149,90 @@ func TestEngineSampledSegments(t *testing.T) {
 	}
 }
 
+// TestEngineAdaptiveWarmup exercises IPC-convergence warmup: the run is
+// approximate (own cache key), the metrics report the adaptive policy
+// with a bounded mean discard, and the estimate lands near the truth.
+func TestEngineAdaptiveWarmup(t *testing.T) {
+	mono := NewEngine()
+	want, err := mono.RunMatrix([]Config{BaselineConfig()}, []string{"micro.branchy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine()
+	eng.SetSegments(4)
+	eng.SetSegmentAdaptive(true)
+	if _, err := eng.RunMatrix([]Config{BaselineConfig()}, []string{"micro.branchy"}); err != nil {
+		t.Fatal(err)
+	}
+	ms := eng.Metrics()
+	if len(ms) != 1 || ms[0].Segments == nil {
+		t.Fatalf("expected one run with segment metrics, got %+v", ms)
+	}
+	sm := ms[0].Segments
+	if !sm.AdaptiveWarmup || sm.Exact || sm.Warmup != 0 {
+		t.Errorf("adaptive run misreported: %+v", sm)
+	}
+	if sm.WarmupConverged < 0 || sm.WarmupConverged > sm.Simulated {
+		t.Errorf("WarmupConverged = %d of %d simulated", sm.WarmupConverged, sm.Simulated)
+	}
+	if sm.WarmupMeanSteps < 0 || sm.WarmupMeanSteps > 65536 {
+		t.Errorf("WarmupMeanSteps = %f, want within the adaptive cap", sm.WarmupMeanSteps)
+	}
+	trueIPC := want[0][0].IPC()
+	if sm.IPCMean < trueIPC*0.8 || sm.IPCMean > trueIPC*1.2 {
+		t.Errorf("adaptive IPC %.3f not within 20%% of monolithic %.3f", sm.IPCMean, trueIPC)
+	}
+	// Adaptive is an estimate: it must not share the exact cache key.
+	eng.SetSegments(0)
+	eng.SetSegmentAdaptive(false)
+	if _, err := eng.RunMatrix([]Config{BaselineConfig()}, []string{"micro.branchy"}); err != nil {
+		t.Fatal(err)
+	}
+	if cs := eng.CacheStats(); cs.Misses != 2 {
+		t.Errorf("adaptive plan shared the exact key: %+v", cs)
+	}
+}
+
+// TestEnginePhaseSampling exercises phase-clustered sampling end to
+// end: segments cluster by their basic-block vectors, one
+// representative per phase is timed, and the cluster-weighted estimate
+// lands near the monolithic truth.
+func TestEnginePhaseSampling(t *testing.T) {
+	mono := NewEngine()
+	want, err := mono.RunMatrix([]Config{BaselineConfig()}, []string{"micro.branchy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine()
+	eng.SetSegments(8)
+	eng.SetSegmentWarmup(1 << 13)
+	eng.SetSegmentPhases(3)
+	if _, err := eng.RunMatrix([]Config{BaselineConfig()}, []string{"micro.branchy"}); err != nil {
+		t.Fatal(err)
+	}
+	ms := eng.Metrics()
+	if len(ms) != 1 || ms[0].Segments == nil {
+		t.Fatalf("expected one run with segment metrics, got %+v", ms)
+	}
+	sm := ms[0].Segments
+	if sm.Mode != "phase" {
+		t.Fatalf("mode %q, want phase", sm.Mode)
+	}
+	if sm.Phases < 1 || sm.Phases > 3 || sm.Simulated != sm.Phases {
+		t.Errorf("phase plan: %d phases, %d simulated of %d segments", sm.Phases, sm.Simulated, sm.Segments)
+	}
+	if sm.Exact {
+		t.Error("phase-sampled run marked exact")
+	}
+	trueIPC := want[0][0].IPC()
+	if sm.IPCMean < trueIPC*0.8 || sm.IPCMean > trueIPC*1.2 {
+		t.Errorf("phase-weighted IPC %.3f not within 20%% of monolithic %.3f", sm.IPCMean, trueIPC)
+	}
+	if sm.EstimatedCycles <= 0 {
+		t.Errorf("estimated cycles %d", sm.EstimatedCycles)
+	}
+}
+
 // TestSegmentBench smoke-tests the benchmark harness on a small
 // workload: both sides run, the speedup is computed, and the estimate
 // is self-consistent.

@@ -1,0 +1,235 @@
+package ce
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// streamBenchMaxCycles bounds each StreamBench simulation leg. Huge
+// workloads run ~1.5×10^8 instructions, so the sweep-wide maxCycles
+// (sized for the paper workloads) is too tight for the monolithic
+// truth run.
+const streamBenchMaxCycles = 1 << 30
+
+// StreamModeResult is one sampling mode's row in the streaming
+// benchmark: how much of the trace it simulated, what that cost, and
+// how far its IPC estimate landed from the streamed-exact truth.
+type StreamModeResult struct {
+	// Mode is "fixed" (stride sampling, fixed warmup), "adaptive"
+	// (stride sampling, IPC-convergence warmup) or "phase" (one
+	// representative per behavior cluster, adaptive warmup).
+	Mode string `json:"mode"`
+	// Simulated is the number of segments the mode timed, and
+	// SimulatedSteps the measured (post-warmup) instructions across
+	// them. Modes are run at an equal segment budget so their errors
+	// are directly comparable.
+	Simulated      int    `json:"segments_simulated"`
+	SimulatedSteps uint64 `json:"simulated_steps"`
+	// Phases is the number of behavior clusters found (phase mode only).
+	Phases int `json:"phases,omitempty"`
+
+	WallSeconds  float64 `json:"wall_seconds"`
+	PeakRSSBytes int64   `json:"peak_rss_bytes"`
+
+	IPC         float64 `json:"ipc"`
+	IPCHalfCI95 float64 `json:"ipc_half_ci95"`
+	// IPCErrorPct is the signed error against the streamed-exact
+	// monolithic IPC, in percent.
+	IPCErrorPct float64 `json:"ipc_error_pct"`
+	// Speedup is exact wall seconds over this mode's wall seconds.
+	Speedup float64 `json:"speedup"`
+	// WarmupMeanSteps is the mean adaptive warmup spent per segment
+	// (adaptive and phase modes).
+	WarmupMeanSteps float64 `json:"warmup_mean_steps,omitempty"`
+}
+
+// StreamBenchResult is the streaming-simulation benchmark record: one
+// huge workload captured straight to disk, timed exactly once by a
+// monolithic streamed replay, then estimated by each sampling mode at
+// an equal simulated-segment budget.
+type StreamBenchResult struct {
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+	Steps    uint64 `json:"steps"`
+	Segments int    `json:"segments"`
+
+	// TraceDiskBytes/TraceResidentBytes decompose the captured trace's
+	// footprint; streamed captures keep everything on disk.
+	TraceDiskBytes     int64   `json:"trace_disk_bytes"`
+	TraceResidentBytes int64   `json:"trace_resident_bytes"`
+	CaptureSeconds     float64 `json:"capture_seconds"`
+	CapturePeakRSS     int64   `json:"capture_peak_rss_bytes"`
+
+	// The streamed-exact truth: one monolithic replay of the full trace
+	// through the disk-backed reader.
+	ExactWallSeconds float64 `json:"exact_wall_seconds"`
+	ExactPeakRSS     int64   `json:"exact_peak_rss_bytes"`
+	ExactCycles      int64   `json:"exact_cycles"`
+	ExactIPC         float64 `json:"exact_ipc"`
+
+	Modes []StreamModeResult `json:"modes"`
+}
+
+// peakRSSBytes reads the process's peak resident set (VmHWM) from
+// /proc/self/status. Returns 0 where the proc interface is missing.
+func peakRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		fields := bytes.Fields(line[len("VmHWM:"):])
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(string(fields[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// resetPeakRSS resets VmHWM (writing "5" to /proc/self/clear_refs) so
+// consecutive benchmark legs get independent peak measurements. Best
+// effort: without the reset the values are monotone over the run.
+func resetPeakRSS() {
+	_ = os.WriteFile("/proc/self/clear_refs", []byte("5"), 0)
+}
+
+// StreamBench benchmarks streamed simulation of one workload under the
+// baseline configuration. The trace is captured (or loaded) through dir
+// — with a directory the capture streams to disk in bounded memory,
+// which is the point on huge workloads — then the full trace is timed
+// once monolithically (the exact truth) and estimated by the three
+// sampling modes, each budgeted to simulate at most `budget` of the
+// trace's `segments` segments. dir == "" benchmarks the in-memory path.
+func StreamBench(workload, dir string, segments, budget int) (*StreamBenchResult, error) {
+	if segments < 2 {
+		return nil, fmt.Errorf("streambench: need at least 2 segments, got %d", segments)
+	}
+	if budget < 1 || budget > segments {
+		return nil, fmt.Errorf("streambench: budget %d out of range [1, %d]", budget, segments)
+	}
+	eng := NewEngine()
+	if dir != "" {
+		if err := eng.SetTraceDir(dir); err != nil {
+			return nil, err
+		}
+	}
+
+	resetPeakRSS()
+	start := time.Now()
+	tr, err := eng.traceFor(workload)
+	if err != nil {
+		return nil, err
+	}
+	res := &StreamBenchResult{
+		Workload:       workload,
+		Config:         BaselineConfig().Name,
+		Steps:          tr.Steps(),
+		CaptureSeconds: time.Since(start).Seconds(),
+		CapturePeakRSS: peakRSSBytes(),
+	}
+	res.TraceDiskBytes, res.TraceResidentBytes = tr.Footprint()
+
+	cfg := BaselineConfig()
+	resetPeakRSS()
+	start = time.Now()
+	sim, err := pipeline.NewReplay(cfg, trace.NewReader(tr))
+	if err != nil {
+		return nil, err
+	}
+	mono, err := sim.Run(streamBenchMaxCycles)
+	if err != nil {
+		return nil, err
+	}
+	res.ExactWallSeconds = time.Since(start).Seconds()
+	res.ExactPeakRSS = peakRSSBytes()
+	res.ExactCycles = mono.Cycles
+	res.ExactIPC = mono.IPC()
+
+	segs := tr.Segments(segments)
+	res.Segments = len(segs)
+	// The stride that spends the same segment budget as phase mode.
+	stride := (len(segs) + budget - 1) / budget
+	strided := make([]int, 0, budget)
+	for i := 0; i < len(segs); i += stride {
+		strided = append(strided, i)
+	}
+
+	mode := func(name string, pick []int, weights []float64, opts pipeline.SegmentOpts) error {
+		resetPeakRSS()
+		start := time.Now()
+		parts, reports, err := runSegments(cfg, tr, segs, pick, opts)
+		if err != nil {
+			return fmt.Errorf("streambench %s: %w", name, err)
+		}
+		m := StreamModeResult{
+			Mode:         name,
+			Simulated:    len(parts),
+			WallSeconds:  time.Since(start).Seconds(),
+			PeakRSSBytes: peakRSSBytes(),
+		}
+		ipcs := make([]float64, len(parts))
+		for i, p := range parts {
+			ipcs[i] = p.IPC()
+			m.SimulatedSteps += p.Committed
+		}
+		if weights != nil {
+			m.IPC, m.IPCHalfCI95 = stats.WeightedMeanCI95(ipcs, weights)
+		} else {
+			m.IPC, m.IPCHalfCI95 = stats.MeanCI95(ipcs)
+		}
+		if opts.Adaptive {
+			var warm uint64
+			for _, r := range reports {
+				warm += r.WarmupSteps
+			}
+			if len(reports) > 0 {
+				m.WarmupMeanSteps = float64(warm) / float64(len(reports))
+			}
+		}
+		if res.ExactIPC > 0 {
+			m.IPCErrorPct = (m.IPC - res.ExactIPC) / res.ExactIPC * 100
+		}
+		if m.WallSeconds > 0 {
+			m.Speedup = res.ExactWallSeconds / m.WallSeconds
+		}
+		if name == "phase" {
+			m.Phases = len(pick)
+		}
+		res.Modes = append(res.Modes, m)
+		return nil
+	}
+
+	if err := mode("fixed", strided, nil, pipeline.SegmentOpts{Warmup: 1 << 15}); err != nil {
+		return nil, err
+	}
+	if err := mode("adaptive", strided, nil, pipeline.SegmentOpts{Adaptive: true}); err != nil {
+		return nil, err
+	}
+	if phases := tr.SegmentPhases(segs, budget); phases != nil {
+		pick := make([]int, len(phases))
+		weights := make([]float64, len(phases))
+		for i, ph := range phases {
+			pick[i] = ph.Rep
+			weights[i] = ph.Weight
+		}
+		if err := mode("phase", pick, weights, pipeline.SegmentOpts{Adaptive: true}); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

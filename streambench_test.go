@@ -1,0 +1,45 @@
+package ce
+
+import "testing"
+
+// TestStreamBench smoke-tests the streaming benchmark harness at unit
+// scale: a disk-streamed capture, the monolithic exact truth, and all
+// three sampling modes at an equal segment budget, each within a sane
+// error band of the truth.
+func TestStreamBench(t *testing.T) {
+	res, err := StreamBench("compress.big", t.TempDir(), 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 || res.ExactCycles <= 0 || res.ExactIPC <= 0 {
+		t.Fatalf("exact side empty: %+v", res)
+	}
+	if res.TraceDiskBytes == 0 || res.TraceResidentBytes != 0 {
+		t.Errorf("capture not streamed to disk: disk=%d resident=%d",
+			res.TraceDiskBytes, res.TraceResidentBytes)
+	}
+	if len(res.Modes) != 3 {
+		t.Fatalf("modes = %d, want fixed+adaptive+phase (%+v)", len(res.Modes), res.Modes)
+	}
+	for _, m := range res.Modes {
+		if m.IPC <= 0 || m.Simulated < 1 || m.Simulated > 4 || m.SimulatedSteps == 0 {
+			t.Errorf("%s: degenerate mode result: %+v", m.Mode, m)
+		}
+		if m.IPCErrorPct < -50 || m.IPCErrorPct > 50 {
+			t.Errorf("%s: IPC off by %.1f%%", m.Mode, m.IPCErrorPct)
+		}
+		if m.SimulatedSteps >= res.Steps {
+			t.Errorf("%s: simulated %d of %d steps — sampling did not sample",
+				m.Mode, m.SimulatedSteps, res.Steps)
+		}
+	}
+	ph := res.Modes[2]
+	if ph.Mode != "phase" || ph.Phases < 1 || ph.Phases > 4 {
+		t.Errorf("phase mode malformed: %+v", ph)
+	}
+	for _, m := range res.Modes[1:] {
+		if m.WarmupMeanSteps <= 0 {
+			t.Errorf("%s: adaptive warmup reported no steps: %+v", m.Mode, m)
+		}
+	}
+}

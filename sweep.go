@@ -78,13 +78,17 @@ type Engine struct {
 	// (SetSharedStore).
 	traceShared bool
 	tstats      TraceStats
+	// traceWarned dedups per-workload diagnostics (warnOnce).
+	traceWarned map[string]bool
 
 	// Segment plan (segmented.go): shard replay-driven runs into
 	// segments timed in parallel. Guarded by traceMu with the rest of
 	// the replay configuration.
-	segments  int
-	segWarmup int64
-	segSample int
+	segments    int
+	segWarmup   int64
+	segSample   int
+	segAdaptive bool
+	segPhases   int
 }
 
 // NewEngine returns an Engine with an empty in-memory run cache.

@@ -11,6 +11,8 @@ package ce
 // identical statistics.
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"runtime"
 	"time"
@@ -54,6 +56,23 @@ type TraceStats struct {
 	// (segmented.go); SegmentsSimulated totals the segments they timed.
 	SegmentRuns       int `json:"segment_runs,omitempty"`
 	SegmentsSimulated int `json:"segments_simulated,omitempty"`
+	// CaptureFailures counts replay-capable simulations that fell back to
+	// lockstep because their workload's trace could not be captured or a
+	// replay simulator could not be built. The fallback is benign — the
+	// statistics are identical — but it silently forfeits the sweep's
+	// replay speedup, so each workload's first failure is logged with its
+	// cause and every occurrence is counted here.
+	CaptureFailures int `json:"capture_failures,omitempty"`
+	// CorruptDropped counts pooled traces dropped mid-replay after a
+	// chunk failed its checksum; each was invalidated on disk and
+	// recaptured once before the run retried.
+	CorruptDropped int `json:"corrupt_dropped,omitempty"`
+	// TraceDiskBytes and TraceResidentBytes split the pooled traces'
+	// packed bytes by where they live — the streaming capture and
+	// disk-backed readers keep multi-gigabyte traces on disk with only
+	// O(readers) chunk buffers resident. Snapshot at query time.
+	TraceDiskBytes     int64 `json:"trace_disk_bytes"`
+	TraceResidentBytes int64 `json:"trace_resident_bytes"`
 }
 
 // traceEntry is one workload's slot in the pool: the first goroutine to
@@ -129,11 +148,41 @@ func (e *Engine) TraceReplay() bool {
 	return !e.noReplay
 }
 
-// TraceStats returns a snapshot of the engine's trace-pool counters.
+// TraceStats returns a snapshot of the engine's trace-pool counters,
+// including the pooled traces' current disk/resident byte split.
 func (e *Engine) TraceStats() TraceStats {
 	e.traceMu.Lock()
 	defer e.traceMu.Unlock()
-	return e.tstats
+	ts := e.tstats
+	for _, ent := range e.traces {
+		select {
+		case <-ent.done:
+			if ent.err == nil && ent.tr != nil {
+				d, r := ent.tr.Footprint()
+				ts.TraceDiskBytes += d
+				ts.TraceResidentBytes += r
+			}
+		default:
+		}
+	}
+	return ts
+}
+
+// warnOnce writes one diagnostic line to stderr per key for the
+// engine's lifetime, so a sweep that falls back ten thousand times
+// complains exactly once per workload and cause.
+func (e *Engine) warnOnce(key, format string, args ...any) {
+	e.traceMu.Lock()
+	if e.traceWarned[key] {
+		e.traceMu.Unlock()
+		return
+	}
+	if e.traceWarned == nil {
+		e.traceWarned = make(map[string]bool)
+	}
+	e.traceWarned[key] = true
+	e.traceMu.Unlock()
+	fmt.Fprintf(os.Stderr, "ce: "+format+"\n", args...)
 }
 
 // traceFor returns workload's shared trace, capturing it exactly once
@@ -177,9 +226,13 @@ func (e *Engine) captureTrace(workload, dir string, shared bool) (*trace.Trace, 
 			e.tstats.DiskHits++
 			e.traceMu.Unlock()
 			return tr, nil
+		} else if errors.Is(err, trace.ErrStaleFormat) {
+			// A pre-v3 file from an older build: announce the migration
+			// (the error text names both versions) before recapturing.
+			e.warnOnce("stale:"+workload, "trace %s: %v", workload, err)
 		}
-		// Missing, or corrupt — ReadFile already removed a corrupt file,
-		// so the recapture below rewrites the slot.
+		// Missing, stale or corrupt — ReadFile already removed a bad
+		// file, so the recapture below rewrites the slot.
 		if shared {
 			held, tr := e.awaitCaptureLease(dir, p)
 			if tr != nil {
@@ -194,7 +247,16 @@ func (e *Engine) captureTrace(workload, dir string, shared bool) (*trace.Trace, 
 	runtime.ReadMemStats(&ms)
 	startAllocs := ms.Mallocs
 	start := time.Now()
-	tr, err := trace.Capture(p, maxCycles)
+	var tr *trace.Trace
+	if dir != "" {
+		// Stream the packed records to the trace directory as they are
+		// produced: peak capture memory stays O(chunk) however long the
+		// workload runs, and the file lands at its canonical path
+		// atomically at the end — no separate WriteFile pass.
+		tr, err = trace.CaptureToDir(p, maxCycles, dir)
+	} else {
+		tr, err = trace.Capture(p, maxCycles)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -206,11 +268,6 @@ func (e *Engine) captureTrace(workload, dir string, shared bool) (*trace.Trace, 
 	e.tstats.CaptureAllocs += ms.Mallocs - startAllocs
 	e.tstats.StepsExecuted += tr.Steps()
 	e.traceMu.Unlock()
-	if dir != "" {
-		if err := tr.WriteFile(dir); err != nil {
-			return nil, err
-		}
-	}
 	return tr, nil
 }
 
@@ -268,38 +325,17 @@ type simAttribution struct {
 // when possible. Configurations that cannot replay (wrong-path
 // execution) and capture failures fall back to lockstep execution;
 // either way the statistics are identical, only the host cost differs.
+// The fallback is counted (TraceStats.CaptureFailures) and its first
+// cause per workload logged, so a sweep silently losing its replay
+// speedup is visible in -v output and the metrics dumps.
 func (e *Engine) runSim(cfg Config, workload string, attr *simAttribution) (Stats, error) {
 	e.traceMu.Lock()
 	replay := !e.noReplay && !cfg.WrongPathExecution
 	e.traceMu.Unlock()
 	if replay {
-		waitStart := time.Now()
-		tr, err := e.traceFor(workload)
-		attr.captureSeconds = time.Since(waitStart).Seconds()
-		if err == nil {
-			if k, warmup, sample := e.segmentPlan(); k > 1 {
-				// Segment-parallel drive. Errors surface rather than fall
-				// back: a failing segment run means a real defect (the seam
-				// is differentially verified), not a workload property.
-				st, err := e.runSegmented(cfg, tr, k, warmup, sample, attr)
-				if err != nil {
-					return st, err
-				}
-				attr.replayed = true
-				return st, nil
-			}
-			if sim, err := pipeline.NewReplay(cfg, trace.NewReader(tr)); err == nil {
-				st, err := sim.Run(maxCycles)
-				if err != nil {
-					return st, err
-				}
-				attr.replayed = true
-				e.traceMu.Lock()
-				e.tstats.ReplayRuns++
-				e.tstats.StepsReplayed += st.EmuSteps
-				e.traceMu.Unlock()
-				return st, nil
-			}
+		st, ok, err := e.runReplay(cfg, workload, attr)
+		if ok || err != nil {
+			return st, err
 		}
 		// Capture failed: fall through to lockstep, which reproduces (and
 		// properly attributes) whatever went wrong with the workload.
@@ -313,4 +349,92 @@ func (e *Engine) runSim(cfg Config, workload string, attr *simAttribution) (Stat
 	e.tstats.StepsExecuted += st.EmuSteps
 	e.traceMu.Unlock()
 	return st, nil
+}
+
+// runReplay attempts one replay-driven simulation. ok=false (with a nil
+// error) means the trace could not be obtained and the caller should
+// fall back to lockstep. A trace whose chunk fails its checksum
+// mid-replay — a torn write or storage fault in the trace directory —
+// is dropped from the pool, invalidated on disk, and recaptured once
+// before the run retries; a second corruption surfaces as an error.
+func (e *Engine) runReplay(cfg Config, workload string, attr *simAttribution) (Stats, bool, error) {
+	for attempt := 0; ; attempt++ {
+		waitStart := time.Now()
+		tr, err := e.traceFor(workload)
+		attr.captureSeconds += time.Since(waitStart).Seconds()
+		if err != nil {
+			e.noteCaptureFailure(workload, err)
+			return Stats{}, false, nil
+		}
+		retry := func(err error) bool {
+			if attempt > 0 || !errors.Is(err, trace.ErrCorruptChunk) {
+				return false
+			}
+			e.dropCorrupt(workload, tr)
+			return true
+		}
+		if plan := e.segmentPlan(); plan.k > 1 {
+			// Segment-parallel drive. Errors other than chunk corruption
+			// surface rather than fall back: a failing segment run means a
+			// real defect (the seam is differentially verified), not a
+			// workload property.
+			st, err := e.runSegmented(cfg, tr, plan, attr)
+			if err != nil {
+				if retry(err) {
+					continue
+				}
+				return st, false, err
+			}
+			attr.replayed = true
+			return st, true, nil
+		}
+		sim, err := pipeline.NewReplay(cfg, trace.NewReader(tr))
+		if err != nil {
+			e.noteCaptureFailure(workload, err)
+			return Stats{}, false, nil
+		}
+		st, err := sim.Run(maxCycles)
+		if err != nil {
+			if retry(err) {
+				continue
+			}
+			return st, false, err
+		}
+		attr.replayed = true
+		e.traceMu.Lock()
+		e.tstats.ReplayRuns++
+		e.tstats.StepsReplayed += st.EmuSteps
+		e.traceMu.Unlock()
+		return st, true, nil
+	}
+}
+
+// noteCaptureFailure counts a lockstep fallback and logs the workload's
+// first failure with its cause.
+func (e *Engine) noteCaptureFailure(workload string, err error) {
+	e.traceMu.Lock()
+	e.tstats.CaptureFailures++
+	e.traceMu.Unlock()
+	e.warnOnce("capture:"+workload, "trace %s: capture failed (%v); falling back to lockstep execution", workload, err)
+}
+
+// dropCorrupt evicts workload's pooled trace after a chunk checksum
+// failure, deleting its backing file so the next traceFor call
+// recaptures rather than reloading the same bad bytes.
+func (e *Engine) dropCorrupt(workload string, tr *trace.Trace) {
+	e.traceMu.Lock()
+	if ent, ok := e.traces[workload]; ok {
+		select {
+		case <-ent.done:
+			if ent.tr == tr {
+				delete(e.traces, workload)
+			}
+		default:
+			// An in-flight recapture already owns the slot; leave it.
+		}
+	}
+	e.tstats.CorruptDropped++
+	e.traceMu.Unlock()
+	e.warnOnce("corrupt:"+workload, "trace %s: chunk checksum failed mid-replay; dropping the trace and recapturing", workload)
+	tr.Invalidate()
 }

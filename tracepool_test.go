@@ -1,6 +1,8 @@
 package ce
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/prog"
@@ -141,5 +143,162 @@ func TestSetTraceDirFlushesPool(t *testing.T) {
 	}
 	if ts := eng.TraceStats(); ts.Captures != 1 {
 		t.Errorf("pool was dropped on a no-op dir change: %+v", ts)
+	}
+}
+
+// TestEngineStreamingCapture pins the bounded-memory capture contract:
+// with a trace directory configured, capture streams straight to disk
+// and the pooled trace reports its bytes on disk, not resident.
+func TestEngineStreamingCapture(t *testing.T) {
+	eng := NewEngine()
+	dir := t.TempDir()
+	if err := eng.SetTraceDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunMatrix([]Config{BaselineConfig()}, []string{"micro.branchy"}); err != nil {
+		t.Fatal(err)
+	}
+	ts := eng.TraceStats()
+	if ts.Captures != 1 {
+		t.Fatalf("expected 1 capture, got %+v", ts)
+	}
+	if ts.TraceDiskBytes == 0 || ts.TraceResidentBytes != 0 {
+		t.Errorf("streamed capture footprint disk=%d resident=%d, want all bytes on disk",
+			ts.TraceDiskBytes, ts.TraceResidentBytes)
+	}
+	w, err := prog.ByName("micro.branchy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(trace.DiskPath(dir, p)); err != nil {
+		t.Errorf("streamed capture missing from the trace dir: %v", err)
+	}
+}
+
+// TestEngineCaptureFailureCounted pins the lockstep-fallback
+// accounting: when the trace cannot be captured, the run still succeeds
+// by lockstep execution, and the fallback is counted rather than
+// silent.
+func TestEngineCaptureFailureCounted(t *testing.T) {
+	eng := NewEngine()
+	dir := filepath.Join(t.TempDir(), "traces")
+	if err := eng.SetTraceDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the trace directory with a regular file: ReadFile and the
+	// streaming capture both fail with ENOTDIR, forcing the fallback.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lock := NewEngine()
+	lock.SetTraceReplay(false)
+	want, err := lock.RunMatrix([]Config{BaselineConfig()}, []string{"micro.branchy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.RunMatrix([]Config{BaselineConfig()}, []string{"micro.branchy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0].Cycles != want[0][0].Cycles {
+		t.Errorf("fallback run diverges: %d cycles vs %d", got[0][0].Cycles, want[0][0].Cycles)
+	}
+	ts := eng.TraceStats()
+	if ts.CaptureFailures != 1 || ts.LockstepRuns != 1 || ts.ReplayRuns != 0 {
+		t.Errorf("fallback not accounted: %+v", ts)
+	}
+	for _, m := range eng.Metrics() {
+		if m.Replayed {
+			t.Errorf("%s/%s marked replayed despite capture failure", m.Config, m.Workload)
+		}
+	}
+}
+
+// TestEngineCorruptTraceRecaptured pins the mid-replay corruption path:
+// a trace whose on-disk chunk is flipped after capture fails its lazy
+// checksum at the next load, is dropped and invalidated, and the run
+// transparently recaptures and retries — correct results, one
+// CorruptDropped count, two Captures. The segmented variant routes the
+// replay through parallel segment workers, so the corrupt chunk is
+// observed (and the retry coordinated) across concurrent readers —
+// which the race detector checks for tearing.
+func TestEngineCorruptTraceRecaptured(t *testing.T) {
+	t.Run("monolithic", func(t *testing.T) { testCorruptTraceRecaptured(t, 0) })
+	t.Run("segmented", func(t *testing.T) { testCorruptTraceRecaptured(t, 4) })
+}
+
+func testCorruptTraceRecaptured(t *testing.T, segments int) {
+	eng := NewEngine()
+	eng.SetSegments(segments)
+	dir := t.TempDir()
+	if err := eng.SetTraceDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunMatrix([]Config{BaselineConfig()}, []string{"micro.branchy"}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := prog.ByName("micro.branchy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := trace.DiskPath(dir, p)
+	// Flip one byte inside the first chunk's packed data (the header is
+	// 40 bytes). The pooled trace reads through an open handle, so the
+	// flip is visible to its next chunk load.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, 40+64); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// A different configuration misses the run cache and replays the now
+	// rotten trace; the engine must drop it, recapture, and succeed.
+	lock := NewEngine()
+	lock.SetTraceReplay(false)
+	want, err := lock.RunMatrix([]Config{DependenceConfig()}, []string{"micro.branchy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.RunMatrix([]Config{DependenceConfig()}, []string{"micro.branchy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0].Cycles != want[0][0].Cycles {
+		t.Errorf("recaptured run diverges: %d cycles vs %d", got[0][0].Cycles, want[0][0].Cycles)
+	}
+	ts := eng.TraceStats()
+	if ts.CorruptDropped != 1 {
+		t.Errorf("CorruptDropped = %d, want 1 (%+v)", ts.CorruptDropped, ts)
+	}
+	if ts.Captures != 2 {
+		t.Errorf("Captures = %d, want 2 (original + recapture)", ts.Captures)
+	}
+	if ts.CaptureFailures != 0 {
+		t.Errorf("corruption miscounted as capture failure: %+v", ts)
+	}
+	// The recaptured file is intact: a fresh engine loads it from disk.
+	eng2 := NewEngine()
+	if err := eng2.SetTraceDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.RunMatrix([]Config{BaselineConfig()}, []string{"micro.branchy"}); err != nil {
+		t.Fatal(err)
+	}
+	if ts := eng2.TraceStats(); ts.DiskHits != 1 {
+		t.Errorf("recaptured trace not reloadable: %+v", ts)
 	}
 }
