@@ -57,7 +57,7 @@ func startDaemon(t *testing.T, args ...string) *daemon {
 	for sc.Scan() {
 		line := sc.Text()
 		d.mu.Lock()
-		fmt.Fprintln(&d.stderr, line)
+		fmt.Fprintln(&d.stderr, line) //ce:lock-ok d.stderr is an in-memory buffer
 		d.mu.Unlock()
 		if i := strings.Index(line, "listening on "); i >= 0 {
 			d.url = strings.TrimSpace(line[i+len("listening on "):])
@@ -71,8 +71,9 @@ func startDaemon(t *testing.T, args ...string) *daemon {
 	}
 	go func() {
 		for sc.Scan() {
+			line := sc.Text()
 			d.mu.Lock()
-			fmt.Fprintln(&d.stderr, sc.Text())
+			fmt.Fprintln(&d.stderr, line) //ce:lock-ok d.stderr is an in-memory buffer
 			d.mu.Unlock()
 		}
 		err := d.cmd.Wait()

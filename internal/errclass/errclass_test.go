@@ -1,0 +1,74 @@
+package errclass_test
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"syscall"
+	"testing"
+
+	"repro/internal/errclass"
+)
+
+func TestTransientWrap(t *testing.T) {
+	base := errors.New("disk full")
+	err := errclass.Transient(base)
+	if !errclass.IsTransient(err) {
+		t.Fatalf("Transient(err) not IsTransient: %v", err)
+	}
+	if errclass.IsCorrupt(err) {
+		t.Fatalf("Transient(err) reports IsCorrupt: %v", err)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("Transient(err) lost the cause: %v", err)
+	}
+	// Classification survives further %w wrapping at call boundaries.
+	outer := fmt.Errorf("saving artifact: %w", err)
+	if !errclass.IsTransient(outer) || !errors.Is(outer, base) {
+		t.Fatalf("wrap of Transient lost classification or cause: %v", outer)
+	}
+}
+
+func TestCorruptWrap(t *testing.T) {
+	base := errors.New("checksum mismatch")
+	err := errclass.Corrupt(base)
+	if !errclass.IsCorrupt(err) {
+		t.Fatalf("Corrupt(err) not IsCorrupt: %v", err)
+	}
+	if errclass.IsTransient(err) {
+		t.Fatalf("Corrupt(err) reports IsTransient: %v", err)
+	}
+	outer := fmt.Errorf("loading artifact: %w", err)
+	if !errclass.IsCorrupt(outer) || !errors.Is(outer, base) {
+		t.Fatalf("wrap of Corrupt lost classification or cause: %v", outer)
+	}
+}
+
+// TestRawOSErrorsAreTransient pins the fail-safe heuristic: unclassified
+// operating-system errors count as transient so they are never memoized,
+// even when a call path missed its explicit classification.
+func TestRawOSErrorsAreTransient(t *testing.T) {
+	cases := []error{
+		&os.PathError{Op: "open", Path: "x", Err: syscall.ENOSPC},
+		&os.LinkError{Op: "rename", Old: "a", New: "b", Err: syscall.EXDEV},
+		os.NewSyscallError("write", syscall.EIO),
+		syscall.EMFILE,
+		fmt.Errorf("wrapped: %w", &fs.PathError{Op: "read", Path: "y", Err: syscall.EAGAIN}),
+	}
+	for _, err := range cases {
+		if !errclass.IsTransient(err) {
+			t.Errorf("IsTransient(%T %v) = false, want true", err, err)
+		}
+	}
+}
+
+// TestDeterministicErrorsAreUnclassified pins the other side: plain
+// errors with no OS pedigree and no classifier wrap are neither
+// transient nor corrupt, so callers like runcache memoize them.
+func TestDeterministicErrorsAreUnclassified(t *testing.T) {
+	err := fmt.Errorf("program exceeded %d instructions", 1000)
+	if errclass.IsTransient(err) || errclass.IsCorrupt(err) {
+		t.Fatalf("deterministic error classified: %v", err)
+	}
+}

@@ -176,14 +176,20 @@ func (o Op) String() string {
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
 
+// opsByName inverts opNames once so mnemonic lookup is a deterministic
+// O(1) map read rather than a scan in map iteration order.
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for o, n := range opNames {
+		m[n] = o
+	}
+	return m
+}()
+
 // OpByName resolves a mnemonic to its operation.
 func OpByName(name string) (Op, bool) {
-	for o, n := range opNames {
-		if n == name {
-			return o, true
-		}
-	}
-	return Invalid, false
+	o, ok := opsByName[name]
+	return o, ok
 }
 
 // Class groups operations by the functional-unit/pipeline behaviour the

@@ -13,11 +13,16 @@
 // TTL breaks it and takes over. Lock files are created with
 // O_CREATE|O_EXCL, which is atomic on the local filesystems the store
 // targets, and carry the holder's PID and start time for debuggability.
+//
+//ce:classify-errors
 package lease
 
 import (
+	"bytes"
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,12 +32,22 @@ import (
 // refreshing — crashed, SIGKILLed, or wedged — ever loses its lease.
 const DefaultTTL = 30 * time.Second
 
-// Lease is a held lock. Release it exactly once.
+// Lease is a held lock. Release is idempotent: extra calls are no-ops.
 type Lease struct {
 	path string
-	stop chan struct{}
-	done chan struct{}
+	// token is the exact contents this holder wrote at acquisition.
+	// Release removes the lock file only while it still carries the
+	// token, so a holder whose lease was broken by staleness takeover
+	// cannot remove the new holder's lock out from under it.
+	token   []byte
+	stop    chan struct{}
+	done    chan struct{}
+	release sync.Once
 }
+
+// leaseSeq disambiguates tokens when one process reacquires the same
+// lock: pid and timestamp alone could collide within clock resolution.
+var leaseSeq atomic.Uint64
 
 // TryAcquire attempts to take the lock file at path (conventionally the
 // guarded artifact's path plus a ".lock" suffix). It returns (lease,
@@ -47,9 +62,11 @@ func TryAcquire(path string, ttl time.Duration) (*Lease, bool) {
 	for attempt := 0; attempt < 2; attempt++ {
 		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 		if err == nil {
-			fmt.Fprintf(f, "pid %d acquired %s\n", os.Getpid(), time.Now().UTC().Format(time.RFC3339))
+			token := fmt.Appendf(nil, "pid %d seq %d acquired %s\n",
+				os.Getpid(), leaseSeq.Add(1), time.Now().UTC().Format(time.RFC3339Nano))
+			f.Write(token)
 			f.Close()
-			l := &Lease{path: path, stop: make(chan struct{}), done: make(chan struct{})}
+			l := &Lease{path: path, token: token, stop: make(chan struct{}), done: make(chan struct{})}
 			go l.refresh(ttl / 4)
 			return l, true
 		}
@@ -95,10 +112,22 @@ func (l *Lease) refresh(every time.Duration) {
 	}
 }
 
-// Release removes the lock file and stops the refresher. It is safe to
-// call on a lease whose file was already broken by a peer.
+// Release stops the refresher and removes the lock file, provided the
+// file still carries this lease's token. It is safe to call more than
+// once (a daemon's deferred release racing its shutdown path), and safe
+// to call on a lease that was broken by a peer's staleness takeover: the
+// peer's lock file carries the peer's token and is left alone. The
+// read-then-remove window is inherent to lock-file protocols; the worst
+// case — a peer takes over between the two — duplicates one computation,
+// which the store's canonical-bytes atomic-rename writes make harmless.
 func (l *Lease) Release() {
-	close(l.stop)
-	<-l.done
-	_ = os.Remove(l.path)
+	l.release.Do(func() {
+		close(l.stop)
+		<-l.done
+		data, err := os.ReadFile(l.path)
+		if err == nil && !bytes.Equal(data, l.token) {
+			return // broken and re-acquired: the lock belongs to a peer now
+		}
+		_ = os.Remove(l.path)
+	})
 }

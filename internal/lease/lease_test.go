@@ -102,3 +102,57 @@ func TestConcurrentAcquire(t *testing.T) {
 		t.Errorf("%d holders acquired a contended lease", held)
 	}
 }
+
+// TestReleaseIdempotent pins the double-release path: a daemon's
+// deferred Release racing its explicit shutdown release must be a no-op,
+// not a close-of-closed-channel panic.
+func TestReleaseIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "k.lock")
+	l, ok := TryAcquire(path, time.Minute)
+	if !ok {
+		t.Fatal("acquire failed")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Release()
+		}()
+	}
+	wg.Wait()
+	l.Release()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("lock file survives release: %v", err)
+	}
+}
+
+// TestReleaseDoesNotStealTakenOverLock pins the broken-lease path: a
+// holder that lost its lock to staleness takeover must not remove the
+// new holder's lock file when it finally calls Release. Before the
+// token check, the old holder's Release deleted the new holder's lock,
+// re-opening the key to a third process mid-computation.
+func TestReleaseDoesNotStealTakenOverLock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "k.lock")
+	l1, ok := TryAcquire(path, time.Minute)
+	if !ok {
+		t.Fatal("first acquire failed")
+	}
+	// Simulate the staleness takeover a wedged holder would suffer: the
+	// peer breaks the lock and re-creates it with its own token.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	l2, ok := TryAcquire(path, time.Minute)
+	if !ok {
+		t.Fatal("takeover acquire failed")
+	}
+	l1.Release()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("old holder's release removed the new holder's lock: %v", err)
+	}
+	l2.Release()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("lock file survives owner release: %v", err)
+	}
+}

@@ -24,6 +24,11 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) (any, error)
+	// FactTypes lists the fact types this analyzer exports and imports.
+	// Each entry must be a pointer to a gob-serializable struct. Declaring
+	// fact types is what opts the analyzer into bottom-up analysis of
+	// dependency packages.
+	FactTypes []Fact
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -37,6 +42,16 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Report delivers one finding. It must be non-nil.
 	Report func(Diagnostic)
+	// ImportObjectFact copies the fact of type *fact previously exported
+	// for obj (by this analyzer, in this or a dependency package) into
+	// *fact and reports whether one existed. Wired by the driver when the
+	// analyzer declares FactTypes; nil otherwise.
+	ImportObjectFact func(obj types.Object, fact Fact) bool
+	// ExportObjectFact records a fact for obj, visible to later passes of
+	// the same analyzer over packages that import this one. obj must
+	// belong to the package under analysis. Wired by the driver when the
+	// analyzer declares FactTypes; nil otherwise.
+	ExportObjectFact func(obj types.Object, fact Fact)
 }
 
 // Reportf reports a formatted diagnostic at pos.
@@ -71,7 +86,8 @@ type TextEdit struct {
 }
 
 // Validate checks analyzer metadata (mirrors x/tools analysis.Validate in
-// spirit: names must be unique and non-empty, Run non-nil).
+// spirit: names must be unique and non-empty, Run non-nil, fact types
+// pointers to structs).
 func Validate(analyzers []*Analyzer) error {
 	seen := make(map[string]bool)
 	for _, a := range analyzers {
@@ -86,6 +102,11 @@ func Validate(analyzers []*Analyzer) error {
 			return fmt.Errorf("analysis: duplicate analyzer name %s", a.Name)
 		}
 		seen[a.Name] = true
+		for _, f := range a.FactTypes {
+			if err := validateFactType(f); err != nil {
+				return fmt.Errorf("analysis: analyzer %s: %v", a.Name, err)
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+type testFact struct {
+	Hits  int
+	Trail []string
+}
+
+func (*testFact) AFact() {}
+
+// checkPkg type-checks one source string as package p and returns the
+// package.
+func checkPkg(t *testing.T, src string) *types.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("example.com/p", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func TestFactSetRoundTrip(t *testing.T) {
+	pkg := checkPkg(t, `package p
+type R struct{}
+func (r *R) Step() {}
+func Helper() {}
+`)
+	RegisterFactTypes([]*Analyzer{{
+		Name:      "testlint",
+		Run:       func(*Pass) (any, error) { return nil, nil },
+		FactTypes: []Fact{new(testFact)},
+	}})
+
+	step, _, _ := types.LookupFieldOrMethod(pkg.Scope().Lookup("R").Type(), true, pkg, "Step")
+	helper := pkg.Scope().Lookup("Helper")
+	if got := ObjectKey(step); got != "(*example.com/p.R).Step" {
+		t.Fatalf("ObjectKey(Step) = %q", got)
+	}
+
+	s := NewFactSet()
+	layer := s.NewLayer()
+	layer.ExportObjectFact("testlint", step, &testFact{Hits: 3, Trail: []string{"Step", "fill"}})
+	layer.ExportObjectFact("testlint", helper, &testFact{Hits: 1})
+
+	// The layer sees its own facts; the parent does not until merged.
+	var got testFact
+	if !layer.ImportObjectFact("testlint", step, &got) || got.Hits != 3 {
+		t.Fatalf("layer import = %+v", got)
+	}
+	if s.ImportObjectFact("testlint", step, &got) {
+		t.Fatal("parent saw unmerged layer fact")
+	}
+
+	blob, err := layer.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Decode(blob); err != nil {
+		t.Fatal(err)
+	}
+	got = testFact{}
+	if !s.ImportObjectFact("testlint", step, &got) || got.Hits != 3 || len(got.Trail) != 2 {
+		t.Fatalf("after decode: %+v", got)
+	}
+	// A fresh layer over the merged parent imports through the chain.
+	got = testFact{}
+	if !s.NewLayer().ImportObjectFact("testlint", helper, &got) || got.Hits != 1 {
+		t.Fatalf("layered import after merge: %+v", got)
+	}
+
+	// Encoding is deterministic regardless of map iteration order.
+	blob2, err := layer.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("fact encoding not deterministic")
+	}
+
+	// Wrong namespace and wrong object both miss.
+	if s.ImportObjectFact("otherlint", step, &testFact{}) {
+		t.Fatal("fact leaked across analyzer namespace")
+	}
+}
+
+func TestValidateRejectsBadFactTypes(t *testing.T) {
+	bad := &Analyzer{
+		Name:      "bad",
+		Run:       func(*Pass) (any, error) { return nil, nil },
+		FactTypes: []Fact{nil},
+	}
+	if err := Validate([]*Analyzer{bad}); err == nil {
+		t.Fatal("Validate accepted nil fact type")
+	}
+}

@@ -42,12 +42,78 @@ func TestData(t *testing.T) string {
 // mismatches between produced diagnostics and // want expectations as
 // test failures. It returns the diagnostics per package for tests that
 // make extra assertions (e.g. on suggested fixes).
+//
+// When the analyzer declares FactTypes, Run mirrors the celint drivers'
+// bottom-up module analysis: before a listed package is analyzed, the
+// analyzer first runs fact-only over the package's fixture dependencies
+// (recursively, in dependency order), and every pass's exported facts are
+// round-tripped through the gob encoder — so a fixture exercising
+// cross-package findings also proves the facts survive vetx
+// serialization. Want-comments in a dependency are only checked when the
+// dependency itself is listed in pkgPaths (list "base" before "top" to
+// check both sides of a propagation).
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) map[string][]analysis.Diagnostic {
 	t.Helper()
 	if err := analysis.Validate([]*analysis.Analyzer{a}); err != nil {
 		t.Fatal(err)
 	}
 	ld := newLoader(dir)
+	facts := analysis.NewFactSet()
+	analysis.RegisterFactTypes([]*analysis.Analyzer{a})
+	analyzed := make(map[string]bool)
+
+	// runPass applies the analyzer to one fixture package with the shared
+	// fact store, serializing the pass's fresh facts back into it.
+	runPass := func(pkg *fixturePkg, report func(analysis.Diagnostic)) error {
+		layer := facts.NewLayer()
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      ld.fset,
+			Files:     pkg.files,
+			Pkg:       pkg.types,
+			TypesInfo: pkg.info,
+			Report:    report,
+		}
+		if len(a.FactTypes) > 0 {
+			pass.ImportObjectFact = func(obj types.Object, f analysis.Fact) bool {
+				return layer.ImportObjectFact(a.Name, obj, f)
+			}
+			pass.ExportObjectFact = func(obj types.Object, f analysis.Fact) {
+				layer.ExportObjectFact(a.Name, obj, f)
+			}
+		}
+		if _, err := a.Run(pass); err != nil {
+			return err
+		}
+		blob, err := layer.Encode()
+		if err != nil {
+			return err
+		}
+		return facts.Decode(blob)
+	}
+
+	// ensureFacts runs the analyzer fact-only over a fixture package and
+	// its fixture dependencies, bottom-up.
+	var ensureFacts func(path string) error
+	ensureFacts = func(path string) error {
+		if analyzed[path] {
+			return nil
+		}
+		analyzed[path] = true
+		pkg, err := ld.load(path)
+		if err != nil {
+			return err
+		}
+		for _, imp := range pkg.types.Imports() {
+			if ld.isFixture(imp.Path()) {
+				if err := ensureFacts(imp.Path()); err != nil {
+					return err
+				}
+			}
+		}
+		return runPass(pkg, func(analysis.Diagnostic) {})
+	}
+
 	out := make(map[string][]analysis.Diagnostic)
 	for _, path := range pkgPaths {
 		path := path
@@ -56,16 +122,18 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) map
 			if err != nil {
 				t.Fatalf("loading fixture %s: %v", path, err)
 			}
-			var diags []analysis.Diagnostic
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      ld.fset,
-				Files:     pkg.files,
-				Pkg:       pkg.types,
-				TypesInfo: pkg.info,
-				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			if len(a.FactTypes) > 0 {
+				for _, imp := range pkg.types.Imports() {
+					if ld.isFixture(imp.Path()) {
+						if err := ensureFacts(imp.Path()); err != nil {
+							t.Fatalf("analyzing dependencies of %s: %v", path, err)
+						}
+					}
+				}
 			}
-			if _, err := a.Run(pass); err != nil {
+			analyzed[path] = true
+			var diags []analysis.Diagnostic
+			if err := runPass(pkg, func(d analysis.Diagnostic) { diags = append(diags, d) }); err != nil {
 				t.Fatalf("%s: %v", a.Name, err)
 			}
 			check(t, ld.fset, pkg.files, diags)
@@ -101,10 +169,17 @@ func newLoader(dir string) *loader {
 	}
 }
 
+// isFixture reports whether the import path resolves to a fixture
+// package under dir/src.
+func (ld *loader) isFixture(path string) bool {
+	_, err := os.Stat(filepath.Join(ld.dir, "src", path))
+	return err == nil
+}
+
 // Import implements types.Importer so fixture packages can import each
 // other (keylint's multi-package test needs this).
 func (ld *loader) Import(path string) (*types.Package, error) {
-	if _, err := os.Stat(filepath.Join(ld.dir, "src", path)); err == nil {
+	if ld.isFixture(path) {
 		pkg, err := ld.load(path)
 		if err != nil {
 			return nil, err

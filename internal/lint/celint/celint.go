@@ -1,11 +1,15 @@
 // Package celint is the driver for the simulator's custom static
-// analyzers (detlint, keylint, hotlint). It runs in two modes:
+// analyzers (dirlint, detlint, keylint, hotlint, locklint, errlint). It
+// runs in two modes:
 //
 //   - standalone: `celint ./...` loads packages through `go list -export`
-//     and analyzes each module package, test files included;
+//     and analyzes each module package, test files included, walking the
+//     package DAG bottom-up so analyzer facts flow from dependencies to
+//     dependents;
 //   - vet tool: `go vet -vettool=$(which celint) ./...` speaks the cmd/go
 //     unitchecker protocol (-V=full, -flags, and per-package .cfg files),
 //     so findings integrate with the build cache and go test's vet phase.
+//     Facts ride in the vetx files cmd/go threads between vet actions.
 //
 // Exit status: 0 clean, 1 findings, 2 operational error.
 package celint
@@ -13,18 +17,31 @@ package celint
 import (
 	"fmt"
 	"go/token"
+	"go/types"
 	"io"
 	"sort"
 
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/detlint"
+	"repro/internal/lint/dirlint"
+	"repro/internal/lint/errlint"
 	"repro/internal/lint/hotlint"
 	"repro/internal/lint/keylint"
+	"repro/internal/lint/locklint"
 )
 
-// Analyzers returns the celint suite in reporting order.
+// Analyzers returns the celint suite in reporting order. dirlint runs
+// first so a malformed hatch is reported before the contract finding it
+// failed to suppress.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{detlint.Analyzer, keylint.Analyzer, hotlint.Analyzer}
+	return []*analysis.Analyzer{
+		dirlint.Analyzer,
+		detlint.Analyzer,
+		keylint.Analyzer,
+		hotlint.Analyzer,
+		locklint.Analyzer,
+		errlint.Analyzer,
+	}
 }
 
 // Main implements the celint command. args excludes the program name.
@@ -33,6 +50,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	analysis.RegisterFactTypes(Analyzers())
 	// cmd/go protocol probes.
 	for _, a := range args {
 		switch a {
@@ -58,9 +76,10 @@ func diagText(fset *token.FileSet, a *analysis.Analyzer, d analysis.Diagnostic) 
 	return fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), a.Name, d.Message)
 }
 
-// runAnalyzers applies the suite to one loaded package and returns the
+// runAnalyzers applies the suite to one loaded package, exporting facts
+// into (and importing them from) the given store, and returns the
 // formatted findings, sorted by position.
-func runAnalyzers(pkg *loadedPackage) ([]string, error) {
+func runAnalyzers(pkg *loadedPackage, facts *analysis.FactSet) ([]string, error) {
 	var out []string
 	for _, a := range Analyzers() {
 		var diags []analysis.Diagnostic
@@ -71,6 +90,15 @@ func runAnalyzers(pkg *loadedPackage) ([]string, error) {
 			Pkg:       pkg.types,
 			TypesInfo: pkg.info,
 			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if len(a.FactTypes) > 0 && facts != nil {
+			name := a.Name
+			pass.ImportObjectFact = func(obj types.Object, fact analysis.Fact) bool {
+				return facts.ImportObjectFact(name, obj, fact)
+			}
+			pass.ExportObjectFact = func(obj types.Object, fact analysis.Fact) {
+				facts.ExportObjectFact(name, obj, fact)
+			}
 		}
 		if _, err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %v", pkg.importPath, a.Name, err)
@@ -89,12 +117,33 @@ func standalone(patterns []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "celint:", err)
 		return 2
 	}
+	// One fact store for the whole run, grown bottom-up: loadPackages
+	// returns the DAG in topological order, so by the time a package is
+	// analyzed every dependency's facts are present. Each package's own
+	// exports make a serialization round trip before joining the store —
+	// the standalone driver then exercises the exact gob path the vettool
+	// driver depends on, so an unserializable fact cannot lurk until the
+	// first `go vet` run.
+	moduleFacts := analysis.NewFactSet()
 	exit := 0
 	for _, pkg := range pkgs {
-		findings, err := runAnalyzers(pkg)
+		layer := moduleFacts.NewLayer()
+		findings, err := runAnalyzers(pkg, layer)
 		if err != nil {
 			fmt.Fprintln(stderr, "celint:", err)
 			return 2
+		}
+		encoded, err := layer.Encode()
+		if err != nil {
+			fmt.Fprintln(stderr, "celint:", err)
+			return 2
+		}
+		if err := moduleFacts.Decode(encoded); err != nil {
+			fmt.Fprintln(stderr, "celint:", err)
+			return 2
+		}
+		if pkg.factOnly {
+			continue // dependency outside the requested patterns
 		}
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f)

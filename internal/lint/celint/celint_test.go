@@ -24,6 +24,21 @@ func chdir(t *testing.T, dir string) {
 	t.Cleanup(func() { _ = os.Chdir(old) })
 }
 
+// seededWants are the substrings every driver mode must report for the
+// badmod fixture: the three intra-package classics plus the four
+// cross-package violations that only analyzer facts can surface (hot →
+// allocating callee, deterministic → transitive clock read, lock held
+// across another package's file I/O, unclassified disk error).
+var seededWants = []string{
+	"detlint", "map iteration order escapes",
+	"keylint", "Spec.Extra",
+	"hotlint", "make allocates",
+	"call to dep.Grow allocates (Grow: make allocates)",
+	"call to dep.Stamp is transitively nondeterministic (Stamp: time.Now reads the host clock)",
+	"locklint", "mutex b.mu held across call to dep.Save (blocks: Save: call to os.WriteFile)",
+	"errlint", "call to dep.Load may return an unclassified environment error (Load: os.ReadFile)",
+}
+
 // TestStandaloneFindsSeededViolations runs the multichecker in-process
 // over a module seeded with one violation per analyzer and checks the
 // exit code and that every analyzer reports by name.
@@ -35,13 +50,36 @@ func TestStandaloneFindsSeededViolations(t *testing.T) {
 		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr.String())
 	}
 	out := stdout.String()
+	for _, want := range seededWants {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagnostics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStandaloneFactOnlyDeps narrows the pattern to the root package:
+// dep is then loaded as a fact-only dependency — its facts must still
+// flow (the cross-package findings appear) while its own package
+// produces no output lines.
+func TestStandaloneFactOnlyDeps(t *testing.T) {
+	chdir(t, filepath.Join("testdata", "badmod"))
+	var stdout, stderr bytes.Buffer
+	code := celint.Main([]string{"."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
 	for _, want := range []string{
-		"detlint", "map iteration order escapes",
-		"keylint", "Spec.Extra",
-		"hotlint", "make allocates",
+		"call to dep.Grow allocates (Grow: make allocates)",
+		"mutex b.mu held across call to dep.Save (blocks: Save: call to os.WriteFile)",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("diagnostics missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, string(filepath.Separator)+"dep"+string(filepath.Separator)) {
+			t.Errorf("fact-only dependency produced output: %s", line)
 		}
 	}
 }
@@ -73,7 +111,7 @@ func TestVettoolProtocol(t *testing.T) {
 	if err == nil {
 		t.Fatalf("go vet -vettool exited zero on seeded violations\n%s", out)
 	}
-	for _, want := range []string{"map iteration order escapes", "Spec.Extra", "make allocates"} {
+	for _, want := range seededWants {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("vet output missing %q:\n%s", want, out)
 		}

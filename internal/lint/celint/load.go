@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -23,6 +24,11 @@ type loadedPackage struct {
 	files      []*ast.File
 	types      *types.Package
 	info       *types.Info
+	// factOnly marks a module dependency outside the requested patterns:
+	// it is analyzed so its facts reach the requested packages, but its
+	// own diagnostics are discarded (`celint ./internal/server` should
+	// not also lint runcache — only see through it).
+	factOnly bool
 }
 
 // listPackage is the subset of `go list -json` output the loader uses.
@@ -32,6 +38,7 @@ type listPackage struct {
 	Dir        string
 	GoFiles    []string
 	CgoFiles   []string
+	Imports    []string
 	Export     string
 	Standard   bool
 	DepOnly    bool
@@ -39,15 +46,27 @@ type listPackage struct {
 	ImportMap  map[string]string
 }
 
-// loadPackages resolves patterns through `go list -deps -test -export`
-// and type-checks every module root package from source, using the gc
-// export data go list produced for all dependencies. Test variants
-// (pkg [pkg.test]) replace their plain package so _test.go files are
-// analyzed too.
+// canonical collapses a test-variant import path ("pkg [pkg.test]") to
+// the plain package path, which names the node in the analysis DAG: the
+// test variant's objects carry the same types.Func.FullName keys, so
+// one fact pass per canonical path covers both.
+func canonical(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// loadPackages resolves patterns through `go list -deps -test -export`,
+// picks one package per canonical import path (the in-package test
+// variant when one exists, so _test.go files are analyzed too), and
+// returns them topologically sorted, dependencies first — the order a
+// bottom-up fact pass needs. Module packages pulled in only as
+// dependencies are included as factOnly.
 func loadPackages(patterns []string) ([]*loadedPackage, error) {
 	args := append([]string{
 		"list", "-deps", "-test", "-export",
-		"-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Export,Standard,DepOnly,ForTest,ImportMap",
+		"-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Imports,Export,Standard,DepOnly,ForTest,ImportMap",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	var stdout, stderr bytes.Buffer
@@ -73,23 +92,38 @@ func loadPackages(patterns []string) ([]*loadedPackage, error) {
 		}
 	}
 
-	// Pick roots: non-dep, non-stdlib packages, preferring the in-package
-	// test variant over the plain package, and skipping the synthesized
-	// .test mains (their sole GoFile is generated).
-	hasTestVariant := make(map[string]bool)
+	// Pick one listPackage per canonical path: the in-package test variant
+	// supersedes the plain package (it type-checks the same declarations
+	// plus the _test.go files). External _test packages keep their own
+	// canonical node; only the synthesized .test mains are skipped (their
+	// sole GoFile is generated).
+	chosen := make(map[string]*listPackage)
+	requested := make(map[string]bool) // canonical paths matched by the patterns
 	for _, p := range listed {
-		if p.ForTest != "" && !p.DepOnly && strings.HasPrefix(p.ImportPath, p.ForTest+" ") {
-			hasTestVariant[p.ForTest] = true
-		}
-	}
-	var pkgs []*loadedPackage
-	for _, p := range listed {
-		if p.DepOnly || p.Standard || strings.HasSuffix(p.ImportPath, ".test") {
+		if p.Standard || strings.HasSuffix(p.ImportPath, ".test") {
 			continue
 		}
-		if hasTestVariant[p.ImportPath] {
-			continue // superseded by pkg [pkg.test]
+		c := canonical(p.ImportPath)
+		if prev, ok := chosen[c]; !ok || (prev.ForTest == "" && p.ForTest != "") {
+			chosen[c] = p
 		}
+		if !p.DepOnly {
+			requested[c] = true
+		}
+	}
+
+	// Topological sort over the canonical module DAG (Kahn's algorithm
+	// with sorted tie-breaks, so the order — and therefore the output —
+	// is deterministic). Collapsing test variants can create a cycle (two
+	// packages whose _test.go files import each other, like asm ↔ emu),
+	// so the sort runs over strongly-connected components: only the
+	// members of an actual cycle lose dependencies-first ordering (their
+	// back-edge facts), never the packages downstream of them.
+	order := topoSort(chosen)
+
+	var pkgs []*loadedPackage
+	for _, c := range order {
+		p := chosen[c]
 		if len(p.CgoFiles) > 0 {
 			fmt.Fprintf(os.Stderr, "celint: skipping %s: cgo package\n", p.ImportPath)
 			continue
@@ -98,9 +132,165 @@ func loadPackages(patterns []string) ([]*loadedPackage, error) {
 		if err != nil {
 			return nil, err
 		}
+		lp.factOnly = !requested[c]
 		pkgs = append(pkgs, lp)
 	}
 	return pkgs, nil
+}
+
+// topoSort orders the canonical paths dependencies-first. Cycles from
+// test-variant collapsing are condensed into strongly-connected
+// components first; the acyclic condensation is then Kahn-sorted with
+// sorted tie-breaks, and members inside a component emerge in sorted
+// order. A naive Kahn over the raw graph would strand every transitive
+// dependent of a cycle in the "remainder", silently dropping fact flow
+// for most of the module.
+func topoSort(chosen map[string]*listPackage) []string {
+	deps := make(map[string][]string) // canonical -> module deps (canonical)
+	for c, p := range chosen {
+		seen := make(map[string]bool)
+		for _, imp := range p.Imports {
+			if mapped, ok := p.ImportMap[imp]; ok {
+				imp = mapped
+			}
+			d := canonical(imp)
+			if d == c || chosen[d] == nil || seen[d] {
+				continue
+			}
+			seen[d] = true
+			deps[c] = append(deps[c], d)
+		}
+	}
+	comp := condense(chosen, deps)
+
+	// Kahn over the condensation, components keyed by their sorted-first
+	// member for deterministic tie-breaking.
+	compDeps := make(map[string]map[string]bool)  // component key -> dep component keys
+	members := make(map[string][]string)          // component key -> sorted members
+	keyOf := make(map[string]string, len(chosen)) // canonical -> component key
+	for _, scc := range comp {
+		sort.Strings(scc)
+		key := scc[0]
+		members[key] = scc
+		for _, c := range scc {
+			keyOf[c] = key
+		}
+	}
+	for key := range members {
+		compDeps[key] = make(map[string]bool)
+	}
+	for c, ds := range deps {
+		for _, d := range ds {
+			if keyOf[c] != keyOf[d] {
+				compDeps[keyOf[c]][keyOf[d]] = true
+			}
+		}
+	}
+	indeg := make(map[string]int, len(members))
+	dependents := make(map[string][]string)
+	for key, ds := range compDeps {
+		indeg[key] = len(ds)
+		for d := range ds {
+			dependents[d] = append(dependents[d], key)
+		}
+	}
+	ready := make([]string, 0, len(members))
+	for key, n := range indeg {
+		if n == 0 {
+			ready = append(ready, key)
+		}
+	}
+	sort.Strings(ready)
+	var order []string
+	for len(ready) > 0 {
+		key := ready[0]
+		ready = ready[1:]
+		order = append(order, members[key]...)
+		next := append([]string(nil), dependents[key]...)
+		sort.Strings(next)
+		for _, d := range next {
+			if indeg[d]--; indeg[d] == 0 {
+				ready = append(ready, d)
+			}
+		}
+		sort.Strings(ready)
+	}
+	return order
+}
+
+// condense returns the strongly-connected components of the canonical
+// graph (Tarjan, iterative). Singleton components are the common case;
+// anything larger is a test-collapse cycle.
+func condense(chosen map[string]*listPackage, deps map[string][]string) [][]string {
+	nodes := make([]string, 0, len(chosen))
+	for c := range chosen {
+		nodes = append(nodes, c)
+	}
+	sort.Strings(nodes)
+	index := make(map[string]int, len(nodes))
+	low := make(map[string]int, len(nodes))
+	onStack := make(map[string]bool)
+	var stack []string
+	var comps [][]string
+	next := 0
+	type frame struct {
+		node string
+		di   int // next dep index to visit
+	}
+	for _, root := range nodes {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		work := []frame{{node: root}}
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.node
+			if f.di == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.di < len(deps[v]) {
+				w := deps[v][f.di]
+				f.di++
+				if _, seen := index[w]; !seen {
+					work = append(work, frame{node: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				var scc []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, scc)
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].node
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return comps
 }
 
 // typecheck parses and type-checks one package from source, resolving

@@ -1,8 +1,10 @@
-// Package badmod seeds one violation of each celint contract; the
-// cmd/celint test asserts the multichecker exits nonzero and names all
-// three analyzers.
+// Package badmod seeds one violation of each celint contract — the
+// intra-package classics here, the cross-package ones in cross.go (see
+// the dep package) — and the celint tests assert both driver modes exit
+// nonzero naming every analyzer.
 //
 //ce:deterministic
+//ce:classify-errors
 package badmod
 
 import "fmt"

@@ -1,0 +1,40 @@
+package badmod
+
+import (
+	"sync"
+
+	"badmod/dep"
+)
+
+// HotGrow reaches an allocating callee in another package: only the
+// AllocFact exported by dep's pass makes this visible.
+//
+//ce:hot
+func HotGrow() []int {
+	return dep.Grow(8)
+}
+
+// Epoch transitively reads the wall clock inside a //ce:deterministic
+// package.
+func Epoch() int64 {
+	return dep.Stamp()
+}
+
+// Box holds its mutex across cross-package file I/O.
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Checkpoint is the seeded lock-across-blocking-call violation.
+func (b *Box) Checkpoint(path string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+	return dep.Save(path, nil)
+}
+
+// ReadState lets dep.Load's raw environment error escape unclassified.
+func ReadState(path string) ([]byte, error) {
+	return dep.Load(path)
+}

@@ -1,0 +1,32 @@
+// Package dep provides callees whose contract-relevant behavior —
+// allocation, clock reads, blocking I/O, raw environment errors — is
+// visible to importing packages only through analyzer facts. The badmod
+// root package reaches every one of them across the package boundary,
+// so a driver that fails to thread facts between passes misses all four
+// seeded violations.
+package dep
+
+import (
+	"os"
+	"time"
+)
+
+// Grow allocates: hot callers must not reach it.
+func Grow(n int) []int {
+	return make([]int, n)
+}
+
+// Stamp reads the wall clock: deterministic callers must not reach it.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Save blocks on file I/O: callers must not hold a mutex across it.
+func Save(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load returns raw environment errors for callers to classify.
+func Load(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -12,6 +12,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
 )
 
 // vetConfig mirrors the fields of cmd/go's per-package vet config file
@@ -59,8 +64,16 @@ func printVersion(stdout, stderr io.Writer) int {
 
 // vetMode analyzes the single compilation unit described by cfgPath,
 // following the unitchecker protocol: diagnostics to stderr, exit 1 when
-// any are found, and always produce the (empty — celint exports no
-// facts) VetxOutput file so cmd/go's action cache has its output.
+// any are found, and always produce the VetxOutput file — the encoded
+// facts this unit's pass exported — so cmd/go's action cache has its
+// output and dependent units can import the facts.
+//
+// cmd/go drives the tool over every dependency of the vetted packages
+// with VetxOnly set, which is what makes the analysis interprocedural:
+// the dependency pass computes and serializes facts (diagnostics are
+// suppressed — the user asked to vet their packages, not the whole
+// dependency closure), and the dependent's pass reads them back through
+// PackageVetx.
 func vetMode(cfgPath string, stderr io.Writer) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -72,33 +85,56 @@ func vetMode(cfgPath string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "celint: parsing %s: %v\n", cfgPath, err)
 		return 2
 	}
-	writeVetx := func() {
-		if cfg.VetxOutput != "" {
-			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-				fmt.Fprintln(stderr, "celint:", err)
-			}
+	writeVetx := func(encoded []byte) bool {
+		if cfg.VetxOutput == "" {
+			return true
 		}
+		if err := os.WriteFile(cfg.VetxOutput, encoded, 0o666); err != nil {
+			fmt.Fprintln(stderr, "celint:", err)
+			return false
+		}
+		return true
 	}
-	if cfg.VetxOnly {
-		// Dependency pass: celint has no facts to export.
-		writeVetx()
+	if stdlibUnit(cfg) {
+		// Standard-library unit: the analyzers special-case the stdlib
+		// surface they care about (os/io blocking sets, env error sources)
+		// instead of deriving facts from its source, so skip the
+		// typecheck and hand back an empty fact set.
+		if !writeVetx(nil) {
+			return 2
+		}
 		return 0
 	}
+	facts := analysisFactsFromVetx(cfg, stderr)
+	if facts == nil {
+		return 2
+	}
+	layer := facts.NewLayer()
 	pkg, err := typecheckVetUnit(cfg)
 	if err != nil {
-		writeVetx()
+		writeVetx(nil)
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
 		}
 		fmt.Fprintln(stderr, "celint:", err)
 		return 2
 	}
-	findings, err := runAnalyzers(pkg)
+	findings, err := runAnalyzers(pkg, layer)
 	if err != nil {
 		fmt.Fprintln(stderr, "celint:", err)
 		return 2
 	}
-	writeVetx()
+	encoded, err := layer.Encode()
+	if err != nil {
+		fmt.Fprintln(stderr, "celint:", err)
+		return 2
+	}
+	if !writeVetx(encoded) {
+		return 2
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, diagnostics suppressed
+	}
 	for _, f := range findings {
 		fmt.Fprintln(stderr, f)
 	}
@@ -106,6 +142,44 @@ func vetMode(cfgPath string, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// stdlibUnit reports whether the unit lives in GOROOT.
+func stdlibUnit(cfg *vetConfig) bool {
+	if cfg.Standard[cfg.ImportPath] {
+		return true
+	}
+	goroot := runtime.GOROOT()
+	if goroot == "" {
+		return false
+	}
+	rel, err := filepath.Rel(filepath.Join(goroot, "src"), cfg.Dir)
+	return err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator))
+}
+
+// analysisFactsFromVetx decodes every dependency's exported facts. The
+// files are read in sorted order for determinism (last write wins in the
+// store, and distinct units never export facts for the same object, but
+// determinism is cheap insurance). Returns nil after printing on error.
+func analysisFactsFromVetx(cfg *vetConfig, stderr io.Writer) *analysis.FactSet {
+	facts := analysis.NewFactSet()
+	paths := make([]string, 0, len(cfg.PackageVetx))
+	for p := range cfg.PackageVetx {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		data, err := os.ReadFile(cfg.PackageVetx[p])
+		if err != nil {
+			fmt.Fprintf(stderr, "celint: reading facts of %s: %v\n", p, err)
+			return nil
+		}
+		if err := facts.Decode(data); err != nil {
+			fmt.Fprintf(stderr, "celint: decoding facts of %s: %v\n", p, err)
+			return nil
+		}
+	}
+	return facts
 }
 
 // typecheckVetUnit parses and type-checks the unit from cfg, resolving

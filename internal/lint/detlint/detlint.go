@@ -19,8 +19,26 @@
 //   - goroutine launches (the cycle loop is single-threaded by contract).
 //   - %p format verbs (pointer values differ run to run).
 //
-// A finding on a line covered by `//ce:nondet-ok <reason>` is suppressed;
-// the reason is mandatory.
+// The analysis is also interprocedural: detlint runs fact-only over every
+// package of the module (marked or not), recording a DetFact for each
+// function that transitively reaches a nondeterminism source, propagated
+// bottom-up over the package DAG. A //ce:deterministic package calling
+// another package's function whose fact says "nondeterministic" is a
+// finding at the call site, with the callee chain down to the root source
+// in the message. Within a marked package only the direct sites are
+// reported (every function there is checked directly, so flagging callers
+// too would be noise), and marked packages export no nondet facts — their
+// own pass enforces the contract, so callers may trust them.
+//
+// Two hatches, both reason-bearing:
+//
+//   - `//ce:nondet-ok <reason>` suppresses a finding on its line and
+//     excludes the site (or call) from fact propagation.
+//   - `//ce:det-boundary <reason>` on a function declaration marks an
+//     abstraction seam: the function's internals are asserted not to leak
+//     nondeterminism to callers, so no fact is computed for it and calls
+//     to it are never flagged transitively. Direct findings inside marked
+//     packages are unaffected — the seam hatch is for callee packages.
 package detlint
 
 import (
@@ -37,32 +55,221 @@ import (
 
 // Analyzer is the detlint pass.
 var Analyzer = &analysis.Analyzer{
-	Name: "detlint",
-	Doc:  "flags nondeterminism sources in //ce:deterministic packages",
-	Run:  run,
+	Name:      "detlint",
+	Doc:       "flags nondeterminism sources in (and transitively reachable from) //ce:deterministic packages",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(DetFact)},
+}
+
+// DetFact is detlint's verdict on one function, exported for functions
+// with exported names in unmarked packages.
+type DetFact struct {
+	// Nondet marks a function that transitively reaches a nondeterminism
+	// source.
+	Nondet bool
+	// Boundary marks a //ce:det-boundary seam: never flagged, never
+	// propagated through.
+	Boundary bool
+	// Why describes the root source ("time.Now reads the host clock").
+	Why string
+	// Trail is the call chain from this function down to the source,
+	// starting with this function's own name.
+	Trail []string
+}
+
+// AFact marks DetFact as a fact type.
+func (*DetFact) AFact() {}
+
+// chain renders the fact for a finding message.
+func (f *DetFact) chain() string {
+	return strings.Join(f.Trail, " → ") + ": " + f.Why
+}
+
+// dcall is one statically-resolved call inside a function.
+type dcall struct {
+	pos     token.Pos
+	callee  *types.Func
+	hatched bool
+}
+
+// fnData is the per-function fact-collection state.
+type fnData struct {
+	obj      *types.Func
+	boundary bool
+	firstWhy string // first unhatched direct nondet source, "" if none
+	calls    []dcall
+	fact     *DetFact
 }
 
 func run(pass *analysis.Pass) (any, error) {
-	if !directive.PackageMarked(pass.Files, directive.Deterministic) {
-		return nil, nil
-	}
-	for _, f := range pass.Files {
-		c := &checker{pass: pass, hatch: directive.NewIndex(pass.Fset, f, directive.NondetOK)}
-		for _, d := range c.hatch.Malformed() {
-			pass.Report(analysis.Diagnostic{
-				Pos:      d.Pos,
-				Category: "bad-hatch",
-				Message:  "//ce:nondet-ok needs a reason (//ce:nondet-ok <why this is deterministic>)",
-			})
+	marked := directive.PackageMarked(pass.Files, directive.Deterministic)
+
+	// Direct-site reporting, in marked packages only (unchanged from the
+	// intra-package analyzer).
+	if marked {
+		for _, f := range pass.Files {
+			c := &checker{pass: pass, hatch: directive.NewIndex(pass.Fset, f, directive.NondetOK)}
+			c.emit = func(pos token.Pos, category, msg string) {
+				pass.Report(analysis.Diagnostic{Pos: pos, Category: category, Message: msg})
+			}
+			c.file(f)
 		}
-		c.file(f)
+	}
+
+	// Fact collection, in every package: per function, the first unhatched
+	// direct source plus the statically-resolved calls.
+	var fns []*fnData
+	byObj := make(map[*types.Func]*fnData)
+	for _, f := range pass.Files {
+		hatch := directive.NewIndex(pass.Fset, f, directive.NondetOK)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			d := &fnData{obj: obj, boundary: directive.FuncMarked(fd, directive.DetBoundary)}
+			if !d.boundary {
+				c := &checker{pass: pass, hatch: hatch, factMode: true}
+				c.emit = func(pos token.Pos, category, msg string) {
+					if d.firstWhy == "" {
+						d.firstWhy = msg
+					}
+				}
+				c.funcBody(f, fd)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := staticCallee(pass.TypesInfo, call); callee != nil {
+						_, hatched := hatch.Covering(call.Pos())
+						d.calls = append(d.calls, dcall{pos: call.Pos(), callee: callee, hatched: hatched})
+					}
+					return true
+				})
+			}
+			fns = append(fns, d)
+			byObj[obj] = d
+		}
+	}
+
+	// Propagate to a fixpoint in deterministic (source) order.
+	for _, d := range fns {
+		d.fact = &DetFact{Boundary: d.boundary}
+		if d.firstWhy != "" {
+			d.fact.Nondet = true
+			d.fact.Why = d.firstWhy
+			d.fact.Trail = []string{d.obj.Name()}
+		}
+	}
+	calleeFact := func(callee *types.Func) *DetFact {
+		if d, ok := byObj[callee]; ok {
+			return d.fact
+		}
+		if pass.ImportObjectFact == nil {
+			return nil
+		}
+		var f DetFact
+		if pass.ImportObjectFact(callee, &f) {
+			return &f
+		}
+		return nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range fns {
+			if d.fact.Nondet || d.boundary {
+				continue
+			}
+			for _, cs := range d.calls {
+				if cs.hatched {
+					continue
+				}
+				cf := calleeFact(cs.callee)
+				if cf == nil || cf.Boundary || !cf.Nondet {
+					continue
+				}
+				d.fact.Nondet = true
+				d.fact.Why = cf.Why
+				d.fact.Trail = append([]string{d.obj.Name()}, cf.Trail...)
+				changed = true
+				break
+			}
+		}
+	}
+
+	// Marked packages export no nondet facts: their own pass enforces the
+	// contract, so callers may trust them.
+	if pass.ExportObjectFact != nil && !marked {
+		for _, d := range fns {
+			if d.fact.Nondet && ast.IsExported(d.obj.Name()) {
+				pass.ExportObjectFact(d.obj, d.fact)
+			}
+		}
+	}
+
+	// Transitive findings: a marked package calling another package's
+	// nondeterministic function. Intra-package sites were reported
+	// directly above.
+	if marked {
+		for _, d := range fns {
+			if d.boundary {
+				continue
+			}
+			for _, cs := range d.calls {
+				if cs.hatched || cs.callee.Pkg() == pass.Pkg {
+					continue
+				}
+				cf := calleeFact(cs.callee)
+				if cf == nil || cf.Boundary || !cf.Nondet {
+					continue
+				}
+				pass.Report(analysis.Diagnostic{
+					Pos:      cs.pos,
+					Category: "transitive-nondet",
+					Message: fmt.Sprintf("call to %s is transitively nondeterministic (%s) in a //ce:deterministic package; add //ce:nondet-ok <reason> or mark the callee //ce:det-boundary <reason>",
+						calleeLabel(pass.Pkg, cs.callee), cf.chain()),
+				})
+			}
+		}
 	}
 	return nil, nil
+}
+
+// staticCallee resolves a call to its target function when the target is
+// known statically.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// calleeLabel names a callee for a finding message, package-qualified
+// when it lives elsewhere.
+func calleeLabel(from *types.Package, callee *types.Func) string {
+	if callee.Pkg() == nil || callee.Pkg() == from {
+		return callee.Name()
+	}
+	return callee.Pkg().Name() + "." + callee.Name()
 }
 
 type checker struct {
 	pass  *analysis.Pass
 	hatch *directive.Index
+	emit  func(pos token.Pos, category, msg string)
+	// factMode strips reader-facing advice from messages, since fact text
+	// is embedded in the transitive findings of other packages.
+	factMode bool
 }
 
 // report emits a diagnostic unless an escape hatch covers pos.
@@ -70,10 +277,22 @@ func (c *checker) report(pos token.Pos, category, format string, args ...any) {
 	if _, ok := c.hatch.Covering(pos); ok {
 		return
 	}
-	c.pass.Report(analysis.Diagnostic{
-		Pos:      pos,
-		Category: category,
-		Message:  fmt.Sprintf(format, args...),
+	c.emit(pos, category, fmt.Sprintf(format, args...))
+}
+
+// funcBody applies the direct-site rules to one function body, feeding
+// the checker's emit sink (used for fact collection).
+func (c *checker) funcBody(f *ast.File, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			c.report(n.Pos(), "goroutine", "launches a goroutine (scheduling order is nondeterministic)")
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.RangeStmt:
+			c.rangeStmt(n, followingStmts(f, n))
+		}
+		return true
 	})
 }
 
@@ -102,8 +321,12 @@ func (c *checker) file(f *ast.File) {
 // call flags host-clock reads and %p formatting.
 func (c *checker) call(call *ast.CallExpr) {
 	if pkg, name := c.calleePkgFunc(call); pkg == "time" && (name == "Now" || name == "Since" || name == "Until") {
+		suffix := " in a //ce:deterministic package"
+		if c.factMode {
+			suffix = "" // fact text travels into other packages' messages
+		}
 		c.report(call.Pos(), "clock",
-			"time.%s reads the host clock in a //ce:deterministic package", name)
+			"time.%s reads the host clock%s", name, suffix)
 	} else if pkg == "fmt" {
 		for _, arg := range call.Args {
 			lit, ok := arg.(*ast.BasicLit)
@@ -153,6 +376,10 @@ func (c *checker) rangeStmt(rs *ast.RangeStmt, following []ast.Stmt) {
 		return
 	}
 	if w.onlyAppends && w.sortable != nil && c.sortedAfter(w.sortable, following) {
+		return
+	}
+	if c.factMode {
+		c.report(rs.For, "map-order", "map iteration order escapes (%s)", w.esc)
 		return
 	}
 	c.report(rs.For, "map-order",
@@ -406,6 +633,15 @@ func (w *escapeWalker) walkExpr(e ast.Expr, ctx walkCtx) {
 
 // checkCall classifies a call inside the loop body.
 func (w *escapeWalker) checkCall(call *ast.CallExpr, ctx walkCtx) {
+	// A type conversion (float64(n), T(v)) is pure: it produces a value
+	// without observing anything about iteration order. Only its operand
+	// needs scanning.
+	if tv, ok := w.info.Types[call.Fun]; ok && tv.IsType() {
+		for _, arg := range call.Args {
+			w.walkExpr(arg, ctx)
+		}
+		return
+	}
 	switch {
 	case isBuiltin(w.info, call, "append"):
 		// An append whose result is discarded or nested has no visible

@@ -8,5 +8,5 @@ import (
 )
 
 func TestDetlint(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), detlint.Analyzer, "det", "unmarked")
+	analysistest.Run(t, analysistest.TestData(t), detlint.Analyzer, "det", "unmarked", "clocklib", "detcall")
 }

@@ -59,6 +59,16 @@ func invert(m map[int]*uop) map[*uop]int {
 	return out
 }
 
+// normalize converts each count into a distinct-key store: a type
+// conversion is pure, not a call the iteration order escapes into.
+func normalize(counts map[int]int, total int) map[int]float64 {
+	out := make(map[int]float64, len(counts))
+	for k, n := range counts {
+		out[k] = float64(n) / float64(total)
+	}
+	return out
+}
+
 // pickAny keeps whichever element iterated last.
 func pickAny(m map[int]*uop) *uop {
 	var best *uop
@@ -145,9 +155,10 @@ func stampNext() time.Time {
 	return time.Now()
 }
 
-// stampBad: a reason-less hatch is itself flagged and suppresses nothing.
+// stampBad: a reason-less hatch suppresses nothing (dirlint reports the
+// malformed directive itself).
 func stampBad() time.Time {
-	/* want "needs a reason" */ //ce:nondet-ok
+	//ce:nondet-ok
 	return time.Now() // want "time.Now reads the host clock"
 }
 

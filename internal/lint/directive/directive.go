@@ -3,39 +3,95 @@
 //
 //	//ce:deterministic          marks a package bit-deterministic (detlint)
 //	//ce:keyed                  marks a struct whose Key() must cover every
-//	                            exported field (keylint)
+//	                            exported field (keylint); `via=Func` names
+//	                            a free function instead of the Key method
 //	//ce:timing-neutral         exempts one struct field from Key coverage
 //	//ce:hot                    marks a function allocation-free (hotlint)
+//	//ce:classify-errors        marks a function whose environmental errors
+//	                            must be wrapped into a classified sentinel
+//	                            before being returned (errlint)
+//	//ce:classifier             marks a function that performs that
+//	                            classification (errlint)
 //	//ce:nondet-ok <reason>     per-line detlint escape hatch
 //	//ce:alloc-ok <reason>      per-line hotlint escape hatch
+//	//ce:lock-ok <reason>       per-line locklint escape hatch
+//	//ce:err-ok <reason>        per-line errlint escape hatch
+//	//ce:det-boundary <reason>  function-level detlint hatch: the function
+//	                            is an abstraction seam whose callers may
+//	                            treat it as deterministic
 //
 // Like //go: directives, a //ce: directive has no space after the
 // slashes. The per-line escape hatches require a reason and apply to
 // findings on their own line or, when the directive stands alone, on the
 // line immediately below.
+//
+// Malformed directives — unknown verbs, required reasons left empty, the
+// same verb twice on one line — are loud errors reported by the dirlint
+// analyzer (see Problems); a silent typo in a hatch must never silently
+// disable a contract.
 package directive
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
 // Directive names.
 const (
-	Deterministic = "deterministic"
-	Keyed         = "keyed"
-	TimingNeutral = "timing-neutral"
-	Hot           = "hot"
-	NondetOK      = "nondet-ok"
-	AllocOK       = "alloc-ok"
+	Deterministic  = "deterministic"
+	Keyed          = "keyed"
+	TimingNeutral  = "timing-neutral"
+	Hot            = "hot"
+	ClassifyErrors = "classify-errors"
+	Classifier     = "classifier"
+	NondetOK       = "nondet-ok"
+	AllocOK        = "alloc-ok"
+	LockOK         = "lock-ok"
+	ErrOK          = "err-ok"
+	DetBoundary    = "det-boundary"
 )
+
+// verbs is the registry of every known directive and whether its
+// trailing text (the reason) is mandatory.
+var verbs = map[string]bool{
+	Deterministic:  false,
+	Keyed:          false,
+	TimingNeutral:  false,
+	Hot:            false,
+	ClassifyErrors: false,
+	Classifier:     false,
+	NondetOK:       true,
+	AllocOK:        true,
+	LockOK:         true,
+	ErrOK:          true,
+	DetBoundary:    true,
+}
+
+// Known reports whether name is a registered //ce: verb.
+func Known(name string) bool { _, ok := verbs[name]; return ok }
+
+// ReasonRequired reports whether the named verb must carry a reason.
+func ReasonRequired(name string) bool { return verbs[name] }
 
 // A Directive is one parsed //ce: comment.
 type Directive struct {
 	Pos    token.Pos
 	Name   string // "deterministic", "nondet-ok", ...
 	Reason string // text after the name, trimmed
+}
+
+// Param extracts a `key=value` parameter from the directive's trailing
+// text ("" when absent), e.g. Param("via") on `//ce:keyed via=segKeySuffix`.
+func (d Directive) Param(key string) string {
+	for _, f := range strings.Fields(d.Reason) {
+		if v, ok := strings.CutPrefix(f, key+"="); ok {
+			return v
+		}
+	}
+	return ""
 }
 
 // parse extracts the directive from one comment, if any.
@@ -50,15 +106,21 @@ func parse(c *ast.Comment) (Directive, bool) {
 
 // InGroup reports whether the comment group carries the named directive.
 func InGroup(g *ast.CommentGroup, name string) bool {
+	_, ok := Get(g, name)
+	return ok
+}
+
+// Get returns the named directive from the comment group, if present.
+func Get(g *ast.CommentGroup, name string) (Directive, bool) {
 	if g == nil {
-		return false
+		return Directive{}, false
 	}
 	for _, c := range g.List {
 		if d, ok := parse(c); ok && d.Name == name {
-			return true
+			return d, true
 		}
 	}
-	return false
+	return Directive{}, false
 }
 
 // PackageMarked reports whether any file of the package carries the named
@@ -80,6 +142,12 @@ func PackageMarked(files []*ast.File, name string) bool {
 // named directive.
 func FuncMarked(fd *ast.FuncDecl, name string) bool {
 	return InGroup(fd.Doc, name)
+}
+
+// FuncDirective returns the named directive from the function's doc
+// comment, if present.
+func FuncDirective(fd *ast.FuncDecl, name string) (Directive, bool) {
+	return Get(fd.Doc, name)
 }
 
 // Index is a per-file line-indexed view of one directive name, used for
@@ -121,7 +189,7 @@ func NewIndex(fset *token.FileSet, f *ast.File, name string) *Index {
 			if !ok || d.Name != name {
 				continue
 			}
-			if d.Reason == "" {
+			if d.Reason == "" && ReasonRequired(name) {
 				idx.malformed = append(idx.malformed, d)
 				continue
 			}
@@ -144,3 +212,78 @@ func (idx *Index) Covering(pos token.Pos) (Directive, bool) {
 // Malformed returns the directives of the indexed name that are missing
 // their required reason.
 func (idx *Index) Malformed() []Directive { return idx.malformed }
+
+// A Problem is one malformed //ce: directive.
+type Problem struct {
+	Pos      token.Pos
+	Category string // "unknown-verb", "missing-reason", "dup-directive"
+	Message  string
+}
+
+// Problems scans every comment of the file for malformed directives:
+// unknown verbs (a typo like //ce:nondetok would otherwise silently
+// disable nothing and suppress nothing), known verbs missing their
+// mandatory reason, and the same verb appearing twice on one line (the
+// second is dead and almost certainly a copy-paste error).
+func Problems(fset *token.FileSet, f *ast.File) []Problem {
+	var out []Problem
+	seen := make(map[string]token.Pos) // "line:verb" → first occurrence
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			d, ok := parse(c)
+			if !ok {
+				continue
+			}
+			if !Known(d.Name) {
+				out = append(out, Problem{
+					Pos:      d.Pos,
+					Category: "unknown-verb",
+					Message: fmt.Sprintf("unknown //ce: directive %q (known: %s)",
+						d.Name, knownList()),
+				})
+				continue
+			}
+			if d.Reason == "" && ReasonRequired(d.Name) {
+				out = append(out, Problem{
+					Pos:      d.Pos,
+					Category: "missing-reason",
+					Message: fmt.Sprintf("//ce:%s requires a reason: //ce:%s <why this is acceptable>",
+						d.Name, d.Name),
+				})
+			}
+			// `_ = x //ce:alloc-ok pooled //ce:nondet-ok seeded` parses as ONE
+			// directive whose reason swallows the second marker — the second
+			// hatch is silently dead, which is exactly the failure mode this
+			// check exists to make loud.
+			if strings.Contains(d.Reason, "//ce:") {
+				out = append(out, Problem{
+					Pos:      d.Pos,
+					Category: "dup-directive",
+					Message: fmt.Sprintf("second //ce: directive embedded in the reason of //ce:%s (it is dead text; a line takes one directive)",
+						d.Name),
+				})
+			}
+			key := fmt.Sprintf("%d:%s", fset.Position(d.Pos).Line, d.Name)
+			if _, dup := seen[key]; dup {
+				out = append(out, Problem{
+					Pos:      d.Pos,
+					Category: "dup-directive",
+					Message:  fmt.Sprintf("duplicate //ce:%s on one line (the first occurrence already applies)", d.Name),
+				})
+			} else {
+				seen[key] = d.Pos
+			}
+		}
+	}
+	return out
+}
+
+// knownList returns the sorted known verbs for error messages.
+func knownList() string {
+	names := make([]string, 0, len(verbs))
+	for n := range verbs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,192 @@
+package directive
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestKnownAndReasonRequired(t *testing.T) {
+	for _, name := range []string{
+		Deterministic, Keyed, TimingNeutral, Hot, ClassifyErrors, Classifier,
+		NondetOK, AllocOK, LockOK, ErrOK, DetBoundary,
+	} {
+		if !Known(name) {
+			t.Errorf("Known(%q) = false", name)
+		}
+	}
+	if Known("nondetok") {
+		t.Error("Known accepted a typo verb")
+	}
+	for _, name := range []string{NondetOK, AllocOK, LockOK, ErrOK, DetBoundary} {
+		if !ReasonRequired(name) {
+			t.Errorf("ReasonRequired(%q) = false, want true", name)
+		}
+	}
+	for _, name := range []string{Deterministic, Keyed, Hot, Classifier} {
+		if ReasonRequired(name) {
+			t.Errorf("ReasonRequired(%q) = true, want false", name)
+		}
+	}
+}
+
+func TestParam(t *testing.T) {
+	d := Directive{Name: Keyed, Reason: "via=segKeySuffix"}
+	if got := d.Param("via"); got != "segKeySuffix" {
+		t.Errorf("Param(via) = %q", got)
+	}
+	if got := d.Param("other"); got != "" {
+		t.Errorf("Param(other) = %q, want empty", got)
+	}
+	if got := (Directive{Name: Keyed}).Param("via"); got != "" {
+		t.Errorf("Param on bare directive = %q, want empty", got)
+	}
+}
+
+func TestProblemsMissingReason(t *testing.T) {
+	fset, f := parseSrc(t, `package p
+
+func f() {
+	_ = 1 //ce:nondet-ok
+}
+`)
+	probs := Problems(fset, f)
+	if len(probs) != 1 || !strings.Contains(probs[0].Message, "requires a reason") {
+		t.Fatalf("Problems = %v, want one missing-reason error", probs)
+	}
+	// And the reasonless hatch must not cover anything.
+	idx := NewIndex(fset, f, NondetOK)
+	if len(idx.Malformed()) != 1 {
+		t.Fatalf("Malformed = %v, want 1", idx.Malformed())
+	}
+	if got := len(idx.byLine); got != 0 {
+		t.Fatalf("reasonless hatch covers %d lines, want 0", got)
+	}
+}
+
+func TestProblemsUnknownVerb(t *testing.T) {
+	fset, f := parseSrc(t, `package p
+
+//ce:nondetok suppressed by typo
+func f() {}
+`)
+	probs := Problems(fset, f)
+	if len(probs) != 1 || !strings.Contains(probs[0].Message, `unknown //ce: directive "nondetok"`) {
+		t.Fatalf("Problems = %v, want one unknown-verb error", probs)
+	}
+	// The message names the real verbs so the fix is obvious.
+	if !strings.Contains(probs[0].Message, "nondet-ok") {
+		t.Fatalf("unknown-verb message should list known verbs: %q", probs[0].Message)
+	}
+}
+
+func TestProblemsDuplicateOnOneLine(t *testing.T) {
+	// A second //ce: marker in the same line comment is swallowed into the
+	// first comment's text by go/parser, so the syntactic duplicate is two
+	// *ast.Comment entries sharing a line. Build that shape directly.
+	fset := token.NewFileSet()
+	file := fset.AddFile("d.go", -1, 100)
+	for i := 1; i <= 3; i++ {
+		file.AddLine(i * 20)
+	}
+	mk := func(offset int, text string) *ast.Comment {
+		return &ast.Comment{Slash: file.Pos(offset), Text: text}
+	}
+	f := &ast.File{
+		Name: &ast.Ident{Name: "p", NamePos: file.Pos(0)},
+		Comments: []*ast.CommentGroup{{List: []*ast.Comment{
+			mk(2, "//ce:alloc-ok pooled"),
+			mk(10, "//ce:alloc-ok pooled again"), // same line (offsets 2,10 < 20)
+		}}},
+	}
+	probs := Problems(fset, f)
+	if len(probs) != 1 || !strings.Contains(probs[0].Message, "duplicate //ce:alloc-ok") {
+		t.Fatalf("Problems = %v, want one duplicate error", probs)
+	}
+}
+
+func TestProblemsEmbeddedSecondDirective(t *testing.T) {
+	fset, f := parseSrc(t, `package p
+
+func f() {
+	_ = 1 //ce:alloc-ok pooled //ce:nondet-ok seeded
+}
+`)
+	probs := Problems(fset, f)
+	if len(probs) != 1 || !strings.Contains(probs[0].Message, "embedded in the reason") {
+		t.Fatalf("Problems = %v, want one embedded-directive error", probs)
+	}
+}
+
+func TestProblemsCleanFile(t *testing.T) {
+	fset, f := parseSrc(t, `package p
+
+// Package-level prose that merely mentions //ce:deterministic inside a
+// sentence is fine as long as the comment doesn't start with the marker.
+
+//ce:hot
+func f() {
+	_ = 1 //ce:alloc-ok reused buffer
+}
+
+//ce:det-boundary wraps a seeded source
+func g() {}
+`)
+	if probs := Problems(fset, f); len(probs) != 0 {
+		t.Fatalf("clean file produced problems: %v", probs)
+	}
+}
+
+func TestIndexCoversOwnAndNextLine(t *testing.T) {
+	fset, f := parseSrc(t, `package p
+
+func f() {
+	//ce:lock-ok short critical section
+	mu := 1
+	_ = mu //ce:lock-ok inline reason
+	_ = 2
+}
+`)
+	idx := NewIndex(fset, f, LockOK)
+	find := func(line int) bool {
+		_, ok := idx.byLine[line]
+		return ok
+	}
+	if !find(4) || !find(5) {
+		t.Error("standalone directive should cover its own and the next line")
+	}
+	if !find(6) {
+		t.Error("trailing directive should cover its own line")
+	}
+	if find(7) {
+		t.Error("directive leaked past its line")
+	}
+}
+
+func TestFuncDirectiveAndGet(t *testing.T) {
+	_, f := parseSrc(t, `package p
+
+//ce:det-boundary wraps the host clock at the telemetry seam
+func g() {}
+`)
+	fd := f.Decls[0].(*ast.FuncDecl)
+	d, ok := FuncDirective(fd, DetBoundary)
+	if !ok || d.Reason != "wraps the host clock at the telemetry seam" {
+		t.Fatalf("FuncDirective = %+v, %v", d, ok)
+	}
+	if _, ok := FuncDirective(fd, Hot); ok {
+		t.Fatal("FuncDirective found a directive that isn't there")
+	}
+}

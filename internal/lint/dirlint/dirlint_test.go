@@ -1,0 +1,12 @@
+package dirlint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/dirlint"
+)
+
+func TestDirlint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), dirlint.Analyzer, "dir")
+}

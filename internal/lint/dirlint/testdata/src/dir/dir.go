@@ -1,0 +1,28 @@
+// Package dir seeds every malformed-directive shape dirlint must flag.
+package dir
+
+// A typo'd verb would silently suppress nothing.
+/* want `unknown //ce: directive "nondetok"` */ //ce:nondetok seeded randomness
+func typoVerb() {}
+
+// A hatch without its mandatory reason.
+/* want "//ce:alloc-ok requires a reason" */ //ce:alloc-ok
+func bareHatch() {
+	_ = make([]int, 4)
+}
+
+// Two directives on one line: the second is dead text inside the first
+// one's reason.
+func stacked() {
+	_ = 1 /* want "embedded in the reason" */ //ce:alloc-ok pooled //ce:nondet-ok seeded
+}
+
+// Well-formed directives produce nothing.
+
+//ce:hot
+func clean() {
+	_ = 1 //ce:alloc-ok amortized against pre-grown capacity
+}
+
+//ce:det-boundary wraps host telemetry
+func seam() {}

@@ -1,0 +1,12 @@
+package errlint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/errlint"
+)
+
+func TestErrlint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), errlint.Analyzer, "errbad", "errdep", "erruse")
+}

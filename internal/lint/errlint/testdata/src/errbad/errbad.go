@@ -1,0 +1,86 @@
+// Package errbad persists artifacts and must classify environment
+// errors before they escape.
+//
+//ce:classify-errors
+package errbad
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ErrStore is this package's classified sentinel for disk failures.
+var ErrStore = errors.New("store failure")
+
+// intoStore classifies a disk error.
+//
+//ce:classifier
+func intoStore(err error) error {
+	return fmt.Errorf("%w: %w", ErrStore, err)
+}
+
+func badDirect(path string) error {
+	return os.Remove(path) // want "unclassified environment error \\(os.Remove\\) escapes"
+}
+
+func badVar(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err // want "unclassified environment error \\(os.ReadFile\\) escapes"
+	}
+	_ = data
+	return nil
+}
+
+func badWrap(path string) error {
+	if _, err := os.Stat(path); err != nil {
+		return fmt.Errorf("stat store: %v", err) // want "fmt.Errorf wraps an environment error \\(os.Stat\\) without a classified sentinel"
+	}
+	return nil
+}
+
+// readRaw leaks the raw error and feeds the intra-package chain below.
+func readRaw(path string) error {
+	_, err := os.ReadFile(path)
+	return err // want "unclassified environment error \\(os.ReadFile\\) escapes"
+}
+
+func badIndirect(path string) error {
+	return readRaw(path) // want "call to readRaw may return an unclassified environment error \\(readRaw: os.ReadFile\\)"
+}
+
+// --- classified and clean paths: no findings ---
+
+func okSentinel(path string) error {
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("%w: %w", ErrStore, err)
+	}
+	return nil
+}
+
+func okClassifier(path string) error {
+	if err := os.Remove(path); err != nil {
+		return intoStore(err)
+	}
+	return nil
+}
+
+func okReassigned(path string) error {
+	err := os.Remove(path)
+	if err != nil {
+		err = intoStore(err)
+	}
+	return err
+}
+
+func okHatched(path string) error {
+	return os.Remove(path) //ce:err-ok best-effort cleanup, callers ignore the result
+}
+
+func okPlain(n int) error {
+	if n < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}

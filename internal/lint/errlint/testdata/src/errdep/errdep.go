@@ -1,0 +1,34 @@
+// Package errdep is an unmarked helper library: errlint computes
+// ErrFacts for its exported functions (and reports nothing here), so
+// //ce:classify-errors callers see the raw source at the bottom.
+package errdep
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ErrDisk is a classified sentinel for disk failures.
+var ErrDisk = errors.New("disk failure")
+
+// Classify wraps err into ErrDisk.
+//
+//ce:classifier
+func Classify(err error) error {
+	return fmt.Errorf("%w: %w", ErrDisk, err)
+}
+
+// Load returns the raw read error — unclassified.
+func Load(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// Probe leaks the raw error one hop down, through Load.
+func Probe(path string) error {
+	_, err := Load(path)
+	return err
+}
+
+// Size is pure.
+func Size(b []byte) int { return len(b) }

@@ -1,0 +1,50 @@
+// Package erruse sits on the classification boundary and calls into
+// the unmarked errdep library: raw environment errors crossing into it
+// must be findings at the call-returning sites.
+//
+//ce:classify-errors
+package erruse
+
+import (
+	"fmt"
+
+	"errdep"
+)
+
+func badLoad(path string) ([]byte, error) {
+	return errdep.Load(path) // want "call to errdep.Load may return an unclassified environment error \\(Load: os.ReadFile\\)"
+}
+
+func badProbe(path string) error {
+	return errdep.Probe(path) // want "call to errdep.Probe may return an unclassified environment error \\(Probe → Load: os.ReadFile\\)"
+}
+
+func badVia(path string) error {
+	_, err := errdep.Load(path)
+	return err // want "call to errdep.Load may return an unclassified environment error \\(Load: os.ReadFile\\)"
+}
+
+// --- classified and clean paths: no findings ---
+
+func okClassified(path string) error {
+	_, err := errdep.Load(path)
+	if err != nil {
+		return errdep.Classify(err)
+	}
+	return nil
+}
+
+func okSentinelWrap(path string) error {
+	if err := errdep.Probe(path); err != nil {
+		return fmt.Errorf("probe: %w: %w", errdep.ErrDisk, err)
+	}
+	return nil
+}
+
+func okPure(b []byte) int {
+	return errdep.Size(b)
+}
+
+func okHatched(path string) error {
+	return errdep.Probe(path) //ce:err-ok metrics probe, result is only logged
+}

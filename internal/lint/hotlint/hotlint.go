@@ -4,7 +4,7 @@
 // stray make or boxed closure in tryIssue silently reintroduces GC
 // pressure that no test fails on.
 //
-// The analysis is intraprocedural and conservative about what escapes:
+// The per-site analysis is conservative about what escapes:
 //
 //   - make / new always flag.
 //   - Composite literals flag when their address is taken (&T{...} — the
@@ -21,8 +21,19 @@
 //     ever called (like skipAhead's consider) stays on the stack.
 //   - go / defer statements flag (goroutine stacks, deferred frames).
 //
+// On top of the per-site rules the analysis is interprocedural: every
+// function in the module gets an AllocFact recording whether it
+// (transitively) allocates, propagated bottom-up over the package DAG via
+// the driver's fact store. A //ce:hot function calling an allocating
+// helper — same package or another one — is a finding at the call site,
+// with the callee chain down to the root allocation in the message.
+// Callees that are themselves //ce:hot are trusted clean: their own
+// violations are reported at their definition, not at every caller.
+//
 // //ce:alloc-ok <reason> on the offending line (or alone on the line
-// above) exempts a finding; the reason is mandatory.
+// above) exempts a finding; a hatched allocation is also excluded from
+// the function's exported fact (the author has asserted it is
+// acceptable, so callers should not re-litigate it).
 package hotlint
 
 import (
@@ -30,6 +41,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/directive"
@@ -37,24 +49,72 @@ import (
 
 // Analyzer is the hotlint pass.
 var Analyzer = &analysis.Analyzer{
-	Name: "hotlint",
-	Doc:  "flags heap allocations inside functions marked //ce:hot",
-	Run:  run,
+	Name:      "hotlint",
+	Doc:       "flags heap allocations inside (and transitively below) functions marked //ce:hot",
+	Run:       run,
+	FactTypes: []analysis.Fact{new(AllocFact)},
+}
+
+// AllocFact is hotlint's verdict on one function, exported for functions
+// with exported names so that passes over importing packages can see
+// through calls.
+type AllocFact struct {
+	// Hot marks a //ce:hot function: trusted allocation-free at call
+	// sites, checked at its own definition.
+	Hot bool
+	// Allocates marks a function that (transitively) allocates.
+	Allocates bool
+	// Why describes the root allocation site ("make allocates").
+	Why string
+	// Trail is the call chain from this function down to the allocation,
+	// starting with this function's own name.
+	Trail []string
+}
+
+// AFact marks AllocFact as a fact type.
+func (*AllocFact) AFact() {}
+
+// chain renders the fact for a finding message: "refill → grow: make allocates".
+func (f *AllocFact) chain() string {
+	return strings.Join(f.Trail, " → ") + ": " + f.Why
+}
+
+// site is one direct allocation inside a function.
+type site struct {
+	pos      token.Pos
+	category string
+	msg      string
+}
+
+// callSite is one statically-resolved call inside a function.
+type callSite struct {
+	pos     token.Pos
+	callee  *types.Func
+	hatched bool
+}
+
+// fnInfo is the per-function analysis state.
+type fnInfo struct {
+	decl  *ast.FuncDecl
+	obj   *types.Func
+	hot   bool
+	sites []site
+	calls []callSite
+	fact  *AllocFact
 }
 
 func run(pass *analysis.Pass) (any, error) {
+	var fns []*fnInfo
+	byObj := make(map[*types.Func]*fnInfo)
 	for _, f := range pass.Files {
 		idx := directive.NewIndex(pass.Fset, f, directive.AllocOK)
-		for _, d := range idx.Malformed() {
-			pass.Report(analysis.Diagnostic{
-				Pos:      d.Pos,
-				Category: "bad-hatch",
-				Message:  "//ce:alloc-ok requires a reason: //ce:alloc-ok <why this allocation is acceptable>",
-			})
-		}
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !directive.FuncMarked(fd, directive.Hot) {
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
 				continue
 			}
 			c := &checker{
@@ -63,16 +123,113 @@ func run(pass *analysis.Pass) (any, error) {
 				fn:      fd,
 				parents: parentMap(fd.Body),
 			}
+			info := &fnInfo{decl: fd, obj: obj, hot: directive.FuncMarked(fd, directive.Hot)}
+			c.info = info
 			c.check()
+			fns = append(fns, info)
+			byObj[obj] = info
+		}
+	}
+
+	// Seed each function's fact from its own unhatched allocation sites,
+	// then propagate through calls to a fixpoint. Call order is source
+	// order, so the recorded trail is deterministic.
+	for _, fi := range fns {
+		fi.fact = &AllocFact{Hot: fi.hot}
+		if len(fi.sites) > 0 {
+			fi.fact.Allocates = true
+			fi.fact.Why = fi.sites[0].msg
+			fi.fact.Trail = []string{fi.obj.Name()}
+		}
+	}
+	calleeFact := func(callee *types.Func) *AllocFact {
+		if fi, ok := byObj[callee]; ok {
+			return fi.fact
+		}
+		if pass.ImportObjectFact == nil {
+			return nil
+		}
+		var f AllocFact
+		if pass.ImportObjectFact(callee, &f) {
+			return &f
+		}
+		return nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			if fi.fact.Allocates {
+				continue
+			}
+			for _, cs := range fi.calls {
+				if cs.hatched {
+					continue
+				}
+				cf := calleeFact(cs.callee)
+				if cf == nil || cf.Hot || !cf.Allocates {
+					continue
+				}
+				fi.fact.Allocates = true
+				fi.fact.Why = cf.Why
+				fi.fact.Trail = append([]string{fi.obj.Name()}, cf.Trail...)
+				changed = true
+				break
+			}
+		}
+	}
+
+	if pass.ExportObjectFact != nil {
+		for _, fi := range fns {
+			if (fi.fact.Allocates || fi.fact.Hot) && ast.IsExported(fi.obj.Name()) {
+				pass.ExportObjectFact(fi.obj, fi.fact)
+			}
+		}
+	}
+
+	for _, fi := range fns {
+		if !fi.hot {
+			continue
+		}
+		for _, s := range fi.sites {
+			pass.Report(analysis.Diagnostic{
+				Pos:      s.pos,
+				Category: s.category,
+				Message:  s.msg + " in //ce:hot function " + fi.obj.Name(),
+			})
+		}
+		for _, cs := range fi.calls {
+			if cs.hatched {
+				continue
+			}
+			cf := calleeFact(cs.callee)
+			if cf == nil || cf.Hot || !cf.Allocates {
+				continue
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos:      cs.pos,
+				Category: "hot-call",
+				Message: fmt.Sprintf("call to %s allocates (%s) in //ce:hot function %s",
+					calleeLabel(pass.Pkg, cs.callee), cf.chain(), fi.obj.Name()),
+			})
 		}
 	}
 	return nil, nil
+}
+
+// calleeLabel names a callee for a finding message, package-qualified
+// when it lives elsewhere.
+func calleeLabel(from *types.Package, callee *types.Func) string {
+	if callee.Pkg() == nil || callee.Pkg() == from {
+		return callee.Name()
+	}
+	return callee.Pkg().Name() + "." + callee.Name()
 }
 
 type checker struct {
 	pass    *analysis.Pass
 	idx     *directive.Index
 	fn      *ast.FuncDecl
+	info    *fnInfo
 	parents map[ast.Node]ast.Node
 }
 
@@ -94,23 +251,31 @@ func parentMap(root ast.Node) map[ast.Node]ast.Node {
 	return m
 }
 
+// report records one direct allocation site unless an //ce:alloc-ok
+// hatch covers it. Hatched sites are invisible both to reporting and to
+// the function's exported fact.
 func (c *checker) report(pos token.Pos, category, format string, args ...any) {
 	if _, ok := c.idx.Covering(pos); ok {
 		return
 	}
-	c.pass.Report(analysis.Diagnostic{
-		Pos:      pos,
-		Category: category,
-		Message:  fmt.Sprintf(format, args...) + " in //ce:hot function " + c.fn.Name.Name,
+	c.info.sites = append(c.info.sites, site{
+		pos:      pos,
+		category: category,
+		msg:      fmt.Sprintf(format, args...),
 	})
 }
 
-// check walks the function body flagging allocation sites.
+// check walks the function body recording allocation sites and
+// statically-resolved calls.
 func (c *checker) check() {
 	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			c.call(n)
+			if callee := c.staticCallee(n); callee != nil {
+				_, hatched := c.idx.Covering(n.Pos())
+				c.info.calls = append(c.info.calls, callSite{pos: n.Pos(), callee: callee, hatched: hatched})
+			}
 		case *ast.CompositeLit:
 			if c.compositeEscapes(n) {
 				c.report(n.Pos(), "hot-composite", "escaping composite literal allocates")
@@ -127,6 +292,21 @@ func (c *checker) check() {
 		}
 		return true
 	})
+}
+
+// staticCallee resolves a call to its target function when the target is
+// known statically (package function, method, or imported function).
+// Dynamic calls through function values resolve to nil.
+func (c *checker) staticCallee(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := c.pass.TypesInfo.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
 }
 
 // call flags make/new, fmt calls, and fresh-slice appends.

@@ -8,5 +8,5 @@ import (
 )
 
 func TestHotlint(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(t), hotlint.Analyzer, "hot")
+	analysistest.Run(t, analysistest.TestData(t), hotlint.Analyzer, "hot", "allochelper", "hotcall")
 }

@@ -1,0 +1,31 @@
+// Package allochelper is an unmarked helper package; hotlint computes
+// allocation facts for its exported functions so hot callers in other
+// packages see through the calls.
+package allochelper
+
+// Grow allocates directly.
+func Grow(n int) []int {
+	return make([]int, n)
+}
+
+// Wrap allocates one hop down, through Grow.
+func Wrap(n int) []int {
+	return Grow(n)
+}
+
+// Hatched allocates, but the author asserted it acceptable: the hatch
+// excludes the site from the exported fact, so callers are not
+// re-flagged.
+func Hatched(n int) []int {
+	return make([]int, n) //ce:alloc-ok refill amortized across the run
+}
+
+// Reset is itself //ce:hot: trusted clean at call sites, checked here.
+//
+//ce:hot
+func Reset(dst []int) []int {
+	return dst[:0]
+}
+
+// Add is allocation-free.
+func Add(x int) int { return x + 1 }

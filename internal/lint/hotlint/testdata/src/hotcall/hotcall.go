@@ -1,0 +1,33 @@
+// Package hotcall seeds cross-package transitive hotlint findings: a
+// //ce:hot function calling allocating helpers that live in another
+// package.
+package hotcall
+
+import "allochelper"
+
+//ce:hot
+func step(buf []int) []int {
+	buf = allochelper.Grow(8) // want "call to allochelper.Grow allocates \\(Grow: make allocates\\) in //ce:hot function step"
+	buf = allochelper.Wrap(8) // want "call to allochelper.Wrap allocates \\(Wrap → Grow: make allocates\\) in //ce:hot function step"
+	_ = allochelper.Hatched(8)
+	buf = allochelper.Reset(buf)
+	_ = allochelper.Add(1)
+	buf = allochelper.Grow(8) //ce:alloc-ok cold resize path, measured loop never grows
+	return buf
+}
+
+// refill allocates; it is not hot itself, so the finding lands at hot
+// call sites with the intra-package chain.
+func refill() []int {
+	return make([]int, 16)
+}
+
+//ce:hot
+func stepLocal() {
+	_ = refill() // want "call to refill allocates \\(refill: make allocates\\) in //ce:hot function stepLocal"
+}
+
+// cold is unmarked: calling allocating helpers is fine outside //ce:hot.
+func cold() []int {
+	return allochelper.Wrap(4)
+}

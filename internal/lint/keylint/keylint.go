@@ -12,6 +12,15 @@
 // leaves the sibling fields of FIFO to be individually referenced or
 // annotated (so a label field buried one level down, like
 // FIFOBankConfig.Name, still needs an explicit exemption).
+//
+// A struct whose key is built by something other than its own Key()
+// method — a plan snapshot whose cache-key suffix comes from a method of
+// the engine, say — is annotated //ce:keyed via=<name>, naming the
+// package-level function or method that builds the key. In via mode the
+// contract tightens to ALL fields, unexported included: such structs are
+// package-local by construction, so their unexported fields feed timing
+// exactly as much as exported ones and a dropped field collides cache
+// keys just the same.
 package keylint
 
 import (
@@ -45,8 +54,16 @@ func run(pass *analysis.Pass) (any, error) {
 				if !ok {
 					continue
 				}
-				if directive.InGroup(ts.Doc, directive.Keyed) ||
-					(len(gd.Specs) == 1 && directive.InGroup(gd.Doc, directive.Keyed)) {
+				d, ok := directive.Get(ts.Doc, directive.Keyed)
+				if !ok && len(gd.Specs) == 1 {
+					d, ok = directive.Get(gd.Doc, directive.Keyed)
+				}
+				if !ok {
+					continue
+				}
+				if via := d.Param("via"); via != "" {
+					k.checkKeyedVia(ts, via)
+				} else {
 					k.checkKeyed(ts)
 				}
 			}
@@ -349,4 +366,214 @@ func (k *checker) reportField(typeName string, f *types.Var, field, anchor *ast.
 		}}
 	}
 	k.pass.Report(d)
+}
+
+// --- via mode: //ce:keyed via=<name> ---
+
+// checkKeyedVia verifies one //ce:keyed via=<name> struct: every field,
+// unexported included, must be referenced inside the named function or
+// method (transitively through same-package functions it calls) or
+// carry //ce:timing-neutral.
+func (k *checker) checkKeyedVia(ts *ast.TypeSpec, via string) {
+	obj := k.pass.TypesInfo.Defs[ts.Name]
+	if obj == nil {
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		k.pass.Reportf(ts.Pos(), "//ce:keyed on non-named type %s", ts.Name.Name)
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		k.pass.Reportf(ts.Pos(), "//ce:keyed type %s is not a struct", ts.Name.Name)
+		return
+	}
+	roots := k.funcsNamed(via)
+	if len(roots) == 0 {
+		k.pass.Report(analysis.Diagnostic{
+			Pos:      ts.Pos(),
+			Category: "no-key",
+			Message: fmt.Sprintf(
+				"//ce:keyed via=%s on %s names no function or method %s in this package",
+				via, ts.Name.Name, via),
+		})
+		return
+	}
+	v := &viaScan{
+		checker: k,
+		named:   named,
+		decls:   k.declIndex(),
+		whole:   make(map[types.Object]bool),
+		partial: make(map[types.Object]bool),
+		prefix:  make(map[ast.Expr]bool),
+		visited: make(map[*ast.FuncDecl]bool),
+	}
+	for _, fd := range roots {
+		v.walk(fd)
+	}
+	if v.escaped {
+		return // the struct value escaped whole; every field observable
+	}
+	k.checkViaStruct(ts.Name.Name, via, st, nil, v)
+}
+
+// declIndex maps every function object declared in the package to its
+// declaration, for static-callee recursion.
+func (k *checker) declIndex() map[types.Object]*ast.FuncDecl {
+	idx := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range k.pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := k.pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					idx[obj] = fd
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// funcsNamed returns every function or method declaration with the given
+// name in the package. via names are expected to be unambiguous; if the
+// package overloads one name across receivers, all bodies contribute
+// coverage (erring toward silence, like the rest of the analyzer).
+func (k *checker) funcsNamed(name string) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range k.pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == name && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// viaScan accumulates field references across the via function and the
+// same-package functions it (transitively) calls. Unlike the Key-method
+// walk it is not receiver-rooted: the plan value typically enters the
+// via function as a local (p := e.segmentPlan()), so any FieldVal
+// selection anywhere in the closure counts. whole/partial mirror the
+// path-mode coverage: selecting p.Mem observes the whole Mem value,
+// while p.Mem.Lines observes Lines in full and Mem only partially
+// (Mem's siblings of Lines still need their own reference).
+type viaScan struct {
+	*checker
+	named   *types.Named
+	decls   map[types.Object]*ast.FuncDecl
+	whole   map[types.Object]bool
+	partial map[types.Object]bool
+	// prefix marks selector nodes that are the X of an enclosing field
+	// selection; ast.Inspect visits parents first, so by the time the
+	// inner selector is visited its role is known.
+	prefix  map[ast.Expr]bool
+	visited map[*ast.FuncDecl]bool
+	escaped bool // the struct value was passed whole to an unresolved call
+}
+
+func (v *viaScan) walk(fd *ast.FuncDecl) {
+	if v.visited[fd] {
+		return
+	}
+	v.visited[fd] = true
+	info := v.pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				if v.prefix[n] {
+					v.partial[sel.Obj()] = true
+				} else {
+					v.whole[sel.Obj()] = true
+				}
+				if x, ok := n.X.(*ast.SelectorExpr); ok {
+					v.prefix[x] = true
+				}
+			}
+		case *ast.ParenExpr:
+			// (p.Mem).Lines: the paren, not the selector, is the recorded
+			// prefix node — push the mark through.
+			if v.prefix[n] {
+				if x, ok := n.X.(*ast.SelectorExpr); ok {
+					v.prefix[x] = true
+				}
+			}
+		case *ast.CallExpr:
+			if callee := v.localDecl(n.Fun); callee != nil {
+				v.walk(callee)
+			} else {
+				// An unresolved callee observing the whole struct value (a
+				// fmt.Sprint(p), say) makes every field observable.
+				for _, arg := range n.Args {
+					if v.isNamedValue(info.TypeOf(arg)) {
+						v.escaped = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// localDecl resolves a call target to a function or method declaration
+// in this package, if it statically is one.
+func (v *viaScan) localDecl(fun ast.Expr) *ast.FuncDecl {
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, ok := v.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() != v.pass.Pkg {
+		return nil
+	}
+	return v.decls[fn]
+}
+
+// isNamedValue reports whether t is the via struct type (through
+// pointers).
+func (v *viaScan) isNamedValue(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() == v.named.Obj()
+}
+
+// checkViaStruct verifies every field (exported or not) at the path
+// prefix is covered, recursing into partially-referenced nested structs.
+func (k *checker) checkViaStruct(typeName, via string, st *types.Struct, prefix []string, v *viaScan) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		path := append(append([]string{}, prefix...), f.Name())
+		field := k.fieldDocs[f]
+		switch {
+		case v.whole[f]:
+			// Referenced in full.
+		case k.neutral(field):
+			// Annotated //ce:timing-neutral.
+		case v.partial[f]:
+			// Some subfield was referenced: recurse so the uncovered
+			// siblings are named precisely.
+			if sub, ok := structUnder(f.Type()); ok {
+				k.checkViaStruct(typeName, via, sub, path, v)
+			}
+		default:
+			k.pass.Report(analysis.Diagnostic{
+				Pos:      f.Pos(),
+				Category: "unkeyed-field",
+				Message: fmt.Sprintf(
+					"%s.%s is not referenced in %s (//ce:keyed via=%s) and not marked //ce:timing-neutral — a run-cache key collision waiting to happen",
+					typeName, strings.Join(path, "."), via, via),
+			})
+		}
+	}
 }

@@ -9,7 +9,7 @@ import (
 )
 
 func TestKeylint(t *testing.T) {
-	diags := analysistest.Run(t, analysistest.TestData(t), keylint.Analyzer, "keyed")
+	diags := analysistest.Run(t, analysistest.TestData(t), keylint.Analyzer, "keyed", "keyedvia")
 	// The unkeyed-field findings must carry the annotate-the-field
 	// suggested fix when the field is declared in the analyzed package.
 	var withFix, withoutFix int

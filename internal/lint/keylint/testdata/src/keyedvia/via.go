@@ -1,0 +1,70 @@
+// Package keyedvia exercises keylint's via mode: package-local plan
+// structs whose cache key is built by a named function rather than a
+// Key method, with every field — unexported included — held to the
+// coverage contract.
+package keyedvia
+
+import "fmt"
+
+// plan reproduces the dropped-plan-field collision: phases feeds timing
+// but planKey forgets it, so two different phase-clustered plans would
+// share a cache key.
+//
+//ce:keyed via=planKey
+type plan struct {
+	k        int
+	warmup   int64
+	sample   int
+	adaptive bool
+	phases   int    // want "plan.phases is not referenced in planKey"
+	label    string //ce:timing-neutral
+}
+
+func planKey(p plan) string {
+	if p.exact() {
+		return ""
+	}
+	return fmt.Sprintf("segments=%d warmup=%d sample=%d", p.k, p.warmup, p.sample)
+}
+
+// exact contributes coverage through the call in planKey.
+func (p plan) exact() bool {
+	return p.warmup < 0 && !p.adaptive && p.sample == 1
+}
+
+// nested checks partial coverage one level down: mem.lines is read,
+// mem.ways is not.
+//
+//ce:keyed via=nestedKey
+type nested struct {
+	mem   memCfg
+	width int
+}
+
+type memCfg struct {
+	lines int
+	ways  int // want "nested.mem.ways is not referenced in nestedKey"
+}
+
+func nestedKey(n nested) string {
+	return fmt.Sprint(n.mem.lines, n.width)
+}
+
+// escaped is passed whole to fmt.Sprintf by its key function: every
+// field is observable, so nothing is reported.
+//
+//ce:keyed via=escapedKey
+type escaped struct {
+	a, b int
+}
+
+func escapedKey(e escaped) string {
+	return fmt.Sprintf("%+v", e)
+}
+
+// orphan names a key function that does not exist.
+//
+//ce:keyed via=missingKey
+type orphan struct { // want "via=missingKey on orphan names no function or method missingKey"
+	x int
+}

@@ -1,0 +1,12 @@
+package locklint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/locklint"
+)
+
+func TestLocklint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), locklint.Analyzer, "lockbad", "lockdep", "lockuse")
+}

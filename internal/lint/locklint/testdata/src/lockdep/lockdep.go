@@ -1,0 +1,27 @@
+// Package lockdep is an I/O helper library; locklint exports a
+// BlockFact for its exported functions so that lock-holding callers in
+// other packages see through the calls.
+package lockdep
+
+import "os"
+
+// Save writes bytes to disk — it blocks.
+func Save(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Persist blocks one hop down, through Save.
+func Persist(path string) error {
+	return Save(path, nil)
+}
+
+// Clamp is pure.
+func Clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

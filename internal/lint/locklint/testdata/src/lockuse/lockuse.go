@@ -1,0 +1,41 @@
+// Package lockuse holds a mutex across calls into lockdep: the
+// blocking verdict must propagate through the driver's fact store.
+package lockuse
+
+import (
+	"sync"
+
+	"lockdep"
+)
+
+type store struct {
+	mu   sync.Mutex
+	path string
+	n    int
+}
+
+func (s *store) badSave(b []byte) {
+	s.mu.Lock()
+	_ = lockdep.Save(s.path, b) // want "mutex s.mu held across call to lockdep.Save \\(blocks: Save: call to os.WriteFile\\)"
+	s.mu.Unlock()
+}
+
+func (s *store) badPersist() {
+	s.mu.Lock()
+	_ = lockdep.Persist(s.path) // want "mutex s.mu held across call to lockdep.Persist \\(blocks: Persist → Save: call to os.WriteFile\\)"
+	s.mu.Unlock()
+}
+
+// Pure callees are fine under the lock.
+func (s *store) okClamp(v int) {
+	s.mu.Lock()
+	s.n = lockdep.Clamp(v, 0, 100)
+	s.mu.Unlock()
+}
+
+// A hatch with a reason silences the transitive finding.
+func (s *store) hatchedSave(b []byte) {
+	s.mu.Lock()
+	_ = lockdep.Save(s.path, b) //ce:lock-ok quiesced snapshot, no concurrent readers by construction
+	s.mu.Unlock()
+}

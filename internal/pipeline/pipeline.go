@@ -717,7 +717,7 @@ func (s *Simulator) squash() error {
 	// dispatched before speculation began or is in the ROB).
 	for i := 0; i < s.fetchQ.Len(); i++ {
 		if s.fetchQ.At(i).Seq <= br.Seq {
-			return fmt.Errorf("pipeline: %s: non-speculative uop %d in fetch queue at squash", s.cfg.Name, s.fetchQ.At(i).Seq)
+			return fmt.Errorf("pipeline: %s: non-speculative uop %d in fetch queue at squash", s.cfg.Name, s.fetchQ.At(i).Seq) //ce:alloc-ok fatal path, run is over
 		}
 	}
 	s.stats.SquashedUops += uint64(s.fetchQ.Len())
@@ -752,7 +752,7 @@ func (s *Simulator) squash() error {
 	// Roll the functional machine back to just after the branch and
 	// resume on the architectural path.
 	if err := s.machine.Restore(s.checkpoint); err != nil {
-		return fmt.Errorf("pipeline: %s: %w", s.cfg.Name, err)
+		return fmt.Errorf("pipeline: %s: %w", s.cfg.Name, err) //ce:alloc-ok fatal path, run is over
 	}
 	s.seq = br.Seq + 1
 	s.resolving = nil

@@ -12,6 +12,8 @@
 // tier, and SetShared extends single-flight across processes sharing one
 // directory via a lock-file lease protocol (internal/lease), which is
 // what lets N cesweepd daemons on one store deduplicate work.
+//
+//ce:classify-errors
 package runcache
 
 import (
@@ -19,15 +21,14 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
-	"syscall"
 	"time"
 
 	"repro/internal/canonjson"
+	"repro/internal/errclass"
 	"repro/internal/lease"
 	"repro/internal/pipeline"
 )
@@ -120,7 +121,7 @@ func New() *Cache {
 func (c *Cache) SetDir(dir string) error {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return fmt.Errorf("runcache: %v", err)
+			return errclass.Transient(fmt.Errorf("runcache: %w", err))
 		}
 	}
 	c.mu.Lock()
@@ -226,14 +227,18 @@ func (c *Cache) abandon(e *entry, err error) {
 }
 
 // ErrTransient marks an error as environmental rather than
-// deterministic; see Transient and IsTransient.
-var ErrTransient = errors.New("transient failure")
+// deterministic; see Transient and IsTransient. It aliases
+// errclass.ErrTransient so every subsystem that touches the store
+// shares one classification vocabulary.
+var ErrTransient = errclass.ErrTransient
 
 // Transient wraps err so IsTransient reports true: the caller is
 // asserting the failure came from the environment (I/O, resources), not
 // from the deterministic computation itself.
+//
+//ce:classifier
 func Transient(err error) error {
-	return fmt.Errorf("%w: %w", ErrTransient, err)
+	return errclass.Transient(err)
 }
 
 // IsTransient reports whether err describes an environmental failure —
@@ -244,17 +249,7 @@ func Transient(err error) error {
 // the same inputs will fail the same way every time, so memoizing the
 // error is both safe and desirable.
 func IsTransient(err error) bool {
-	if errors.Is(err, ErrTransient) {
-		return true
-	}
-	var (
-		pathErr *os.PathError
-		linkErr *os.LinkError
-		sysErr  *os.SyscallError
-		errno   syscall.Errno
-	)
-	return errors.As(err, &pathErr) || errors.As(err, &linkErr) ||
-		errors.As(err, &sysErr) || errors.As(err, &errno)
+	return errclass.IsTransient(err)
 }
 
 // Do returns the memoized result for key, computing it at most once per
@@ -268,9 +263,13 @@ func IsTransient(err error) bool {
 // zero Stats. Transient errors (IsTransient) are delivered to the
 // current waiters but not memoized, so a later lookup retries — in a
 // long-lived daemon a momentary ENOSPC must not brick a key until
-// restart. If compute panics, the panic propagates to its caller after
-// the entry is abandoned with an error, so coalesced waiters unblock
-// (with that error) instead of deadlocking forever.
+// restart. Corrupt-artifact errors (errclass.IsCorrupt) are treated the
+// same way: a torn trace or cache file is deleted and rebuilt by the
+// layer that found it, so the failure is repairable and memoizing it
+// would pin a recovered key to a stale error. If compute panics, the
+// panic propagates to its caller after the entry is abandoned with an
+// error, so coalesced waiters unblock (with that error) instead of
+// deadlocking forever.
 func (c *Cache) Do(key string, compute func() (pipeline.Stats, error)) (st pipeline.Stats, hit bool, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
@@ -331,7 +330,7 @@ func (c *Cache) Do(key string, compute func() (pipeline.Stats, error)) (st pipel
 	}()
 	st, err = compute()
 	panicked = false
-	if err != nil && IsTransient(err) {
+	if err != nil && (IsTransient(err) || errclass.IsCorrupt(err)) {
 		c.abandon(e, err)
 		return pipeline.Stats{}, false, err
 	}

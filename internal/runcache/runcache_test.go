@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/errclass"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
 )
@@ -576,5 +577,37 @@ func TestReset(t *testing.T) {
 	c.Reset()
 	if c.Len() != 0 || c.Stats() != (Stats{}) {
 		t.Errorf("reset left len=%d stats=%+v", c.Len(), c.Stats())
+	}
+}
+
+// TestDoCorruptNotMemoized pins the corrupt-abandon path: a compute
+// failing with a corrupt-artifact error (a torn trace the pool deleted,
+// a mangled cache entry) must not be memoized — the artifact is rebuilt
+// by the layer that found it, so a later lookup must retry. Before the
+// errclass split, such errors were neither ErrTransient nor os errors,
+// so a daemon memoized them forever and the key stayed bricked after
+// the store had healed.
+func TestDoCorruptNotMemoized(t *testing.T) {
+	c := New()
+	var calls int32
+	compute := func() (pipeline.Stats, error) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			return pipeline.Stats{}, fmt.Errorf("replay: %w", errclass.Corrupt(errors.New("chunk checksum mismatch")))
+		}
+		return fakeStats(7), nil
+	}
+	_, hit, err := c.Do("k", compute)
+	if hit || !errclass.IsCorrupt(err) {
+		t.Fatalf("first Do: hit=%v err=%v, want corrupt miss", hit, err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("corrupt error left %d entries memoized", c.Len())
+	}
+	st, hit, err := c.Do("k", compute)
+	if err != nil || hit || st.Cycles != 7 {
+		t.Fatalf("retry Do = %+v, hit=%v, err=%v, want recomputed success", st, hit, err)
+	}
+	if calls != 2 {
+		t.Errorf("compute ran %d times, want 2 (corrupt error retried)", calls)
 	}
 }

@@ -145,7 +145,9 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			})
 			if err == nil {
 				s.logMu.Lock()
-				fmt.Fprintf(s.logW, "%s\n", line)
+				// Serializing whole lines onto logW is this mutex's entire
+				// job; the write is the critical section.
+				fmt.Fprintf(s.logW, "%s\n", line) //ce:lock-ok logMu exists to serialize this write
 				s.logMu.Unlock()
 			}
 		}

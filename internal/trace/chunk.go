@@ -10,11 +10,12 @@ package trace
 
 import (
 	"crypto/sha256"
-	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sync"
+
+	"repro/internal/errclass"
 )
 
 // chunkRecords is the number of dynamic records per chunk. It must be a
@@ -40,8 +41,10 @@ type chunkMeta struct {
 // ErrCorruptChunk marks a chunk whose bytes fail their checksum at read
 // time (bit rot or a torn write). The engine treats it as "this trace is
 // gone": drop, delete, recapture — a segment worker must never decode a
-// torn chunk.
-var ErrCorruptChunk = errors.New("trace: chunk checksum mismatch (corrupt or torn trace file)")
+// torn chunk. It wraps errclass.ErrCorrupt, so the generic classifiers
+// (runcache's memoization guard among them) recognize it without
+// importing this package.
+var ErrCorruptChunk = fmt.Errorf("trace: chunk checksum mismatch (corrupt or torn trace file): %w", errclass.ErrCorrupt)
 
 // chunkStore supplies chunk bytes on demand. Implementations are safe
 // for concurrent load calls: segment workers stream different chunks of
@@ -107,7 +110,7 @@ func (s *fileStore) load(i int, m chunkMeta, dst []byte) ([]byte, error) {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			return nil, fmt.Errorf("trace: %s: chunk %d truncated: %w", s.path, i, ErrCorruptChunk)
 		}
-		return nil, fmt.Errorf("trace: %s: reading chunk %d: %w", s.path, i, err)
+		return nil, classify(fmt.Errorf("trace: %s: reading chunk %d: %w", s.path, i, err))
 	}
 	if sha256.Sum256(dst) != m.sum {
 		return nil, fmt.Errorf("trace: %s: chunk %d: %w", s.path, i, ErrCorruptChunk)
@@ -118,7 +121,7 @@ func (s *fileStore) load(i int, m chunkMeta, dst []byte) ([]byte, error) {
 func (s *fileStore) footprint() (int64, int64) { return s.size, 0 }
 
 func (s *fileStore) close() error {
-	s.closeOnce.Do(func() { s.closeErr = s.f.Close() })
+	s.closeOnce.Do(func() { s.closeErr = classify(s.f.Close()) })
 	return s.closeErr
 }
 
@@ -135,7 +138,7 @@ func grabChunkBuf(n int) *[]byte {
 			return b
 		}
 	}
-	b := make([]byte, n)
+	b := make([]byte, n) //ce:alloc-ok pool refill, amortized across all chunks of a segment
 	return &b
 }
 

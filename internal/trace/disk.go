@@ -5,14 +5,31 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
-	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 
+	"repro/internal/errclass"
 	"repro/internal/isa"
 )
+
+// classify assigns an errclass category to an error leaving the trace
+// package's disk paths: already-classified errors (and nil) pass
+// through untouched; anything else came from an environment call on
+// these paths — an os or io failure — and is marked Transient. Corrupt
+// classifications are never applied here blindly: structural validation
+// failures wrap errclass.ErrCorrupt at the site that detects them,
+// where the judgement "this artifact is bad, not the environment" is
+// actually made.
+//
+//ce:classifier
+func classify(err error) error {
+	if err == nil || errclass.IsTransient(err) || errclass.IsCorrupt(err) {
+		return err
+	}
+	return errclass.Transient(err)
+}
 
 // On-disk layout, version 3 (all integers little-endian):
 //
@@ -64,8 +81,10 @@ import (
 var diskMagic = [8]byte{'C', 'E', 'T', 'R', 'A', 'C', 'E', 3}
 
 // ErrStaleFormat marks a structurally recognizable trace file of an
-// older format version, which must be deleted and recaptured.
-var ErrStaleFormat = errors.New("trace: stale trace format")
+// older format version, which must be deleted and recaptured. It wraps
+// errclass.ErrCorrupt: like any failed-validation artifact, a stale
+// file is deletable and rebuildable, never memoizable.
+var ErrStaleFormat = fmt.Errorf("trace: stale trace format: %w", errclass.ErrCorrupt)
 
 const boundaryBytes = 8 + 8 + 4
 
@@ -156,7 +175,7 @@ func parseFooter(footer []byte, p *isa.Program) (*Trace, error) {
 	t.chunkRecs = c.u64()
 	nChunks := c.u32()
 	corrupt := func(what string) (*Trace, error) {
-		return nil, fmt.Errorf("trace: footer: %s", what)
+		return nil, fmt.Errorf("trace: footer: %s: %w", what, errclass.ErrCorrupt)
 	}
 	if c.bad {
 		return corrupt("truncated")
@@ -220,7 +239,7 @@ func parseFooter(footer []byte, p *isa.Program) (*Trace, error) {
 		return corrupt("trailing bytes")
 	}
 	if t.entryPC != entryPC(p) {
-		return nil, fmt.Errorf("trace: entry pc %d does not match the program's %d", t.entryPC, entryPC(p))
+		return nil, fmt.Errorf("trace: entry pc %d does not match the program's %d: %w", t.entryPC, entryPC(p), errclass.ErrCorrupt)
 	}
 	return t, nil
 }
@@ -234,7 +253,7 @@ func checkMagic(magic []byte) error {
 	if bytes.Equal(magic[:7], diskMagic[:7]) && magic[7] < diskMagic[7] {
 		return fmt.Errorf("%w: format v%d < v3; recapturing", ErrStaleFormat, magic[7])
 	}
-	return fmt.Errorf("trace: bad magic (not a trace file, or an incompatible format version)")
+	return fmt.Errorf("trace: bad magic (not a trace file, or an incompatible format version): %w", errclass.ErrCorrupt)
 }
 
 // writeTo streams the trace's canonical serialized form: header, every
@@ -243,11 +262,11 @@ func checkMagic(magic []byte) error {
 // materializes the whole stream.
 func (t *Trace) writeTo(w io.Writer) error {
 	if _, err := w.Write(diskMagic[:]); err != nil {
-		return err
+		return classify(err)
 	}
 	ph := ProgHash(t.prog)
 	if _, err := w.Write(ph[:]); err != nil {
-		return err
+		return classify(err)
 	}
 	var scratch []byte
 	if t.maxChunk > 0 {
@@ -259,19 +278,19 @@ func (t *Trace) writeTo(w io.Writer) error {
 			return err
 		}
 		if _, err := w.Write(data); err != nil {
-			return err
+			return classify(err)
 		}
 	}
 	footer := appendFooter(nil, t)
 	if _, err := w.Write(footer); err != nil {
-		return err
+		return classify(err)
 	}
 	var trailer [trailerLen]byte
 	binary.LittleEndian.PutUint64(trailer[:8], uint64(len(footer)))
 	sum := sha256.Sum256(footer)
 	copy(trailer[8:], sum[:])
 	_, err := w.Write(trailer[:])
-	return err
+	return classify(err)
 }
 
 // Marshal serializes the trace into its canonical byte form.
@@ -292,22 +311,22 @@ func (t *Trace) Marshal() []byte {
 // there is no streaming win to defer them for.
 func Unmarshal(data []byte, p *isa.Program) (*Trace, error) {
 	if len(data) < fileHeaderLen+trailerLen {
-		return nil, fmt.Errorf("trace: file too short (%d bytes)", len(data))
+		return nil, fmt.Errorf("trace: file too short (%d bytes): %w", len(data), errclass.ErrCorrupt)
 	}
 	if err := checkMagic(data[:8]); err != nil {
 		return nil, err
 	}
 	if [32]byte(data[8:40]) != ProgHash(p) {
-		return nil, fmt.Errorf("trace: trace was captured from a different build of %s", p.Name)
+		return nil, fmt.Errorf("trace: trace was captured from a different build of %s: %w", p.Name, errclass.ErrCorrupt)
 	}
 	trailer := data[len(data)-trailerLen:]
 	footerLen := binary.LittleEndian.Uint64(trailer[:8])
 	if footerLen > uint64(len(data)-fileHeaderLen-trailerLen) {
-		return nil, fmt.Errorf("trace: footer overruns the file")
+		return nil, fmt.Errorf("trace: footer overruns the file: %w", errclass.ErrCorrupt)
 	}
 	footer := data[uint64(len(data))-trailerLen-footerLen : len(data)-trailerLen]
 	if sha256.Sum256(footer) != [32]byte(trailer[8:]) {
-		return nil, fmt.Errorf("trace: footer checksum mismatch (truncated or corrupt file)")
+		return nil, fmt.Errorf("trace: footer checksum mismatch (truncated or corrupt file): %w", errclass.ErrCorrupt)
 	}
 	t, err := parseFooter(footer, p)
 	if err != nil {
@@ -315,7 +334,7 @@ func Unmarshal(data []byte, p *isa.Program) (*Trace, error) {
 	}
 	chunkData := data[fileHeaderLen : uint64(len(data))-trailerLen-footerLen]
 	if uint64(len(chunkData)) != t.packedLen {
-		return nil, fmt.Errorf("trace: packed stream is %d bytes, footer says %d", len(chunkData), t.packedLen)
+		return nil, fmt.Errorf("trace: packed stream is %d bytes, footer says %d: %w", len(chunkData), t.packedLen, errclass.ErrCorrupt)
 	}
 	ms := &memStore{chunks: make([][]byte, len(t.chunks))}
 	for i, m := range t.chunks {
@@ -330,7 +349,7 @@ func Unmarshal(data []byte, p *isa.Program) (*Trace, error) {
 }
 
 // EnsureDir creates dir (and any parents) for trace storage.
-func EnsureDir(dir string) error { return os.MkdirAll(dir, 0o755) }
+func EnsureDir(dir string) error { return classify(os.MkdirAll(dir, 0o755)) }
 
 // WriteFile persists the trace under dir at its canonical path, via a
 // uniquely named temp file and rename so concurrent writers of the same
@@ -339,7 +358,7 @@ func EnsureDir(dir string) error { return os.MkdirAll(dir, 0o755) }
 func (t *Trace) WriteFile(dir string) error {
 	tmp, err := os.CreateTemp(dir, "trace-*.tmp")
 	if err != nil {
-		return err
+		return classify(err)
 	}
 	werr := t.writeTo(tmp)
 	cerr := tmp.Close()
@@ -348,12 +367,12 @@ func (t *Trace) WriteFile(dir string) error {
 		if werr != nil {
 			return werr
 		}
-		return cerr
+		return classify(cerr)
 	}
 	path := diskPath(dir, ProgHash(t.prog))
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		_ = os.Remove(tmp.Name())
-		return err
+		return classify(err)
 	}
 	return nil
 }
@@ -370,13 +389,17 @@ func ReadFile(dir string, p *isa.Program) (*Trace, error) {
 	path := diskPath(dir, ProgHash(p))
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		// classify wraps with %w, so errors.Is(err, os.ErrNotExist) still
+		// identifies the missing-file case callers dispatch on.
+		return nil, classify(err)
 	}
-	t, err := readFrom(f, path, p)
-	if err != nil {
+	// readFrom classifies every error it returns; keeping its result out
+	// of err also keeps the raw os.Open error from aliasing into it.
+	t, rerr := readFrom(f, path, p)
+	if rerr != nil {
 		_ = f.Close()
 		_ = os.Remove(path)
-		return nil, err
+		return nil, rerr
 	}
 	return t, nil
 }
@@ -386,43 +409,43 @@ func ReadFile(dir string, p *isa.Program) (*Trace, error) {
 func readFrom(f *os.File, path string, p *isa.Program) (*Trace, error) {
 	fi, err := f.Stat()
 	if err != nil {
-		return nil, err
+		return nil, classify(err)
 	}
 	size := fi.Size()
 	if size < fileHeaderLen+trailerLen {
-		return nil, fmt.Errorf("trace: %s: file too short (%d bytes)", path, size)
+		return nil, fmt.Errorf("trace: %s: file too short (%d bytes): %w", path, size, errclass.ErrCorrupt)
 	}
 	var header [fileHeaderLen]byte
 	if _, err := f.ReadAt(header[:], 0); err != nil {
-		return nil, err
+		return nil, classify(err)
 	}
 	if err := checkMagic(header[:8]); err != nil {
 		return nil, fmt.Errorf("trace: %s: %w", path, err)
 	}
 	if [32]byte(header[8:]) != ProgHash(p) {
-		return nil, fmt.Errorf("trace: %s: trace was captured from a different build of %s", path, p.Name)
+		return nil, fmt.Errorf("trace: %s: trace was captured from a different build of %s: %w", path, p.Name, errclass.ErrCorrupt)
 	}
 	var trailer [trailerLen]byte
 	if _, err := f.ReadAt(trailer[:], size-trailerLen); err != nil {
-		return nil, err
+		return nil, classify(err)
 	}
 	footerLen := binary.LittleEndian.Uint64(trailer[:8])
 	if footerLen > uint64(size-fileHeaderLen-trailerLen) {
-		return nil, fmt.Errorf("trace: %s: footer overruns the file", path)
+		return nil, fmt.Errorf("trace: %s: footer overruns the file: %w", path, errclass.ErrCorrupt)
 	}
 	footer := make([]byte, footerLen)
 	if _, err := f.ReadAt(footer, size-trailerLen-int64(footerLen)); err != nil {
-		return nil, err
+		return nil, classify(err)
 	}
 	if sha256.Sum256(footer) != [32]byte(trailer[8:]) {
-		return nil, fmt.Errorf("trace: %s: footer checksum mismatch (truncated or corrupt file)", path)
+		return nil, fmt.Errorf("trace: %s: footer checksum mismatch (truncated or corrupt file): %w", path, errclass.ErrCorrupt)
 	}
-	t, err := parseFooter(footer, p)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+	t, perr := parseFooter(footer, p)
+	if perr != nil {
+		return nil, fmt.Errorf("%s: %w", path, perr)
 	}
 	if got := uint64(size) - fileHeaderLen - trailerLen - footerLen; got != t.packedLen {
-		return nil, fmt.Errorf("trace: %s: packed stream is %d bytes, footer says %d", path, got, t.packedLen)
+		return nil, fmt.Errorf("trace: %s: packed stream is %d bytes, footer says %d: %w", path, got, t.packedLen, errclass.ErrCorrupt)
 	}
 	t.store = &fileStore{f: f, path: path, size: size}
 	t.path = path

@@ -2,15 +2,20 @@ package trace
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/emu"
+	"repro/internal/errclass"
 	"repro/internal/isa"
 )
 
 // errCorrupt is preallocated so the hot Step path never constructs an
 // error value. A corrupt trace is a programming or storage fault, not a
-// per-record condition, so one shared sentinel is enough.
-var errCorrupt = errors.New("trace: packed stream truncated (trace does not match its step count)")
+// per-record condition, so one shared sentinel is enough. It wraps
+// errclass.ErrCorrupt so replay-time truncation is classified like
+// every other failed-validation artifact: delete, recapture, never
+// memoize.
+var errCorrupt = fmt.Errorf("trace: packed stream truncated (trace does not match its step count): %w", errclass.ErrCorrupt)
 
 // errReleased guards use-after-release: a Reader whose chunk buffer was
 // returned to the pool must not decode from it again.

@@ -31,6 +31,7 @@
 // same bound on the replay side.
 //
 //ce:deterministic
+//ce:classify-errors
 package trace
 
 import (
@@ -115,7 +116,7 @@ func (t *Trace) Invalidate() error {
 	cerr := t.Close()
 	if t.path != "" {
 		if err := os.Remove(t.path); err != nil && !errors.Is(err, os.ErrNotExist) {
-			return err
+			return classify(err)
 		}
 	}
 	return cerr
@@ -245,7 +246,7 @@ func (r *Recorder) startSpill(dir string) error {
 	}
 	f, err := os.CreateTemp(dir, pattern)
 	if err != nil {
-		return err
+		return classify(err)
 	}
 	r.spill = f
 	r.spillName = f.Name()
@@ -257,14 +258,14 @@ func (r *Recorder) startSpill(dir string) error {
 	}
 	ph := ProgHash(r.prog)
 	if _, err := f.Write(diskMagic[:]); err != nil {
-		return r.spillFail(err)
+		return r.spillFail(classify(err))
 	}
 	if _, err := f.Write(ph[:]); err != nil {
-		return r.spillFail(err)
+		return r.spillFail(classify(err))
 	}
 	for _, c := range r.mem {
 		if _, err := f.Write(c); err != nil {
-			return r.spillFail(err)
+			return r.spillFail(classify(err))
 		}
 	}
 	r.mem, r.memBytes = nil, 0
@@ -361,7 +362,7 @@ func (r *Recorder) sealChunk() {
 	r.chunkStart = r.n
 	if r.spill != nil {
 		if _, err := r.spill.Write(r.chunk); err != nil {
-			_ = r.spillFail(err)
+			_ = r.spillFail(classify(err))
 			return
 		}
 		r.chunk = r.chunk[:0]
@@ -431,19 +432,19 @@ func (r *Recorder) Finish() (*Trace, error) {
 func (r *Recorder) finishSpill(t *Trace) (*Trace, error) {
 	footer := appendFooter(nil, t)
 	if _, err := r.spill.Write(footer); err != nil {
-		return nil, r.spillFail(err)
+		return nil, r.spillFail(classify(err))
 	}
 	var trailer [40]byte
 	binary.LittleEndian.PutUint64(trailer[:8], uint64(len(footer)))
 	sum := sha256.Sum256(footer)
 	copy(trailer[8:], sum[:])
 	if _, err := r.spill.Write(trailer[:]); err != nil {
-		return nil, r.spillFail(err)
+		return nil, r.spillFail(classify(err))
 	}
 	path := r.spillName
 	if r.spillDest != "" {
 		if err := os.Rename(r.spillName, r.spillDest); err != nil {
-			return nil, r.spillFail(err)
+			return nil, r.spillFail(classify(err))
 		}
 		path = r.spillDest
 		t.path = path

@@ -124,7 +124,13 @@ func (e *Engine) SetSegmentPhases(k int) {
 	e.traceMu.Unlock()
 }
 
-// segPlan is a snapshot of the engine's segment configuration.
+// segPlan is a snapshot of the engine's segment configuration. Every
+// field feeds segmented timing, so every field must reach the run-cache
+// key segKeySuffix builds — keylint's via mode enforces it, because a
+// plan field dropped from the key would let an approximate run
+// masquerade as a different plan's (or the exact) result.
+//
+//ce:keyed via=segKeySuffix
 type segPlan struct {
 	k        int   // segments to cut (<=1: monolithic)
 	warmup   int64 // fixed warmup prefix (-1: full, exact)
