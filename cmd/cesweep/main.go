@@ -32,6 +32,14 @@
 //	-trace-dir DIR      persist captured traces on disk across invocations
 //	-no-trace-replay    drive every simulation by lockstep execution
 //
+// Concurrent replay runs of one workload gang together, sharing each
+// trace chunk decoded once into an immutable slab (byte-identical
+// results, less decode work):
+//
+//	-no-gang            give every replay run a private streaming reader
+//	-slab-budget-mb N   bound the decoded-slab cache (default 256 MiB);
+//	                    traces too big to fit stream instead
+//
 // Segment-parallel simulation shards each trace into K segments timed
 // independently across CPUs and stitches the results:
 //
@@ -61,6 +69,11 @@
 //	                    wall time, peak RSS and IPC error per mode go to
 //	                    BENCH_sweep.json
 //	-stream-segments K  segment count for -stream-bench (default 64)
+//	-bench-compare F    compare this run's BENCH_sweep.json entries against
+//	                    the baseline at F and print per-entry deltas
+//	-bench-tolerance P  percent a gated ratio (segment/gang speedup, decode
+//	                    reduction) may fall below the baseline before the
+//	                    comparison exits nonzero; negative = warn only
 //	-cpuprofile FILE    write a CPU profile of the sweep
 //	-memprofile FILE    write a heap profile taken after the sweep
 package main
@@ -102,8 +115,12 @@ var (
 	segWarmup  = flag.String("warmup", "-1", "per-segment warmup: instruction count (-1 = full prefix, exact stitching) or 'adaptive' (per-segment IPC-convergence detection)")
 	segSample  = flag.String("sample", "1", "segment sampling: simulate every Nth segment and extrapolate (N), or 'phase' (time one representative per behavior cluster, weighted by cluster mass)")
 	segPhases  = flag.Int("phases", 8, "maximum behavior clusters for -sample=phase")
+	noGang     = flag.Bool("no-gang", false, "disable gang replay: give every replay run a private streaming reader instead of shared decoded slabs")
+	slabMB     = flag.Int64("slab-budget-mb", 0, "bound the decoded-slab cache to this many MiB (0 = default 256); traces too big to fit stream instead")
 	benchJSON  = flag.String("bench-json", "", "benchmark the simulator per panel config and write results to this file")
 	benchWork  = flag.String("bench-workload", "compress", "workload for -bench-json")
+	benchCmp   = flag.String("bench-compare", "", "compare this invocation's BENCH_sweep.json against the baseline at this path and print per-entry deltas")
+	benchTol   = flag.Float64("bench-tolerance", 25, "percent a gated benchmark ratio may fall below the -bench-compare baseline before exiting nonzero; negative = warn only")
 	streamWork = flag.String("stream-bench", "", "benchmark streamed capture + sampled simulation on this (huge) workload and record it in BENCH_sweep.json")
 	streamSegs = flag.Int("stream-segments", 64, "segment count for -stream-bench (sampled modes simulate at most -phases of them)")
 	cpuprof    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -178,6 +195,10 @@ func setupObservability() (func() error, error) {
 		}
 	}
 	eng.SetTraceReplay(!*noReplay)
+	eng.SetGangReplay(!*noGang)
+	if *slabMB > 0 {
+		eng.SetSlabBudget(*slabMB << 20)
+	}
 	eng.SetSegments(*segments)
 	if *segWarmup == "adaptive" {
 		eng.SetSegmentAdaptive(true)
@@ -232,6 +253,11 @@ func setupObservability() (func() error, error) {
 			fmt.Fprintf(os.Stderr,
 				"cesweep: trace bytes: %d on disk, %d resident; %d capture failures, %d corrupt traces dropped\n",
 				ts.TraceDiskBytes, ts.TraceResidentBytes, ts.CaptureFailures, ts.CorruptDropped)
+			if ts.GangRuns > 0 || ts.SlabDecodes > 0 {
+				fmt.Fprintf(os.Stderr,
+					"cesweep: gang: %d ganged runs; %d slab decodes, %d hits, %d evictions, peak %d bytes; %d records decoded\n",
+					ts.GangRuns, ts.SlabDecodes, ts.SlabHits, ts.SlabEvictions, ts.SlabPeakBytes, ts.RecordsDecoded)
+			}
 		}
 		if *metrics != "" {
 			dump := struct {
@@ -470,11 +496,12 @@ func run() (err error) {
 				r.Config, r.Cycles, r.WallSeconds*1000, r.MCyclesPerSec, r.AllocsPerCycle)
 		}
 	}
-	if (sweepRan && *benchJSON != "") || *streamWork != "" {
+	if (sweepRan && (*benchJSON != "" || *benchCmp != "")) || *streamWork != "" {
 		// Record whole-sweep performance next to the per-configuration
 		// benchmark: the sweep's own throughput (when one ran), the
 		// segment-parallel sampled benchmark on a workload long enough
-		// (millions of instructions) for segmentation to pay, and the
+		// (millions of instructions) for segmentation to pay, the gang
+		// replay benchmark (shared slabs versus private readers), and the
 		// streaming benchmark on a huge workload when requested.
 		ran = true
 		sb := ce.SweepBench(ce.DefaultEngine, sweepWall)
@@ -484,6 +511,11 @@ func run() (err error) {
 				return err
 			}
 			sb.Segment = seg
+			gang, err := ce.GangBench("compress.big")
+			if err != nil {
+				return err
+			}
+			sb.Gang = gang
 		}
 		if *streamWork != "" {
 			st, err := ce.StreamBench(*streamWork, *traceDir, *streamSegs, *segPhases)
@@ -497,6 +529,15 @@ func run() (err error) {
 			dir = filepath.Dir(*benchJSON)
 		}
 		path := filepath.Join(dir, "BENCH_sweep.json")
+		// Load the comparison baseline before writing: the baseline and the
+		// output are commonly the same committed file.
+		var baseline ce.SweepBenchResult
+		if *benchCmp != "" {
+			baseline, err = ce.ReadSweepBenchJSON(*benchCmp)
+			if err != nil {
+				return err
+			}
+		}
 		if err := ce.WriteSweepBenchJSON(path, sb); err != nil {
 			return err
 		}
@@ -511,6 +552,11 @@ func run() (err error) {
 				seg.Workload, seg.Steps, seg.MonoWallSeconds, simulated, seg.Segments,
 				seg.SampledWallSeconds, seg.Speedup, seg.SampledIPC, seg.MonoIPC, seg.IPCErrorPct)
 		}
+		if g := sb.Gang; g != nil {
+			fmt.Printf("Gang benchmark on %s (%d configs, %d steps): per-config %.2f s, ganged %.2f s — %.2fx; records decoded %d → %d (%.1fx fewer, peak %.1f MB of slabs)\n",
+				g.Workload, g.Configs, g.Steps, g.PerConfigWallSeconds, g.GangWallSeconds, g.Speedup,
+				g.PerConfigRecordsDecoded, g.GangRecordsDecoded, g.DecodeReduction, float64(g.SlabPeakBytes)/1e6)
+		}
 		if st := sb.Stream; st != nil {
 			fmt.Printf("Stream benchmark on %s (written to %s): %d steps, %.1f MB trace on disk (%.1f MB resident), capture %.1f s (peak RSS %.0f MB)\n",
 				st.Workload, path, st.Steps, float64(st.TraceDiskBytes)/1e6, float64(st.TraceResidentBytes)/1e6,
@@ -521,6 +567,32 @@ func run() (err error) {
 			for _, m := range st.Modes {
 				fmt.Printf("  %-9s %10d %9.1f %9.0f %9.3f %+8.2f%%\n",
 					m.Mode, m.SimulatedSteps, m.WallSeconds, float64(m.PeakRSSBytes)/1e6, m.IPC, m.IPCErrorPct)
+			}
+		}
+		if *benchCmp != "" {
+			tol, gate := *benchTol, *benchTol >= 0
+			if !gate {
+				tol = -tol
+			}
+			deltas := ce.CompareSweepBench(baseline, sb, tol)
+			fmt.Printf("Benchmark comparison against %s (gated * entries may fall up to %.0f%%):\n", *benchCmp, tol)
+			regressed := false
+			for _, d := range deltas {
+				mark, status := " ", ""
+				if d.Gated {
+					mark = "*"
+				}
+				if d.Regressed {
+					status, regressed = "  REGRESSED", true
+				}
+				fmt.Printf("  %s %-28s %10.3f -> %10.3f  (%+.1f%%)%s\n",
+					mark, d.Name, d.Old, d.New, d.Pct(), status)
+			}
+			if regressed {
+				if gate {
+					return fmt.Errorf("benchmark regression: a gated ratio fell more than %.0f%% below %s", tol, *benchCmp)
+				}
+				fmt.Println("  (warn only: -bench-tolerance is negative)")
 			}
 		}
 	}

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -50,6 +51,9 @@ var (
 	traceDir        = flag.String("trace-dir", "", "persist execution traces under this directory (shared across daemons)")
 	cacheMax        = flag.Int("cache-max", 4096, "max run results held in memory, LRU over the disk tier (0 = unbounded)")
 	noReplay        = flag.Bool("no-trace-replay", false, "drive every simulation by lockstep execution instead of trace replay")
+	noGang          = flag.Bool("no-gang", false, "disable gang replay: give every replay run a private streaming reader instead of shared decoded slabs")
+	slabMB          = flag.Int64("slab-budget-mb", 0, "bound the decoded-slab cache to this many MiB (0 = default 256)")
+	pprofAddr       = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty = disabled. Never exposed on the serving port")
 	segments        = flag.Int("segments", 0, "cut each trace into this many segments timed in parallel (0 = monolithic)")
 	segWarmup       = flag.String("warmup", "-1", "per-segment warmup: instruction count (-1 = full prefix, exact stitching) or 'adaptive'")
 	segSample       = flag.String("sample", "1", "segment sampling: every Nth segment (N) or 'phase' (one representative per behavior cluster)")
@@ -86,6 +90,10 @@ func run() error {
 	}
 	eng.SetCacheLimit(*cacheMax)
 	eng.SetTraceReplay(!*noReplay)
+	eng.SetGangReplay(!*noGang)
+	if *slabMB > 0 {
+		eng.SetSlabBudget(*slabMB << 20)
+	}
 	eng.SetSegments(*segments)
 	if *segWarmup == "adaptive" {
 		eng.SetSegmentAdaptive(true)
@@ -119,6 +127,28 @@ func run() error {
 	// Announce the resolved address (meaningful with -addr :0) on its own
 	// stderr line so scripts and tests can scrape it.
 	fmt.Fprintf(os.Stderr, "cesweepd: listening on http://%s\n", ln.Addr())
+
+	// Opt-in profiling endpoint, always on its own listener with its own
+	// mux: the serving port never exposes /debug/pprof/, however the
+	// daemon is deployed, and the profiler can be bound to localhost while
+	// the API listens publicly.
+	if *pprofAddr != "" {
+		if *pprofAddr == *addr {
+			return fmt.Errorf("-pprof-addr %q must differ from the serving -addr", *pprofAddr)
+		}
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof-addr: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(os.Stderr, "cesweepd: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() { _ = (&http.Server{Handler: mux}).Serve(pln) }()
+	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)

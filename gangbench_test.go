@@ -1,0 +1,114 @@
+package ce
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestGangBench pins the gang benchmark's accounting: the per-config
+// leg decodes the trace once per configuration, the ganged leg exactly
+// once, so the decode reduction equals the panel size and the ganged
+// records-decoded count equals the trace length.
+func TestGangBench(t *testing.T) {
+	res, err := GangBench("micro.branchy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Configs < 2 {
+		t.Fatalf("panel has %d replay-capable configs; need >= 2 for a gang", res.Configs)
+	}
+	if res.Steps == 0 {
+		t.Fatal("zero steps")
+	}
+	if res.GangRecordsDecoded != res.Steps {
+		t.Errorf("ganged leg decoded %d records, want exactly the trace length %d",
+			res.GangRecordsDecoded, res.Steps)
+	}
+	if want := res.Steps * uint64(res.Configs); res.PerConfigRecordsDecoded != want {
+		t.Errorf("per-config leg decoded %d records, want %d (configs x steps)",
+			res.PerConfigRecordsDecoded, want)
+	}
+	if want := float64(res.Configs); res.DecodeReduction != want {
+		t.Errorf("decode reduction = %v, want %v", res.DecodeReduction, want)
+	}
+	if res.SlabDecodes == 0 || res.SlabHits == 0 {
+		t.Errorf("ganged leg: %d slab decodes, %d hits; want both > 0",
+			res.SlabDecodes, res.SlabHits)
+	}
+	if res.SlabPeakBytes <= 0 {
+		t.Errorf("slab peak bytes = %d, want > 0", res.SlabPeakBytes)
+	}
+}
+
+func TestSweepBenchJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+	want := SweepBenchResult{
+		WallSeconds: 1.5,
+		Sims:        42,
+		SimsPerSec:  28,
+		Replay:      true,
+		Gang: &GangBenchResult{
+			Workload: "compress.big", Configs: 5, Steps: 100,
+			Speedup: 1.25, DecodeReduction: 5,
+		},
+	}
+	if err := WriteSweepBenchJSON(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSweepBenchJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sims != want.Sims || got.Gang == nil || *got.Gang != *want.Gang {
+		t.Errorf("round trip mismatch: got %+v, want %+v", got, want)
+	}
+}
+
+// TestCompareSweepBench pins the regression gate: only dimensionless
+// ratios gate, and only when they fall more than the tolerance below
+// the baseline.
+func TestCompareSweepBench(t *testing.T) {
+	old := SweepBenchResult{
+		WallSeconds: 10, SimsPerSec: 20,
+		Segment: &SegmentBenchResult{Speedup: 4.0},
+		Gang:    &GangBenchResult{Speedup: 1.3, DecodeReduction: 5.0},
+	}
+	cur := SweepBenchResult{
+		// Wall time doubled: reported, never gated.
+		WallSeconds: 20, SimsPerSec: 10,
+		// Within a 25% tolerance.
+		Segment: &SegmentBenchResult{Speedup: 3.2},
+		// Decode reduction collapsed: the regression gang replay being
+		// silently disabled would produce.
+		Gang: &GangBenchResult{Speedup: 1.25, DecodeReduction: 1.0},
+	}
+	deltas := CompareSweepBench(old, cur, 25)
+	byName := make(map[string]BenchDelta, len(deltas))
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	for name, want := range map[string]struct{ gated, regressed bool }{
+		"wall_seconds":          {false, false},
+		"sims_per_sec":          {false, false},
+		"segment.speedup":       {true, false},
+		"gang.speedup":          {true, false},
+		"gang.decode_reduction": {true, true},
+	} {
+		d, ok := byName[name]
+		if !ok {
+			t.Errorf("missing delta %q", name)
+			continue
+		}
+		if d.Gated != want.gated || d.Regressed != want.regressed {
+			t.Errorf("%s: gated=%v regressed=%v, want gated=%v regressed=%v",
+				name, d.Gated, d.Regressed, want.gated, want.regressed)
+		}
+	}
+	// Entries absent on one side are skipped, not invented.
+	none := CompareSweepBench(SweepBenchResult{}, cur, 25)
+	for _, d := range none {
+		if d.Name == "gang.speedup" || d.Name == "segment.speedup" {
+			t.Errorf("delta %q emitted though baseline lacks the entry", d.Name)
+		}
+	}
+}

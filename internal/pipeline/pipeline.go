@@ -266,6 +266,7 @@ type Simulator struct {
 	src     ExecSource
 	machine *emu.Machine
 	reader  *trace.Reader
+	slab    *slabSource
 	sched   core.Scheduler
 	pred    bpred.Predictor
 	dcache  *cache.Cache
@@ -374,6 +375,9 @@ func (s *Simulator) sourcePC() uint32 {
 	if s.machine != nil {
 		return s.machine.PC()
 	}
+	if s.slab != nil {
+		return s.slab.PC()
+	}
 	if s.reader != nil {
 		return s.reader.PC()
 	}
@@ -386,6 +390,9 @@ func (s *Simulator) sourcePC() uint32 {
 func (s *Simulator) sourceHalted() bool {
 	if s.machine != nil {
 		return s.machine.Halted()
+	}
+	if s.slab != nil {
+		return s.slab.halted
 	}
 	if s.reader != nil {
 		return s.reader.Halted()
@@ -448,6 +455,9 @@ func newSimulator(cfg Config, src ExecSource, machine *emu.Machine) (*Simulator,
 	}
 	if r, ok := src.(*trace.Reader); ok {
 		s.reader = r
+	}
+	if ss, ok := src.(*slabSource); ok {
+		s.slab = ss
 	}
 	s.nPhys = cfg.PhysRegs
 	s.nClus = cfg.Clusters
@@ -1098,6 +1108,8 @@ func (s *Simulator) fetch() error {
 		var err error
 		if s.machine != nil {
 			rec, err = s.machine.Step()
+		} else if s.slab != nil {
+			rec, err = s.slab.Step()
 		} else if s.reader != nil {
 			rec, err = s.reader.Step()
 		} else {

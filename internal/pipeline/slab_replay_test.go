@@ -1,0 +1,159 @@
+package pipeline
+
+// Tests for the slab execution source: a simulator reading shared
+// decoded slabs must be statistically indistinguishable from lockstep
+// execution and from streaming replay — gang replay changes where the
+// records come from, never what they are — and the slab path must keep
+// the construction-bounded allocation budget (its steady state is an
+// index and a bounds check, with one refill per quarter-million
+// records).
+
+import (
+	"testing"
+
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+func captureFor(t *testing.T, name string) *trace.Trace {
+	t.Helper()
+	w, err := prog.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Capture(p, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSlabReplayMatchesLockstep(t *testing.T) {
+	for _, name := range []string{"compress", "micro.branchy"} {
+		tr := captureFor(t, name)
+		// Two cache regimes: ample (pure sharing) and a 1-byte budget
+		// (every window release evicts, maximal churn mid-simulation).
+		for _, budget := range []int64{tr.DecodedBytes(), 1} {
+			cache := trace.NewSlabCache(budget)
+			for _, c := range replayConfigs() {
+				exec := runProgram(t, c, tr.Program())
+				cur, err := trace.NewSlabCursor(cache, tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sim, err := NewSlabReplay(c, cur)
+				if err != nil {
+					t.Fatal(err)
+				}
+				slab, err := sim.Run(0)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", c.Name, name, err)
+				}
+				exec.HostAllocs, slab.HostAllocs = 0, 0
+				exec.HostWallSeconds, slab.HostWallSeconds = 0, 0
+				if slab.Cycles != exec.Cycles || slab.Committed != exec.Committed ||
+					slab.EmuSteps != exec.EmuSteps || slab.Mispredicts != exec.Mispredicts ||
+					slab.Cache != exec.Cache || slab.ICache != exec.ICache ||
+					slab.ForwardedLoads != exec.ForwardedLoads {
+					t.Errorf("%s/%s (budget %d): slab %+v != lockstep %+v", c.Name, name, budget, slab, exec)
+				}
+				if sim.StateHash() != tr.StateHash() {
+					t.Errorf("%s/%s: slab simulator state hash diverges", c.Name, name)
+				}
+				if sim.Machine() != nil {
+					t.Errorf("%s/%s: slab simulator exposes a machine", c.Name, name)
+				}
+			}
+		}
+	}
+}
+
+// TestNewSlabReplayRejectsWrongPath mirrors the streaming-replay
+// refusal: a slab stream has exactly the architectural path.
+func TestNewSlabReplayRejectsWrongPath(t *testing.T) {
+	tr := captureFor(t, "micro.chain")
+	c := cfg("wrong-path", 1, 0, window64)
+	c.WrongPathExecution = true
+	cache := trace.NewSlabCache(tr.DecodedBytes())
+	cur, err := trace.NewSlabCursor(cache, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Release()
+	if _, err := NewSlabReplay(c, cur); err == nil {
+		t.Fatal("NewSlabReplay accepted a wrong-path configuration")
+	}
+}
+
+// TestSlabReplayRunAllocationFree holds the slab path to the same
+// construction-bounded budget as streaming replay. The cache is warm
+// (one throwaway run decodes every chunk), so the measured runs exercise
+// the gang steady state: acquire-hit, index, release.
+func TestSlabReplayRunAllocationFree(t *testing.T) {
+	tr := captureFor(t, "compress")
+	c := cfg("slab-alloc-guard", 1, 0, window64)
+	c.PerfectBPred = false
+	cache := trace.NewSlabCache(tr.DecodedBytes())
+	var cycles int64
+	run := func() {
+		cur, err := trace.NewSlabCursor(cache, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := NewSlabReplay(c, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.Run(10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles = st.Cycles
+	}
+	run() // warm the cache so AllocsPerRun measures the sharing regime
+	const maxPerRun = 2000
+	allocs := testing.AllocsPerRun(5, run)
+	if allocs > maxPerRun {
+		t.Errorf("slab replay run allocates %.0f objects (limit %d): %.3f allocs/cycle over %d cycles",
+			allocs, maxPerRun, allocs/float64(cycles), cycles)
+	}
+}
+
+// TestSegmentSlabsMatchStreaming pins the two-axis gang: segment runs
+// driven from a shared slab cache produce the same per-segment deltas —
+// and hence the same stitched totals — as segment runs with private
+// streaming readers.
+func TestSegmentSlabsMatchStreaming(t *testing.T) {
+	tr := captureFor(t, "compress")
+	segs := tr.Segments(3)
+	if len(segs) < 2 {
+		t.Skipf("compress yields %d segment(s); need ≥ 2", len(segs))
+	}
+	c := cfg("seg-slabs", 1, 0, window64)
+	c.PerfectBPred = false
+	cache := trace.NewSlabCache(tr.DecodedBytes())
+	for _, seg := range segs {
+		stream, _, err := RunSegmentOpts(c, tr, seg, SegmentOpts{Warmup: -1}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slab, _, err := RunSegmentOpts(c, tr, seg, SegmentOpts{Warmup: -1, Slabs: cache}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.HostAllocs, slab.HostAllocs = 0, 0
+		stream.HostWallSeconds, slab.HostWallSeconds = 0, 0
+		if slab.Cycles != stream.Cycles || slab.Committed != stream.Committed ||
+			slab.EmuSteps != stream.EmuSteps || slab.Mispredicts != stream.Mispredicts ||
+			slab.Cache != stream.Cache || slab.ForwardedLoads != stream.ForwardedLoads {
+			t.Errorf("segment %d: slab delta %+v != streaming delta %+v", seg.Index, slab, stream)
+		}
+	}
+	if st := cache.Stats(); st.Decodes == 0 {
+		t.Fatal("segment slab runs decoded nothing; the Slabs path was not taken")
+	}
+}

@@ -219,3 +219,29 @@ func (r *Reader) Step() (emu.Record, error) {
 	r.step++
 	return rec, nil
 }
+
+// StepBatch decodes up to len(dst) records into dst, returning how many
+// it produced. It stops early at the trace's end (n < len(dst), nil
+// error; the next call returns (0, emu.ErrHalted)) or on a decode error
+// (records before the failure are valid and counted). Batch decoding is
+// the slab layer's fill path: one call per chunk instead of one virtual
+// Step per record.
+func (r *Reader) StepBatch(dst []emu.Record) (int, error) {
+	if r.halted {
+		return 0, emu.ErrHalted
+	}
+	for i := range dst {
+		rec, err := r.Step()
+		if err != nil {
+			if err == emu.ErrHalted {
+				return i, nil
+			}
+			return i, err
+		}
+		dst[i] = rec
+		if r.halted {
+			return i + 1, nil
+		}
+	}
+	return len(dst), nil
+}

@@ -1,0 +1,325 @@
+package trace
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/emu"
+)
+
+// captureBig captures compress.big (the multi-chunk fixture) and fails
+// the test if it no longer spans several chunks — the slab tests are
+// about chunk-granular sharing and eviction, so a single-chunk trace
+// would silently stop exercising them.
+func captureBig(t *testing.T) *Trace {
+	t.Helper()
+	p := mustProgram(t, "compress.big")
+	tr, err := Capture(p, maxInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Chunks() < 2 {
+		t.Fatalf("compress.big packs into %d chunk(s); slab tests need a multi-chunk trace", tr.Chunks())
+	}
+	return tr
+}
+
+// readAll replays tr from boundary b to the end through the streaming
+// Reader — the reference stream every slab path must reproduce exactly.
+func readAll(t *testing.T, tr *Trace, b Boundary) []emu.Record {
+	t.Helper()
+	r, err := NewReaderAt(tr, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Release()
+	var recs []emu.Record
+	for {
+		rec, err := r.Step()
+		if err == emu.ErrHalted {
+			return recs
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// TestDecodeChunkMatchesReader pins the tentpole's correctness floor:
+// chunk-batched decode produces byte-identical records to the streaming
+// Reader, for every chunk including the short final one.
+func TestDecodeChunkMatchesReader(t *testing.T) {
+	tr := captureBig(t)
+	want := readAll(t, tr, tr.startBoundary())
+	var got []emu.Record
+	for ci := 0; ci < tr.Chunks(); ci++ {
+		recs, err := tr.DecodeChunk(ci, nil)
+		if err != nil {
+			t.Fatalf("DecodeChunk(%d): %v", ci, err)
+		}
+		got = append(got, recs...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records across chunks, reader produced %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs: slab %+v, reader %+v", i, got[i], want[i])
+		}
+	}
+	if uint64(len(got)) != tr.Steps() {
+		t.Fatalf("decoded %d records, trace has %d steps", len(got), tr.Steps())
+	}
+}
+
+// TestStepBatch pins the batch API's contract: early stop at the halt
+// record with a nil error, (0, emu.ErrHalted) afterwards, and exact
+// agreement with per-record stepping across arbitrary batch sizes.
+func TestStepBatch(t *testing.T) {
+	tr := captureBig(t)
+	want := readAll(t, tr, tr.startBoundary())
+
+	r := NewReader(tr)
+	defer r.Release()
+	var got []emu.Record
+	buf := make([]emu.Record, 100_003) // deliberately chunk-misaligned
+	for {
+		n, err := r.StepBatch(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, buf[:n]...)
+		if n < len(buf) {
+			break
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("StepBatch produced %d records, Step produced %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs: batch %+v, step %+v", i, got[i], want[i])
+		}
+	}
+	if n, err := r.StepBatch(buf); n != 0 || err != emu.ErrHalted {
+		t.Fatalf("StepBatch after halt = (%d, %v), want (0, ErrHalted)", n, err)
+	}
+}
+
+// cursorAll drains a SlabCursor into a flat record slice.
+func cursorAll(t *testing.T, sc *SlabCursor) []emu.Record {
+	t.Helper()
+	defer sc.Release()
+	var recs []emu.Record
+	for {
+		win, last, err := sc.NextWindow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, win...)
+		if last {
+			return recs
+		}
+	}
+}
+
+// TestSlabCursorMatchesReader checks the cursor's full-stream and
+// boundary-start (segment warm start) views against the Reader.
+func TestSlabCursorMatchesReader(t *testing.T) {
+	tr := captureBig(t)
+	cache := NewSlabCache(tr.DecodedBytes()) // ample: no eviction pressure
+
+	sc, err := NewSlabCursor(cache, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cursorAll(t, sc)
+	want := readAll(t, tr, tr.startBoundary())
+	if len(got) != len(want) {
+		t.Fatalf("cursor produced %d records, reader %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs: cursor %+v, reader %+v", i, got[i], want[i])
+		}
+	}
+
+	// Warm-start at every segment cut of a 4-way split, including cuts
+	// that land mid-chunk (boundaryInterval < chunkRecords guarantees
+	// most do): the cursor must skip into the first window precisely.
+	for _, seg := range tr.Segments(4) {
+		sc, err := NewSlabCursorAt(cache, tr, seg.Start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := cursorAll(t, sc)
+		want := readAll(t, tr, seg.Start)
+		if len(got) != len(want) {
+			t.Fatalf("segment %d: cursor produced %d records, reader %d", seg.Index, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("segment %d record %d differs: cursor %+v, reader %+v", seg.Index, i, got[i], want[i])
+			}
+		}
+	}
+
+	// A cursor opened at the trace's end yields one empty final window.
+	end, err := NewSlabCursorAt(cache, tr, tr.endBoundary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win, last, err := end.NextWindow(); err != nil || !last || len(win) != 0 {
+		t.Fatalf("cursor at end = (%d records, last=%v, %v), want (0, true, nil)", len(win), last, err)
+	}
+
+	st := cache.Stats()
+	if st.Decodes != tr.Chunks() {
+		t.Fatalf("cache decoded %d chunks for %d-chunk trace under ample budget, want exactly one decode per chunk", st.Decodes, tr.Chunks())
+	}
+	if st.Hits == 0 {
+		t.Fatal("repeated cursors produced no slab hits")
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("ample-budget cache evicted %d slabs, want 0", st.Evictions)
+	}
+	if st.PeakBytes > tr.DecodedBytes() {
+		t.Fatalf("peak slab bytes %d exceed the trace's decoded footprint %d", st.PeakBytes, tr.DecodedBytes())
+	}
+}
+
+// TestSlabCacheEvictionUnderConcurrentGangs is the satellite's pinning
+// test: several goroutines (a gang) replay the same trace through one
+// budget-constrained cache, racing acquire/release/evict. Refcount
+// pinning means no worker ever observes a reclaimed slab — every worker
+// must still see the byte-exact record stream — and the budget holds:
+// peak resident slab bytes never exceed it (each worker pins at most one
+// slab, and the budget covers one slab per worker). Run with -race.
+func TestSlabCacheEvictionUnderConcurrentGangs(t *testing.T) {
+	tr := captureBig(t)
+	want := readAll(t, tr, tr.startBoundary())
+
+	const workers = 4
+	slabBytes := int64(chunkRecords) * slabRecordBytes
+	budget := workers * slabBytes
+	cache := NewSlabCache(budget)
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) { //ce:nondet-ok test-only concurrency: races the cache on purpose; every interleaving must yield the same byte-exact stream
+			defer wg.Done()
+			sc, err := NewSlabCursor(cache, tr)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer sc.Release()
+			pos := 0
+			for {
+				win, last, err := sc.NextWindow()
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				for i := range win {
+					if win[i] != want[pos] {
+						errs[w] = errors.New("record stream diverged from reference replay")
+						return
+					}
+					pos++
+				}
+				if last {
+					break
+				}
+			}
+			if pos != len(want) {
+				errs[w] = errors.New("short replay")
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("gang worker %d: %v", w, err)
+		}
+	}
+
+	st := cache.Stats()
+	if st.PeakBytes > budget {
+		t.Fatalf("peak slab bytes %d exceed the budget %d", st.PeakBytes, budget)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions with budget %d over a %d-byte decoded trace; the test is not exercising eviction", budget, tr.DecodedBytes())
+	}
+	if st.Decodes+st.Hits != workers*tr.Chunks() {
+		t.Fatalf("decodes %d + hits %d ≠ %d acquisitions", st.Decodes, st.Hits, workers*tr.Chunks())
+	}
+	if st.Decodes < tr.Chunks() {
+		t.Fatalf("decoded %d chunks, trace has %d", st.Decodes, tr.Chunks())
+	}
+	if st.DecodedRecords < tr.Steps() {
+		t.Fatalf("decoded %d records, trace has %d", st.DecodedRecords, tr.Steps())
+	}
+	t.Logf("gang of %d over %d chunks: %d decodes, %d hits, %d evictions, peak %d/%d bytes",
+		workers, tr.Chunks(), st.Decodes, st.Hits, st.Evictions, st.PeakBytes, budget)
+}
+
+// TestSlabCacheTinyBudget drives the degenerate budget: every release
+// immediately evicts, yet replay stays correct and peak stays at one
+// slab (a pinned slab is never reclaimed, whatever the budget says).
+func TestSlabCacheTinyBudget(t *testing.T) {
+	tr := captureBig(t)
+	cache := NewSlabCache(1)
+	sc, err := NewSlabCursor(cache, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cursorAll(t, sc)
+	if uint64(len(got)) != tr.Steps() {
+		t.Fatalf("replayed %d records, want %d", len(got), tr.Steps())
+	}
+	st := cache.Stats()
+	if st.Evictions != tr.Chunks() {
+		t.Fatalf("tiny budget evicted %d slabs, want one per chunk (%d)", st.Evictions, tr.Chunks())
+	}
+	if st.PeakBytes > int64(chunkRecords)*slabRecordBytes {
+		t.Fatalf("peak %d bytes exceeds one slab; eviction is not keeping up", st.PeakBytes)
+	}
+	if st.Bytes != 0 {
+		t.Fatalf("%d resident bytes after the cursor released everything, want 0", st.Bytes)
+	}
+}
+
+// TestSlabCacheFileBacked repeats the sharing check against a file-backed
+// trace: the checksum-verify-on-every-load cost the slab layer exists to
+// remove must not change the records it produces.
+func TestSlabCacheFileBacked(t *testing.T) {
+	p := mustProgram(t, "compress.big")
+	tr, err := CaptureToDir(p, maxInsts, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	want := readAll(t, tr, tr.startBoundary())
+	cache := NewSlabCache(tr.DecodedBytes())
+	sc, err := NewSlabCursor(cache, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cursorAll(t, sc)
+	if len(got) != len(want) {
+		t.Fatalf("cursor produced %d records, reader %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs: cursor %+v, reader %+v", i, got[i], want[i])
+		}
+	}
+	if st := cache.Stats(); st.Decodes != tr.Chunks() {
+		t.Fatalf("file-backed cache decoded %d chunks, want %d", st.Decodes, tr.Chunks())
+	}
+}

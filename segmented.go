@@ -274,7 +274,11 @@ func (e *Engine) runSegmented(cfg Config, tr *trace.Trace, plan segPlan, attr *s
 			pick = append(pick, i)
 		}
 	}
-	opts := pipeline.SegmentOpts{Warmup: plan.warmup, Adaptive: plan.adaptive}
+	// Gang the segment fan-out when the slab cache admits the trace: the
+	// K segment workers (across however many configs run concurrently)
+	// share each chunk decoded once, each pinning a single slab at a
+	// time. Streaming otherwise — each worker a private Reader.
+	opts := pipeline.SegmentOpts{Warmup: plan.warmup, Adaptive: plan.adaptive, Slabs: e.slabCacheFor(tr)}
 	parts, reports, err := runSegments(cfg, tr, segs, pick, opts)
 	if err != nil {
 		return Stats{}, err
@@ -338,11 +342,24 @@ func (e *Engine) runSegmented(cfg Config, tr *trace.Trace, plan segPlan, attr *s
 		}
 	}
 	attr.segments = sm
+	attr.ganged = opts.Slabs != nil
 	e.traceMu.Lock()
 	e.tstats.ReplayRuns++
 	e.tstats.SegmentRuns++
 	e.tstats.SegmentsSimulated += len(parts)
 	e.tstats.StepsReplayed += st.EmuSteps
+	if opts.Slabs != nil {
+		e.tstats.GangRuns++
+	} else {
+		// Private streaming readers decoded every measured record plus
+		// each segment's warmup prefix (WarmupSteps counts committed
+		// instructions — a close proxy for records decoded during warmup).
+		decoded := st.EmuSteps
+		for _, r := range reports {
+			decoded += r.WarmupSteps
+		}
+		e.tstats.RecordsDecoded += decoded
+	}
 	e.traceMu.Unlock()
 	return st, nil
 }

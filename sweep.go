@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/runcache"
+	"repro/internal/trace"
 )
 
 // RunMetrics records the observability data for one simulation run (or
@@ -42,11 +43,21 @@ type RunMetrics struct {
 	// pre-captured trace from the engine's trace pool instead of lockstep
 	// functional execution (false for cached results).
 	Replayed bool `json:"replayed,omitempty"`
-	// CaptureSeconds is the time this run spent blocked on its workload's
-	// one-time trace capture. WallSeconds excludes it: capture is a
-	// shared, per-workload cost (reported in TraceStats), not part of any
-	// one configuration's simulation cost.
+	// Ganged reports that the replay read shared decoded slabs (gang
+	// replay) instead of streaming a private reader. The statistics are
+	// byte-identical either way; only the host cost differs.
+	Ganged bool `json:"ganged,omitempty"`
+	// CaptureSeconds is the time this run spent performing its workload's
+	// one-time trace capture — reported only by the run that owned the
+	// capture, so summing it across a sweep counts each capture once.
+	// WallSeconds excludes it: capture is a shared, per-workload cost
+	// (reported in TraceStats), not part of any one configuration's
+	// simulation cost.
 	CaptureSeconds float64 `json:"capture_seconds,omitempty"`
+	// CaptureWaitSeconds is time spent blocked on a capture owned (and
+	// reported) by another run — the other gang members' view of the same
+	// capture. Also excluded from WallSeconds.
+	CaptureWaitSeconds float64 `json:"capture_wait_seconds,omitempty"`
 	// Segments describes the segment-parallel plan this run used, when
 	// one was active (nil for monolithic and cached results).
 	Segments *SegmentMetrics `json:"segments,omitempty"`
@@ -89,6 +100,13 @@ type Engine struct {
 	segSample   int
 	segAdaptive bool
 	segPhases   int
+
+	// Gang replay (tracepool.go): concurrent replay runs of one workload
+	// share decoded chunk slabs through one engine-global cache, created
+	// lazily at the first gang run. Guarded by traceMu.
+	noGang     bool
+	slabBudget int64
+	slabs      *trace.SlabCache
 }
 
 // NewEngine returns an Engine with an empty in-memory run cache.
@@ -190,7 +208,7 @@ func (e *Engine) runOne(cfg Config, workload string) (Stats, RunMetrics, error) 
 	// A cached result may have been computed under a renamed twin of this
 	// configuration; relabel the copy we hand back.
 	st.Config = cfg.Name
-	wall := time.Since(start).Seconds() - attr.captureSeconds
+	wall := time.Since(start).Seconds() - attr.captureSeconds - attr.captureWait
 	if wall < 0 {
 		wall = 0
 	}
@@ -207,9 +225,11 @@ func (e *Engine) runOne(cfg Config, workload string) (Stats, RunMetrics, error) 
 		HostAllocs:      st.HostAllocs,
 		HostWallSeconds: st.HostWallSeconds,
 
-		Replayed:       attr.replayed,
-		CaptureSeconds: attr.captureSeconds,
-		Segments:       attr.segments,
+		Replayed:           attr.replayed,
+		Ganged:             attr.ganged,
+		CaptureSeconds:     attr.captureSeconds,
+		CaptureWaitSeconds: attr.captureWait,
+		Segments:           attr.segments,
 	}
 	if !cached && wall > 0 {
 		m.MCyclesPerSec = float64(st.Cycles) / wall / 1e6
@@ -272,9 +292,15 @@ func (e *Engine) RunMatrix(cfgs []Config, workloads []string) ([][]Stats, error)
 			}
 		}()
 	}
+	// Dispatch workload-major: one workload's configurations fly together
+	// as a gang, sharing the workload's decoded slabs (and its capture)
+	// while they are resident, instead of touching each workload once per
+	// configuration. Error precedence stays row-major (configs outer) via
+	// the recorded index, so the reported failure is independent of
+	// dispatch order.
 dispatch:
-	for ci := range cfgs {
-		for wi := range workloads {
+	for wi := range workloads {
+		for ci := range cfgs {
 			if failed() {
 				break dispatch
 			}

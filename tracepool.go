@@ -73,6 +73,22 @@ type TraceStats struct {
 	// O(readers) chunk buffers resident. Snapshot at query time.
 	TraceDiskBytes     int64 `json:"trace_disk_bytes"`
 	TraceResidentBytes int64 `json:"trace_resident_bytes"`
+	// Gang replay (slab sharing) counters. GangRuns counts replay runs
+	// driven from shared decoded slabs; SlabDecodes/SlabHits split slab
+	// acquisitions by whether the chunk had to be decoded or was already
+	// resident — their ratio is the decode sharing a sweep achieved.
+	// SlabEvictions and SlabPeakBytes describe the cache's budget
+	// behaviour. RecordsDecoded totals dynamic records decoded from
+	// packed streams across both drive modes (per-run private decoding
+	// under streaming replay, once per chunk under gang replay); the
+	// per-config baseline decodes ~#configs × trace length, so gang
+	// replay's ≥5× reduction shows up directly here.
+	GangRuns       int    `json:"gang_runs,omitempty"`
+	SlabDecodes    int    `json:"slab_decodes,omitempty"`
+	SlabHits       int    `json:"slab_hits,omitempty"`
+	SlabEvictions  int    `json:"slab_evictions,omitempty"`
+	SlabPeakBytes  int64  `json:"slab_peak_bytes,omitempty"`
+	RecordsDecoded uint64 `json:"records_decoded,omitempty"`
 }
 
 // traceEntry is one workload's slot in the pool: the first goroutine to
@@ -149,7 +165,8 @@ func (e *Engine) TraceReplay() bool {
 }
 
 // TraceStats returns a snapshot of the engine's trace-pool counters,
-// including the pooled traces' current disk/resident byte split.
+// including the pooled traces' current disk/resident byte split and the
+// slab cache's sharing counters.
 func (e *Engine) TraceStats() TraceStats {
 	e.traceMu.Lock()
 	defer e.traceMu.Unlock()
@@ -165,7 +182,73 @@ func (e *Engine) TraceStats() TraceStats {
 		default:
 		}
 	}
+	if e.slabs != nil {
+		ss := e.slabs.Stats()
+		ts.SlabDecodes = ss.Decodes
+		ts.SlabHits = ss.Hits
+		ts.SlabEvictions = ss.Evictions
+		ts.SlabPeakBytes = ss.PeakBytes
+		ts.RecordsDecoded += ss.DecodedRecords
+	}
 	return ts
+}
+
+// defaultSlabBudget bounds the decoded-slab cache when SetSlabBudget was
+// never called: 256 MiB holds ~11M decoded records — tens of chunks —
+// which comfortably fits every paper workload's full decoded stream
+// while staying far under typical sweep-host memory.
+const defaultSlabBudget int64 = 256 << 20
+
+// SetGangReplay toggles gang replay (default on): concurrent replay
+// simulations of one workload share each trace chunk decoded once into
+// an immutable slab, instead of each re-decoding the packed stream. The
+// results are byte-identical either way — only host cost changes — so
+// gang and per-config runs share run-cache keys.
+func (e *Engine) SetGangReplay(on bool) {
+	e.traceMu.Lock()
+	e.noGang = !on
+	e.traceMu.Unlock()
+}
+
+// GangReplay reports whether gang replay is enabled.
+func (e *Engine) GangReplay() bool {
+	e.traceMu.Lock()
+	defer e.traceMu.Unlock()
+	return !e.noGang
+}
+
+// SetSlabBudget bounds the decoded-slab cache to at most budget bytes of
+// resident decoded records (<= 0 restores the default). Call before
+// running: the budget is fixed when the first gang run creates the
+// cache. Traces whose full decoded stream exceeds the budget are not
+// ganged at all — they stream through private Readers, since a cache
+// that must evict a workload's slabs faster than its gang shares them
+// is strictly worse than streaming.
+func (e *Engine) SetSlabBudget(budget int64) {
+	e.traceMu.Lock()
+	e.slabBudget = budget
+	e.traceMu.Unlock()
+}
+
+// slabCacheFor returns the engine's shared slab cache if gang replay
+// should drive simulations of tr, or nil to use streaming replay.
+func (e *Engine) slabCacheFor(tr *trace.Trace) *trace.SlabCache {
+	e.traceMu.Lock()
+	defer e.traceMu.Unlock()
+	if e.noGang || e.noReplay {
+		return nil
+	}
+	budget := e.slabBudget
+	if budget <= 0 {
+		budget = defaultSlabBudget
+	}
+	if tr.DecodedBytes() > budget {
+		return nil
+	}
+	if e.slabs == nil {
+		e.slabs = trace.NewSlabCache(budget)
+	}
+	return e.slabs
 }
 
 // warnOnce writes one diagnostic line to stderr per key for the
@@ -188,11 +271,23 @@ func (e *Engine) warnOnce(key, format string, args ...any) {
 // traceFor returns workload's shared trace, capturing it exactly once
 // per process however many configurations and goroutines ask.
 func (e *Engine) traceFor(workload string) (*trace.Trace, error) {
+	tr, _, err := e.traceForOwned(workload)
+	return tr, err
+}
+
+// traceForOwned is traceFor plus ownership: owned is true for the one
+// caller that performed the capture (or disk load), false for callers
+// that merely waited on it. Attribution needs the distinction — in a
+// gang every member blocks on the same capture, but the cost must be
+// charged to exactly one run (the others report it as wait time), or a
+// sweep's summed CaptureSeconds would count one capture once per gang
+// member.
+func (e *Engine) traceForOwned(workload string) (tr *trace.Trace, owned bool, err error) {
 	e.traceMu.Lock()
 	if ent, ok := e.traces[workload]; ok {
 		e.traceMu.Unlock()
 		<-ent.done
-		return ent.tr, ent.err
+		return ent.tr, false, ent.err
 	}
 	ent := &traceEntry{done: make(chan struct{})}
 	if e.traces == nil {
@@ -203,7 +298,7 @@ func (e *Engine) traceFor(workload string) (*trace.Trace, error) {
 	e.traceMu.Unlock()
 	ent.tr, ent.err = e.captureTrace(workload, dir, shared)
 	close(ent.done)
-	return ent.tr, ent.err
+	return ent.tr, true, ent.err
 }
 
 // captureTrace loads workload's trace from the trace directory or
@@ -316,7 +411,15 @@ func (e *Engine) awaitCaptureLease(dir string, p *isa.Program) (*lease.Lease, *t
 // simulation's own cost, and which drive mode ran.
 type simAttribution struct {
 	captureSeconds float64
-	replayed       bool
+	// captureWait is time spent blocked on a capture some *other* run
+	// owns (and reports in its captureSeconds). Excluded from the run's
+	// wall time like captureSeconds, but kept apart so summing
+	// CaptureSeconds across a sweep's runs counts each capture once.
+	captureWait float64
+	replayed    bool
+	// ganged reports that the run read shared decoded slabs instead of
+	// streaming its own private Reader.
+	ganged bool
 	// segments is non-nil when the run was conducted segment-parallel.
 	segments *SegmentMetrics
 }
@@ -360,8 +463,12 @@ func (e *Engine) runSim(cfg Config, workload string, attr *simAttribution) (Stat
 func (e *Engine) runReplay(cfg Config, workload string, attr *simAttribution) (Stats, bool, error) {
 	for attempt := 0; ; attempt++ {
 		waitStart := time.Now()
-		tr, err := e.traceFor(workload)
-		attr.captureSeconds += time.Since(waitStart).Seconds()
+		tr, owned, err := e.traceForOwned(workload)
+		if owned {
+			attr.captureSeconds += time.Since(waitStart).Seconds()
+		} else {
+			attr.captureWait += time.Since(waitStart).Seconds()
+		}
 		if err != nil {
 			e.noteCaptureFailure(workload, err)
 			return Stats{}, false, nil
@@ -388,12 +495,46 @@ func (e *Engine) runReplay(cfg Config, workload string, attr *simAttribution) (S
 			attr.replayed = true
 			return st, true, nil
 		}
-		sim, err := pipeline.NewReplay(cfg, trace.NewReader(tr))
-		if err != nil {
-			e.noteCaptureFailure(workload, err)
-			return Stats{}, false, nil
+		// Monolithic replay: gang-driven from shared decoded slabs when
+		// the cache admits the trace, a private streaming Reader otherwise.
+		var (
+			sim *pipeline.Simulator
+			cur *trace.SlabCursor
+		)
+		if sc := e.slabCacheFor(tr); sc != nil {
+			c, cerr := trace.NewSlabCursor(sc, tr)
+			if cerr == nil {
+				sim, cerr = pipeline.NewSlabReplay(cfg, c)
+				if cerr == nil {
+					cur = c
+				} else {
+					c.Release()
+				}
+			}
+			if cerr != nil {
+				if retry(cerr) {
+					continue
+				}
+				// Non-corrupt construction failure (e.g. the config cannot
+				// replay): the streaming path below reproduces and properly
+				// attributes it.
+				sim = nil
+			}
+		}
+		ganged := sim != nil
+		if sim == nil {
+			sim, err = pipeline.NewReplay(cfg, trace.NewReader(tr))
+			if err != nil {
+				e.noteCaptureFailure(workload, err)
+				return Stats{}, false, nil
+			}
 		}
 		st, err := sim.Run(maxCycles)
+		if cur != nil {
+			// The cursor self-releases at the trace's end; this covers runs
+			// that stop early (errors, cycle limits) still pinning a slab.
+			cur.Release()
+		}
 		if err != nil {
 			if retry(err) {
 				continue
@@ -401,9 +542,18 @@ func (e *Engine) runReplay(cfg Config, workload string, attr *simAttribution) (S
 			return st, false, err
 		}
 		attr.replayed = true
+		attr.ganged = ganged
 		e.traceMu.Lock()
 		e.tstats.ReplayRuns++
 		e.tstats.StepsReplayed += st.EmuSteps
+		if ganged {
+			e.tstats.GangRuns++
+		} else {
+			// A private streaming Reader decoded every record this run
+			// consumed; ganged runs' decodes are counted once per chunk by
+			// the slab cache and merged in TraceStats().
+			e.tstats.RecordsDecoded += st.EmuSteps
+		}
 		e.traceMu.Unlock()
 		return st, true, nil
 	}
@@ -434,7 +584,13 @@ func (e *Engine) dropCorrupt(workload string, tr *trace.Trace) {
 		}
 	}
 	e.tstats.CorruptDropped++
+	sc := e.slabs
 	e.traceMu.Unlock()
+	if sc != nil {
+		// Slabs decoded from the bad trace are dead weight; free their
+		// budget now rather than waiting for LRU pressure.
+		sc.DropTrace(tr)
+	}
 	e.warnOnce("corrupt:"+workload, "trace %s: chunk checksum failed mid-replay; dropping the trace and recapturing", workload)
 	tr.Invalidate()
 }

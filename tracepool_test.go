@@ -237,6 +237,13 @@ func TestEngineCorruptTraceRecaptured(t *testing.T) {
 func testCorruptTraceRecaptured(t *testing.T, segments int) {
 	eng := NewEngine()
 	eng.SetSegments(segments)
+	// Streaming replay re-reads (and re-verifies) chunks from disk on
+	// every run, so it observes the corruption this test injects after
+	// the first run. Gang replay would legitimately mask it: the chunk
+	// was verified at its one decode and the resident slab stays good —
+	// TestEngineGangCorruptTraceRecaptured covers the gang recovery path
+	// with a cold cache instead.
+	eng.SetGangReplay(false)
 	dir := t.TempDir()
 	if err := eng.SetTraceDir(dir); err != nil {
 		t.Fatal(err)
@@ -300,5 +307,205 @@ func testCorruptTraceRecaptured(t *testing.T, segments int) {
 	}
 	if ts := eng2.TraceStats(); ts.DiskHits != 1 {
 		t.Errorf("recaptured trace not reloadable: %+v", ts)
+	}
+}
+
+// TestEngineGangCorruptTraceRecaptured pins corrupt-chunk recovery on
+// the gang path: a trace whose on-disk bytes rot before any slab is
+// decoded fails its checksum during the gang's single decode, is
+// dropped and invalidated, and the run recaptures and retries — same
+// contract as streaming replay, detected once per chunk instead of once
+// per config.
+func TestEngineGangCorruptTraceRecaptured(t *testing.T) {
+	for _, segments := range []int{0, 4} {
+		seed := NewEngine()
+		dir := t.TempDir()
+		if err := seed.SetTraceDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := seed.RunMatrix([]Config{BaselineConfig()}, []string{"micro.branchy"}); err != nil {
+			t.Fatal(err)
+		}
+		w, err := prog.ByName("micro.branchy")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := w.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.OpenFile(trace.DiskPath(dir, p), os.O_RDWR, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt([]byte{0xFF}, 40+64); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		// A fresh engine loads the rotten file lazily; the gang's first
+		// slab decode trips the checksum.
+		eng := NewEngine()
+		eng.SetSegments(segments)
+		if err := eng.SetTraceDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		lock := NewEngine()
+		lock.SetTraceReplay(false)
+		want, err := lock.RunMatrix([]Config{BaselineConfig()}, []string{"micro.branchy"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.RunMatrix([]Config{BaselineConfig()}, []string{"micro.branchy"})
+		if err != nil {
+			t.Fatalf("segments=%d: %v", segments, err)
+		}
+		if got[0][0].Cycles != want[0][0].Cycles {
+			t.Errorf("segments=%d: recaptured gang run diverges: %d cycles vs %d", segments, got[0][0].Cycles, want[0][0].Cycles)
+		}
+		ts := eng.TraceStats()
+		if ts.CorruptDropped != 1 || ts.DiskHits != 1 || ts.Captures != 1 {
+			t.Errorf("segments=%d: recovery accounting: CorruptDropped=%d DiskHits=%d Captures=%d, want 1/1/1",
+				segments, ts.CorruptDropped, ts.DiskHits, ts.Captures)
+		}
+		if ts.GangRuns != 1 {
+			t.Errorf("segments=%d: GangRuns = %d, want 1", segments, ts.GangRuns)
+		}
+	}
+}
+
+// TestEngineGangEquivalence pins the gang-replay contract at the engine
+// level: a matrix run with gang replay (the default) and one with it
+// disabled produce identical simulation results, the ganged engine
+// counts its runs and slab sharing, and the decoded-record total drops
+// below the per-config baseline's (#configs × trace length).
+func TestEngineGangEquivalence(t *testing.T) {
+	cfgs := []Config{BaselineConfig(), DependenceConfig(), FourWayConfig()}
+	workloads := []string{"compress", "micro.branchy"}
+
+	gangEng := NewEngine()
+	streamEng := NewEngine()
+	streamEng.SetGangReplay(false)
+
+	got, err := gangEng.RunMatrix(cfgs, workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := streamEng.RunMatrix(cfgs, workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		for j := range workloads {
+			a, b := got[i][j], want[i][j]
+			if a.IssuedPerCycle.Total() != b.IssuedPerCycle.Total() ||
+				a.IssuedPerCycle.Mean() != b.IssuedPerCycle.Mean() {
+				t.Errorf("%s/%s: issue histograms diverge", cfgs[i].Name, workloads[j])
+			}
+			a.HostAllocs, b.HostAllocs = 0, 0
+			a.HostWallSeconds, b.HostWallSeconds = 0, 0
+			a.IssuedPerCycle, b.IssuedPerCycle = nil, nil
+			if a != b {
+				t.Errorf("%s/%s: ganged stats diverge from streaming replay:\n  %+v\n  %+v",
+					cfgs[i].Name, workloads[j], a, b)
+			}
+		}
+	}
+
+	gts := gangEng.TraceStats()
+	if gts.GangRuns != len(cfgs)*len(workloads) {
+		t.Errorf("GangRuns = %d, want %d", gts.GangRuns, len(cfgs)*len(workloads))
+	}
+	if gts.SlabDecodes == 0 {
+		t.Error("ganged sweep decoded no slabs")
+	}
+	if gts.SlabHits == 0 {
+		t.Error("ganged sweep shared no slabs (every acquisition decoded)")
+	}
+	sts := streamEng.TraceStats()
+	if sts.GangRuns != 0 || sts.SlabDecodes != 0 {
+		t.Errorf("gang-disabled engine touched the slab cache: %+v", sts)
+	}
+	if gts.RecordsDecoded == 0 || sts.RecordsDecoded == 0 {
+		t.Fatalf("decoded-record accounting is dark: gang %d, stream %d", gts.RecordsDecoded, sts.RecordsDecoded)
+	}
+	if gts.RecordsDecoded*uint64(len(cfgs)) > sts.RecordsDecoded {
+		t.Errorf("gang decoded %d records vs %d streamed — expected at least a %d× reduction",
+			gts.RecordsDecoded, sts.RecordsDecoded, len(cfgs))
+	}
+	for _, m := range gangEng.Metrics() {
+		if !m.Cached && !m.Ganged {
+			t.Errorf("%s/%s: fresh run not marked ganged", m.Config, m.Workload)
+		}
+	}
+}
+
+// TestEngineGangSingleCapture pins the capture-attribution fix: when a
+// gang of configurations races over one uncaptured workload, the
+// capture happens once and is charged to exactly one run's
+// CaptureSeconds; the other gang members report only wait time
+// (CaptureWaitSeconds), so summing CaptureSeconds across the sweep
+// counts each capture once instead of once per gang member.
+func TestEngineGangSingleCapture(t *testing.T) {
+	eng := NewEngine()
+	cfgs := []Config{BaselineConfig(), DependenceConfig()}
+	if _, err := eng.RunMatrix(cfgs, []string{"micro.branchy"}); err != nil {
+		t.Fatal(err)
+	}
+	if ts := eng.TraceStats(); ts.Captures != 1 {
+		t.Fatalf("Captures = %d, want 1", ts.Captures)
+	}
+	owners := 0
+	for _, m := range eng.Metrics() {
+		if m.Cached {
+			continue
+		}
+		if m.CaptureSeconds > 0 {
+			owners++
+			if m.CaptureWaitSeconds > 0 {
+				t.Errorf("%s/%s reports both owned capture (%gs) and wait (%gs)",
+					m.Config, m.Workload, m.CaptureSeconds, m.CaptureWaitSeconds)
+			}
+		}
+	}
+	if owners != 1 {
+		t.Errorf("%d runs report owned capture time, want exactly 1", owners)
+	}
+}
+
+// TestEngineGangSegmented checks the two-axis gang end to end: a
+// segment-parallel exact run with slabs stitches bit-identical to the
+// monolithic gang run (they share a run-cache key, so use separate
+// engines) and is accounted as both a segment run and a gang run.
+func TestEngineGangSegmented(t *testing.T) {
+	segEng := NewEngine()
+	segEng.SetSegments(4)
+	monoEng := NewEngine()
+	cfgs := []Config{BaselineConfig()}
+	workloads := []string{"compress"}
+	seg, err := segEng.RunMatrix(cfgs, workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := monoEng.RunMatrix(cfgs, workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := seg[0][0], mono[0][0]
+	if a.IssuedPerCycle.Total() != b.IssuedPerCycle.Total() {
+		t.Error("issue histograms diverge between segmented and monolithic gang runs")
+	}
+	a.HostAllocs, b.HostAllocs = 0, 0
+	a.HostWallSeconds, b.HostWallSeconds = 0, 0
+	a.IssuedPerCycle, b.IssuedPerCycle = nil, nil
+	if a != b {
+		t.Errorf("segmented gang stats diverge from monolithic:\n  %+v\n  %+v", a, b)
+	}
+	ts := segEng.TraceStats()
+	if ts.SegmentRuns != 1 || ts.GangRuns != 1 {
+		t.Errorf("segmented gang accounting: SegmentRuns=%d GangRuns=%d, want 1/1", ts.SegmentRuns, ts.GangRuns)
+	}
+	if ts.SlabHits == 0 {
+		t.Error("segment workers shared no slabs")
 	}
 }
